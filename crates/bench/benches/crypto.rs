@@ -1,0 +1,61 @@
+//! Real wall-time of the from-scratch crypto primitives.
+//!
+//! The virtual-time experiments charge AEAD through the cost model; these
+//! benches confirm the actual implementations are sane and give the
+//! wall-time baseline EXPERIMENTS.md quotes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| cio_crypto::Sha256::digest(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20poly1305");
+    let aead = cio_crypto::ChaCha20Poly1305::new([7u8; 32]);
+    let nonce = [1u8; 12];
+    for size in [64usize, 1500, 16 * 1024] {
+        let data = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("seal", size), &data, |b, d| {
+            b.iter(|| aead.seal(black_box(&nonce), b"aad", black_box(d)))
+        });
+        let sealed = aead.seal(&nonce, b"aad", &data);
+        g.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, s| {
+            b.iter(|| aead.open(black_box(&nonce), b"aad", black_box(s)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let scalar = [0x77u8; 32];
+    c.bench_function("x25519/scalarmult", |b| {
+        b.iter(|| cio_crypto::x25519::public_key(black_box(&scalar)))
+    });
+}
+
+fn bench_hkdf(c: &mut Criterion) {
+    c.bench_function("hkdf/derive-32", |b| {
+        b.iter(|| {
+            cio_crypto::hkdf::derive::<32>(
+                black_box(b"salt"),
+                black_box(b"input keying material"),
+                b"info",
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_aead, bench_x25519, bench_hkdf);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Real wall-time of the cTLS handshake and record layer.
+
+use cio_ctls::{ClientHandshake, ServerHandshake, ServerIdentity};
+use cio_tee::attest::Measurement;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const PLATFORM: [u8; 32] = [0x42; 32];
+
+fn identity() -> ServerIdentity {
+    ServerIdentity {
+        platform_key: PLATFORM,
+        measurement: Measurement::of(b"bench-server"),
+    }
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    c.bench_function("ctls/full_handshake", |b| {
+        b.iter(|| {
+            let (hello, client) = ClientHandshake::start(black_box([7u8; 64]), None);
+            let (sh, server) =
+                ServerHandshake::respond(&hello, &identity(), [9u8; 64], None).unwrap();
+            let (fin, c_chan) = client
+                .finish(&sh, &PLATFORM, &Measurement::of(b"bench-server"))
+                .unwrap();
+            let s_chan = server.verify_finished(&fin).unwrap();
+            (c_chan, s_chan)
+        })
+    });
+}
+
+fn bench_records(c: &mut Criterion) {
+    let (hello, client) = ClientHandshake::start([1u8; 64], None);
+    let (sh, server) = ServerHandshake::respond(&hello, &identity(), [2u8; 64], None).unwrap();
+    let (fin, mut tx) = client
+        .finish(&sh, &PLATFORM, &Measurement::of(b"bench-server"))
+        .unwrap();
+    let mut rx = server.verify_finished(&fin).unwrap();
+
+    let mut g = c.benchmark_group("ctls/record_roundtrip");
+    for size in [256usize, 1500, 16 * 1024] {
+        let msg = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &msg, |b, m| {
+            b.iter(|| {
+                let rec = tx.seal(black_box(m)).unwrap();
+                rx.open(&rec).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_handshake, bench_records);
+criterion_main!(benches);

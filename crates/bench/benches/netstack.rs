@@ -1,0 +1,84 @@
+//! Real wall-time of the network stack's hot paths.
+
+use cio_netstack::wire::{
+    inet_checksum, tcp_flags, EthFrame, EtherType, IpProto, Ipv4Addr, Ipv4Packet, MacAddr,
+    TcpSegment,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inet_checksum");
+    for size in [64usize, 1460] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| inet_checksum(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_segment_build_parse(c: &mut Criterion) {
+    let seg = TcpSegment {
+        src_port: 40_000,
+        dst_port: 80,
+        seq: 12345,
+        ack: 67890,
+        flags: tcp_flags::ACK | tcp_flags::PSH,
+        window: 65_535,
+        payload: vec![0x42u8; 1460],
+    };
+    c.bench_function("tcp_segment/build", |b| {
+        b.iter(|| black_box(&seg).build(A, B))
+    });
+    let bytes = seg.build(A, B);
+    c.bench_function("tcp_segment/parse", |b| {
+        b.iter(|| TcpSegment::parse(A, B, black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    // Build + parse the full encapsulation: TCP in IPv4 in Ethernet.
+    let seg = TcpSegment {
+        src_port: 1,
+        dst_port: 2,
+        seq: 0,
+        ack: 0,
+        flags: tcp_flags::ACK,
+        window: 1000,
+        payload: vec![7u8; 1400],
+    };
+    c.bench_function("frame/encap+decap", |b| {
+        b.iter(|| {
+            let ip = Ipv4Packet {
+                src: A,
+                dst: B,
+                proto: IpProto::Tcp,
+                ttl: 64,
+                payload: black_box(&seg).build(A, B),
+            };
+            let eth = EthFrame {
+                dst: MacAddr([1; 6]),
+                src: MacAddr([2; 6]),
+                ethertype: EtherType::Ipv4,
+                payload: ip.build(),
+            };
+            let wire = eth.build();
+            let eth2 = EthFrame::parse(&wire).unwrap();
+            let ip2 = Ipv4Packet::parse(&eth2.payload).unwrap();
+            TcpSegment::parse(ip2.src, ip2.dst, &ip2.payload).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_segment_build_parse,
+    bench_full_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Real wall-time of the transports' data structures (no cost model —
+//! this is what the rings cost the simulator host, complementing E5's
+//! virtual-time picture).
+
+use cio_bench::transport::{cio_pair, frame_echo, TransportKind};
+use cio_sim::CostModel;
+use cio_vring::cioring::DataMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_transport_echo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_echo_1500B");
+    g.throughput(Throughput::Bytes(1500 * 32));
+    for kind in [
+        TransportKind::VirtioUnhardened,
+        TransportKind::VirtioHardened,
+        TransportKind::CioRingCopy,
+        TransportKind::CioRingZeroCopy,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &k| b.iter(|| frame_echo(black_box(k), 1500, 32, CostModel::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_cio_produce_consume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cioring_produce_consume");
+    for mode in [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect] {
+        let cfg = cio_bench::transport::bench_ring_config(mode, 1600);
+        let (_mem, mut gp, mut hc, _hp, _gc) = cio_pair(cfg, CostModel::default());
+        let payload = vec![0xEEu8; 1500];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    gp.produce(black_box(&payload)).unwrap();
+                    hc.consume().unwrap().unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_masking(c: &mut Criterion) {
+    // The masking operation itself: the entire runtime cost of the §3.2
+    // "safe ring" pointer discipline.
+    let mask = 0x7FFFFu32;
+    c.bench_function("mask_and_clamp", |b| {
+        b.iter(|| {
+            let offset = black_box(0xDEADBEEFu32) & mask;
+            let len = black_box(0xFFFF_FFFFu32).min(mask - offset).min(1514);
+            (offset, len)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_transport_echo,
+    bench_cio_produce_consume,
+    bench_masking
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Real wall-time of the storage stack: raw disk vs. crypt layer vs. the
+//! full filesystem.
+
+use cio_block::blockdev::{BlockStore, RamDisk, BLOCK_SIZE};
+use cio_block::{CryptStore, SimpleFs};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_block_layers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_write_read");
+    g.throughput(Throughput::Bytes(BLOCK_SIZE as u64));
+    let data = vec![0xABu8; BLOCK_SIZE];
+    let mut buf = vec![0u8; BLOCK_SIZE];
+
+    let mut raw = RamDisk::new(64);
+    g.bench_function("ramdisk", |b| {
+        b.iter(|| {
+            raw.write_block(3, black_box(&data)).unwrap();
+            raw.read_block(3, &mut buf).unwrap();
+        })
+    });
+
+    let mut crypt = CryptStore::new(RamDisk::new(64), [7u8; 32]).unwrap();
+    g.bench_function("cryptstore", |b| {
+        b.iter(|| {
+            crypt.write_block(3, black_box(&data)).unwrap();
+            crypt.read_block(3, &mut buf).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut fs = SimpleFs::format(RamDisk::new(256)).unwrap();
+    let id = fs.create("bench.dat").unwrap();
+    let chunk = vec![0x11u8; 16 * 1024];
+    let mut g = c.benchmark_group("simplefs");
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    g.bench_function("write_read_16k", |b| {
+        b.iter(|| {
+            fs.write(id, 0, black_box(&chunk)).unwrap();
+            fs.read(id, 0, chunk.len()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_layers, bench_fs);
+criterion_main!(benches);

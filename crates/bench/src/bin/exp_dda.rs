@@ -1,0 +1,94 @@
+//! E13 — direct device assignment (§3.4): the attested-device path versus
+//! the paravirtual designs, including attestation amortization and the
+//! post-attestation-compromise caveat.
+
+use cio::world::{BoundaryKind, WorldOptions, ECHO_PORT};
+use cio::World;
+use cio_bench::{bench_opts, echo_latency, fmt_cycles, print_table, stream_download};
+
+fn main() {
+    // Steady-state comparison.
+    let mut rows = Vec::new();
+    for kind in [
+        BoundaryKind::Dda,
+        BoundaryKind::DualBoundary,
+        BoundaryKind::L2VirtioHardened,
+    ] {
+        let stream = stream_download(kind, bench_opts(), 1 << 20, 16 * 1024).unwrap();
+        let (rtt, run) = echo_latency(kind, bench_opts(), 256, 32).unwrap();
+        rows.push(vec![
+            kind.to_string(),
+            format!("{:.2}", stream.gbps),
+            fmt_cycles(rtt),
+            format!("{:.0}", run.obs_bits as f64 / 32.0),
+            stream.meter.aead_bytes.to_string(),
+        ]);
+    }
+    print_table(
+        "E13 — DDA vs. paravirtual designs (steady state)",
+        &[
+            "design",
+            "stream Gbit/s",
+            "RTT cyc",
+            "obs bits/op",
+            "AEAD bytes",
+        ],
+        &rows,
+    );
+
+    // Attestation amortization: total cycles to first byte + N round trips.
+    let mut rows = Vec::new();
+    for ops in [1u32, 10, 100, 1_000] {
+        let mut w = World::new(BoundaryKind::Dda, bench_opts()).unwrap();
+        let setup = w.clock().now(); // includes SPDM rounds charged at build
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 20_000).unwrap();
+        let payload = [0x42u8; 256];
+        for _ in 0..ops {
+            w.send(c, &payload).unwrap();
+            w.recv_exact(c, 256, 50_000).unwrap();
+        }
+        let total = w.clock().now();
+        rows.push(vec![
+            ops.to_string(),
+            fmt_cycles(setup),
+            fmt_cycles(total),
+            fmt_cycles(cio_sim::Cycles(total.get() / u64::from(ops))),
+        ]);
+    }
+    print_table(
+        "E13b — SPDM attestation amortization (256 B echo ops)",
+        &["ops", "attestation cyc", "total cyc", "cyc/op incl. setup"],
+        &rows,
+    );
+
+    // The §3.4 caveat: an attested device that then misbehaves.
+    let mut w = World::new(
+        BoundaryKind::Dda,
+        WorldOptions {
+            dda_tamper: true,
+            ..bench_opts()
+        },
+    )
+    .unwrap();
+    let c = w.connect(ECHO_PORT).unwrap();
+    let attested = "PASSED (measurement + challenge OK)";
+    let outcome = match w.establish(c, 1_000) {
+        Ok(()) => "traffic flowed from a compromised device!",
+        Err(_) => "no corrupted frame reached the application (TCP/cTLS rejected them)",
+    };
+    print_table(
+        "E13c — post-attestation device compromise",
+        &["attestation", "workload outcome"],
+        &[vec![attested.to_string(), outcome.to_string()]],
+    );
+
+    println!(
+        "\nReading: DDA performs like a polling L2 design with per-byte IDE cost and \
+         near-tunnel observability (the host sees encrypted TLPs), and its SPDM setup \
+         amortizes within tens of operations. But attestation is a gate, not a leash: a \
+         device compromised *after* attestation still sits inside the TCB — the paper's \
+         argument that DDA is no silver bullet and paravirtual interfaces remain worth \
+         designing well (§3.4)."
+    );
+}

@@ -1,0 +1,67 @@
+//! E5 — the hardening tax (§2.5): virtio vs. hardened virtio vs. cio-ring
+//! frame throughput across frame sizes.
+//!
+//! The paper's claim: "performance tends to suffer from the hardening more
+//! than needed" because the retrofit piggybacks copies and checks on a
+//! protocol that never planned for them, while an interface designed for
+//! distrust pays less for the same safety.
+
+use cio_bench::transport::{frame_echo, TransportKind};
+use cio_bench::{fmt_cycles, print_table};
+use cio_sim::CostModel;
+
+fn main() {
+    let cost = CostModel::default();
+    let frames = 256u32;
+    let sizes = [64usize, 256, 1024, 1500];
+    let kinds = [
+        TransportKind::VirtioUnhardened,
+        TransportKind::VirtioHardened,
+        TransportKind::CioRingCopy,
+        TransportKind::CioRingZeroCopy,
+    ];
+
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let mut base_cyc = 0u64;
+        for kind in kinds {
+            let r = frame_echo(kind, size, frames, cost.clone());
+            let cyc = r.cycles_per_frame(u64::from(frames));
+            if kind == TransportKind::VirtioUnhardened {
+                base_cyc = cyc;
+            }
+            rows.push(vec![
+                size.to_string(),
+                kind.to_string(),
+                fmt_cycles(cio_sim::Cycles(cyc)),
+                format!("{:.2}", r.gbps(cost.ghz)),
+                format!("{:.2}x", cyc as f64 / base_cyc as f64),
+                r.meter.copies.to_string(),
+                r.meter.validations.to_string(),
+                (r.meter.notifications_sent + r.meter.interrupts_received).to_string(),
+            ]);
+        }
+    }
+
+    print_table(
+        "E5 — hardening tax: echo cycles/frame by transport",
+        &[
+            "frame B",
+            "transport",
+            "cyc/frame",
+            "Gbit/s",
+            "vs unhardened",
+            "copies",
+            "validations",
+            "notifications",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nReading: the retrofit (virtio-hardened) pays bounce copies on every frame plus \
+         per-completion validation and notification exits; the cio-ring gets equivalent \
+         safety from masking + one early copy, and its zero-copy mode drops even that \
+         where the layout rules out double fetches."
+    );
+}

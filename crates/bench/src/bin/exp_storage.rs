@@ -1,0 +1,98 @@
+//! E12 — the storage generalization (§3.3): block-level vs. file-level
+//! boundary on the same file workload.
+
+use cio::storage::{StorageBoundary, StorageWorld};
+use cio_bench::{fmt_cycles, print_table};
+use cio_sim::CostModel;
+
+fn run_workload(b: StorageBoundary, io_size: usize) -> Vec<String> {
+    let mut w = StorageWorld::new(b, CostModel::default()).expect("storage world");
+    let total = 256 * 1024usize;
+    let id = w.create("workload.dat").expect("create");
+    let chunk = vec![0xABu8; io_size];
+
+    let t0 = w.tee().clock().now();
+    let m0 = w.tee().meter().snapshot();
+    let mut off = 0u64;
+    while (off as usize) < total {
+        w.write(id, off, &chunk).expect("write");
+        off += io_size as u64;
+    }
+    let mut read_back = 0usize;
+    while read_back < total {
+        let got = w.read(id, read_back as u64, io_size).expect("read");
+        read_back += got.len();
+    }
+    let elapsed = w.tee().clock().since(t0);
+    let meter = w.tee().meter().snapshot().delta(&m0);
+    let obs = w.recorder().summary();
+
+    vec![
+        b.to_string(),
+        io_size.to_string(),
+        fmt_cycles(elapsed),
+        format!(
+            "{:.2}",
+            cio_sim::gbps(2 * total as u64, elapsed, CostModel::default().ghz)
+        ),
+        meter.host_transitions.to_string(),
+        meter.aead_bytes.to_string(),
+        obs.events.to_string(),
+        obs.by_kind.keys().copied().collect::<Vec<_>>().join(","),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for io_size in [4 * 1024usize, 16 * 1024, 64 * 1024] {
+        for b in [StorageBoundary::BlockInTee, StorageBoundary::FileOnHost] {
+            rows.push(run_workload(b, io_size));
+        }
+    }
+    print_table(
+        "E12 — storage boundaries: write+read 256 KiB, by I/O size",
+        &[
+            "boundary",
+            "I/O B",
+            "cycles",
+            "Gbit/s",
+            "exits",
+            "AEAD bytes",
+            "host events",
+            "host sees",
+        ],
+        &rows,
+    );
+
+    // Security contrast.
+    let mut rows = Vec::new();
+    for b in [StorageBoundary::BlockInTee, StorageBoundary::FileOnHost] {
+        let mut w = StorageWorld::new(b, CostModel::default()).unwrap();
+        let id = w.create("ledger").unwrap();
+        w.write(id, 0, &[7u8; 20_000]).unwrap();
+        for lba in 6..12 {
+            w.host_tamper(lba, 13, 0x20).unwrap();
+        }
+        let outcome = match w.read(id, 0, 20_000) {
+            Err(_) => "tamper DETECTED (read refused)".to_string(),
+            Ok(data) if data.iter().any(|&b| b != 7) => {
+                "tamper UNDETECTED (falsified data served)".to_string()
+            }
+            Ok(_) => "tamper missed the file".to_string(),
+        };
+        rows.push(vec![b.to_string(), outcome]);
+    }
+    print_table(
+        "E12b — host tampers with 6 disk blocks",
+        &["boundary", "outcome"],
+        &rows,
+    );
+
+    println!(
+        "\nReading: the block boundary pays AEAD on every block but exposes only \
+         blk.read/blk.write events and detects tampering; the file boundary is \
+         cheaper and fully compatible but leaks every file operation, costs an exit \
+         per call, and serves falsified data without noticing — the same trade §3.1 \
+         resolves for networking, transplanted to storage as §3.3 predicts."
+    );
+}

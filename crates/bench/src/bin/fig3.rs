@@ -1,0 +1,29 @@
+//! Figure 3: distribution of hardening commits to the NetVSC driver.
+
+use cio_bench::print_table;
+use cio_study::hardening;
+
+fn main() {
+    let commits = hardening::netvsc_commits();
+    let rows: Vec<Vec<String>> = hardening::distribution(&commits)
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                r.count.to_string(),
+                format!("{:.1}%", r.pct_of_hardening),
+                "#".repeat(r.count as usize),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3 — hardening commits to Linux netvsc, by change type",
+        &["change type", "commits", "% of hardening", "bar"],
+        &rows,
+    );
+    println!(
+        "\n{} hardening commits total; churn (amend/revert of earlier hardening): {:.0}%.",
+        commits.len(),
+        100.0 * hardening::churn_ratio(&commits)
+    );
+}

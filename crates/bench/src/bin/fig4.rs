@@ -1,0 +1,35 @@
+//! Figure 4: distribution of hardening commits to the VirtIO driver family.
+
+use cio_bench::print_table;
+use cio_study::hardening;
+
+fn main() {
+    let commits = hardening::virtio_commits();
+    let rows: Vec<Vec<String>> = hardening::distribution(&commits)
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                r.count.to_string(),
+                format!("{:.1}%", r.pct_of_hardening),
+                "#".repeat(r.count as usize),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4 — hardening commits to the Linux virtio family, by change type",
+        &["change type", "commits", "% of hardening", "bar"],
+        &rows,
+    );
+    let reverted = commits.iter().filter(|c| c.later_reverted).count();
+    println!(
+        "\n{} hardening commits total; {} amend/revert earlier hardening ({:.0}% churn), \
+         {reverted} never re-applied — \"hardening is extremely error-prone\" (§2.5).",
+        commits.len(),
+        commits
+            .iter()
+            .filter(|c| c.kind == hardening::ChangeKind::AmendPrevious)
+            .count(),
+        100.0 * hardening::churn_ratio(&commits)
+    );
+}

@@ -1,0 +1,99 @@
+//! E10 — the attack-resilience matrix: adversary suite × boundary designs.
+
+use cio::attacks::{netvsc_offset_forgery, payload_toctou, run_matrix, Outcome, ALL_ATTACKS};
+use cio::world::ALL_BOUNDARIES;
+use cio_bench::print_table;
+
+fn main() {
+    let reports = run_matrix(&ALL_BOUNDARIES).expect("attack matrix");
+
+    let mut rows = Vec::new();
+    for attack in ALL_ATTACKS {
+        let mut row = vec![attack.to_string()];
+        for boundary in ALL_BOUNDARIES {
+            let r = reports
+                .iter()
+                .find(|r| r.boundary == boundary && r.attack == attack)
+                .expect("full matrix");
+            row.push(r.outcome.to_string());
+        }
+        rows.push(row);
+    }
+
+    let mut headers: Vec<String> = vec!["attack".into()];
+    headers.extend(ALL_BOUNDARIES.iter().map(|b| b.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "E10 — attack outcomes per boundary design",
+        &header_refs,
+        &rows,
+    );
+
+    // The payload-TOCTOU micro-comparison.
+    let (unhardened, copy, revoke) = payload_toctou().expect("toctou scenario");
+    print_table(
+        "E10b — payload double-fetch (ring level)",
+        &["design", "outcome"],
+        &[
+            vec![
+                "shared buffer, validate-then-use".into(),
+                unhardened.to_string(),
+            ],
+            vec!["cio-ring early copy".into(), copy.to_string()],
+            vec!["cio-ring revocation".into(), revoke.to_string()],
+        ],
+    );
+
+    // The NetVSC leak (the Figure 3 driver family).
+    let (nv_unhardened, nv_hardened) = netvsc_offset_forgery().expect("netvsc scenario");
+    print_table(
+        "E10c — NetVSC receive-buffer offset forgery (private-memory leak)",
+        &["driver", "outcome"],
+        &[
+            vec!["netvsc pre-hardening".into(), nv_unhardened.to_string()],
+            vec![
+                "netvsc + offset validation (the Figure 3 commits)".into(),
+                nv_hardened.to_string(),
+            ],
+        ],
+    );
+
+    // Summary counts.
+    let mut srows = Vec::new();
+    for boundary in ALL_BOUNDARIES {
+        let count = |o: Outcome| {
+            reports
+                .iter()
+                .filter(|r| r.boundary == boundary && r.outcome == o)
+                .count()
+                .to_string()
+        };
+        srows.push(vec![
+            boundary.to_string(),
+            count(Outcome::NoSurface),
+            count(Outcome::Prevented),
+            count(Outcome::Detected),
+            count(Outcome::Undetected),
+        ]);
+    }
+    print_table(
+        "E10 summary — outcomes per design",
+        &[
+            "design",
+            "no-surface",
+            "prevented",
+            "detected",
+            "UNDETECTED",
+        ],
+        &srows,
+    );
+
+    println!(
+        "\nReading: the unhardened lift-and-shift baseline is compromised by most of the \
+         suite without noticing; the Linux-style retrofit detects what it checks (at E5's \
+         cost) but keeps the attack surface; the cio-ring designs answer 'no surface' or \
+         'prevented' because the mechanisms under attack do not exist or are masked by \
+         construction — the paper's case that interface safety must be designed in, not \
+         retrofitted (§2.5, §3.2)."
+    );
+}

@@ -1,0 +1,161 @@
+//! Block stores and the host's RAM disk.
+
+use crate::BlockError;
+
+/// Fixed block size (matches the page size: one block = one DMA unit).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A device addressable in fixed-size blocks.
+pub trait BlockStore {
+    /// Reads block `lba` into `buf` (must be exactly [`BLOCK_SIZE`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] / [`BlockError::BadLength`], plus
+    /// layer-specific failures (integrity, transport).
+    fn read_block(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), BlockError>;
+
+    /// Writes block `lba` from `data` (must be exactly [`BLOCK_SIZE`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::read_block`].
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), BlockError>;
+
+    /// Number of addressable blocks.
+    fn blocks(&self) -> u64;
+}
+
+/// The host's backing store: plain memory the host fully controls.
+///
+/// Tests and the adversary use [`RamDisk::tamper`] and
+/// [`RamDisk::snapshot_block`]/[`RamDisk::restore_block`] to model offline
+/// modification and rollback of "disk" contents.
+pub struct RamDisk {
+    data: Vec<u8>,
+}
+
+impl RamDisk {
+    /// Creates a zeroed disk of `blocks` blocks.
+    pub fn new(blocks: u64) -> Self {
+        RamDisk {
+            data: vec![0u8; blocks as usize * BLOCK_SIZE],
+        }
+    }
+
+    fn range(&self, lba: u64) -> Result<std::ops::Range<usize>, BlockError> {
+        let start = (lba as usize)
+            .checked_mul(BLOCK_SIZE)
+            .ok_or(BlockError::OutOfRange)?;
+        let end = start + BLOCK_SIZE;
+        if end > self.data.len() {
+            return Err(BlockError::OutOfRange);
+        }
+        Ok(start..end)
+    }
+
+    /// Host-side tampering: XORs `mask` into byte `offset` of block `lba`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`].
+    pub fn tamper(&mut self, lba: u64, offset: usize, mask: u8) -> Result<(), BlockError> {
+        let r = self.range(lba)?;
+        if offset >= BLOCK_SIZE {
+            return Err(BlockError::OutOfRange);
+        }
+        self.data[r.start + offset] ^= mask;
+        Ok(())
+    }
+
+    /// Copies out a block for a later rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`].
+    pub fn snapshot_block(&self, lba: u64) -> Result<Vec<u8>, BlockError> {
+        Ok(self.data[self.range(lba)?].to_vec())
+    }
+
+    /// Restores a previously snapshotted block (the rollback attack).
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] / [`BlockError::BadLength`].
+    pub fn restore_block(&mut self, lba: u64, snapshot: &[u8]) -> Result<(), BlockError> {
+        if snapshot.len() != BLOCK_SIZE {
+            return Err(BlockError::BadLength);
+        }
+        let r = self.range(lba)?;
+        self.data[r].copy_from_slice(snapshot);
+        Ok(())
+    }
+}
+
+impl BlockStore for RamDisk {
+    fn read_block(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+        if buf.len() != BLOCK_SIZE {
+            return Err(BlockError::BadLength);
+        }
+        let r = self.range(lba)?;
+        buf.copy_from_slice(&self.data[r]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), BlockError> {
+        if data.len() != BLOCK_SIZE {
+            return Err(BlockError::BadLength);
+        }
+        let r = self.range(lba)?;
+        self.data[r].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn blocks(&self) -> u64 {
+        (self.data.len() / BLOCK_SIZE) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut d = RamDisk::new(4);
+        let block = vec![0xCD; BLOCK_SIZE];
+        d.write_block(2, &block).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(2, &mut out).unwrap();
+        assert_eq!(out, block);
+        // Other blocks untouched.
+        d.read_block(1, &mut out).unwrap();
+        assert_eq!(out, vec![0u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn bounds_and_length_checks() {
+        let mut d = RamDisk::new(2);
+        let block = vec![0u8; BLOCK_SIZE];
+        assert_eq!(d.write_block(2, &block), Err(BlockError::OutOfRange));
+        assert_eq!(d.write_block(0, &block[..100]), Err(BlockError::BadLength));
+        let mut small = vec![0u8; 100];
+        assert_eq!(d.read_block(0, &mut small), Err(BlockError::BadLength));
+        assert_eq!(d.blocks(), 2);
+    }
+
+    #[test]
+    fn tamper_and_rollback_primitives() {
+        let mut d = RamDisk::new(2);
+        d.write_block(0, &vec![7u8; BLOCK_SIZE]).unwrap();
+        let snap = d.snapshot_block(0).unwrap();
+        d.write_block(0, &vec![8u8; BLOCK_SIZE]).unwrap();
+        d.restore_block(0, &snap).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        assert_eq!(out, vec![7u8; BLOCK_SIZE]);
+        d.tamper(0, 10, 0xFF).unwrap();
+        d.read_block(0, &mut out).unwrap();
+        assert_eq!(out[10], 7 ^ 0xFF);
+    }
+}

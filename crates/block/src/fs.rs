@@ -1,0 +1,606 @@
+//! A small inode/extent filesystem.
+//!
+//! Enough of a filesystem to make the storage boundary comparison (E12)
+//! real: a flat namespace of files with extent-mapped data, persisted
+//! entirely through a [`BlockStore`] — so the *same* filesystem code runs
+//! inside the TEE over [`crate::crypt::CryptStore`] (block-level boundary)
+//! or on the untrusted host over a raw disk (file-ops boundary), which is
+//! precisely the comparison §3.3 asks for.
+//!
+//! On-store layout:
+//!
+//! ```text
+//! block 0:                superblock
+//! blocks 1..=INODE_BLOCKS: inode table (16 inodes of 256 B per block)
+//! next block:             allocation bitmap (1 block = 32768 data blocks)
+//! remaining:              data blocks
+//! ```
+
+use crate::blockdev::{BlockStore, BLOCK_SIZE};
+use crate::BlockError;
+
+const MAGIC: u64 = 0xC10F_5202;
+/// Blocks dedicated to the inode table.
+const INODE_BLOCKS: u64 = 4;
+/// Inode record size.
+const INODE_SIZE: usize = 256;
+/// Inodes per table block.
+const INODES_PER_BLOCK: u64 = (BLOCK_SIZE / INODE_SIZE) as u64;
+/// Maximum files.
+pub const MAX_FILES: u64 = INODE_BLOCKS * INODES_PER_BLOCK;
+/// Maximum file-name bytes.
+pub const MAX_NAME: usize = 62;
+/// Extents per inode.
+const MAX_EXTENTS: usize = 8;
+
+/// A file identifier (inode index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u64);
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Inode {
+    used: bool,
+    name: Vec<u8>,
+    size: u64,
+    extents: Vec<(u64, u32)>, // (first data-block index, block count)
+}
+
+impl Inode {
+    fn encode(&self) -> [u8; INODE_SIZE] {
+        let mut b = [0u8; INODE_SIZE];
+        b[0] = u8::from(self.used);
+        b[1] = self.name.len() as u8;
+        b[2..2 + self.name.len()].copy_from_slice(&self.name);
+        b[64..72].copy_from_slice(&self.size.to_le_bytes());
+        for (i, (start, len)) in self.extents.iter().enumerate() {
+            let off = 72 + i * 12;
+            b[off..off + 8].copy_from_slice(&start.to_le_bytes());
+            b[off + 8..off + 12].copy_from_slice(&len.to_le_bytes());
+        }
+        b
+    }
+
+    fn decode(b: &[u8]) -> Inode {
+        let used = b[0] != 0;
+        let name_len = (b[1] as usize).min(MAX_NAME);
+        let name = b[2..2 + name_len].to_vec();
+        let size = u64::from_le_bytes(b[64..72].try_into().expect("8 bytes"));
+        let mut extents = Vec::new();
+        for i in 0..MAX_EXTENTS {
+            let off = 72 + i * 12;
+            let start = u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(b[off + 8..off + 12].try_into().expect("4 bytes"));
+            if len > 0 {
+                extents.push((start, len));
+            }
+        }
+        Inode {
+            used,
+            name,
+            size,
+            extents,
+        }
+    }
+}
+
+/// The filesystem over any block store.
+pub struct SimpleFs<S: BlockStore> {
+    store: S,
+    data_start: u64,
+    data_blocks: u64,
+}
+
+impl<S: BlockStore> SimpleFs<S> {
+    fn bitmap_block() -> u64 {
+        1 + INODE_BLOCKS
+    }
+
+    /// Formats `store` and returns the mounted filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSpace`] if the store cannot hold the metadata.
+    pub fn format(mut store: S) -> Result<Self, BlockError> {
+        let total = store.blocks();
+        let data_start = Self::bitmap_block() + 1;
+        if total <= data_start + 1 {
+            return Err(BlockError::NoSpace);
+        }
+        let data_blocks = (total - data_start).min(BLOCK_SIZE as u64 * 8);
+
+        let mut sb = vec![0u8; BLOCK_SIZE];
+        sb[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        sb[8..16].copy_from_slice(&total.to_le_bytes());
+        sb[16..24].copy_from_slice(&data_start.to_le_bytes());
+        sb[24..32].copy_from_slice(&data_blocks.to_le_bytes());
+        store.write_block(0, &sb)?;
+
+        let zero = vec![0u8; BLOCK_SIZE];
+        for b in 1..data_start {
+            store.write_block(b, &zero)?;
+        }
+        Ok(SimpleFs {
+            store,
+            data_start,
+            data_blocks,
+        })
+    }
+
+    /// Mounts an already-formatted store.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::BadSuperblock`] if the magic or geometry is invalid.
+    pub fn mount(mut store: S) -> Result<Self, BlockError> {
+        let mut sb = vec![0u8; BLOCK_SIZE];
+        store.read_block(0, &mut sb)?;
+        let magic = u64::from_le_bytes(sb[0..8].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(BlockError::BadSuperblock);
+        }
+        let total = u64::from_le_bytes(sb[8..16].try_into().expect("8 bytes"));
+        let data_start = u64::from_le_bytes(sb[16..24].try_into().expect("8 bytes"));
+        let data_blocks = u64::from_le_bytes(sb[24..32].try_into().expect("8 bytes"));
+        if total != store.blocks() || data_start + data_blocks > total {
+            return Err(BlockError::BadSuperblock);
+        }
+        Ok(SimpleFs {
+            store,
+            data_start,
+            data_blocks,
+        })
+    }
+
+    /// The underlying store (for adversarial tests).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    fn load_inode(&mut self, idx: u64) -> Result<Inode, BlockError> {
+        let block = 1 + idx / INODES_PER_BLOCK;
+        let off = (idx % INODES_PER_BLOCK) as usize * INODE_SIZE;
+        let mut b = vec![0u8; BLOCK_SIZE];
+        self.store.read_block(block, &mut b)?;
+        Ok(Inode::decode(&b[off..off + INODE_SIZE]))
+    }
+
+    fn save_inode(&mut self, idx: u64, inode: &Inode) -> Result<(), BlockError> {
+        let block = 1 + idx / INODES_PER_BLOCK;
+        let off = (idx % INODES_PER_BLOCK) as usize * INODE_SIZE;
+        let mut b = vec![0u8; BLOCK_SIZE];
+        self.store.read_block(block, &mut b)?;
+        b[off..off + INODE_SIZE].copy_from_slice(&inode.encode());
+        self.store.write_block(block, &b)
+    }
+
+    fn with_bitmap<R>(&mut self, f: impl FnOnce(&mut Vec<u8>, u64) -> R) -> Result<R, BlockError> {
+        let mut bm = vec![0u8; BLOCK_SIZE];
+        self.store.read_block(Self::bitmap_block(), &mut bm)?;
+        let r = f(&mut bm, self.data_blocks);
+        self.store.write_block(Self::bitmap_block(), &bm)?;
+        Ok(r)
+    }
+
+    /// Allocates `count` data blocks as one contiguous extent (first fit).
+    fn alloc_extent(&mut self, count: u32) -> Result<Option<u64>, BlockError> {
+        self.with_bitmap(|bm, data_blocks| {
+            let is_free = |bm: &[u8], i: u64| bm[(i / 8) as usize] & (1 << (i % 8)) == 0;
+            let mut run = 0u32;
+            let mut start = 0u64;
+            for i in 0..data_blocks {
+                if is_free(bm, i) {
+                    if run == 0 {
+                        start = i;
+                    }
+                    run += 1;
+                    if run == count {
+                        for j in start..start + u64::from(count) {
+                            bm[(j / 8) as usize] |= 1 << (j % 8);
+                        }
+                        return Some(start);
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            None
+        })
+    }
+
+    fn free_extent(&mut self, start: u64, count: u32) -> Result<(), BlockError> {
+        self.with_bitmap(|bm, _| {
+            for j in start..start + u64::from(count) {
+                bm[(j / 8) as usize] &= !(1 << (j % 8));
+            }
+        })
+    }
+
+    fn find(&mut self, name: &str) -> Result<Option<(u64, Inode)>, BlockError> {
+        for idx in 0..MAX_FILES {
+            let inode = self.load_inode(idx)?;
+            if inode.used && inode.name == name.as_bytes() {
+                return Ok(Some((idx, inode)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::Exists`] / [`BlockError::NameTooLong`] /
+    /// [`BlockError::NoSpace`].
+    pub fn create(&mut self, name: &str) -> Result<FileId, BlockError> {
+        if name.len() > MAX_NAME || name.is_empty() {
+            return Err(BlockError::NameTooLong);
+        }
+        if self.find(name)?.is_some() {
+            return Err(BlockError::Exists);
+        }
+        for idx in 0..MAX_FILES {
+            let inode = self.load_inode(idx)?;
+            if !inode.used {
+                let fresh = Inode {
+                    used: true,
+                    name: name.as_bytes().to_vec(),
+                    size: 0,
+                    extents: Vec::new(),
+                };
+                self.save_inode(idx, &fresh)?;
+                return Ok(FileId(idx));
+            }
+        }
+        Err(BlockError::NoSpace)
+    }
+
+    /// Opens an existing file by name.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSuchFile`].
+    pub fn open(&mut self, name: &str) -> Result<FileId, BlockError> {
+        self.find(name)?
+            .map(|(idx, _)| FileId(idx))
+            .ok_or(BlockError::NoSuchFile)
+    }
+
+    /// The file's current size.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSuchFile`] for stale ids.
+    pub fn size(&mut self, id: FileId) -> Result<u64, BlockError> {
+        let inode = self.load_inode(id.0)?;
+        if !inode.used {
+            return Err(BlockError::NoSuchFile);
+        }
+        Ok(inode.size)
+    }
+
+    /// Maps a file-relative block index to a device block, if allocated.
+    fn map_block(inode: &Inode, file_block: u64) -> Option<u64> {
+        let mut remaining = file_block;
+        for &(start, len) in &inode.extents {
+            if remaining < u64::from(len) {
+                return Some(start + remaining);
+            }
+            remaining -= u64::from(len);
+        }
+        None
+    }
+
+    fn allocated_blocks(inode: &Inode) -> u64 {
+        inode.extents.iter().map(|&(_, l)| u64::from(l)).sum()
+    }
+
+    /// Writes `data` at `offset`, extending the file as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSpace`] when allocation fails (including extent
+    /// exhaustion); [`BlockError::NoSuchFile`] for stale ids.
+    pub fn write(&mut self, id: FileId, offset: u64, data: &[u8]) -> Result<(), BlockError> {
+        let mut inode = self.load_inode(id.0)?;
+        if !inode.used {
+            return Err(BlockError::NoSuchFile);
+        }
+        let end = offset + data.len() as u64;
+        let needed_blocks = end.div_ceil(BLOCK_SIZE as u64);
+        let have = Self::allocated_blocks(&inode);
+        if needed_blocks > have {
+            let grow = (needed_blocks - have) as u32;
+            // Try one contiguous extent; split on fragmentation. Track what
+            // this call allocated so a partial failure can roll back
+            // instead of leaking bitmap blocks.
+            let mut added: Vec<(u64, u32)> = Vec::new();
+            let mut left = grow;
+            let mut fail = None;
+            while left > 0 {
+                if inode.extents.len() >= MAX_EXTENTS {
+                    fail = Some(BlockError::NoSpace);
+                    break;
+                }
+                let mut try_len = left;
+                let start = loop {
+                    match self.alloc_extent(try_len)? {
+                        Some(s) => break Some(s),
+                        None if try_len > 1 => try_len /= 2,
+                        None => break None,
+                    }
+                };
+                let Some(start) = start else {
+                    fail = Some(BlockError::NoSpace);
+                    break;
+                };
+                added.push((start, try_len));
+                // Merge with the previous extent when contiguous.
+                if let Some(last) = inode.extents.last_mut() {
+                    if last.0 + u64::from(last.1) == start {
+                        last.1 += try_len;
+                        left -= try_len;
+                        continue;
+                    }
+                }
+                inode.extents.push((start, try_len));
+                left -= try_len;
+            }
+            if let Some(e) = fail {
+                for (start, len) in added {
+                    self.free_extent(start, len)?;
+                }
+                return Err(e);
+            }
+            // Zero every block this call allocated: reused blocks still
+            // hold a deleted file's bytes, and serving them through holes
+            // or short tails would leak data across files.
+            let zero = vec![0u8; BLOCK_SIZE];
+            for (start, len) in added {
+                for b in start..start + u64::from(len) {
+                    self.store.write_block(self.data_start + b, &zero)?;
+                }
+            }
+        }
+
+        // Write the data block by block (read-modify-write at the edges).
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let file_block = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min(data.len() - written);
+            let dev_block =
+                self.data_start + Self::map_block(&inode, file_block).ok_or(BlockError::NoSpace)?;
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            if in_block != 0 || take != BLOCK_SIZE {
+                self.store.read_block(dev_block, &mut buf)?;
+            }
+            buf[in_block..in_block + take].copy_from_slice(&data[written..written + take]);
+            self.store.write_block(dev_block, &buf)?;
+            written += take;
+        }
+
+        inode.size = inode.size.max(end);
+        self.save_inode(id.0, &inode)
+    }
+
+    /// Reads up to `len` bytes at `offset`; short reads at EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSuchFile`] for stale ids; storage-layer failures
+    /// (integrity violations!) propagate.
+    pub fn read(&mut self, id: FileId, offset: u64, len: usize) -> Result<Vec<u8>, BlockError> {
+        let inode = self.load_inode(id.0)?;
+        if !inode.used {
+            return Err(BlockError::NoSuchFile);
+        }
+        if offset >= inode.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((inode.size - offset) as usize);
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let pos = offset + out.len() as u64;
+            let file_block = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min(len - out.len());
+            let Some(rel) = Self::map_block(&inode, file_block) else {
+                // Sparse region (written past a hole): zeros.
+                out.extend(std::iter::repeat_n(0, take));
+                continue;
+            };
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            self.store.read_block(self.data_start + rel, &mut buf)?;
+            out.extend_from_slice(&buf[in_block..in_block + take]);
+        }
+        Ok(out)
+    }
+
+    /// Deletes a file, freeing its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::NoSuchFile`].
+    pub fn delete(&mut self, name: &str) -> Result<(), BlockError> {
+        let Some((idx, inode)) = self.find(name)? else {
+            return Err(BlockError::NoSuchFile);
+        };
+        for &(start, len) in &inode.extents {
+            self.free_extent(start, len)?;
+        }
+        self.save_inode(idx, &Inode::default())
+    }
+
+    /// Lists all file names.
+    ///
+    /// # Errors
+    ///
+    /// Storage-layer failures propagate.
+    pub fn list(&mut self) -> Result<Vec<String>, BlockError> {
+        let mut names = Vec::new();
+        for idx in 0..MAX_FILES {
+            let inode = self.load_inode(idx)?;
+            if inode.used {
+                names.push(String::from_utf8_lossy(&inode.name).into_owned());
+            }
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdev::RamDisk;
+    use crate::crypt::CryptStore;
+
+    fn fs() -> SimpleFs<RamDisk> {
+        SimpleFs::format(RamDisk::new(128)).unwrap()
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut f = fs();
+        let id = f.create("hello.txt").unwrap();
+        f.write(id, 0, b"hello filesystem").unwrap();
+        assert_eq!(f.read(id, 0, 100).unwrap(), b"hello filesystem");
+        assert_eq!(f.size(id).unwrap(), 16);
+        assert_eq!(f.read(id, 6, 10).unwrap(), b"filesystem");
+        assert_eq!(f.read(id, 100, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn multi_block_files() {
+        let mut f = fs();
+        let id = f.create("big").unwrap();
+        let data: Vec<u8> = (0..3 * BLOCK_SIZE + 500).map(|i| (i % 253) as u8).collect();
+        f.write(id, 0, &data).unwrap();
+        assert_eq!(f.read(id, 0, data.len()).unwrap(), data);
+        // Unaligned overwrite in the middle.
+        f.write(id, 4000, b"OVERWRITE").unwrap();
+        let back = f.read(id, 4000, 9).unwrap();
+        assert_eq!(back, b"OVERWRITE");
+        // Rest untouched.
+        assert_eq!(f.read(id, 0, 4000).unwrap(), data[..4000]);
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let mut f = fs();
+        f.create("a").unwrap();
+        f.create("b").unwrap();
+        assert_eq!(f.create("a"), Err(BlockError::Exists));
+        let mut names = f.list().unwrap();
+        names.sort();
+        assert_eq!(names, ["a", "b"]);
+        f.delete("a").unwrap();
+        assert_eq!(f.list().unwrap(), ["b"]);
+        assert_eq!(f.open("a"), Err(BlockError::NoSuchFile));
+        assert_eq!(f.delete("a"), Err(BlockError::NoSuchFile));
+        // Name validation.
+        assert_eq!(f.create(""), Err(BlockError::NameTooLong));
+        assert_eq!(
+            f.create(&"x".repeat(MAX_NAME + 1)),
+            Err(BlockError::NameTooLong)
+        );
+    }
+
+    #[test]
+    fn deleted_blocks_are_reused() {
+        let mut f = fs();
+        let id = f.create("fill").unwrap();
+        let big = vec![1u8; 40 * BLOCK_SIZE];
+        f.write(id, 0, &big).unwrap();
+        f.delete("fill").unwrap();
+        let id2 = f.create("again").unwrap();
+        f.write(id2, 0, &big).unwrap();
+        assert_eq!(f.read(id2, 0, 10).unwrap(), vec![1u8; 10]);
+    }
+
+    #[test]
+    fn space_exhaustion_reported() {
+        let mut f = SimpleFs::format(RamDisk::new(16)).unwrap();
+        let id = f.create("huge").unwrap();
+        let too_big = vec![0u8; 64 * BLOCK_SIZE];
+        assert_eq!(f.write(id, 0, &too_big), Err(BlockError::NoSpace));
+    }
+
+    #[test]
+    fn failed_write_rolls_back_allocations() {
+        let mut f = SimpleFs::format(RamDisk::new(32)).unwrap();
+        let id = f.create("a").unwrap();
+        let too_big = vec![0u8; 64 * BLOCK_SIZE];
+        assert_eq!(f.write(id, 0, &too_big), Err(BlockError::NoSpace));
+        // Every block grabbed by the failed attempt was returned: a file
+        // that fits the disk can still be written afterwards.
+        let id2 = f.create("b").unwrap();
+        let fits = vec![7u8; 20 * BLOCK_SIZE];
+        f.write(id2, 0, &fits).unwrap();
+        assert_eq!(f.read(id2, 0, fits.len()).unwrap(), fits);
+    }
+
+    #[test]
+    fn deleted_data_never_leaks_into_new_files() {
+        let mut f = fs();
+        let id = f.create("secret").unwrap();
+        f.write(id, 0, &vec![0xAA; 6 * BLOCK_SIZE]).unwrap();
+        f.delete("secret").unwrap();
+        // New sparse file reuses the freed blocks; its hole and tail must
+        // read as zeros, never as the deleted file's bytes.
+        let id2 = f.create("fresh").unwrap();
+        f.write(id2, 5 * BLOCK_SIZE as u64, b"tail").unwrap();
+        let hole = f.read(id2, 0, 5 * BLOCK_SIZE).unwrap();
+        assert!(
+            hole.iter().all(|&b| b == 0),
+            "stale bytes leaked through the hole"
+        );
+        assert_eq!(f.read(id2, 5 * BLOCK_SIZE as u64, 4).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn mount_after_format_persists() {
+        let mut f = fs();
+        let id = f.create("persist").unwrap();
+        f.write(id, 0, b"still here").unwrap();
+        // Steal the disk and remount.
+        let disk = std::mem::replace(f.store_mut(), RamDisk::new(1));
+        let mut f2 = SimpleFs::mount(disk).unwrap();
+        let id2 = f2.open("persist").unwrap();
+        assert_eq!(f2.read(id2, 0, 100).unwrap(), b"still here");
+    }
+
+    #[test]
+    fn mount_rejects_garbage() {
+        assert!(matches!(
+            SimpleFs::mount(RamDisk::new(32)),
+            Err(BlockError::BadSuperblock)
+        ));
+    }
+
+    #[test]
+    fn fs_over_cryptstore_detects_host_tamper() {
+        let crypt = CryptStore::new(RamDisk::new(128), [7u8; 32]).unwrap();
+        let mut f = SimpleFs::format(crypt).unwrap();
+        let id = f.create("secret.db").unwrap();
+        f.write(id, 0, b"confidential records").unwrap();
+        assert_eq!(f.read(id, 0, 100).unwrap(), b"confidential records");
+        // The host flips a bit in the (encrypted) data region.
+        let data_start_physical = 6; // sb + 4 inode blocks + bitmap
+        f.store_mut()
+            .inner_mut()
+            .tamper(data_start_physical, 3, 0x40)
+            .unwrap();
+        assert_eq!(f.read(id, 0, 100), Err(BlockError::IntegrityViolation));
+    }
+
+    #[test]
+    fn sparse_write_reads_zeros_in_hole() {
+        let mut f = fs();
+        let id = f.create("sparse").unwrap();
+        f.write(id, 2 * BLOCK_SIZE as u64, b"tail").unwrap();
+        let head = f.read(id, 0, 16).unwrap();
+        assert_eq!(head, vec![0u8; 16]);
+        assert_eq!(f.read(id, 2 * BLOCK_SIZE as u64, 4).unwrap(), b"tail");
+    }
+}

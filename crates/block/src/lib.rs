@@ -1,0 +1,86 @@
+//! Storage substrate: block stores, an authenticated-encryption block
+//! layer, a small inode filesystem, and a safe block transport.
+//!
+//! §3.3 of the paper claims the dual-boundary approach "should map well to
+//! other I/O boundaries that also have observability problems, e.g.,
+//! storage: the first boundary would be at a low-level interface, e.g.,
+//! disk driver or block layer, and the second one at a higher level such
+//! as file operations." This crate provides the pieces experiment E12
+//! composes:
+//!
+//! * [`blockdev`] — the block-store abstraction and the host's RAM disk
+//!   (untrusted storage the host can tamper with at will).
+//! * [`crypt`] — a dm-crypt/dm-integrity-shaped layer: per-block AEAD with
+//!   block-number-bound nonces, tags in a metadata region, and private
+//!   generation counters that defeat rollback.
+//! * [`fs`] — a small inode/extent filesystem (create, read, write,
+//!   delete, list) that can run inside the TEE (block boundary) or on the
+//!   host (file-ops boundary).
+//! * [`transport`] — block request/response encoding over the cio-ring,
+//!   with the guest frontend and host backend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockdev;
+pub mod crypt;
+pub mod fs;
+pub mod transport;
+
+pub use blockdev::{BlockStore, RamDisk, BLOCK_SIZE};
+pub use crypt::CryptStore;
+pub use fs::SimpleFs;
+
+/// Errors raised by the storage stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// LBA beyond the device.
+    OutOfRange,
+    /// Buffer length is not exactly one block.
+    BadLength,
+    /// AEAD verification failed: the host tampered with stored data.
+    IntegrityViolation,
+    /// A stale block was served: rollback detected.
+    Rollback,
+    /// Filesystem namespace errors.
+    NoSuchFile,
+    /// The file already exists.
+    Exists,
+    /// Out of inodes or data blocks.
+    NoSpace,
+    /// The filesystem superblock is invalid.
+    BadSuperblock,
+    /// File name exceeds the fixed limit.
+    NameTooLong,
+    /// Transport-level failure.
+    Transport(cio_vring::RingError),
+    /// The backend returned a malformed response.
+    Protocol,
+}
+
+impl From<cio_vring::RingError> for BlockError {
+    fn from(e: cio_vring::RingError) -> Self {
+        BlockError::Transport(e)
+    }
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BlockError::OutOfRange => "block address out of range",
+            BlockError::BadLength => "buffer must be exactly one block",
+            BlockError::IntegrityViolation => "block integrity violation",
+            BlockError::Rollback => "block rollback detected",
+            BlockError::NoSuchFile => "no such file",
+            BlockError::Exists => "file exists",
+            BlockError::NoSpace => "no space",
+            BlockError::BadSuperblock => "bad superblock",
+            BlockError::NameTooLong => "file name too long",
+            BlockError::Transport(_) => "block transport failure",
+            BlockError::Protocol => "malformed block response",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for BlockError {}

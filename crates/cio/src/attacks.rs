@@ -1,0 +1,546 @@
+//! The E10 attack-resilience harness: the adversary suite against every
+//! boundary design.
+//!
+//! Each scenario builds a full [`World`], establishes an encrypted echo
+//! session, launches one [`AttackKind`] from the host's position, keeps
+//! the workload running, and classifies what happened:
+//!
+//! * [`Outcome::NoSurface`] — the design removed the attacked mechanism
+//!   entirely (no completion ids to forge, no config space to mutate).
+//! * [`Outcome::Prevented`] — the attack executed but was neutralized by
+//!   construction (masking, fixed config, idempotent handlers): no
+//!   violation even needed *detecting*.
+//! * [`Outcome::Detected`] — the boundary validated and rejected the
+//!   hostile input (`violations_detected` grew; no corruption).
+//! * [`Outcome::Undetected`] — the oracle recorded a violation the design
+//!   never noticed (`violations_undetected` grew): in C, memory
+//!   corruption; here, wrapped accesses and poisoned state.
+//!
+//! The expected headline (the paper's Table-equivalent): the unhardened
+//! virtio baseline bleeds `Undetected` results, the hardened retrofit
+//! converts them to `Detected` at a copy/validation tax, and the cio-ring
+//! designs mostly answer `NoSurface`/`Prevented` — safety *by
+//! construction* rather than by vigilance.
+
+use crate::world::{BoundaryKind, World, WorldOptions, ECHO_PORT};
+use crate::CioError;
+use cio_host::adversary::AttackKind;
+use cio_host::fabric::LinkParams;
+use cio_sim::Cycles;
+
+pub use cio_host::adversary::ALL_ATTACKS;
+
+/// Classified result of one attack scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The design has no such mechanism to attack.
+    NoSurface,
+    /// Attack executed; neutralized by construction.
+    Prevented,
+    /// Attack executed; validated and rejected.
+    Detected,
+    /// Attack executed; the design acted on hostile data unknowingly.
+    Undetected,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Outcome::NoSurface => "no-surface",
+            Outcome::Prevented => "prevented",
+            Outcome::Detected => "detected",
+            Outcome::Undetected => "UNDETECTED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the attack matrix.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// The design under attack.
+    pub boundary: BoundaryKind,
+    /// The attack class.
+    pub attack: AttackKind,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Whether the echo workload still completed correctly afterwards.
+    pub workload_survived: bool,
+}
+
+fn attack_opts() -> WorldOptions {
+    WorldOptions {
+        link: LinkParams {
+            latency: Cycles(1_000),
+            loss: 0.0,
+        },
+        ..WorldOptions::default()
+    }
+}
+
+/// Whether this design exposes the mechanism this attack targets.
+fn has_surface(boundary: BoundaryKind, attack: AttackKind) -> bool {
+    use AttackKind::*;
+    use BoundaryKind::*;
+    match attack {
+        CompletionIdOob | CompletionLenOverrun | SpuriousCompletion | DescChainCorruption => {
+            matches!(boundary, L2VirtioUnhardened | L2VirtioHardened)
+        }
+        ConfigDoubleFetch => matches!(boundary, L2VirtioUnhardened | L2VirtioHardened),
+        PayloadDoubleFetch => matches!(boundary, L2VirtioUnhardened | L2CioRing | DualBoundary),
+        IndexJump | SlotForgery => matches!(
+            boundary,
+            L2CioRing | DualBoundary | Tunneled | L2VirtioUnhardened | L2VirtioHardened
+        ),
+        NotificationStorm => matches!(boundary, L2VirtioHardened | L2CioRing | DualBoundary),
+    }
+}
+
+/// Launches one attack against a running world. Returns false if the
+/// design offers no surface (nothing was attempted).
+fn launch(world: &mut World, attack: AttackKind) -> Result<bool, CioError> {
+    use AttackKind::*;
+    let mem = world.guest_memory().clone();
+    let host = mem.host();
+    match attack {
+        CompletionIdOob => {
+            let Some(b) = world.virtio_backend_mut() else {
+                return Ok(false);
+            };
+            b.tx_device().complete(1000, 0)?;
+            b.rx_device().complete(4999, 0)?;
+        }
+        CompletionLenOverrun => {
+            let Some(b) = world.virtio_backend_mut() else {
+                return Ok(false);
+            };
+            // Claim an enormous write into whatever chain 0 is.
+            b.rx_device().complete(0, 1 << 24)?;
+        }
+        SpuriousCompletion => {
+            let Some(b) = world.virtio_backend_mut() else {
+                return Ok(false);
+            };
+            // Double-complete descriptor 0 on both queues.
+            b.tx_device().complete(0, 0)?;
+            b.tx_device().complete(0, 0)?;
+        }
+        DescChainCorruption => {
+            let Some((tx_layout, rx_layout, _)) = world.anatomy().virtio else {
+                return Ok(false);
+            };
+            for q in [tx_layout, rx_layout] {
+                for i in 0..q.qsize {
+                    host.write(q.desc(i).add(14), &0xFFFFu16.to_le_bytes())?;
+                }
+            }
+        }
+        ConfigDoubleFetch => {
+            let Some((_, _, cfg_page)) = world.anatomy().virtio else {
+                return Ok(false);
+            };
+            // Inflate the MTU after negotiation.
+            host.write(
+                cfg_page.add(cio_vring::virtqueue::ConfigSpace::MTU),
+                &60_000u16.to_le_bytes(),
+            )?;
+        }
+        PayloadDoubleFetch => {
+            // Handled by the dedicated micro-scenario (`payload_toctou`):
+            // the full-stack worlds copy/revoke at well-defined points, so
+            // the interesting TOCTOU comparison is at the ring level.
+            return Ok(false);
+        }
+        IndexJump => {
+            if let Some((_, rx_ring)) = world.anatomy().cio_rings.clone() {
+                // Lie about the producer index on the guest's RX ring.
+                host.write(rx_ring.prod_idx_addr(), &1_000_000u32.to_le_bytes())?;
+            } else if let Some((_, rx_layout, _)) = world.anatomy().virtio {
+                // Jump the used index far ahead of reality.
+                let cur = {
+                    let mut b = [0u8; 2];
+                    host.read(rx_layout.used_idx(), &mut b)?;
+                    u16::from_le_bytes(b)
+                };
+                host.write(rx_layout.used_idx(), &(cur.wrapping_add(300)).to_le_bytes())?;
+            } else {
+                return Ok(false);
+            }
+        }
+        SlotForgery => {
+            if let Some((_, rx_ring)) = world.anatomy().cio_rings.clone() {
+                // Scribble hostile offset/len pairs over every RX slot.
+                for i in 0..rx_ring.config().slots {
+                    let slot = rx_ring.slot_addr(i);
+                    host.write(slot, &0xFFFF_FFF0u32.to_le_bytes())?;
+                    host.write(slot.add(4), &0xFFFF_FFFFu32.to_le_bytes())?;
+                }
+            } else if let Some((_, rx_layout, _)) = world.anatomy().virtio {
+                // Forge used entries wholesale.
+                for i in 0..rx_layout.qsize {
+                    let entry = rx_layout.used_ring(i);
+                    host.write(entry, &0xDEAD_BEEFu32.to_le_bytes())?;
+                    host.write(entry.add(4), &0xFFFF_FFFFu32.to_le_bytes())?;
+                }
+            } else {
+                return Ok(false);
+            }
+        }
+        NotificationStorm => {
+            // Inject a burst of spurious notifications/doorbells.
+            let cost = world.cost().clone();
+            for _ in 0..64 {
+                world.clock().advance(cost.interrupt_inject);
+                world.meter().interrupts_received(1);
+            }
+            // For cio rings the handler is the idempotent drain; exercise
+            // it through normal steps below.
+        }
+    }
+    Ok(true)
+}
+
+/// Runs one attack scenario and classifies the outcome.
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn run_scenario(boundary: BoundaryKind, attack: AttackKind) -> Result<AttackReport, CioError> {
+    if !has_surface(boundary, attack) {
+        return Ok(AttackReport {
+            boundary,
+            attack,
+            outcome: Outcome::NoSurface,
+            workload_survived: true,
+        });
+    }
+
+    let mut world = World::new(boundary, attack_opts())?;
+    let conn = world.connect(ECHO_PORT)?;
+    world.establish(conn, 3_000)?;
+
+    // Warm-up traffic.
+    world.send(conn, b"before attack")?;
+    let warm = world.recv_exact(conn, 13, 3_000)?;
+    debug_assert_eq!(&warm, b"before attack");
+
+    let before = world.meter().snapshot();
+    let attempted = launch(&mut world, attack)?;
+    if !attempted {
+        return Ok(AttackReport {
+            boundary,
+            attack,
+            outcome: Outcome::NoSurface,
+            workload_survived: true,
+        });
+    }
+
+    // Let the attack land and keep the workload running.
+    let _ = world.run(200);
+    let mut survived = false;
+    if world.send(conn, b"after attack").is_ok() {
+        if let Ok(got) = world.recv_exact(conn, 12, 4_000) {
+            survived = got == b"after attack";
+        }
+    }
+    let delta = world.meter().snapshot().delta(&before);
+
+    let outcome = if delta.violations_undetected > 0 {
+        Outcome::Undetected
+    } else if delta.violations_detected > 0 {
+        Outcome::Detected
+    } else {
+        Outcome::Prevented
+    };
+    Ok(AttackReport {
+        boundary,
+        attack,
+        outcome,
+        workload_survived: survived,
+    })
+}
+
+/// Runs the full matrix.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn run_matrix(boundaries: &[BoundaryKind]) -> Result<Vec<AttackReport>, CioError> {
+    let mut out = Vec::new();
+    for &b in boundaries {
+        for &a in &ALL_ATTACKS {
+            out.push(run_scenario(b, a)?);
+        }
+    }
+    Ok(out)
+}
+
+/// The dedicated payload-TOCTOU micro-scenario (ring level).
+///
+/// Returns `(unhardened_outcome, cio_copy_outcome, cio_revoke_outcome)`:
+/// the shared-buffer design lets the host flip payload bytes between the
+/// guest's validation and use; the cio-ring's early copy closes the window
+/// after the fetch; revocation removes it entirely.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn payload_toctou() -> Result<(Outcome, Outcome, Outcome), CioError> {
+    use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+    use cio_sim::{Clock, CostModel, Meter};
+    use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
+
+    // --- Unhardened shared buffer: validate, host flips, use. ---
+    let unhardened = {
+        let mem = GuestMemory::new(8, Clock::new(), CostModel::default(), Meter::new());
+        mem.share_range(GuestAddr(0), 2 * PAGE_SIZE)?;
+        let g = mem.guest();
+        let h = mem.host();
+        // Host delivers a payload; guest validates it in place.
+        h.write(GuestAddr(64), b"AMOUNT=00100")?;
+        let mut check = [0u8; 12];
+        g.read(GuestAddr(64), &mut check)?;
+        let valid = &check == b"AMOUNT=00100";
+        // Double-fetch window: host flips after the check.
+        h.write(GuestAddr(64), b"AMOUNT=99999")?;
+        // Guest "uses" the validated data — fetching it again.
+        let mut used = [0u8; 12];
+        g.read(GuestAddr(64), &mut used)?;
+        if valid && &used != b"AMOUNT=00100" {
+            Outcome::Undetected
+        } else {
+            Outcome::Prevented
+        }
+    };
+
+    // --- cio-ring early copy: single fetch, then private. ---
+    let cio_copy = {
+        let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+        let cfg = RingConfig {
+            slots: 8,
+            slot_size: 16,
+            mode: DataMode::SharedArea,
+            mtu: 2048,
+            area_size: 1 << 14,
+            ..RingConfig::default()
+        };
+        let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64))?;
+        mem.share_range(GuestAddr(0), ring.ring_bytes())?;
+        mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())?;
+        let mut host_p = Producer::new(ring.clone(), mem.host())?;
+        let mut guest_c = Consumer::new(ring.clone(), mem.guest())?;
+        host_p.produce(b"AMOUNT=00100")?;
+        // The early copy happens inside consume(); afterwards the host may
+        // flip the shared area all it wants.
+        let private = guest_c.consume()?.expect("payload");
+        mem.host().write(ring.payload_addr(0), b"AMOUNT=99999")?;
+        if private == b"AMOUNT=00100" {
+            Outcome::Prevented
+        } else {
+            Outcome::Undetected
+        }
+    };
+
+    // --- cio-ring revocation: the pages stop being host-writable. ---
+    let cio_revoke = {
+        let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+        let cfg = RingConfig {
+            slots: 8,
+            slot_size: 16,
+            mode: DataMode::SharedArea,
+            mtu: 4096,
+            area_size: 8 * PAGE_SIZE as u32,
+            page_aligned_payloads: true,
+            ..RingConfig::default()
+        };
+        let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64))?;
+        mem.share_range(GuestAddr(0), ring.ring_bytes())?;
+        mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())?;
+        let mut host_p = Producer::new(ring.clone(), mem.host())?;
+        let mut guest_c = Consumer::new(ring, mem.guest())?;
+        host_p.produce(b"AMOUNT=00100")?;
+        let r = guest_c.consume_revoking()?.expect("payload");
+        // The host's flip attempt faults on the revoked page.
+        let flip = mem.host().write(r.addr, b"AMOUNT=99999");
+        let mut used = vec![0u8; r.len as usize];
+        mem.guest().read(r.addr, &mut used)?;
+        if flip.is_err() && used == b"AMOUNT=00100" {
+            Outcome::Prevented
+        } else {
+            Outcome::Undetected
+        }
+    };
+
+    Ok((unhardened, cio_copy, cio_revoke))
+}
+
+/// The NetVSC offset-forgery micro-scenario (the Figure 3 driver family's
+/// signature attack): the host aims a receive descriptor at private guest
+/// memory. Returns `(unhardened, hardened)` outcomes.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn netvsc_offset_forgery() -> Result<(Outcome, Outcome), CioError> {
+    use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+    use cio_sim::{Clock, CostModel, Meter};
+    use cio_vring::netvsc::netvsc_pair;
+
+    let run = |hardened: bool| -> Result<Outcome, CioError> {
+        let mem = GuestMemory::new(256, Clock::new(), CostModel::default(), Meter::new());
+        mem.share_range(GuestAddr(0), 32 * PAGE_SIZE)?;
+        let recv_buf = GuestAddr(64 * PAGE_SIZE as u64);
+        let recv_len = 16 * PAGE_SIZE as u32;
+        mem.share_range(recv_buf, recv_len as usize)?;
+        let secret_addr = GuestAddr(128 * PAGE_SIZE as u64);
+        mem.guest().write(secret_addr, b"SEALING-KEY")?;
+
+        let (mut guest, mut host) =
+            netvsc_pair(&mem, GuestAddr(0), recv_buf, recv_len, 1514, hardened)?;
+        let offset = (secret_addr.0 - recv_buf.0) as u32;
+        host.forge_descriptor(offset, 11)?;
+
+        Ok(match guest.recv() {
+            Ok(Some(data)) if data == b"SEALING-KEY" => Outcome::Undetected,
+            Ok(_) => Outcome::Prevented,
+            Err(cio_vring::RingError::HostViolation(_)) => Outcome::Detected,
+            Err(e) => return Err(e.into()),
+        })
+    };
+    Ok((run(false)?, run(true)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ALL_BOUNDARIES;
+
+    #[test]
+    fn unhardened_virtio_bleeds_undetected_violations() {
+        for attack in [
+            AttackKind::CompletionIdOob,
+            AttackKind::CompletionLenOverrun,
+            AttackKind::SpuriousCompletion,
+            AttackKind::ConfigDoubleFetch,
+        ] {
+            let r = run_scenario(BoundaryKind::L2VirtioUnhardened, attack).unwrap();
+            assert_eq!(
+                r.outcome,
+                Outcome::Undetected,
+                "unhardened vs {attack}: {:?}",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn hardened_virtio_detects_completion_attacks() {
+        for attack in [
+            AttackKind::CompletionIdOob,
+            AttackKind::CompletionLenOverrun,
+            AttackKind::SpuriousCompletion,
+        ] {
+            let r = run_scenario(BoundaryKind::L2VirtioHardened, attack).unwrap();
+            assert_eq!(r.outcome, Outcome::Detected, "hardened vs {attack}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn hardened_virtio_immune_to_config_mutation() {
+        let r = run_scenario(
+            BoundaryKind::L2VirtioHardened,
+            AttackKind::ConfigDoubleFetch,
+        )
+        .unwrap();
+        // Cached config: the mutation has no effect at all.
+        assert_eq!(r.outcome, Outcome::Prevented, "{r:?}");
+        assert!(r.workload_survived);
+    }
+
+    #[test]
+    fn cio_ring_has_no_virtio_surfaces() {
+        for attack in [
+            AttackKind::CompletionIdOob,
+            AttackKind::SpuriousCompletion,
+            AttackKind::DescChainCorruption,
+            AttackKind::ConfigDoubleFetch,
+        ] {
+            let r = run_scenario(BoundaryKind::DualBoundary, attack).unwrap();
+            assert_eq!(r.outcome, Outcome::NoSurface, "{attack}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn cio_ring_detects_index_jump() {
+        for b in [
+            BoundaryKind::L2CioRing,
+            BoundaryKind::DualBoundary,
+            BoundaryKind::Tunneled,
+        ] {
+            let r = run_scenario(b, AttackKind::IndexJump).unwrap();
+            assert_eq!(r.outcome, Outcome::Detected, "{b}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn cio_ring_contains_slot_forgery() {
+        let r = run_scenario(BoundaryKind::DualBoundary, AttackKind::SlotForgery).unwrap();
+        // Masked and clamped: garbage in, bounded garbage out, and the
+        // oracle must show zero undetected violations.
+        assert_ne!(r.outcome, Outcome::Undetected, "{r:?}");
+    }
+
+    #[test]
+    fn virtio_used_index_jump_is_undetected_unhardened() {
+        let r = run_scenario(BoundaryKind::L2VirtioUnhardened, AttackKind::IndexJump).unwrap();
+        assert_eq!(r.outcome, Outcome::Undetected, "{r:?}");
+    }
+
+    #[test]
+    fn netvsc_leak_is_the_figure3_story() {
+        let (unhardened, hardened) = netvsc_offset_forgery().unwrap();
+        assert_eq!(unhardened, Outcome::Undetected, "private memory leaks");
+        assert_eq!(hardened, Outcome::Detected, "the hardening commit works");
+    }
+
+    #[test]
+    fn payload_toctou_comparison() {
+        let (unhardened, copy, revoke) = payload_toctou().unwrap();
+        assert_eq!(unhardened, Outcome::Undetected);
+        assert_eq!(copy, Outcome::Prevented);
+        assert_eq!(revoke, Outcome::Prevented);
+    }
+
+    #[test]
+    fn full_matrix_runs_and_safe_designs_have_no_undetected() {
+        let reports = run_matrix(&ALL_BOUNDARIES).unwrap();
+        assert_eq!(reports.len(), ALL_BOUNDARIES.len() * ALL_ATTACKS.len());
+        for r in &reports {
+            let safe = matches!(
+                r.boundary,
+                BoundaryKind::L2CioRing
+                    | BoundaryKind::DualBoundary
+                    | BoundaryKind::Tunneled
+                    | BoundaryKind::L5Host
+                    | BoundaryKind::Dda
+            );
+            if safe {
+                assert_ne!(
+                    r.outcome,
+                    Outcome::Undetected,
+                    "safe design {} fell to {}",
+                    r.boundary,
+                    r.attack
+                );
+            }
+        }
+        // And the unhardened baseline must show at least 4 undetected.
+        let bled = reports
+            .iter()
+            .filter(|r| {
+                r.boundary == BoundaryKind::L2VirtioUnhardened && r.outcome == Outcome::Undetected
+            })
+            .count();
+        assert!(bled >= 4, "unhardened undetected count = {bled}");
+    }
+}

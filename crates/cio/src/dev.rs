@@ -1,0 +1,600 @@
+//! Adapters that present each guest-side transport as a
+//! [`cio_netstack::NetDevice`], so the same TCP/IP stack runs over every
+//! boundary design.
+//!
+//! The accounting convention, applied uniformly so designs are comparable:
+//! the unavoidable materialization of a frame as guest bytes is *not*
+//! metered (every design does it); what IS metered is each design's
+//! distinctive data movement — bounce copies in the hardened retrofit, the
+//! early first-class copy or the page revocation in the cio-ring, AEAD
+//! passes on the tunneled/DDA paths.
+
+use crate::CioError;
+use cio_mem::{GuestAddr, GuestMemory, GuestView};
+use cio_netstack::{MacAddr, NetDevice, NetError};
+use cio_sim::Cycles;
+use cio_tee::dda::IdeChannel;
+use cio_vring::cioring::{Consumer, Producer, RevokedPayload};
+use cio_vring::hardened::HardenedDriver;
+use cio_vring::virtqueue::{ConfigSpace, DescSeg, Driver};
+
+/// How the guest takes delivery of received payloads on the cio-ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvMode {
+    /// Early copy into private memory (copy-as-first-class).
+    Copy,
+    /// Un-share the payload pages and process in place (§3.2 revocation).
+    Revoke,
+}
+
+/// How the guest submits transmit payloads on the cio-ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Explicit early copy into the interface.
+    Copy,
+    /// Zero-copy placement (valid where double fetch is impossible by
+    /// layout).
+    ZeroCopy,
+}
+
+/// The cio-ring as a network device.
+pub struct CioRingDevice {
+    tx: Producer<GuestView>,
+    rx: Consumer<GuestView>,
+    mac: MacAddr,
+    mtu: usize,
+    send_mode: SendMode,
+    recv_mode: RecvMode,
+    mem: GuestMemory,
+}
+
+impl CioRingDevice {
+    /// Wraps a ring pair. The MTU and MAC come from the fixed ring config
+    /// (zero-negotiation: there is no other source).
+    pub fn new(
+        tx: Producer<GuestView>,
+        rx: Consumer<GuestView>,
+        mem: GuestMemory,
+        send_mode: SendMode,
+        recv_mode: RecvMode,
+    ) -> Result<Self, CioError> {
+        let cfg = tx.ring().config();
+        if recv_mode == RecvMode::Revoke && !rx.ring().config().page_aligned_payloads {
+            return Err(CioError::Fatal(
+                "revocation receive needs page-aligned rings",
+            ));
+        }
+        Ok(CioRingDevice {
+            mac: MacAddr(cfg.mac),
+            mtu: cfg.mtu as usize - cio_netstack::wire::ETH_HDR_LEN,
+            tx,
+            rx,
+            send_mode,
+            recv_mode,
+            mem,
+        })
+    }
+}
+
+impl NetDevice for CioRingDevice {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let r = match self.send_mode {
+            SendMode::Copy => self.tx.produce(frame),
+            SendMode::ZeroCopy => self.tx.produce_zero_copy(frame),
+        };
+        match r {
+            Ok(()) => {
+                self.tx.kick(); // no-op in polling mode
+                Ok(())
+            }
+            Err(cio_vring::RingError::Full) => Err(NetError::DeviceFull),
+            Err(cio_vring::RingError::TooLarge) => Err(NetError::TooLarge),
+            Err(_) => Err(NetError::DeviceFull),
+        }
+    }
+
+    fn receive(&mut self) -> Option<Vec<u8>> {
+        match self.recv_mode {
+            RecvMode::Copy => self.rx.consume().ok().flatten(),
+            RecvMode::Revoke => {
+                let payload: RevokedPayload = self.rx.consume_revoking().ok().flatten()?;
+                // In-place processing: materialize without a metered copy,
+                // then hand the pages back to the shared pool.
+                let mut buf = vec![0u8; payload.len as usize];
+                let view = self.mem.guest();
+                view.read(payload.addr, &mut buf).ok()?;
+                self.rx.release_revoked(payload).ok()?;
+                Some(buf)
+            }
+        }
+    }
+
+    fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+/// Buffer geometry of one [`VirtqueueNetDevice`] arena.
+#[derive(Debug, Clone, Copy)]
+pub struct VqArena {
+    /// Base of the buffer arena (shared pages for the traditional-VM
+    /// model).
+    pub base: GuestAddr,
+    /// Per-buffer stride (>= MTU + Ethernet header).
+    pub stride: u32,
+    /// Buffers in the arena (>= queue size).
+    pub count: u16,
+}
+
+impl VqArena {
+    fn slot(&self, i: u16) -> GuestAddr {
+        self.base.add(u64::from(i) * u64::from(self.stride))
+    }
+}
+
+/// The unhardened virtio device (traditional lift-and-shift / DPDK-style):
+/// shared buffer arena, zero-copy placement, zero validation.
+pub struct VirtqueueNetDevice {
+    tx: Driver,
+    rx: Driver,
+    tx_arena: VqArena,
+    rx_arena: VqArena,
+    tx_free: Vec<u16>,
+    mem: GuestMemory,
+    mac: MacAddr,
+    /// The MTU read at initialisation.
+    initial_mtu: u16,
+    /// Host-writable config space, re-read on the data path (the
+    /// historical double-fetch pattern the hardening commits removed).
+    cfg: ConfigSpace,
+}
+
+impl VirtqueueNetDevice {
+    /// Builds the device: posts every RX buffer up front.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors during setup.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mut tx: Driver,
+        mut rx: Driver,
+        tx_arena: VqArena,
+        rx_arena: VqArena,
+        mem: GuestMemory,
+        mac: MacAddr,
+        cfg: ConfigSpace,
+    ) -> Result<Self, CioError> {
+        let initial_mtu = cfg.read_mtu(&mem.guest())?;
+        for i in 0..rx_arena.count.min(rx.layout().qsize) {
+            rx.add_buf(
+                &[],
+                &[DescSeg {
+                    addr: rx_arena.slot(i),
+                    len: rx_arena.stride,
+                }],
+                u64::from(i),
+            )?;
+        }
+        let tx_free = (0..tx_arena.count.min(tx.layout().qsize)).collect();
+        let _ = &mut tx;
+        Ok(VirtqueueNetDevice {
+            tx,
+            rx,
+            tx_arena,
+            rx_arena,
+            tx_free,
+            mem,
+            mac,
+            initial_mtu,
+            cfg,
+        })
+    }
+
+    fn reclaim_tx(&mut self) {
+        while let Ok(Some(done)) = self.tx.poll_used() {
+            self.tx_free.push(done.token as u16);
+        }
+    }
+}
+
+impl NetDevice for VirtqueueNetDevice {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        // Double fetch: the unhardened driver re-reads the host-owned MTU
+        // on every transmit and trusts whatever it finds *now*.
+        let mtu_now = self
+            .cfg
+            .read_mtu(&self.mem.guest())
+            .unwrap_or(self.initial_mtu);
+        if mtu_now != self.initial_mtu {
+            // Oracle: the driver is acting on host-mutated configuration.
+            self.mem.meter().violations_undetected(1);
+        }
+        if frame.len() > usize::from(mtu_now) + cio_netstack::wire::ETH_HDR_LEN {
+            return Err(NetError::TooLarge);
+        }
+        if frame.len() > self.tx_arena.stride as usize {
+            // An inflated MTU lets frames overrun the per-slot buffer —
+            // real cross-buffer corruption in the shared arena.
+            self.mem.meter().violations_undetected(1);
+            return Err(NetError::TooLarge);
+        }
+        self.reclaim_tx();
+        let Some(slot) = self.tx_free.pop() else {
+            return Err(NetError::DeviceFull);
+        };
+        let addr = self.tx_arena.slot(slot);
+        // Zero-copy placement into the shared arena; the meter records the
+        // bytes as unprotected zero-copy traffic.
+        if self.mem.guest().write(addr, frame).is_err() {
+            self.tx_free.push(slot);
+            return Err(NetError::DeviceFull);
+        }
+        self.mem.meter().bytes_zero_copy(frame.len() as u64);
+        if self
+            .tx
+            .add_buf(
+                &[DescSeg {
+                    addr,
+                    len: frame.len() as u32,
+                }],
+                &[],
+                u64::from(slot),
+            )
+            .is_err()
+        {
+            self.tx_free.push(slot);
+            return Err(NetError::DeviceFull);
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Option<Vec<u8>> {
+        let done = self.rx.poll_used().ok().flatten()?;
+        let slot = (done.token as u16) % self.rx_arena.count;
+        // Unhardened: the length is trusted as-is (the oracle flags abuse);
+        // clamp only to keep the simulation itself well-defined.
+        let len = (done.len).min(self.rx_arena.stride) as usize;
+        let mut buf = vec![0u8; len];
+        let addr = self.rx_arena.slot(slot);
+        self.mem.guest().read(addr, &mut buf).ok()?;
+        // Repost the buffer.
+        let _ = self.rx.add_buf(
+            &[],
+            &[DescSeg {
+                addr,
+                len: self.rx_arena.stride,
+            }],
+            done.token,
+        );
+        Some(buf)
+    }
+
+    fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    fn mtu(&self) -> usize {
+        usize::from(self.initial_mtu)
+    }
+}
+
+/// The hardened virtio device: validated completions + SWIOTLB bouncing.
+pub struct HardenedVirtioNetDevice {
+    tx: HardenedDriver,
+    rx: HardenedDriver,
+    mtu: usize,
+    posted: u32,
+    tokens: u64,
+}
+
+impl HardenedVirtioNetDevice {
+    /// Builds the device and posts `rx_buffers` receive slots.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors during setup.
+    pub fn new(
+        tx: HardenedDriver,
+        mut rx: HardenedDriver,
+        rx_buffers: u32,
+    ) -> Result<Self, CioError> {
+        let mut posted = 0;
+        for t in 0..rx_buffers {
+            match rx.post_recv(u64::from(t)) {
+                Ok(()) => posted += 1,
+                Err(cio_vring::RingError::Full) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mtu = usize::from(tx.mtu());
+        Ok(HardenedVirtioNetDevice {
+            tx,
+            rx,
+            mtu,
+            posted,
+            tokens: u64::from(posted),
+        })
+    }
+
+    /// Receive buffers posted at construction (diagnostic).
+    pub fn initial_rx_buffers(&self) -> u32 {
+        self.posted
+    }
+
+    fn reclaim_tx(&mut self) {
+        // Hardened polling: violations surface as errors and are counted
+        // by the meter; the device drops the poisoned completion.
+        loop {
+            match self.tx.poll() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+impl NetDevice for HardenedVirtioNetDevice {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.reclaim_tx();
+        self.tokens += 1;
+        match self.tx.send(frame, self.tokens) {
+            Ok(()) => Ok(()),
+            Err(cio_vring::RingError::TooLarge) => Err(NetError::TooLarge),
+            Err(_) => Err(NetError::DeviceFull),
+        }
+    }
+
+    fn receive(&mut self) -> Option<Vec<u8>> {
+        loop {
+            match self.rx.poll() {
+                Ok(Some((_done, Some(data)))) => {
+                    // Repost a fresh buffer to keep the queue primed.
+                    self.tokens += 1;
+                    let _ = self.rx.post_recv(self.tokens);
+                    return Some(data);
+                }
+                Ok(Some((_done, None))) => continue,
+                Ok(None) => return None,
+                Err(_) => {
+                    // Detected violation: drop it and repost.
+                    self.tokens += 1;
+                    let _ = self.rx.post_recv(self.tokens);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn mac(&self) -> MacAddr {
+        MacAddr(self.tx.mac())
+    }
+
+    fn mtu(&self) -> usize {
+        // The negotiated MTU is already the IP-payload limit.
+        self.mtu
+    }
+}
+
+/// The attested, IDE-protected NIC of the DDA path (§3.4).
+///
+/// The TEE end protects/unprotects every frame; the device end (inside
+/// this struct — the host cannot see into the device) forwards to the
+/// fabric. `tamper_after_attestation` models the paper's §3.4 caveat.
+pub struct IdeNetDevice {
+    tee_end: IdeChannel,
+    dev_end: IdeChannel,
+    port: cio_host::FabricPort,
+    recorder: cio_host::Recorder,
+    clock: cio_sim::Clock,
+    mac: MacAddr,
+    mtu: usize,
+    /// When set, the (attested!) device flips a bit in every forwarded
+    /// frame — post-attestation compromise.
+    pub tamper_after_attestation: bool,
+}
+
+impl IdeNetDevice {
+    /// Builds the device from two ends of an attested IDE session.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        tee_end: IdeChannel,
+        dev_end: IdeChannel,
+        port: cio_host::FabricPort,
+        recorder: cio_host::Recorder,
+        clock: cio_sim::Clock,
+        mac: MacAddr,
+        mtu: usize,
+    ) -> Self {
+        IdeNetDevice {
+            tee_end,
+            dev_end,
+            port,
+            recorder,
+            clock,
+            mac,
+            mtu,
+            tamper_after_attestation: false,
+        }
+    }
+
+    fn record_tlp(&self, len: usize) {
+        // The host sees only encrypted TLPs: size and timing, no headers.
+        self.recorder.record(
+            self.clock.now(),
+            "tlp",
+            cio_host::observe::bits::LENGTH + cio_host::observe::bits::TIMING,
+        );
+        let _ = len;
+    }
+}
+
+impl NetDevice for IdeNetDevice {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.mtu + cio_netstack::wire::ETH_HDR_LEN {
+            return Err(NetError::TooLarge);
+        }
+        let tlp = self.tee_end.protect(frame);
+        self.record_tlp(tlp.len());
+        // The device decrypts on its side of the link and puts the frame
+        // on the wire.
+        let mut inner = self
+            .dev_end
+            .unprotect(&tlp)
+            .map_err(|_| NetError::Malformed)?;
+        if self.tamper_after_attestation && !inner.is_empty() {
+            let idx = inner.len() / 2;
+            inner[idx] ^= 0x01;
+        }
+        self.port.transmit(&inner)
+    }
+
+    fn receive(&mut self) -> Option<Vec<u8>> {
+        let frame = self.port.receive()?;
+        let tlp = self.dev_end.protect(&frame);
+        self.record_tlp(tlp.len());
+        self.tee_end.unprotect(&tlp).ok()
+    }
+
+    fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+/// The LightBox-style tunnel device: whole L2 frames sealed into a cTLS
+/// channel provisioned at deployment, carried to the gateway as opaque
+/// blobs. The host (and the local network) learn only blob sizes and
+/// timing.
+pub struct TunnelDevice {
+    inner_tx: Producer<GuestView>,
+    inner_rx: Consumer<GuestView>,
+    chan: cio_ctls::Channel,
+    mac: MacAddr,
+    mtu: usize,
+}
+
+impl TunnelDevice {
+    /// Wraps the carrier rings with the provisioned tunnel channel.
+    pub fn new(
+        inner_tx: Producer<GuestView>,
+        inner_rx: Consumer<GuestView>,
+        chan: cio_ctls::Channel,
+        mac: MacAddr,
+        mtu: usize,
+    ) -> Self {
+        TunnelDevice {
+            inner_tx,
+            inner_rx,
+            chan,
+            mac,
+            mtu,
+        }
+    }
+}
+
+impl NetDevice for TunnelDevice {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > self.mtu + cio_netstack::wire::ETH_HDR_LEN {
+            return Err(NetError::TooLarge);
+        }
+        let blob = self.chan.seal(frame).map_err(|_| NetError::Malformed)?;
+        match self.inner_tx.produce(&blob) {
+            Ok(()) => Ok(()),
+            Err(cio_vring::RingError::Full) => Err(NetError::DeviceFull),
+            Err(_) => Err(NetError::DeviceFull),
+        }
+    }
+
+    fn receive(&mut self) -> Option<Vec<u8>> {
+        // Host-injected garbage fails to open and is dropped — the tunnel
+        // boundary is exactly one AEAD check wide.
+        loop {
+            let blob = self.inner_rx.consume().ok().flatten()?;
+            if let Ok(frame) = self.chan.open(&blob) {
+                return Some(frame);
+            }
+        }
+    }
+
+    fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+/// Simple bump allocator for laying out structures in guest memory.
+#[derive(Debug)]
+pub struct GuestLayoutAlloc {
+    next: u64,
+    limit: u64,
+}
+
+impl GuestLayoutAlloc {
+    /// Allocates from `[start, limit)`.
+    pub fn new(start: GuestAddr, limit: GuestAddr) -> Self {
+        GuestLayoutAlloc {
+            next: start.0,
+            limit: limit.0,
+        }
+    }
+
+    /// Carves out `bytes` bytes aligned to `align` (power of two).
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Fatal`] when out of reserved space — a configuration
+    /// error, caught at construction per the stateless principle.
+    pub fn alloc(&mut self, bytes: usize, align: u64) -> Result<GuestAddr, CioError> {
+        let aligned = (self.next + align - 1) & !(align - 1);
+        let end = aligned + bytes as u64;
+        if end > self.limit {
+            return Err(CioError::Fatal("guest layout region exhausted"));
+        }
+        self.next = end;
+        Ok(GuestAddr(aligned))
+    }
+
+    /// Page-aligned allocation helper.
+    ///
+    /// # Errors
+    ///
+    /// As [`GuestLayoutAlloc::alloc`].
+    pub fn alloc_pages(&mut self, pages: usize) -> Result<GuestAddr, CioError> {
+        self.alloc(pages * cio_mem::PAGE_SIZE, cio_mem::PAGE_SIZE as u64)
+    }
+}
+
+/// Charges one poll iteration that found no work (used by world drivers).
+pub fn charge_idle_poll(mem: &GuestMemory) {
+    mem.clock().advance(Cycles(mem.cost().poll_idle.get()));
+    mem.meter().idle_polls(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_alloc_aligns_and_bounds() {
+        let mut a = GuestLayoutAlloc::new(GuestAddr(100), GuestAddr(10_000));
+        let x = a.alloc(50, 64).unwrap();
+        assert_eq!(x.0 % 64, 0);
+        let y = a.alloc(50, 64).unwrap();
+        assert!(y.0 >= x.0 + 50);
+        let p = a.alloc_pages(1).unwrap();
+        assert!(p.is_page_aligned());
+        assert!(a.alloc(10_000, 1).is_err());
+    }
+}

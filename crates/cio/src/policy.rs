@@ -1,0 +1,126 @@
+//! The copy policy: "copies are part of the protocol — performed early,
+//! but only when necessary, and avoided when possible" (§3.2).
+//!
+//! The policy engine answers two questions the harness sweeps in E7/E9:
+//! when is a receive-side copy cheaper than revoking the pages, and when
+//! can a copy be skipped entirely because the layout makes a double fetch
+//! impossible?
+
+use cio_mem::pages_for;
+use cio_sim::CostModel;
+
+/// Receive-side delivery decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Copy the payload into private memory early.
+    CopyEarly,
+    /// Un-share the payload pages and process in place.
+    Revoke,
+}
+
+/// The copy/revocation policy derived from the platform cost model.
+#[derive(Debug, Clone)]
+pub struct CopyPolicy {
+    /// Payloads at or above this size are delivered by revocation.
+    pub revoke_threshold: usize,
+}
+
+impl CopyPolicy {
+    /// Derives the crossover from the cost model: the smallest payload for
+    /// which the *full* revocation cycle — un-share plus the eventual
+    /// re-share that returns the pages to the pool — beats the copy.
+    pub fn from_cost_model(cost: &CostModel) -> Self {
+        let mut threshold = usize::MAX;
+        let mut bytes = 256;
+        while bytes <= 4 * 1024 * 1024 {
+            let pages = pages_for(bytes);
+            let revoke_cycle = cost.unshare(pages).saturating_add(cost.share(pages));
+            if revoke_cycle <= cost.copy(bytes) {
+                threshold = bytes;
+                break;
+            }
+            bytes += 256;
+        }
+        CopyPolicy {
+            revoke_threshold: threshold,
+        }
+    }
+
+    /// Policy that always copies (revocation disabled).
+    pub fn always_copy() -> Self {
+        CopyPolicy {
+            revoke_threshold: usize::MAX,
+        }
+    }
+
+    /// Picks the delivery mechanism for a payload of `len` bytes.
+    pub fn delivery(&self, len: usize) -> Delivery {
+        if len >= self.revoke_threshold {
+            Delivery::Revoke
+        } else {
+            Delivery::CopyEarly
+        }
+    }
+
+    /// Whether a transmit copy can be skipped for the given placement:
+    /// true when the payload region is single-writer and consumed with a
+    /// single fetch (shared-area and indirect modes of the cio-ring), so a
+    /// double fetch is impossible by layout.
+    pub fn tx_copy_needed(single_fetch_layout: bool) -> bool {
+        !single_fetch_layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_has_a_crossover() {
+        let p = CopyPolicy::from_cost_model(&CostModel::default());
+        assert!(
+            p.revoke_threshold > cio_mem::PAGE_SIZE,
+            "{}",
+            p.revoke_threshold
+        );
+        assert!(p.revoke_threshold < 1024 * 1024, "{}", p.revoke_threshold);
+        assert_eq!(p.delivery(256), Delivery::CopyEarly);
+        assert_eq!(p.delivery(p.revoke_threshold), Delivery::Revoke);
+    }
+
+    #[test]
+    fn expensive_unshare_never_revokes() {
+        let cost = CostModel {
+            page_unshare: cio_sim::Cycles(1_000_000),
+            tlb_shootdown: cio_sim::Cycles(1_000_000),
+            ..CostModel::default()
+        };
+        let p = CopyPolicy::from_cost_model(&cost);
+        assert_eq!(p.revoke_threshold, usize::MAX);
+        assert_eq!(p.delivery(1 << 20), Delivery::CopyEarly);
+    }
+
+    #[test]
+    fn cheap_unshare_revokes_sooner() {
+        let cheap = CostModel {
+            page_unshare: cio_sim::Cycles(100),
+            tlb_shootdown: cio_sim::Cycles(100),
+            ..CostModel::default()
+        };
+        let a = CopyPolicy::from_cost_model(&CostModel::default());
+        let b = CopyPolicy::from_cost_model(&cheap);
+        assert!(b.revoke_threshold < a.revoke_threshold);
+    }
+
+    #[test]
+    fn tx_copy_policy() {
+        assert!(!CopyPolicy::tx_copy_needed(true));
+        assert!(CopyPolicy::tx_copy_needed(false));
+    }
+
+    #[test]
+    fn always_copy_policy() {
+        let p = CopyPolicy::always_copy();
+        assert_eq!(p.delivery(10 << 20), Delivery::CopyEarly);
+    }
+}

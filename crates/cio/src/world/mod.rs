@@ -1,0 +1,1177 @@
+//! Complete simulated deployments: one [`World`] per boundary design.
+//!
+//! A `World` owns everything Figure 1 draws — the confidential workload
+//! (①), host software (③), host hardware / fabric (④), and a remote
+//! confidential peer — wired for one [`BoundaryKind`]. All worlds expose
+//! the same application API (connect / send / recv over optionally-cTLS
+//! streams), so experiments E4/E9/E10/E11 run identical workloads across
+//! designs and differences are attributable to the boundary alone.
+
+pub mod speer;
+
+use crate::dev::{
+    CioRingDevice, GuestLayoutAlloc, HardenedVirtioNetDevice, IdeNetDevice, RecvMode, SendMode,
+    TunnelDevice, VirtqueueNetDevice, VqArena,
+};
+use crate::CioError;
+use cio_ctls::{Channel, SimHooks};
+use cio_host::backend::{CioNetBackend, VirtioNetBackend};
+use cio_host::fabric::{Fabric, FabricPort, LinkParams};
+use cio_host::l5::L5Service;
+use cio_host::observe::Recorder;
+use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
+use cio_netstack::{Ipv4Addr, MacAddr, NetDevice, PairDevice};
+use cio_sim::{Clock, CostModel, Cycles, Meter, SimRng};
+use cio_tee::compartment::Gate;
+use cio_tee::dda::{spdm_attest, Device, IdeChannel};
+use cio_tee::{Tee, TeeKind};
+use cio_vring::cioring::{CioRing, Consumer, DataMode, NotifyMode, Producer, RingConfig};
+use cio_vring::hardened::HardenedDriver;
+use cio_vring::virtqueue::{
+    driver_negotiate, ConfigSpace, DeviceSide, Driver, Layout, F_NET_MAC, F_NET_MTU, F_VERSION_1,
+};
+use speer::{SecurePeer, SecureStream, TunnelGateway};
+
+pub use speer::{ECHO_PORT, RPC_PORT};
+
+/// The boundary designs under comparison (see crate docs for the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryKind {
+    /// Socket-level boundary; the stack is host software (Graphene/CCF).
+    L5Host,
+    /// Raw virtio split queue, no hardening (traditional lift-and-shift,
+    /// DPDK-style shared buffers, polling).
+    L2VirtioUnhardened,
+    /// Linux-retrofit hardened virtio: validation + SWIOTLB + interrupts.
+    L2VirtioHardened,
+    /// The paper's safe ring, single confidential domain (no intra-TEE
+    /// boundary) — the "ShieldBox with a better interface" point.
+    L2CioRing,
+    /// The paper's full design: safe ring at L2 plus the intra-TEE L5
+    /// compartment boundary (ternary trust model).
+    DualBoundary,
+    /// L2-over-TLS to a trusted gateway (LightBox-shaped).
+    Tunneled,
+    /// SPDM-attested, IDE-protected direct device assignment (§3.4).
+    Dda,
+}
+
+/// All boundary kinds, for experiment iteration.
+pub const ALL_BOUNDARIES: [BoundaryKind; 7] = [
+    BoundaryKind::L5Host,
+    BoundaryKind::L2VirtioUnhardened,
+    BoundaryKind::L2VirtioHardened,
+    BoundaryKind::L2CioRing,
+    BoundaryKind::DualBoundary,
+    BoundaryKind::Tunneled,
+    BoundaryKind::Dda,
+];
+
+impl std::fmt::Display for BoundaryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BoundaryKind::L5Host => "l5-host",
+            BoundaryKind::L2VirtioUnhardened => "virtio-unhardened",
+            BoundaryKind::L2VirtioHardened => "virtio-hardened",
+            BoundaryKind::L2CioRing => "cio-ring",
+            BoundaryKind::DualBoundary => "dual-boundary",
+            BoundaryKind::Tunneled => "tunneled",
+            BoundaryKind::Dda => "dda",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning for a world.
+#[derive(Clone)]
+pub struct WorldOptions {
+    /// The platform cost model.
+    pub cost: CostModel,
+    /// Fabric link characteristics.
+    pub link: LinkParams,
+    /// End-to-end cTLS for application data (mandatory for the dual
+    /// boundary; uniform across designs for fair comparison).
+    pub app_tls: bool,
+    /// cio-ring transmit mode.
+    pub send_mode: SendMode,
+    /// cio-ring receive mode.
+    pub recv_mode: RecvMode,
+    /// cio-ring notification mode.
+    pub notify: NotifyMode,
+    /// Dual boundary: charge an app→stack payload copy instead of
+    /// trusted-component-allocates zero-copy (E9's contrast arm).
+    pub l5_app_copy: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// DDA: the attested device misbehaves after attestation.
+    pub dda_tamper: bool,
+    /// Minimum virtual-time progress per [`World::step`].
+    pub step_quantum: Cycles,
+    /// TEE flavour.
+    pub tee_kind: TeeKind,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        WorldOptions {
+            cost: CostModel::default(),
+            link: LinkParams::default(),
+            app_tls: true,
+            send_mode: SendMode::Copy,
+            recv_mode: RecvMode::Copy,
+            notify: NotifyMode::Polling,
+            l5_app_copy: false,
+            seed: 0xC10,
+            dda_tamper: false,
+            step_quantum: Cycles(5_000),
+            tee_kind: TeeKind::ConfidentialVm,
+        }
+    }
+}
+
+/// Guest address of the world (fixed).
+pub const GUEST_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// Peer address of the world (fixed).
+pub const PEER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+const GUEST_MAC: MacAddr = MacAddr([0x02, 0, 0, 0, 0, 0x01]);
+const PEER_MAC: MacAddr = MacAddr([0x02, 0, 0, 0, 0, 0x02]);
+const FABRIC_MTU: usize = 2200;
+const GUEST_PAGES: usize = 4096;
+
+// One long-lived guest per world: variant size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Guest {
+    Stack {
+        iface: Interface<Box<dyn NetDevice>>,
+    },
+    Dual {
+        iface: Interface<Box<dyn NetDevice>>,
+        gate: Gate,
+        app: cio_tee::CompartmentId,
+        iostack: cio_tee::CompartmentId,
+    },
+    L5 {
+        svc: L5Service,
+    },
+}
+
+#[allow(clippy::large_enum_variant)] // one per world
+enum Backend {
+    None,
+    Virtio(VirtioNetBackend),
+    Cio(CioNetBackend),
+}
+
+#[allow(clippy::large_enum_variant)] // one per world
+enum PeerNode {
+    Direct(SecurePeer<FabricPort>),
+    Tunnel {
+        gw_port: FabricPort,
+        gw: TunnelGateway,
+        peer: SecurePeer<PairDevice>,
+    },
+}
+
+/// Pieces produced when building a cio-ring data path.
+type CioRingParts = (Box<dyn NetDevice>, CioNetBackend, (CioRing, CioRing));
+
+/// Layout facts the adversary harness needs to aim its attacks.
+#[derive(Debug, Clone, Default)]
+pub struct Anatomy {
+    /// Virtqueue layouts (tx, rx) and the config page, when present.
+    pub virtio: Option<(Layout, Layout, GuestAddr)>,
+    /// cio rings (tx, rx), when present.
+    pub cio_rings: Option<(CioRing, CioRing)>,
+}
+
+/// Handle to one application connection in a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conn(usize);
+
+struct ConnState {
+    handle: SocketHandle,
+    stream: SecureStream,
+    /// Protocol bytes (handshake continuations) awaiting transmission.
+    outbox: Vec<u8>,
+    /// Decrypted application bytes awaiting the app.
+    app_in: Vec<u8>,
+}
+
+/// One complete simulated deployment.
+pub struct World {
+    kind: BoundaryKind,
+    opts: WorldOptions,
+    clock: Clock,
+    meter: Meter,
+    recorder: Recorder,
+    tee: Tee,
+    guest: Guest,
+    backend: Backend,
+    peer: PeerNode,
+    conns: Vec<ConnState>,
+    rng: SimRng,
+    anatomy: Anatomy,
+    layout: GuestLayoutAlloc,
+}
+
+impl World {
+    /// Builds a world for the given boundary design.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Fatal`] for configuration errors; transport errors
+    /// during setup.
+    pub fn new(kind: BoundaryKind, opts: WorldOptions) -> Result<World, CioError> {
+        let tee = Tee::new(opts.tee_kind, GUEST_PAGES, opts.cost.clone());
+        let clock = tee.clock().clone();
+        let meter = tee.meter().clone();
+        let mem = tee.memory().clone();
+        let recorder = Recorder::new();
+        let fabric = Fabric::new(clock.clone(), opts.seed);
+        let mut rng = SimRng::seed_from(opts.seed ^ 0x5EED);
+
+        let nic_port = fabric.port(GUEST_MAC, FABRIC_MTU);
+        let peer_port = fabric.port(PEER_MAC, FABRIC_MTU);
+        fabric.connect(&nic_port, &peer_port, opts.link)?;
+
+        let mut anatomy = Anatomy::default();
+        let mut tee = tee;
+        let mut layout =
+            GuestLayoutAlloc::new(GuestAddr(0), GuestAddr((GUEST_PAGES * PAGE_SIZE) as u64));
+
+        let (guest, backend, peer) = match kind {
+            BoundaryKind::L5Host => {
+                let svc = L5Service::new(
+                    nic_port,
+                    InterfaceConfig::new(GUEST_IP),
+                    clock.clone(),
+                    recorder.clone(),
+                );
+                let peer = SecurePeer::new(
+                    peer_port,
+                    PEER_IP,
+                    clock.clone(),
+                    opts.app_tls,
+                    opts.seed ^ 1,
+                );
+                (Guest::L5 { svc }, Backend::None, PeerNode::Direct(peer))
+            }
+
+            BoundaryKind::L2VirtioUnhardened | BoundaryKind::L2VirtioHardened => {
+                let hardened = kind == BoundaryKind::L2VirtioHardened;
+                let qsize: u16 = 128;
+                let stride: u32 = 2048;
+
+                let tx_q = layout.alloc_pages(2)?;
+                let rx_q = layout.alloc_pages(2)?;
+                let cfg_page = layout.alloc_pages(1)?;
+                mem.share_range(tx_q, 2 * PAGE_SIZE)?;
+                mem.share_range(rx_q, 2 * PAGE_SIZE)?;
+                mem.share_range(cfg_page, PAGE_SIZE)?;
+
+                let tx_layout = Layout::new(tx_q, qsize)?;
+                let rx_layout = Layout::new(rx_q, qsize)?;
+                anatomy.virtio = Some((tx_layout, rx_layout, cfg_page));
+                let cfg = ConfigSpace { base: cfg_page };
+                cfg.device_init(
+                    &mem.host(),
+                    GUEST_MAC.0,
+                    1500,
+                    F_VERSION_1 | F_NET_MAC | F_NET_MTU,
+                )?;
+
+                let device: Box<dyn NetDevice> = if hardened {
+                    let bounce_pages = usize::from(qsize);
+                    let tx_bounce = layout.alloc_pages(bounce_pages)?;
+                    let rx_bounce = layout.alloc_pages(bounce_pages)?;
+                    let tx_drv = HardenedDriver::new(
+                        &mem,
+                        tx_layout,
+                        cfg,
+                        F_VERSION_1 | F_NET_MAC | F_NET_MTU,
+                        tx_bounce,
+                        bounce_pages,
+                        meter.clone(),
+                    )?;
+                    let rx_drv = HardenedDriver::new(
+                        &mem,
+                        rx_layout,
+                        cfg,
+                        F_VERSION_1 | F_NET_MAC | F_NET_MTU,
+                        rx_bounce,
+                        bounce_pages,
+                        meter.clone(),
+                    )?;
+                    Box::new(HardenedVirtioNetDevice::new(
+                        tx_drv,
+                        rx_drv,
+                        u32::from(qsize) - 1,
+                    )?)
+                } else {
+                    // Traditional VM: buffer arenas are shared memory.
+                    let arena_pages = usize::from(qsize) * stride as usize / PAGE_SIZE;
+                    let tx_arena = layout.alloc_pages(arena_pages)?;
+                    let rx_arena = layout.alloc_pages(arena_pages)?;
+                    mem.share_range(tx_arena, arena_pages * PAGE_SIZE)?;
+                    mem.share_range(rx_arena, arena_pages * PAGE_SIZE)?;
+                    driver_negotiate(&cfg, &mem.guest(), F_VERSION_1 | F_NET_MAC | F_NET_MTU)?;
+                    let tx_drv = Driver::new(mem.guest(), tx_layout, meter.clone())?;
+                    let rx_drv = Driver::new(mem.guest(), rx_layout, meter.clone())?;
+                    Box::new(VirtqueueNetDevice::new(
+                        tx_drv,
+                        rx_drv,
+                        VqArena {
+                            base: tx_arena,
+                            stride,
+                            count: qsize,
+                        },
+                        VqArena {
+                            base: rx_arena,
+                            stride,
+                            count: qsize,
+                        },
+                        mem.clone(),
+                        GUEST_MAC,
+                        cfg,
+                    )?)
+                };
+
+                let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
+                let mut backend = VirtioNetBackend::new(
+                    DeviceSide::new(mem.host(), tx_layout),
+                    DeviceSide::new(mem.host(), rx_layout),
+                    nic_port,
+                    recorder.clone(),
+                    clock.clone(),
+                );
+                if hardened {
+                    backend.enable_rx_interrupts(opts.cost.clone(), meter.clone());
+                }
+                let peer = SecurePeer::new(
+                    peer_port,
+                    PEER_IP,
+                    clock.clone(),
+                    opts.app_tls,
+                    opts.seed ^ 1,
+                );
+                (
+                    Guest::Stack { iface },
+                    Backend::Virtio(backend),
+                    PeerNode::Direct(peer),
+                )
+            }
+
+            BoundaryKind::L2CioRing | BoundaryKind::DualBoundary => {
+                let (ring_cfg, dual) = (
+                    Self::net_ring_config(&opts),
+                    kind == BoundaryKind::DualBoundary,
+                );
+                let (device, backend, rings) = Self::build_cio_rings(
+                    &mem,
+                    &mut layout,
+                    &ring_cfg,
+                    &opts,
+                    nic_port,
+                    recorder.clone(),
+                    clock.clone(),
+                )?;
+                anatomy.cio_rings = Some(rings);
+                let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
+                let peer = SecurePeer::new(
+                    peer_port,
+                    PEER_IP,
+                    clock.clone(),
+                    opts.app_tls,
+                    opts.seed ^ 1,
+                );
+                let guest = if dual {
+                    let app = tee.compartments_mut().create("app");
+                    let iostack = tee.compartments_mut().create("iostack");
+                    // The I/O compartment owns the rings and payload areas:
+                    // the app can never dereference into them (the
+                    // trusted-component-allocates arena is the only shared
+                    // surface, carved out below).
+                    if let Some((txr, rxr)) = &anatomy.cio_rings {
+                        for r in [txr, rxr] {
+                            tee.compartments_mut().assign(
+                                iostack,
+                                r.prod_idx_addr(),
+                                r.ring_bytes(),
+                            )?;
+                            tee.compartments_mut().assign(
+                                iostack,
+                                r.payload_addr(0),
+                                r.area_bytes(),
+                            )?;
+                        }
+                    }
+                    // Trusted-component-allocates arena: app-writable pages
+                    // inside the I/O domain for zero-copy send (E9).
+                    let arena = layout.alloc_pages(16)?;
+                    tee.compartments_mut()
+                        .assign_shared(app, iostack, arena, 16 * PAGE_SIZE)?;
+                    let gate = tee.gate(app, iostack)?;
+                    Guest::Dual {
+                        iface,
+                        gate,
+                        app,
+                        iostack,
+                    }
+                } else {
+                    Guest::Stack { iface }
+                };
+                (guest, Backend::Cio(backend), PeerNode::Direct(peer))
+            }
+
+            BoundaryKind::Tunneled => {
+                // Carrier rings sized for sealed 1514-byte frames.
+                let ring_cfg = RingConfig {
+                    slots: 256,
+                    slot_size: 16,
+                    mode: DataMode::SharedArea,
+                    mtu: 2048,
+                    mac: GUEST_MAC.0,
+                    area_size: 1 << 19,
+                    notify: opts.notify,
+                    ..RingConfig::default()
+                };
+                let (tx_ring, rx_ring) = Self::alloc_ring_pair(&mem, &mut layout, &ring_cfg)?;
+                anatomy.cio_rings = Some((tx_ring.clone(), rx_ring.clone()));
+                let guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
+                let guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
+                let host_tx = Consumer::new(tx_ring, mem.host())?;
+                let host_rx = Producer::new(rx_ring, mem.host())?;
+
+                // Provisioned tunnel keys (deployment-time, like LightBox).
+                let mut ks = [0u8; 64];
+                rng.fill_bytes(&mut ks);
+                let c_secret: [u8; 32] = ks[..32].try_into().expect("32 bytes");
+                let s_secret: [u8; 32] = ks[32..].try_into().expect("32 bytes");
+                let hooks = SimHooks {
+                    clock: clock.clone(),
+                    cost: opts.cost.clone(),
+                    meter: meter.clone(),
+                };
+                let guest_chan = Channel::from_secrets(c_secret, s_secret, true, Some(hooks));
+                let gw_chan = Channel::from_secrets(c_secret, s_secret, false, None);
+
+                let device: Box<dyn NetDevice> = Box::new(TunnelDevice::new(
+                    guest_tx, guest_rx, guest_chan, GUEST_MAC, 1500,
+                ));
+                let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
+                let mut backend =
+                    CioNetBackend::new(host_tx, host_rx, nic_port, recorder.clone(), clock.clone());
+                backend.opaque = true;
+
+                let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
+                let gw = TunnelGateway::new(gw_chan, gw_side);
+                let peer = SecurePeer::new(
+                    peer_side,
+                    PEER_IP,
+                    clock.clone(),
+                    opts.app_tls,
+                    opts.seed ^ 1,
+                );
+                (
+                    Guest::Stack { iface },
+                    Backend::Cio(backend),
+                    PeerNode::Tunnel {
+                        gw_port: peer_port,
+                        gw,
+                        peer,
+                    },
+                )
+            }
+
+            BoundaryKind::Dda => {
+                const VENDOR: [u8; 32] = [0x11; 32];
+                const FW: &[u8] = b"cio-nic-firmware-v1";
+                let device_model = if opts.dda_tamper {
+                    Device::two_faced(FW, VENDOR)
+                } else {
+                    Device::honest(FW, VENDOR)
+                };
+                let mut nonce = [0u8; 32];
+                rng.fill_bytes(&mut nonce);
+                let att = spdm_attest(
+                    &device_model,
+                    &VENDOR,
+                    &cio_tee::attest::Measurement::of(FW),
+                    nonce,
+                    &clock,
+                    &opts.cost,
+                    &meter,
+                )?;
+                // The device's own session-key derivation happens on the
+                // device, not on guest cycles: charge nothing for it.
+                let mut dev_cost = opts.cost.clone();
+                dev_cost.spdm_round = Cycles::ZERO;
+                let att2 = spdm_attest(
+                    &device_model,
+                    &VENDOR,
+                    &cio_tee::attest::Measurement::of(FW),
+                    nonce,
+                    &clock,
+                    &dev_cost,
+                    &Meter::new(),
+                )?;
+                let tee_end = IdeChannel::new(att, clock.clone(), opts.cost.clone(), meter.clone());
+                let dev_end = IdeChannel::new(
+                    att2,
+                    clock.clone(),
+                    CostModel::free_transitions(),
+                    Meter::new(),
+                );
+                let mut ide_dev = IdeNetDevice::new(
+                    tee_end,
+                    dev_end,
+                    nic_port,
+                    recorder.clone(),
+                    clock.clone(),
+                    GUEST_MAC,
+                    1500,
+                );
+                ide_dev.tamper_after_attestation = opts.dda_tamper;
+                let iface = Interface::new(
+                    Box::new(ide_dev) as Box<dyn NetDevice>,
+                    InterfaceConfig::new(GUEST_IP),
+                    clock.clone(),
+                );
+                let peer = SecurePeer::new(
+                    peer_port,
+                    PEER_IP,
+                    clock.clone(),
+                    opts.app_tls,
+                    opts.seed ^ 1,
+                );
+                (
+                    Guest::Stack { iface },
+                    Backend::None,
+                    PeerNode::Direct(peer),
+                )
+            }
+        };
+
+        Ok(World {
+            kind,
+            opts,
+            clock,
+            meter,
+            recorder,
+            tee,
+            guest,
+            backend,
+            peer,
+            conns: Vec::new(),
+            rng,
+            anatomy,
+            layout,
+        })
+    }
+
+    fn net_ring_config(opts: &WorldOptions) -> RingConfig {
+        if opts.recv_mode == RecvMode::Revoke {
+            RingConfig {
+                slots: 64,
+                slot_size: 16,
+                mode: DataMode::SharedArea,
+                mtu: 1514,
+                mac: GUEST_MAC.0,
+                area_size: 64 * PAGE_SIZE as u32,
+                page_aligned_payloads: true,
+                notify: opts.notify,
+                ..RingConfig::default()
+            }
+        } else {
+            RingConfig {
+                slots: 256,
+                slot_size: 16,
+                mode: DataMode::SharedArea,
+                mtu: 1514,
+                mac: GUEST_MAC.0,
+                area_size: 1 << 19,
+                notify: opts.notify,
+                ..RingConfig::default()
+            }
+        }
+    }
+
+    fn alloc_ring_pair(
+        mem: &GuestMemory,
+        layout: &mut GuestLayoutAlloc,
+        cfg: &RingConfig,
+    ) -> Result<(CioRing, CioRing), CioError> {
+        let mk = |mem: &GuestMemory, layout: &mut GuestLayoutAlloc| -> Result<CioRing, CioError> {
+            let ring_pages = cfg.slots as usize * cfg.slot_size as usize / PAGE_SIZE + 1;
+            let ring_base = layout.alloc_pages(ring_pages)?;
+            let area_pages = cfg.area_size as usize / PAGE_SIZE;
+            let area_base = layout.alloc_pages(area_pages.max(1))?;
+            let ring = CioRing::new(cfg.clone(), ring_base, area_base)?;
+            mem.share_range(ring_base, ring.ring_bytes())?;
+            if ring.area_bytes() > 0 {
+                mem.share_range(area_base, ring.area_bytes())?;
+            }
+            Ok(ring)
+        };
+        Ok((mk(mem, layout)?, mk(mem, layout)?))
+    }
+
+    fn build_cio_rings(
+        mem: &GuestMemory,
+        layout: &mut GuestLayoutAlloc,
+        cfg: &RingConfig,
+        opts: &WorldOptions,
+        nic_port: FabricPort,
+        recorder: Recorder,
+        clock: Clock,
+    ) -> Result<CioRingParts, CioError> {
+        let (tx_ring, rx_ring) = Self::alloc_ring_pair(mem, layout, cfg)?;
+        let guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
+        let guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
+        let host_tx = Consumer::new(tx_ring.clone(), mem.host())?;
+        let host_rx = Producer::new(rx_ring.clone(), mem.host())?;
+        let device = Box::new(CioRingDevice::new(
+            guest_tx,
+            guest_rx,
+            mem.clone(),
+            opts.send_mode,
+            opts.recv_mode,
+        )?) as Box<dyn NetDevice>;
+        let backend = CioNetBackend::new(host_tx, host_rx, nic_port, recorder, clock);
+        Ok((device, backend, (tx_ring, rx_ring)))
+    }
+
+    /// Layout facts for the adversary harness.
+    pub fn anatomy(&self) -> &Anatomy {
+        &self.anatomy
+    }
+
+    /// The boundary design of this world.
+    pub fn kind(&self) -> BoundaryKind {
+        self.kind
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The host-observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.opts.cost
+    }
+
+    /// The TEE (compartment/attestation access for tests).
+    pub fn tee(&self) -> &Tee {
+        &self.tee
+    }
+
+    /// Direct access to the host backend's cio rings (adversary harness).
+    pub fn cio_backend_mut(&mut self) -> Option<&mut CioNetBackend> {
+        match &mut self.backend {
+            Backend::Cio(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the host backend's virtqueues (adversary harness).
+    pub fn virtio_backend_mut(&mut self) -> Option<&mut VirtioNetBackend> {
+        match &mut self.backend {
+            Backend::Virtio(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Guest memory (adversary harness).
+    pub fn guest_memory(&self) -> &GuestMemory {
+        self.tee.memory()
+    }
+
+    /// The dual boundary's (app, iostack) compartment ids, when present.
+    pub fn dual_compartments(&self) -> Option<(cio_tee::CompartmentId, cio_tee::CompartmentId)> {
+        match &self.guest {
+            Guest::Dual { app, iostack, .. } => Some((*app, *iostack)),
+            _ => None,
+        }
+    }
+
+    /// Hot-swaps the network device (§3.2: "devices can be hot-swapped"):
+    /// fresh rings are built with the *same fixed configuration* — there
+    /// is nothing to renegotiate — and attached to the same link. Frames
+    /// in flight in the old rings are lost; TCP recovers them.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Unsupported`] for designs without a swappable cio-ring
+    /// device.
+    pub fn hot_swap_device(&mut self) -> Result<(), CioError> {
+        if !matches!(
+            self.kind,
+            BoundaryKind::L2CioRing | BoundaryKind::DualBoundary
+        ) {
+            return Err(CioError::Unsupported(
+                "hot swap is implemented for the cio-ring designs",
+            ));
+        }
+        let Backend::Cio(old) = std::mem::replace(&mut self.backend, Backend::None) else {
+            return Err(CioError::Unsupported("no cio backend present"));
+        };
+        let port = old.into_port();
+        let mem = self.tee.memory().clone();
+        let ring_cfg = Self::net_ring_config(&self.opts);
+        let (device, backend, rings) = Self::build_cio_rings(
+            &mem,
+            &mut self.layout,
+            &ring_cfg,
+            &self.opts,
+            port,
+            self.recorder.clone(),
+            self.clock.clone(),
+        )?;
+        self.anatomy.cio_rings = Some(rings);
+        // The dual boundary's I/O compartment owns the replacement rings
+        // exactly like the originals.
+        if let Guest::Dual { iostack, .. } = &self.guest {
+            let iostack = *iostack;
+            if let Some((txr, rxr)) = &self.anatomy.cio_rings {
+                for r in [txr.clone(), rxr.clone()] {
+                    self.tee.compartments_mut().assign(
+                        iostack,
+                        r.prod_idx_addr(),
+                        r.ring_bytes(),
+                    )?;
+                    self.tee.compartments_mut().assign(
+                        iostack,
+                        r.payload_addr(0),
+                        r.area_bytes(),
+                    )?;
+                }
+            }
+        }
+        match &mut self.guest {
+            Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                *iface.device_mut() = device;
+            }
+            Guest::L5 { .. } => unreachable!("kind checked above"),
+        }
+        self.backend = Backend::Cio(backend);
+        Ok(())
+    }
+
+    /// Advances the whole world one scheduling round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal transport errors (adversarial corruption surfaces
+    /// as detected violations, not errors, unless the design cannot
+    /// contain it).
+    pub fn step(&mut self) -> Result<(), CioError> {
+        let t0 = self.clock.now();
+        match &mut self.guest {
+            Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                iface.poll()?;
+            }
+            Guest::L5 { svc } => {
+                svc.poll()?;
+            }
+        }
+        match &mut self.backend {
+            Backend::None => {}
+            Backend::Virtio(b) => {
+                b.process()?;
+            }
+            Backend::Cio(b) => {
+                // The adversary may have wedged a ring; detected violations
+                // surface on the meter, and the world keeps stepping.
+                let _ = b.process();
+            }
+        }
+        match &mut self.peer {
+            PeerNode::Direct(p) => p.poll(),
+            PeerNode::Tunnel { gw_port, gw, peer } => {
+                while let Some(blob) = gw_port.receive() {
+                    gw.ingress(&blob);
+                }
+                for blob in gw.egress() {
+                    let _ = gw_port.transmit(&blob);
+                }
+                peer.poll();
+            }
+        }
+        // Flush any protocol bytes produced by stream processing.
+        self.flush_outboxes()?;
+        if self.clock.now() == t0 {
+            self.clock.advance(self.opts.step_quantum);
+        }
+        Ok(())
+    }
+
+    /// Runs `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// As [`World::step`].
+    pub fn run(&mut self, n: usize) -> Result<(), CioError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    // ---------- Transport plumbing (per-design charging) ----------
+
+    fn raw_send(&mut self, handle: SocketHandle, bytes: &[u8]) -> Result<(), CioError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        match &mut self.guest {
+            Guest::Stack { iface } => {
+                iface.tcp_send(handle, bytes)?;
+            }
+            Guest::Dual { iface, gate, .. } => {
+                if self.opts.l5_app_copy {
+                    let cost = self.opts.cost.copy(bytes.len());
+                    self.clock.advance(cost);
+                    self.meter.copies(1);
+                    self.meter.bytes_copied(bytes.len() as u64);
+                }
+                gate.call(|| iface.tcp_send(handle, bytes))?;
+            }
+            Guest::L5 { svc } => {
+                // World switch plus marshalling: the payload is copied
+                // through an untrusted exchange buffer on every call.
+                self.tee.exit_to_host();
+                self.clock.advance(self.opts.cost.copy(bytes.len()));
+                self.meter.copies(1);
+                self.meter.bytes_copied(bytes.len() as u64);
+                svc.send(handle, bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn raw_recv(&mut self, handle: SocketHandle) -> Result<Vec<u8>, CioError> {
+        let data = match &mut self.guest {
+            Guest::Stack { iface } => iface.tcp_recv(handle, usize::MAX)?,
+            Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_recv(handle, usize::MAX))?,
+            Guest::L5 { svc } => {
+                self.tee.exit_to_host();
+                let data = svc.recv(handle, usize::MAX)?;
+                if !data.is_empty() {
+                    self.clock.advance(self.opts.cost.copy(data.len()));
+                    self.meter.copies(1);
+                    self.meter.bytes_copied(data.len() as u64);
+                }
+                data
+            }
+        };
+        Ok(data)
+    }
+
+    fn raw_established(&mut self, handle: SocketHandle) -> Result<bool, CioError> {
+        Ok(match &mut self.guest {
+            Guest::Stack { iface } => iface.tcp_established(handle)?,
+            Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_established(handle))?,
+            Guest::L5 { svc } => {
+                self.tee.exit_to_host();
+                svc.established(handle)?
+            }
+        })
+    }
+
+    // ---------- Application API ----------
+
+    /// Opens a connection to the peer service on `port` ([`ECHO_PORT`] or
+    /// [`RPC_PORT`]). With `app_tls` the cTLS handshake starts as soon as
+    /// TCP establishes; use [`World::establish`] to drive it.
+    ///
+    /// # Errors
+    ///
+    /// Stack/transport errors.
+    pub fn connect(&mut self, port: u16) -> Result<Conn, CioError> {
+        let handle = match &mut self.guest {
+            Guest::Stack { iface } => iface.tcp_connect(PEER_IP, port)?,
+            Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_connect(PEER_IP, port))?,
+            Guest::L5 { svc } => {
+                self.tee.exit_to_host();
+                svc.connect(PEER_IP, port)?
+            }
+        };
+        let (outbox, stream) = if self.opts.app_tls {
+            let mut entropy = [0u8; 64];
+            self.rng.fill_bytes(&mut entropy);
+            let hooks = SimHooks {
+                clock: self.clock.clone(),
+                cost: self.opts.cost.clone(),
+                meter: self.meter.clone(),
+            };
+            let (hello, stream) = SecureStream::client(entropy, Some(hooks));
+            (hello, stream)
+        } else {
+            (Vec::new(), SecureStream::plain())
+        };
+        self.conns.push(ConnState {
+            handle,
+            stream,
+            outbox,
+            app_in: Vec::new(),
+        });
+        Ok(Conn(self.conns.len() - 1))
+    }
+
+    fn conn_mut(&mut self, c: Conn) -> Result<&mut ConnState, CioError> {
+        if c.0 >= self.conns.len() {
+            return Err(CioError::Unsupported("dead connection handle"));
+        }
+        Ok(&mut self.conns[c.0])
+    }
+
+    /// Pumps received bytes through each connection's stream and flushes
+    /// pending protocol bytes.
+    fn flush_outboxes(&mut self) -> Result<(), CioError> {
+        for i in 0..self.conns.len() {
+            let handle = self.conns[i].handle;
+            // Only push protocol bytes once TCP is up.
+            if !self.conns[i].outbox.is_empty() && self.raw_established(handle)? {
+                let out = std::mem::take(&mut self.conns[i].outbox);
+                self.raw_send(handle, &out)?;
+            }
+            let data = self.raw_recv(handle)?;
+            if !data.is_empty() {
+                let result = self.conns[i].stream.feed(&data)?;
+                self.conns[i].app_in.extend(result.app_data);
+                self.conns[i].outbox.extend(result.to_send);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives the world until the connection is fully established (TCP +
+    /// cTLS when enabled).
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Timeout`] after `max_steps`.
+    pub fn establish(&mut self, c: Conn, max_steps: usize) -> Result<(), CioError> {
+        for _ in 0..max_steps {
+            self.step()?;
+            let tcp_up = {
+                let handle = self.conns[c.0].handle;
+                self.raw_established(handle)?
+            };
+            if tcp_up && self.conns[c.0].stream.is_open() && self.conns[c.0].outbox.is_empty() {
+                return Ok(());
+            }
+        }
+        Err(CioError::Timeout("connection establishment"))
+    }
+
+    /// Sends application data (sealed when cTLS is on).
+    ///
+    /// # Errors
+    ///
+    /// Stream/transport errors.
+    pub fn send(&mut self, c: Conn, data: &[u8]) -> Result<(), CioError> {
+        let sealed = self.conn_mut(c)?.stream.seal(data)?;
+        let handle = self.conns[c.0].handle;
+        self.raw_send(handle, &sealed)
+    }
+
+    /// Takes decrypted application bytes received so far.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn recv(&mut self, c: Conn) -> Result<Vec<u8>, CioError> {
+        // Data may have arrived during steps; outboxes were pumped there.
+        let s = self.conn_mut(c)?;
+        Ok(std::mem::take(&mut s.app_in))
+    }
+
+    /// Drives the world until `want` application bytes arrive on `c`.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Timeout`] after `max_steps`.
+    pub fn recv_exact(
+        &mut self,
+        c: Conn,
+        want: usize,
+        max_steps: usize,
+    ) -> Result<Vec<u8>, CioError> {
+        let mut got = Vec::new();
+        for _ in 0..max_steps {
+            got.extend(self.recv(c)?);
+            if got.len() >= want {
+                return Ok(got);
+            }
+            self.step()?;
+        }
+        got.extend(self.recv(c)?);
+        if got.len() >= want {
+            return Ok(got);
+        }
+        Err(CioError::Timeout("recv_exact"))
+    }
+
+    /// Closes a connection (TCP FIN; the stream is dropped).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn close(&mut self, c: Conn) -> Result<(), CioError> {
+        let handle = self.conn_mut(c)?.handle;
+        match &mut self.guest {
+            Guest::Stack { iface } => iface.tcp_close(handle)?,
+            Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_close(handle))?,
+            Guest::L5 { svc } => {
+                self.tee.exit_to_host();
+                svc.close(handle)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> WorldOptions {
+        WorldOptions {
+            link: LinkParams {
+                latency: Cycles(1_000),
+                loss: 0.0,
+            },
+            ..WorldOptions::default()
+        }
+    }
+
+    fn echo_roundtrip(kind: BoundaryKind, opts: WorldOptions) {
+        let mut w = World::new(kind, opts).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 3_000)
+            .unwrap_or_else(|e| panic!("{kind}: establish failed: {e}"));
+        w.send(c, b"hello confidential world").unwrap();
+        let got = w
+            .recv_exact(c, 24, 3_000)
+            .unwrap_or_else(|e| panic!("{kind}: echo failed: {e}"));
+        assert_eq!(&got, b"hello confidential world", "{kind}");
+    }
+
+    #[test]
+    fn echo_over_every_boundary() {
+        for kind in ALL_BOUNDARIES {
+            echo_roundtrip(kind, quick_opts());
+        }
+    }
+
+    #[test]
+    fn echo_plaintext_mode() {
+        for kind in [BoundaryKind::L5Host, BoundaryKind::L2CioRing] {
+            let opts = WorldOptions {
+                app_tls: false,
+                ..quick_opts()
+            };
+            echo_roundtrip(kind, opts);
+        }
+    }
+
+    #[test]
+    fn rpc_roundtrip_dual_boundary() {
+        let mut w = World::new(BoundaryKind::DualBoundary, quick_opts()).unwrap();
+        let c = w.connect(RPC_PORT).unwrap();
+        w.establish(c, 3_000).unwrap();
+        w.send(c, &8_000u32.to_le_bytes()).unwrap();
+        let got = w.recv_exact(c, 8_004, 5_000).unwrap();
+        assert_eq!(got.len(), 8_004);
+        assert_eq!(&got[..4], &8_000u32.to_le_bytes());
+        assert!(got[4..].iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn dual_boundary_charges_compartment_switches() {
+        let mut w = World::new(BoundaryKind::DualBoundary, quick_opts()).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 3_000).unwrap();
+        let before = w.meter().snapshot().compartment_switches;
+        w.send(c, b"x").unwrap();
+        assert!(w.meter().snapshot().compartment_switches > before);
+        // And no world exits on the data path beyond what the rings do:
+        // the L5 design would have paid one exit per call.
+    }
+
+    #[test]
+    fn l5_charges_host_transitions_per_call() {
+        let mut w = World::new(BoundaryKind::L5Host, quick_opts()).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        let before = w.meter().snapshot().host_transitions;
+        w.establish(c, 3_000).unwrap();
+        w.send(c, b"x").unwrap();
+        let after = w.meter().snapshot().host_transitions;
+        assert!(after > before + 2, "exits: {before} -> {after}");
+    }
+
+    #[test]
+    fn hardened_virtio_pays_bounce_copies() {
+        let mut w = World::new(BoundaryKind::L2VirtioHardened, quick_opts()).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 3_000).unwrap();
+        let before = w.meter().snapshot();
+        w.send(c, &[0x41; 1000]).unwrap();
+        let _ = w.recv_exact(c, 1000, 3_000).unwrap();
+        let d = w.meter().snapshot().delta(&before);
+        assert!(d.copies >= 2, "bounce copies on both directions: {d:?}");
+    }
+
+    #[test]
+    fn tunneled_hides_headers_from_host() {
+        let mut w = World::new(BoundaryKind::Tunneled, quick_opts()).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 3_000).unwrap();
+        w.send(c, b"secret").unwrap();
+        let _ = w.recv_exact(c, 6, 3_000).unwrap();
+        let tunnel_summary = w.recorder().summary();
+
+        let mut w2 = World::new(BoundaryKind::L2CioRing, quick_opts()).unwrap();
+        let c2 = w2.connect(ECHO_PORT).unwrap();
+        w2.establish(c2, 3_000).unwrap();
+        w2.send(c2, b"secret").unwrap();
+        let _ = w2.recv_exact(c2, 6, 3_000).unwrap();
+        let plain_summary = w2.recorder().summary();
+
+        // Per-event information is strictly lower for the tunnel.
+        let t_bits_per_event = tunnel_summary.bits as f64 / tunnel_summary.events as f64;
+        let p_bits_per_event = plain_summary.bits as f64 / plain_summary.events as f64;
+        assert!(
+            t_bits_per_event < p_bits_per_event,
+            "tunnel {t_bits_per_event} vs plain {p_bits_per_event}"
+        );
+    }
+
+    #[test]
+    fn dda_tampering_device_is_caught_by_app_tls() {
+        let opts = WorldOptions {
+            dda_tamper: true,
+            ..quick_opts()
+        };
+        let mut w = World::new(BoundaryKind::Dda, opts).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        // The device corrupts frames; TCP checksums drop them and nothing
+        // ever completes — or if anything slipped through, cTLS would
+        // reject it. Either way establishment cannot succeed.
+        assert!(w.establish(c, 500).is_err());
+    }
+}

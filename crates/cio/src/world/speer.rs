@@ -1,0 +1,476 @@
+//! Secure endpoints: the remote confidential peer, the client-side stream
+//! state machine, and the LightBox-style tunnel gateway.
+//!
+//! Application traffic in the experiments is end-to-end protected on every
+//! boundary configuration (a confidential workload would never trust the
+//! network): the peer terminates cTLS, verifies nothing about the client
+//! beyond the protocol, and serves two services on fixed ports — echo
+//! ([`ECHO_PORT`]) and a size-request RPC ([`RPC_PORT`]).
+
+use crate::CioError;
+use cio_ctls::handshake::{ServerHello, SERVER_HELLO_LEN};
+use cio_ctls::{Channel, ClientHandshake, CtlsError, ServerHandshake, ServerIdentity};
+use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
+use cio_netstack::{Ipv4Addr, NetDevice};
+use cio_sim::{Clock, SimRng};
+use cio_tee::attest::Measurement;
+
+/// Echo service port.
+pub const ECHO_PORT: u16 = 7;
+/// RPC (size-request) service port.
+pub const RPC_PORT: u16 = 8080;
+/// The peer's attested workload image.
+pub const PEER_IMAGE: &[u8] = b"cio-secure-peer-v1";
+/// The model's platform attestation key.
+pub const PLATFORM_KEY: [u8; 32] = [0x42; 32];
+
+/// The peer's measurement (what clients pin).
+pub fn peer_measurement() -> Measurement {
+    Measurement::of(PEER_IMAGE)
+}
+
+/// Extracts one complete `[len u32-le][body]` record from `buf`, if whole.
+pub fn take_record(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > (1 << 22) || buf.len() < 4 + len {
+        return None;
+    }
+    Some(buf.drain(..4 + len).collect())
+}
+
+#[allow(clippy::large_enum_variant)] // few, long-lived per-connection states
+enum PeerTls {
+    Plain,
+    AwaitHello,
+    AwaitFinished(Box<ServerHandshake>),
+    Open(Box<Channel>),
+}
+
+struct PeerConn {
+    h: SocketHandle,
+    port: u16,
+    tls: PeerTls,
+    inbuf: Vec<u8>,
+}
+
+/// The remote confidential peer: echo + RPC, plaintext or cTLS.
+pub struct SecurePeer<D: NetDevice> {
+    iface: Interface<D>,
+    tls: bool,
+    rng: SimRng,
+    conns: Vec<PeerConn>,
+}
+
+impl<D: NetDevice> SecurePeer<D> {
+    /// Creates the peer, listening on both service ports.
+    pub fn new(dev: D, ip: Ipv4Addr, clock: Clock, tls: bool, seed: u64) -> Self {
+        let mut iface = Interface::new(dev, InterfaceConfig::new(ip), clock);
+        iface.tcp_listen(ECHO_PORT);
+        iface.tcp_listen(RPC_PORT);
+        SecurePeer {
+            iface,
+            tls,
+            rng: SimRng::seed_from(seed),
+            conns: Vec::new(),
+        }
+    }
+
+    fn identity() -> ServerIdentity {
+        ServerIdentity {
+            platform_key: PLATFORM_KEY,
+            measurement: peer_measurement(),
+        }
+    }
+
+    fn serve(port: u16, request: &[u8]) -> Vec<u8> {
+        if port == ECHO_PORT {
+            return request.to_vec();
+        }
+        // RPC: 4-byte LE size request -> length-prefixed 0x5A response.
+        if request.len() < 4 {
+            return Vec::new();
+        }
+        let want = u32::from_le_bytes([request[0], request[1], request[2], request[3]]) as usize;
+        let want = want.min(1 << 20);
+        let mut resp = Vec::with_capacity(4 + want);
+        resp.extend_from_slice(&(want as u32).to_le_bytes());
+        resp.extend(std::iter::repeat_n(0x5A, want));
+        resp
+    }
+
+    /// Drives the peer one round.
+    pub fn poll(&mut self) {
+        let _ = self.iface.poll();
+        for port in [ECHO_PORT, RPC_PORT] {
+            while let Some(h) = self.iface.tcp_accept(port) {
+                self.conns.push(PeerConn {
+                    h,
+                    port,
+                    tls: if self.tls {
+                        PeerTls::AwaitHello
+                    } else {
+                        PeerTls::Plain
+                    },
+                    inbuf: Vec::new(),
+                });
+            }
+        }
+
+        let mut dead = Vec::new();
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let Ok(data) = self.iface.tcp_recv(conn.h, usize::MAX) else {
+                dead.push(i);
+                continue;
+            };
+            conn.inbuf.extend(data);
+
+            let mut out: Vec<u8> = Vec::new();
+            loop {
+                match &mut conn.tls {
+                    PeerTls::Plain => {
+                        if conn.port == RPC_PORT {
+                            // Fixed 4-byte requests: consume exactly whole
+                            // requests, keep fragments buffered.
+                            if conn.inbuf.len() < 4 {
+                                break;
+                            }
+                            let req: Vec<u8> = conn.inbuf.drain(..4).collect();
+                            out.extend(Self::serve(conn.port, &req));
+                        } else {
+                            if conn.inbuf.is_empty() {
+                                break;
+                            }
+                            let req: Vec<u8> = std::mem::take(&mut conn.inbuf);
+                            out.extend(Self::serve(conn.port, &req));
+                            break;
+                        }
+                    }
+                    PeerTls::AwaitHello => {
+                        if conn.inbuf.len() < cio_ctls::handshake::CLIENT_HELLO_LEN {
+                            break;
+                        }
+                        let hello: Vec<u8> = conn
+                            .inbuf
+                            .drain(..cio_ctls::handshake::CLIENT_HELLO_LEN)
+                            .collect();
+                        let mut entropy = [0u8; 64];
+                        self.rng.fill_bytes(&mut entropy);
+                        match ServerHandshake::respond(&hello, &Self::identity(), entropy, None) {
+                            Ok((sh, cont)) => {
+                                out.extend_from_slice(&sh.to_bytes());
+                                conn.tls = PeerTls::AwaitFinished(Box::new(cont));
+                            }
+                            Err(_) => {
+                                dead.push(i);
+                                break;
+                            }
+                        }
+                    }
+                    PeerTls::AwaitFinished(_) => {
+                        if conn.inbuf.len() < 32 {
+                            break;
+                        }
+                        let fin: Vec<u8> = conn.inbuf.drain(..32).collect();
+                        let PeerTls::AwaitFinished(cont) =
+                            std::mem::replace(&mut conn.tls, PeerTls::Plain)
+                        else {
+                            unreachable!("matched AwaitFinished above");
+                        };
+                        match cont.verify_finished(&fin) {
+                            Ok(chan) => conn.tls = PeerTls::Open(Box::new(chan)),
+                            Err(_) => {
+                                dead.push(i);
+                                break;
+                            }
+                        }
+                    }
+                    PeerTls::Open(chan) => {
+                        let Some(record) = take_record(&mut conn.inbuf) else {
+                            break;
+                        };
+                        match chan.open(&record) {
+                            Ok(plain) => {
+                                let resp = Self::serve(conn.port, &plain);
+                                if !resp.is_empty() {
+                                    if let Ok(rec) = chan.seal(&resp) {
+                                        out.extend(rec);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                dead.push(i);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                let _ = self.iface.tcp_send(conn.h, &out);
+            }
+            if self.iface.tcp_peer_closed(conn.h).unwrap_or(true) {
+                let _ = self.iface.tcp_close(conn.h);
+                dead.push(i);
+            }
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        for i in dead.into_iter().rev() {
+            self.conns.remove(i);
+        }
+        let _ = self.iface.poll();
+    }
+
+    /// Live connections (diagnostic).
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+/// Result of feeding received bytes into a [`SecureStream`].
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FeedResult {
+    /// Bytes the caller must transmit (handshake continuations).
+    pub to_send: Vec<u8>,
+    /// Decrypted application bytes.
+    pub app_data: Vec<u8>,
+}
+
+#[allow(clippy::large_enum_variant)] // one per connection, long-lived
+enum StreamState {
+    Plain,
+    AwaitServerHello {
+        hs: Option<ClientHandshake>,
+        inbuf: Vec<u8>,
+    },
+    Open {
+        chan: Box<Channel>,
+        inbuf: Vec<u8>,
+    },
+}
+
+/// Client-side stream protection: plaintext pass-through or cTLS.
+pub struct SecureStream {
+    state: StreamState,
+}
+
+impl SecureStream {
+    /// A pass-through stream (no protection).
+    pub fn plain() -> Self {
+        SecureStream {
+            state: StreamState::Plain,
+        }
+    }
+
+    /// Starts a cTLS client stream; returns the ClientHello to transmit.
+    pub fn client(entropy: [u8; 64], hooks: Option<cio_ctls::SimHooks>) -> (Vec<u8>, Self) {
+        let (hello, hs) = ClientHandshake::start(entropy, hooks);
+        (
+            hello,
+            SecureStream {
+                state: StreamState::AwaitServerHello {
+                    hs: Some(hs),
+                    inbuf: Vec::new(),
+                },
+            },
+        )
+    }
+
+    /// Whether application data can flow.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, StreamState::Plain | StreamState::Open { .. })
+    }
+
+    /// Protects outgoing application bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Ctls`] if called before the handshake completes.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, CioError> {
+        match &mut self.state {
+            StreamState::Plain => Ok(plaintext.to_vec()),
+            StreamState::Open { chan, .. } => Ok(chan.seal(plaintext)?),
+            StreamState::AwaitServerHello { .. } => Err(CioError::Ctls(CtlsError::BadSequence)),
+        }
+    }
+
+    /// Feeds raw bytes received from the transport.
+    ///
+    /// # Errors
+    ///
+    /// Handshake/record failures; the stream is dead afterwards.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<FeedResult, CioError> {
+        let mut result = FeedResult::default();
+        match &mut self.state {
+            StreamState::Plain => {
+                result.app_data.extend_from_slice(bytes);
+            }
+            StreamState::AwaitServerHello { hs, inbuf } => {
+                inbuf.extend_from_slice(bytes);
+                if inbuf.len() >= SERVER_HELLO_LEN {
+                    let sh_bytes: Vec<u8> = inbuf.drain(..SERVER_HELLO_LEN).collect();
+                    let leftover: Vec<u8> = std::mem::take(inbuf);
+                    let sh = ServerHello::from_bytes(&sh_bytes)?;
+                    let hs = hs.take().expect("handshake consumed once");
+                    let (fin, chan) = hs.finish(&sh, &PLATFORM_KEY, &peer_measurement())?;
+                    result.to_send = fin;
+                    self.state = StreamState::Open {
+                        chan: Box::new(chan),
+                        inbuf: leftover,
+                    };
+                    // Any piggybacked records are processed below.
+                    let more = self.feed(&[])?;
+                    result.app_data.extend(more.app_data);
+                    result.to_send.extend(more.to_send);
+                }
+            }
+            StreamState::Open { chan, inbuf } => {
+                inbuf.extend_from_slice(bytes);
+                while let Some(record) = take_record(inbuf) {
+                    result.app_data.extend(chan.open(&record)?);
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// The LightBox-style tunnel gateway: a *trusted* middlebox that
+/// terminates the L2-over-TLS tunnel and switches inner frames onto the
+/// safe network segment where the peer lives.
+pub struct TunnelGateway {
+    chan: Channel,
+    /// Gateway side of the safe segment (the peer holds the other end).
+    pub segment: cio_netstack::PairDevice,
+}
+
+impl TunnelGateway {
+    /// Creates the gateway from the provisioned tunnel channel.
+    pub fn new(chan: Channel, segment: cio_netstack::PairDevice) -> Self {
+        TunnelGateway { chan, segment }
+    }
+
+    /// Decapsulates one blob from the untrusted side; returns whether the
+    /// inner frame was valid and forwarded.
+    pub fn ingress(&mut self, blob: &[u8]) -> bool {
+        match self.chan.open(blob) {
+            Ok(frame) => self.segment.transmit(&frame).is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Encapsulates frames arriving from the safe segment; returns sealed
+    /// blobs for the untrusted side.
+    pub fn egress(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(frame) = self.segment.receive() {
+            if let Ok(blob) = self.chan.seal(&frame) {
+                out.push(blob);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_record_framing() {
+        let mut buf = Vec::new();
+        assert!(take_record(&mut buf).is_none());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(b"hel");
+        assert!(take_record(&mut buf).is_none(), "incomplete");
+        buf.extend_from_slice(b"lo");
+        let rec = take_record(&mut buf).unwrap();
+        assert_eq!(&rec[4..], b"hello");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn stream_plain_passthrough() {
+        let mut s = SecureStream::plain();
+        assert!(s.is_open());
+        assert_eq!(s.seal(b"data").unwrap(), b"data");
+        let r = s.feed(b"reply").unwrap();
+        assert_eq!(r.app_data, b"reply");
+        assert!(r.to_send.is_empty());
+    }
+
+    #[test]
+    fn stream_handshake_against_server() {
+        let (hello, mut stream) = SecureStream::client([7u8; 64], None);
+        assert!(!stream.is_open());
+        assert!(stream.seal(b"too early").is_err());
+
+        let identity = ServerIdentity {
+            platform_key: PLATFORM_KEY,
+            measurement: peer_measurement(),
+        };
+        let (sh, cont) = ServerHandshake::respond(&hello, &identity, [9u8; 64], None).unwrap();
+        let r = stream.feed(&sh.to_bytes()).unwrap();
+        assert!(stream.is_open());
+        let mut server_chan = cont.verify_finished(&r.to_send).unwrap();
+
+        // Bidirectional data.
+        let rec = stream.seal(b"request").unwrap();
+        assert_eq!(server_chan.open(&rec).unwrap(), b"request");
+        let resp = server_chan.seal(b"response").unwrap();
+        let r = stream.feed(&resp).unwrap();
+        assert_eq!(r.app_data, b"response");
+    }
+
+    #[test]
+    fn stream_handles_fragmented_delivery() {
+        let (hello, mut stream) = SecureStream::client([1u8; 64], None);
+        let identity = ServerIdentity {
+            platform_key: PLATFORM_KEY,
+            measurement: peer_measurement(),
+        };
+        let (sh, cont) = ServerHandshake::respond(&hello, &identity, [2u8; 64], None).unwrap();
+        let sh_bytes = sh.to_bytes();
+        // Deliver the ServerHello one byte at a time.
+        let mut fin = Vec::new();
+        for b in sh_bytes.iter() {
+            fin.extend(stream.feed(std::slice::from_ref(b)).unwrap().to_send);
+        }
+        let mut server_chan = cont.verify_finished(&fin).unwrap();
+        // Deliver a record split in two.
+        let resp = server_chan.seal(b"fragmented").unwrap();
+        let r1 = stream.feed(&resp[..3]).unwrap();
+        assert!(r1.app_data.is_empty());
+        let r2 = stream.feed(&resp[3..]).unwrap();
+        assert_eq!(r2.app_data, b"fragmented");
+    }
+
+    #[test]
+    fn gateway_tunnels_frames() {
+        let (gw_side, mut peer_side) = cio_netstack::PairDevice::pair(
+            [cio_netstack::MacAddr([1; 6]), cio_netstack::MacAddr([2; 6])],
+            1500,
+        );
+        let guest_end = Channel::from_secrets([3; 32], [4; 32], true, None);
+        let gw_end = Channel::from_secrets([3; 32], [4; 32], false, None);
+        let mut guest = guest_end;
+        let mut gw = TunnelGateway::new(gw_end, gw_side);
+
+        // Guest -> gateway -> segment.
+        let blob = guest.seal(b"inner ethernet frame").unwrap();
+        assert!(gw.ingress(&blob));
+        assert_eq!(peer_side.receive().unwrap(), b"inner ethernet frame");
+
+        // Segment -> gateway -> guest.
+        peer_side.transmit(b"reply frame").unwrap();
+        let blobs = gw.egress();
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(guest.open(&blobs[0]).unwrap(), b"reply frame");
+
+        // Host-forged blob is dropped at the gateway.
+        assert!(!gw.ingress(b"garbage from the host"));
+    }
+}

@@ -1,0 +1,231 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::CryptoError;
+
+/// An RFC 8439 ChaCha20-Poly1305 AEAD key.
+///
+/// # Examples
+///
+/// ```
+/// use cio_crypto::ChaCha20Poly1305;
+/// let aead = ChaCha20Poly1305::new([0x11; 32]);
+/// let nonce = [0u8; 12];
+/// let sealed = aead.seal(&nonce, b"header", b"secret payload");
+/// let opened = aead.open(&nonce, b"header", &sealed).unwrap();
+/// assert_eq!(opened, b"secret payload");
+/// assert!(aead.open(&nonce, b"tampered", &sealed).is_err());
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20::block(key, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+fn compute_tag(poly_key: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(poly_key);
+    mac.update(aad);
+    mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    mac.update(ciphertext);
+    mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD instance from a 256-bit key.
+    pub fn new(key: [u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key }
+    }
+
+    /// Encrypts `plaintext`, authenticating `aad`, and returns
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
+        let tag = compute_tag(&poly_key(&self.key, nonce), aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Encrypts `buf` in place and returns the detached tag.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        chacha20::xor_stream(&self.key, 1, nonce, buf);
+        compute_tag(&poly_key(&self.key, nonce), aad, buf)
+    }
+
+    /// Verifies and decrypts `sealed` (= ciphertext || tag).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadLength`] if `sealed` is shorter than a tag;
+    /// [`CryptoError::BadTag`] if authentication fails — no plaintext is
+    /// released in that case.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::BadLength);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = compute_tag(&poly_key(&self.key, nonce), aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let mut out = ciphertext.to_vec();
+        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
+        Ok(out)
+    }
+
+    /// Verifies the detached `tag` and decrypts `buf` in place.
+    ///
+    /// On failure the buffer is left as ciphertext and an error returned.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<(), CryptoError> {
+        let expected = compute_tag(&poly_key(&self.key, nonce), aad, buf);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        chacha20::xor_stream(&self.key, 1, nonce, buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_seal() {
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let sealed = ChaCha20Poly1305::new(key).seal(&nonce, &aad, plaintext);
+        let expected_ct = unhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expected_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(&sealed[..plaintext.len()], &expected_ct[..]);
+        assert_eq!(&sealed[plaintext.len()..], &expected_tag[..]);
+    }
+
+    #[test]
+    fn rfc8439_open() {
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let aead = ChaCha20Poly1305::new(key);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let sealed = aead.seal(&nonce, &aad, plaintext);
+        assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let aead = ChaCha20Poly1305::new([9u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"aad", b"payload");
+
+        // Flip each byte of the sealed message in turn: all must fail.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                aead.open(&nonce, b"aad", &bad),
+                Err(CryptoError::BadTag),
+                "byte {i}"
+            );
+        }
+        // Wrong AAD fails.
+        assert!(aead.open(&nonce, b"dad", &sealed).is_err());
+        // Wrong nonce fails.
+        assert!(aead.open(&[2u8; 12], b"aad", &sealed).is_err());
+        // Truncated below the tag length reports BadLength.
+        assert_eq!(
+            aead.open(&nonce, b"aad", &sealed[..TAG_LEN - 1]),
+            Err(CryptoError::BadLength)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let aead = ChaCha20Poly1305::new([3u8; 32]);
+        let nonce = [0u8; 12];
+        let sealed = aead.seal(&nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(aead.open(&nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn in_place_matches_vec_api() {
+        let aead = ChaCha20Poly1305::new([5u8; 32]);
+        let nonce = [7u8; 12];
+        let msg = b"in-place round trip across block sizes".to_vec();
+
+        let sealed = aead.seal(&nonce, b"hdr", &msg);
+        let mut buf = msg.clone();
+        let tag = aead.seal_in_place(&nonce, b"hdr", &mut buf);
+        assert_eq!(&sealed[..msg.len()], &buf[..]);
+        assert_eq!(&sealed[msg.len()..], &tag[..]);
+
+        aead.open_in_place(&nonce, b"hdr", &mut buf, &tag).unwrap();
+        assert_eq!(buf, msg);
+
+        // Failed open leaves ciphertext untouched.
+        let mut buf2 = sealed[..msg.len()].to_vec();
+        let bad_tag = [0u8; TAG_LEN];
+        assert!(aead
+            .open_in_place(&nonce, b"hdr", &mut buf2, &bad_tag)
+            .is_err());
+        assert_eq!(&buf2[..], &sealed[..msg.len()]);
+    }
+
+    #[test]
+    fn unique_nonces_unique_ciphertexts() {
+        let aead = ChaCha20Poly1305::new([8u8; 32]);
+        let a = aead.seal(&[0u8; 12], b"", b"same message");
+        let b = aead.seal(&[1u8; 12], b"", b"same message");
+        assert_ne!(a, b);
+    }
+}

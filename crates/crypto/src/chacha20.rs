@@ -1,0 +1,165 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR with the keystream starting at
+/// block `initial_counter`).
+///
+/// ChaCha20 is its own inverse, so the same call decrypts.
+///
+/// # Examples
+///
+/// ```
+/// use cio_crypto::chacha20::xor_stream;
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut data = *b"attack at dawn";
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let ks = block(&key, 1, &nonce);
+        let expected = unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(ks.to_vec(), expected);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut data = original.clone();
+            xor_stream(&key, 0, &nonce, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len}");
+            }
+            xor_stream(&key, 0, &nonce, &mut data);
+            assert_eq!(data, original, "len {len}");
+        }
+    }
+
+    #[test]
+    fn counter_advances_per_block() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        // Encrypting 128 bytes starting at counter 0 must equal block 0 || block 1.
+        let mut data = [0u8; 128];
+        xor_stream(&key, 0, &nonce, &mut data);
+        let b0 = block(&key, 0, &nonce);
+        let b1 = block(&key, 1, &nonce);
+        assert_eq!(&data[..64], &b0[..]);
+        assert_eq!(&data[64..], &b1[..]);
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let key = [3u8; 32];
+        let a = block(&key, 0, &[0u8; 12]);
+        let b = block(&key, 0, &[1u8; 12]);
+        assert_ne!(a, b);
+    }
+}

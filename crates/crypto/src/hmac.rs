@@ -1,0 +1,135 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA-256.
+///
+/// # Examples
+///
+/// ```
+/// use cio_crypto::hmac::HmacSha256;
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag.len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC state keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= key_block[i];
+            opad[i] ^= key_block[i];
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte tag.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let tag = HmacSha256::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let tag = HmacSha256::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // Key longer than the block size must be hashed first.
+        let tag = HmacSha256::mac(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let tag = HmacSha256::mac(
+            &[0xaa; 131],
+            &b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."[..],
+        );
+        assert_eq!(
+            hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), HmacSha256::mac(b"k", b"hello world"));
+    }
+}

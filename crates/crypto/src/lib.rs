@@ -1,0 +1,68 @@
+//! From-scratch cryptographic primitives for the confidential I/O stack.
+//!
+//! The paper mandates a TLS layer above the L5 boundary ("a mandatory TLS
+//! layer guarantees data integrity and confidentiality", §3.2) and an
+//! IDE-encrypted link for direct device assignment (§3.4). Because the
+//! reproduction is dependency-free by design, this crate implements the
+//! needed primitives directly:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256.
+//! * [`hmac`] — RFC 2104 HMAC-SHA-256.
+//! * [`hkdf`] — RFC 5869 HKDF-SHA-256 (extract/expand).
+//! * [`chacha20`] — RFC 8439 ChaCha20 stream cipher.
+//! * [`poly1305`] — RFC 8439 Poly1305 one-time authenticator.
+//! * [`aead`] — RFC 8439 ChaCha20-Poly1305 AEAD.
+//! * [`x25519`] — RFC 7748 X25519 Diffie-Hellman.
+//! * [`ct`] — constant-time comparison helpers.
+//!
+//! Every module carries the relevant RFC/NIST test vectors in its unit
+//! tests. The implementations favour clarity and branch-free handling of
+//! secret data over raw speed; the simulator's cost model (`cio-sim`)
+//! charges AEAD time separately, so these routines only need to be
+//! *correct*.
+//!
+//! # Security note
+//!
+//! This is a research reproduction. The primitives pass the standard test
+//! vectors and avoid secret-dependent branches/indices, but they have not
+//! been audited or hardened against microarchitectural leakage and must not
+//! be used to protect real data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;
+pub mod x25519;
+
+pub use aead::ChaCha20Poly1305;
+pub use sha256::Sha256;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An authentication tag did not verify; the ciphertext was discarded.
+    BadTag,
+    /// A key, nonce, or output length was outside the algorithm's limits.
+    BadLength,
+    /// A Diffie-Hellman exchange produced the all-zero shared secret
+    /// (low-order peer point), which RFC 7748 requires rejecting.
+    ZeroSharedSecret,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::BadTag => write!(f, "authentication tag mismatch"),
+            CryptoError::BadLength => write!(f, "invalid length for cryptographic operation"),
+            CryptoError::ZeroSharedSecret => write!(f, "all-zero shared secret rejected"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

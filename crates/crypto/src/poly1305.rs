@@ -1,0 +1,311 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented with radix-2^26 limbs (the "donna" representation): five
+//! 26-bit limbs fit products in `u64` without overflow and keep carries
+//! simple and branch-free.
+
+/// Poly1305 key length (r || s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 state.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buffer: [u8; 16],
+    buffered: usize,
+}
+
+impl Poly1305 {
+    /// Creates a state from the 32-byte one-time key `(r, s)`.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per the RFC.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes"));
+        let t1 = u32::from_le_bytes(key[4..8].try_into().expect("4 bytes"));
+        let t2 = u32::from_le_bytes(key[8..12].try_into().expect("4 bytes"));
+        let t3 = u32::from_le_bytes(key[12..16].try_into().expect("4 bytes"));
+
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().expect("4 bytes")),
+            u32::from_le_bytes(key[20..24].try_into().expect("4 bytes")),
+            u32::from_le_bytes(key[24..28].try_into().expect("4 bytes")),
+            u32::from_le_bytes(key[28..32].try_into().expect("4 bytes")),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buffer: [0; 16],
+            buffered: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], final_bit: bool) {
+        let hibit: u32 = if final_bit { 0 } else { 1 << 24 };
+
+        let t0 = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
+        let t1 = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes"));
+        let t2 = u32::from_le_bytes(block[8..12].try_into().expect("4 bytes"));
+        let t3 = u32::from_le_bytes(block[12..16].try_into().expect("4 bytes"));
+
+        // h += m
+        self.h[0] = self.h[0].wrapping_add(t0 & 0x03ff_ffff);
+        self.h[1] = self.h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        self.h[2] = self.h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        self.h[3] = self.h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        self.h[4] = self.h[4].wrapping_add((t3 >> 8) | hibit);
+
+        // h *= r (mod 2^130 - 5), schoolbook with 5*r folding.
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h.map(u64::from);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= 0x03ff_ffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x03ff_ffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x03ff_ffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x03ff_ffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x03ff_ffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x03ff_ffff;
+        d1 += c;
+
+        self.h = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        if self.buffered > 0 {
+            let take = (16 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 16 {
+                let block = self.buffer;
+                self.process_block(&block, false);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= 16 {
+            let block: [u8; 16] = input[..16].try_into().expect("16 bytes");
+            self.process_block(&block, false);
+            input = &input[16..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Completes the MAC and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buffered > 0 {
+            // Final partial block: append 0x01 then zero-pad; no high bit.
+            let mut block = [0u8; 16];
+            block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+            block[self.buffered] = 1;
+            self.process_block(&block, true);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+
+        // Full carry.
+        let mut c: u32;
+        c = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 = h2.wrapping_add(c);
+        c = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 = h3.wrapping_add(c);
+        c = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 = h4.wrapping_add(c);
+        c = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 = h0.wrapping_add(c.wrapping_mul(5));
+        c = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 = h1.wrapping_add(c);
+
+        // Compute h + -p = h - (2^130 - 5) via g = h + 5 - 2^130.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // Select h if h < p else g, branch-free.
+        let mask = (g4 >> 31).wrapping_sub(1); // all-ones if g4 >= 0 (h >= p)
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & mask);
+
+        // Serialize to 128 bits.
+        let f0 = (h0 | (h1 << 26)) as u64;
+        let f1 = ((h1 >> 6) | (h2 << 20)) as u64;
+        let f2 = ((h2 >> 12) | (h3 << 14)) as u64;
+        let f3 = ((h3 >> 18) | (h4 << 8)) as u64;
+
+        // tag = (h + s) mod 2^128.
+        let mut acc = f0 + u64::from(self.s[0]);
+        let w0 = acc as u32;
+        acc = f1 + u64::from(self.s[1]) + (acc >> 32);
+        let w1 = acc as u32;
+        acc = f2 + u64::from(self.s[2]) + (acc >> 32);
+        let w2 = acc as u32;
+        acc = f3 + u64::from(self.s[3]) + (acc >> 32);
+        let w3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&w0.to_le_bytes());
+        tag[4..8].copy_from_slice(&w1.to_le_bytes());
+        tag[8..12].copy_from_slice(&w2.to_le_bytes());
+        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag() {
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_message() {
+        let key = [0u8; 32];
+        let tag = Poly1305::mac(&key, &[0u8; 64]);
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    // RFC 8439 Appendix A.3 test vector #2: r = 0, s = IETF text tail.
+    #[test]
+    fn a3_vector_2() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let text = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, text);
+        assert_eq!(tag.to_vec(), unhex("36e5f6b5c5e06070f0efca96227a863e"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #3: s = 0.
+    #[test]
+    fn a3_vector_3() {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let text = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, text);
+        assert_eq!(tag.to_vec(), unhex("f3477e7cd95417af89a6b8794c310cf0"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #7: h overflow handling.
+    #[test]
+    fn a3_vector_7() {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&unhex("01000000000000000000000000000000"));
+        let msg = unhex(
+            "ffffffffffffffffffffffffffffffff\
+             f0ffffffffffffffffffffffffffffff\
+             11000000000000000000000000000000",
+        );
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("05000000000000000000000000000000"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #10 (edge case in final reduction).
+    #[test]
+    fn a3_vector_10() {
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&unhex("01000000000000000400000000000000"));
+        let msg = unhex(
+            "e33594d7505e43b90000000000000000\
+             3394d7505e4379cd0100000000000000\
+             00000000000000000000000000000000\
+             01000000000000000000000000000000",
+        );
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("14000000000000005500000000000000"));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 100, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split {split}");
+        }
+    }
+}

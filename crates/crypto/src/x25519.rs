@@ -1,0 +1,440 @@
+//! X25519 Diffie-Hellman (RFC 7748).
+//!
+//! Field arithmetic over GF(2^255 - 19) in radix-2^51 (five 51-bit limbs in
+//! `u64`, products accumulated in `u128`), with a constant-time Montgomery
+//! ladder. Used by the cTLS handshake for ephemeral key agreement.
+
+use crate::ct::ct_swap;
+use crate::CryptoError;
+
+/// X25519 public/private key and shared-secret length.
+pub const KEY_LEN: usize = 32;
+
+/// The X25519 base point (u = 9).
+pub const BASEPOINT: [u8; KEY_LEN] = {
+    let mut b = [0u8; KEY_LEN];
+    b[0] = 9;
+    b
+};
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+/// Field element: 5 limbs of 51 bits, little-endian.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load =
+            |i: usize| -> u64 { u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes")) };
+        // Overlapping 64-bit loads, shifted into 51-bit limbs; top bit masked
+        // per RFC 7748 (u-coordinates are reduced mod 2^255).
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Three weak-carry passes leave every limb <= 2^51 - 1 and the value
+        // in [0, 2^255), after which one conditional subtraction of p fully
+        // reduces.
+        let mut t = self.weak_carry().weak_carry().weak_carry().0;
+
+        // Subtract p if t >= p, branch-free: compute t + 19, check bit 255.
+        let mut u = [0u64; 5];
+        u[0] = t[0].wrapping_add(19);
+        let mut c = u[0] >> 51;
+        u[0] &= MASK51;
+        for i in 1..5 {
+            u[i] = t[i].wrapping_add(c);
+            c = u[i] >> 51;
+            u[i] &= MASK51;
+        }
+        // c is 1 iff t >= p; select u (t - p mod 2^255) in that case.
+        let mask = c.wrapping_neg();
+        for i in 0..5 {
+            t[i] = (t[i] & !mask) | (u[i] & mask);
+        }
+
+        let mut out = [0u8; 32];
+        let write = |out: &mut [u8; 32], bit: usize, v: u64| {
+            let byte = bit / 8;
+            let shift = bit % 8;
+            let v = (v as u128) << shift;
+            for k in 0..8 {
+                if byte + k < 32 {
+                    out[byte + k] |= (v >> (8 * k)) as u8;
+                }
+            }
+        };
+        write(&mut out, 0, t[0]);
+        write(&mut out, 51, t[1]);
+        write(&mut out, 102, t[2]);
+        write(&mut out, 153, t[3]);
+        write(&mut out, 204, t[4]);
+        out
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+        .weak_carry()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // Add 4p (in 51-bit limb form) before subtracting so every limb
+        // stays non-negative; the result is congruent mod p.
+        const FOUR_P: [u64; 5] = [
+            4 * 0x7ffffffffffed,
+            4 * 0x7ffffffffffff,
+            4 * 0x7ffffffffffff,
+            4 * 0x7ffffffffffff,
+            4 * 0x7ffffffffffff,
+        ];
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + FOUR_P[0] - b[0],
+            a[1] + FOUR_P[1] - b[1],
+            a[2] + FOUR_P[2] - b[2],
+            a[3] + FOUR_P[3] - b[3],
+            a[4] + FOUR_P[4] - b[4],
+        ])
+        .weak_carry()
+    }
+
+    /// Propagates carries once so every limb fits in 52 bits.
+    fn weak_carry(self) -> Fe {
+        let mut t = self.0;
+        let mut c;
+        c = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] += c;
+        c = t[1] >> 51;
+        t[1] &= MASK51;
+        t[2] += c;
+        c = t[2] >> 51;
+        t[2] &= MASK51;
+        t[3] += c;
+        c = t[3] >> 51;
+        t[3] &= MASK51;
+        t[4] += c;
+        c = t[4] >> 51;
+        t[4] &= MASK51;
+        t[0] += c * 19;
+        Fe(t)
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0.map(u128::from);
+        let [b0, b1, b2, b3, b4] = rhs.0.map(u128::from);
+
+        // Schoolbook with 19-fold wraparound for limbs above 2^255.
+        let c0 = a0 * b0 + 19 * (a1 * b4 + a2 * b3 + a3 * b2 + a4 * b1);
+        let c1 = a0 * b1 + a1 * b0 + 19 * (a2 * b4 + a3 * b3 + a4 * b2);
+        let c2 = a0 * b2 + a1 * b1 + a2 * b0 + 19 * (a3 * b4 + a4 * b3);
+        let c3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + 19 * (a4 * b4);
+        let c4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+        Fe::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(c: [u128; 5]) -> Fe {
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = c[i] + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        // Fold the final carry back with factor 19. Inputs are weakly
+        // carried (limbs < 2^52), so `carry < 2^60` and `carry * 19` fits a
+        // `u64`; adding it to limb 0 and letting `weak_carry` propagate is
+        // lossless (an explicit per-limb fold loop here would drop a carry
+        // out of the top limb for near-maximal inputs such as `sub` results
+        // of tiny values).
+        let mut t = out;
+        t[0] += (carry as u64) * 19;
+        Fe(t).weak_carry()
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let k = u128::from(k);
+        let c: [u128; 5] = [
+            u128::from(self.0[0]) * k,
+            u128::from(self.0[1]) * k,
+            u128::from(self.0[2]) * k,
+            u128::from(self.0[3]) * k,
+            u128::from(self.0[4]) * k,
+        ];
+        Fe::carry_wide(c)
+    }
+
+    /// Computes self^(p-2) = 1/self via Fermat's little theorem.
+    fn invert(self) -> Fe {
+        // Addition chain for 2^255 - 21 (standard curve25519 chain).
+        let z2 = self.square();
+        let z8 = z2.square().square();
+        let z9 = self.mul(z8);
+        let z11 = z2.mul(z9);
+        let z22 = z11.square();
+        let z_5_0 = z9.mul(z22);
+        let mut t = z_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z_10_0 = t.mul(z_5_0);
+        t = z_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_20_0 = t.mul(z_10_0);
+        t = z_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z_40_0 = t.mul(z_20_0);
+        t = z_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z_50_0 = t.mul(z_10_0);
+        t = z_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_100_0 = t.mul(z_50_0);
+        t = z_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z_200_0 = t.mul(z_100_0);
+        t = z_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z_250_0 = t.mul(z_50_0);
+        t = z_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11)
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// Scalar multiplication: computes `scalar * point` on Curve25519.
+///
+/// This is the raw X25519 function; most callers want [`public_key`] or
+/// [`shared_secret`].
+pub fn scalarmult(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let s = clamp(scalar);
+    let x1 = Fe::from_bytes(point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let bit = u64::from((s[t / 8] >> (t % 8)) & 1);
+        swap ^= bit;
+        ct_swap(swap, &mut x2.0, &mut x3.0);
+        ct_swap(swap, &mut z2.0, &mut z3.0);
+        swap = bit;
+
+        // Montgomery ladder step (RFC 7748 §5).
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    ct_swap(swap, &mut x2.0, &mut x3.0);
+    ct_swap(swap, &mut z2.0, &mut z3.0);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Derives the public key for a private scalar.
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    scalarmult(private, &BASEPOINT)
+}
+
+/// Computes the shared secret between `our_private` and `their_public`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::ZeroSharedSecret`] if the result is all-zero
+/// (the peer sent a low-order point), as required by RFC 7748 §6.1.
+pub fn shared_secret(
+    our_private: &[u8; 32],
+    their_public: &[u8; 32],
+) -> Result<[u8; 32], CryptoError> {
+    let out = scalarmult(our_private, their_public);
+    if out.iter().all(|&b| b == 0) {
+        return Err(CryptoError::ZeroSharedSecret);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expected = unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(scalarmult(&scalar, &point), expected);
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expected = unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(scalarmult(&scalar, &point), expected);
+    }
+
+    // RFC 7748 §5.2 iterated test: 1 and 1 000 iterations.
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k = BASEPOINT;
+        let mut u = BASEPOINT;
+        // 1 iteration.
+        let r = scalarmult(&k, &u);
+        u = k;
+        k = r;
+        assert_eq!(
+            k,
+            unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+        );
+        // 999 more.
+        for _ in 0..999 {
+            let r = scalarmult(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            k,
+            unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51")
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test vector.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_pub = public_key(&alice_priv);
+        assert_eq!(
+            alice_pub,
+            unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        let bob_priv = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            bob_pub,
+            unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let k1 = shared_secret(&alice_priv, &bob_pub).unwrap();
+        let k2 = shared_secret(&bob_priv, &alice_pub).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(
+            k1,
+            unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
+    }
+
+    #[test]
+    fn zero_point_rejected() {
+        let priv_key = [0x11u8; 32];
+        let zero_point = [0u8; 32];
+        assert_eq!(
+            shared_secret(&priv_key, &zero_point),
+            Err(CryptoError::ZeroSharedSecret)
+        );
+    }
+
+    #[test]
+    fn clamping_is_applied() {
+        // Two scalars differing only in clamped bits yield the same key.
+        let mut a = [0x42u8; 32];
+        let mut b = a;
+        a[0] = 0b0000_0111; // low 3 bits set -> cleared by clamp
+        b[0] = 0b0000_0000;
+        a[31] = 0b1100_0000;
+        b[31] = 0b0100_0000;
+        assert_eq!(public_key(&a), public_key(&b));
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // from_bytes . to_bytes is the identity for reduced values.
+        for i in 0..32 {
+            let mut bytes = [0u8; 32];
+            bytes[i] = 0xab;
+            bytes[31] &= 0x7f;
+            let fe = Fe::from_bytes(&bytes);
+            assert_eq!(fe.to_bytes(), bytes, "byte index {i}");
+        }
+    }
+
+    #[test]
+    fn inversion() {
+        let mut x = [7u8; 32];
+        x[31] &= 0x7f;
+        let fe = Fe::from_bytes(&x);
+        let inv = fe.invert();
+        let one = fe.mul(inv).to_bytes();
+        let mut expected = [0u8; 32];
+        expected[0] = 1;
+        assert_eq!(one, expected);
+    }
+}

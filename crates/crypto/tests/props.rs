@@ -1,0 +1,116 @@
+//! Property tests on the cryptographic primitives, beyond the RFC
+//! vectors: algebraic identities that must hold for all inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Diffie-Hellman commutativity: both sides derive the same secret.
+    #[test]
+    fn x25519_dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use cio_crypto::x25519;
+        let pa = x25519::public_key(&a);
+        let pb = x25519::public_key(&b);
+        let s1 = x25519::shared_secret(&a, &pb);
+        let s2 = x25519::shared_secret(&b, &pa);
+        match (s1, s2) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            // Degenerate shares are rejected identically on both sides.
+            (Err(_), Err(_)) => {}
+            (x, y) => return Err(TestCaseError::fail(format!("asymmetric: {x:?} vs {y:?}"))),
+        }
+    }
+}
+
+proptest! {
+    /// ChaCha20 keystream is position-independent: encrypting a suffix
+    /// starting at a block boundary equals the suffix of encrypting the
+    /// whole (counter composition).
+    #[test]
+    fn chacha20_counter_composition(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        data in prop::collection::vec(any::<u8>(), 128..512),
+    ) {
+        use cio_crypto::chacha20::xor_stream;
+        let mut whole = data.clone();
+        xor_stream(&key, 0, &nonce, &mut whole);
+        let mut tail = data[64..].to_vec();
+        xor_stream(&key, 1, &nonce, &mut tail);
+        prop_assert_eq!(&whole[64..], &tail[..]);
+    }
+
+    /// Poly1305 incremental == one-shot for arbitrary chunking.
+    #[test]
+    fn poly1305_chunking_invariant(
+        key in any::<[u8; 32]>(),
+        data in prop::collection::vec(any::<u8>(), 0..400),
+        split in any::<usize>(),
+    ) {
+        use cio_crypto::poly1305::Poly1305;
+        let cut = split % (data.len() + 1);
+        let mut inc = Poly1305::new(&key);
+        inc.update(&data[..cut]);
+        inc.update(&data[cut..]);
+        prop_assert_eq!(inc.finalize(), Poly1305::mac(&key, &data));
+    }
+
+    /// HMAC distinguishes keys and messages.
+    #[test]
+    fn hmac_sensitivity(
+        key in prop::collection::vec(any::<u8>(), 1..100),
+        msg in prop::collection::vec(any::<u8>(), 0..100),
+        flip in any::<usize>(),
+    ) {
+        use cio_crypto::hmac::HmacSha256;
+        let base = HmacSha256::mac(&key, &msg);
+        let mut key2 = key.clone();
+        key2[flip % key.len()] ^= 1;
+        prop_assert_ne!(base, HmacSha256::mac(&key2, &msg));
+        if !msg.is_empty() {
+            let mut msg2 = msg.clone();
+            msg2[flip % msg.len()] ^= 1;
+            prop_assert_ne!(base, HmacSha256::mac(&key, &msg2));
+        }
+    }
+
+    /// HKDF expand produces prefix-consistent output: a shorter request is
+    /// a prefix of a longer one (streams, not independent draws).
+    #[test]
+    fn hkdf_expand_prefix_property(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        info in prop::collection::vec(any::<u8>(), 0..32),
+        short in 1usize..64,
+        extra in 1usize..64,
+    ) {
+        use cio_crypto::hkdf;
+        let prk = hkdf::extract(b"salt", &ikm);
+        let mut a = vec![0u8; short];
+        let mut b = vec![0u8; short + extra];
+        hkdf::expand(&prk, &info, &mut a).unwrap();
+        hkdf::expand(&prk, &info, &mut b).unwrap();
+        prop_assert_eq!(&a[..], &b[..short]);
+    }
+
+    /// Constant-time equality agrees with `==` on all inputs.
+    #[test]
+    fn ct_eq_agrees_with_eq(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        b in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(cio_crypto::ct::ct_eq(&a, &b), a == b);
+    }
+
+    /// Sealing is deterministic given (key, nonce, aad, msg) — a property
+    /// the deterministic simulator depends on.
+    #[test]
+    fn aead_is_deterministic(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let aead = cio_crypto::ChaCha20Poly1305::new(key);
+        prop_assert_eq!(aead.seal(&nonce, b"a", &msg), aead.seal(&nonce, b"a", &msg));
+    }
+}

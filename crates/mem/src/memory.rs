@@ -1,0 +1,574 @@
+//! The shared guest-physical address space and its two views.
+//!
+//! A [`GuestMemory`] owns a flat byte array plus a per-page state table.
+//! The [`GuestView`] models the confidential VM/enclave side: it can read
+//! and write every page. The [`HostView`] models the untrusted hypervisor:
+//! it can only access pages in [`PageState::Shared`]; anything else fails
+//! like an RMP violation would. Page-state transitions are charged to the
+//! cost model and counted on the meter, because they are the primitives
+//! whose relative costs drive the copy-vs-revocation exploration (E7).
+
+use crate::{GuestAddr, MemError, PAGE_SIZE};
+use cio_sim::{Clock, CostModel, Meter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Protection state of one guest page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Encrypted/guest-only; the host cannot read or usefully write it.
+    Private,
+    /// Visible to both the guest and the host.
+    Shared,
+}
+
+struct MemInner {
+    data: Vec<u8>,
+    states: Vec<PageState>,
+}
+
+/// A simulated guest-physical address space.
+///
+/// Cloning yields another handle to the same memory (like mapping the same
+/// guest into two processes).
+///
+/// # Examples
+///
+/// ```
+/// use cio_mem::{GuestMemory, GuestAddr, PAGE_SIZE};
+/// use cio_sim::{Clock, CostModel, Meter};
+///
+/// let mem = GuestMemory::new(4, Clock::new(), CostModel::default(), Meter::new());
+/// mem.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+/// mem.guest().write(GuestAddr(16), b"hello").unwrap();
+/// let mut buf = [0u8; 5];
+/// mem.host().read(GuestAddr(16), &mut buf).unwrap();
+/// assert_eq!(&buf, b"hello");
+/// ```
+#[derive(Clone)]
+pub struct GuestMemory {
+    inner: Arc<Mutex<MemInner>>,
+    clock: Clock,
+    cost: Arc<CostModel>,
+    meter: Meter,
+}
+
+impl GuestMemory {
+    /// Creates `pages` pages of private guest memory.
+    pub fn new(pages: usize, clock: Clock, cost: CostModel, meter: Meter) -> Self {
+        GuestMemory {
+            inner: Arc::new(Mutex::new(MemInner {
+                data: vec![0u8; pages * PAGE_SIZE],
+                states: vec![PageState::Private; pages],
+            })),
+            clock,
+            cost: Arc::new(cost),
+            meter,
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().data.len()
+    }
+
+    /// Whether the memory has zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// Returns the state of the page containing `addr`.
+    pub fn page_state(&self, addr: GuestAddr) -> Result<PageState, MemError> {
+        let inner = self.inner.lock();
+        inner
+            .states
+            .get(addr.page_index())
+            .copied()
+            .ok_or(MemError::OutOfBounds)
+    }
+
+    fn transition(&self, addr: GuestAddr, len: usize, to: PageState) -> Result<usize, MemError> {
+        if !addr.is_page_aligned() {
+            return Err(MemError::Misaligned);
+        }
+        let pages = len.div_ceil(PAGE_SIZE);
+        let first = addr.page_index();
+        let mut inner = self.inner.lock();
+        if first + pages > inner.states.len() {
+            return Err(MemError::OutOfBounds);
+        }
+        for s in &inner.states[first..first + pages] {
+            if *s == to {
+                return Err(MemError::BadTransition);
+            }
+        }
+        for s in &mut inner.states[first..first + pages] {
+            *s = to;
+        }
+        Ok(pages)
+    }
+
+    /// Makes `len` bytes of pages starting at page-aligned `addr` visible
+    /// to the host. Charges the per-page share cost.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] for unaligned `addr`, [`MemError::OutOfBounds`]
+    /// past the end, [`MemError::BadTransition`] if any page is already
+    /// shared.
+    pub fn share_range(&self, addr: GuestAddr, len: usize) -> Result<(), MemError> {
+        let pages = self.transition(addr, len, PageState::Shared)?;
+        self.clock.advance(self.cost.share(pages));
+        self.meter.pages_shared(pages as u64);
+        Ok(())
+    }
+
+    /// Revokes host visibility of the pages holding `len` bytes at `addr`.
+    ///
+    /// Charges the batched un-share cost (per-page RMP update plus a single
+    /// TLB shootdown) — this is the "revocation" primitive of §3.2.
+    pub fn unshare_range(&self, addr: GuestAddr, len: usize) -> Result<(), MemError> {
+        let pages = self.transition(addr, len, PageState::Private)?;
+        self.clock.advance(self.cost.unshare(pages));
+        self.meter.pages_revoked(pages as u64);
+        Ok(())
+    }
+
+    /// Returns the guest-side (trusted) view.
+    pub fn guest(&self) -> GuestView {
+        GuestView { mem: self.clone() }
+    }
+
+    /// Returns the host-side (untrusted) view.
+    pub fn host(&self) -> HostView {
+        HostView { mem: self.clone() }
+    }
+
+    fn access(
+        &self,
+        addr: GuestAddr,
+        len: usize,
+        host: bool,
+        write: Option<&[u8]>,
+        read: Option<&mut [u8]>,
+    ) -> Result<(), MemError> {
+        let start = addr.0 as usize;
+        let end = start.checked_add(len).ok_or(MemError::OutOfBounds)?;
+        let mut inner = self.inner.lock();
+        if end > inner.data.len() {
+            return Err(MemError::OutOfBounds);
+        }
+        if host && len > 0 {
+            let first = addr.page_index();
+            let last = (end - 1) / PAGE_SIZE;
+            for s in &inner.states[first..=last] {
+                if *s != PageState::Shared {
+                    return Err(MemError::Protected);
+                }
+            }
+        }
+        if let Some(src) = write {
+            inner.data[start..end].copy_from_slice(src);
+        }
+        if let Some(dst) = read {
+            dst.copy_from_slice(&inner.data[start..end]);
+        }
+        Ok(())
+    }
+}
+
+/// Uniform access interface over [`GuestView`] and [`HostView`].
+///
+/// Transports that have symmetric endpoints (the cio-ring has a producer
+/// and a consumer on *either* side of the trust boundary) are generic over
+/// this trait; the permission behaviour still differs because the
+/// implementations enforce their own page-state rules.
+pub trait MemView {
+    /// Reads `buf.len()` bytes at `addr`.
+    fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError>;
+    /// Writes `data` at `addr`.
+    fn write(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError>;
+    /// The underlying memory handle (clock/cost/meter access).
+    fn memory(&self) -> &GuestMemory;
+    /// Whether this is the untrusted host side (used to pick notification
+    /// costs: doorbell vs. interrupt injection).
+    fn is_host(&self) -> bool;
+
+    /// Reads a little-endian `u32`.
+    fn read_u32(&self, addr: GuestAddr) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    fn write_u32(&self, addr: GuestAddr, v: u32) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+impl MemView for GuestView {
+    fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        GuestView::read(self, addr, buf)
+    }
+    fn write(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        GuestView::write(self, addr, data)
+    }
+    fn memory(&self) -> &GuestMemory {
+        GuestView::memory(self)
+    }
+    fn is_host(&self) -> bool {
+        false
+    }
+}
+
+impl MemView for HostView {
+    fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        HostView::read(self, addr, buf)
+    }
+    fn write(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        HostView::write(self, addr, data)
+    }
+    fn memory(&self) -> &GuestMemory {
+        HostView::memory(self)
+    }
+    fn is_host(&self) -> bool {
+        true
+    }
+}
+
+/// Trusted (guest) access to the whole address space.
+#[derive(Clone)]
+pub struct GuestView {
+    mem: GuestMemory,
+}
+
+impl GuestView {
+    /// Reads `buf.len()` bytes at `addr`.
+    pub fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.mem.access(addr, buf.len(), false, None, Some(buf))
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        self.mem.access(addr, data.len(), false, Some(data), None)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: GuestAddr) -> Result<u16, MemError> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: GuestAddr) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: GuestAddr) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&self, addr: GuestAddr, v: u16) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&self, addr: GuestAddr, v: u32) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&self, addr: GuestAddr, v: u64) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Copies `data` into guest memory, charging copy cost and metering it.
+    ///
+    /// Use this (not [`GuestView::write`]) when modelling a *data-path
+    /// copy*; plain `write` models stores that would happen anyway.
+    pub fn copy_in(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        self.write(addr, data)?;
+        self.mem.clock.advance(self.mem.cost.copy(data.len()));
+        self.mem.meter.copies(1);
+        self.mem.meter.bytes_copied(data.len() as u64);
+        Ok(())
+    }
+
+    /// Copies bytes out of guest memory, charging copy cost and metering it.
+    pub fn copy_out(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.read(addr, buf)?;
+        self.mem.clock.advance(self.mem.cost.copy(buf.len()));
+        self.mem.meter.copies(1);
+        self.mem.meter.bytes_copied(buf.len() as u64);
+        Ok(())
+    }
+
+    /// The underlying memory handle.
+    pub fn memory(&self) -> &GuestMemory {
+        &self.mem
+    }
+}
+
+/// Untrusted (host) access: shared pages only.
+#[derive(Clone)]
+pub struct HostView {
+    mem: GuestMemory,
+}
+
+impl HostView {
+    /// Reads from shared memory.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Protected`] if any touched page is private.
+    pub fn read(&self, addr: GuestAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.mem.access(addr, buf.len(), true, None, Some(buf))
+    }
+
+    /// Writes to shared memory.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Protected`] if any touched page is private.
+    pub fn write(&self, addr: GuestAddr, data: &[u8]) -> Result<(), MemError> {
+        self.mem.access(addr, data.len(), true, Some(data), None)
+    }
+
+    /// Reads a little-endian `u16` from shared memory.
+    pub fn read_u16(&self, addr: GuestAddr) -> Result<u16, MemError> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32` from shared memory.
+    pub fn read_u32(&self, addr: GuestAddr) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64` from shared memory.
+    pub fn read_u64(&self, addr: GuestAddr) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u16` to shared memory.
+    pub fn write_u16(&self, addr: GuestAddr, v: u16) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32` to shared memory.
+    pub fn write_u32(&self, addr: GuestAddr, v: u32) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64` to shared memory.
+    pub fn write_u64(&self, addr: GuestAddr, v: u64) -> Result<(), MemError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// The underlying memory handle (for state queries in tests).
+    pub fn memory(&self) -> &GuestMemory {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cio_sim::Cycles;
+
+    fn mem(pages: usize) -> GuestMemory {
+        GuestMemory::new(pages, Clock::new(), CostModel::default(), Meter::new())
+    }
+
+    #[test]
+    fn guest_can_access_private() {
+        let m = mem(2);
+        m.guest().write(GuestAddr(100), b"secret").unwrap();
+        let mut buf = [0u8; 6];
+        m.guest().read(GuestAddr(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"secret");
+    }
+
+    #[test]
+    fn host_blocked_from_private() {
+        let m = mem(2);
+        m.guest().write(GuestAddr(100), b"secret").unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(
+            m.host().read(GuestAddr(100), &mut buf),
+            Err(MemError::Protected)
+        );
+        assert_eq!(
+            m.host().write(GuestAddr(100), b"x"),
+            Err(MemError::Protected)
+        );
+    }
+
+    #[test]
+    fn sharing_grants_host_access() {
+        let m = mem(2);
+        m.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        m.host().write(GuestAddr(8), b"from host").unwrap();
+        let mut buf = [0u8; 9];
+        m.guest().read(GuestAddr(8), &mut buf).unwrap();
+        assert_eq!(&buf, b"from host");
+        // Second page is still private.
+        assert_eq!(
+            m.host().write(GuestAddr(PAGE_SIZE as u64), b"x"),
+            Err(MemError::Protected)
+        );
+    }
+
+    #[test]
+    fn unshare_revokes_access() {
+        let m = mem(1);
+        m.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        m.host().write(GuestAddr(0), b"ok").unwrap();
+        m.unshare_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        assert_eq!(
+            m.host().write(GuestAddr(0), b"no"),
+            Err(MemError::Protected)
+        );
+        // Guest still sees the data the host wrote while it was shared.
+        let mut buf = [0u8; 2];
+        m.guest().read(GuestAddr(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+    }
+
+    #[test]
+    fn cross_page_host_access_requires_all_shared() {
+        let m = mem(2);
+        m.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        let straddle = GuestAddr(PAGE_SIZE as u64 - 2);
+        assert_eq!(m.host().write(straddle, b"abcd"), Err(MemError::Protected));
+        m.share_range(GuestAddr(PAGE_SIZE as u64), PAGE_SIZE)
+            .unwrap();
+        m.host().write(straddle, b"abcd").unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = mem(1);
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            m.guest().read(GuestAddr(PAGE_SIZE as u64 - 4), &mut buf),
+            Err(MemError::OutOfBounds)
+        );
+        assert_eq!(
+            m.guest().read(GuestAddr(u64::MAX - 2), &mut buf),
+            Err(MemError::OutOfBounds)
+        );
+        assert_eq!(
+            m.share_range(GuestAddr(0), 2 * PAGE_SIZE),
+            Err(MemError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn misaligned_share_rejected() {
+        let m = mem(2);
+        assert_eq!(m.share_range(GuestAddr(12), 100), Err(MemError::Misaligned));
+    }
+
+    #[test]
+    fn double_share_rejected() {
+        let m = mem(1);
+        m.share_range(GuestAddr(0), 1).unwrap();
+        assert_eq!(m.share_range(GuestAddr(0), 1), Err(MemError::BadTransition));
+        m.unshare_range(GuestAddr(0), 1).unwrap();
+        assert_eq!(
+            m.unshare_range(GuestAddr(0), 1),
+            Err(MemError::BadTransition)
+        );
+    }
+
+    #[test]
+    fn transitions_charge_time_and_meter() {
+        let m = mem(8);
+        let t0 = m.clock().now();
+        m.share_range(GuestAddr(0), 4 * PAGE_SIZE).unwrap();
+        let shared_at = m.clock().now();
+        assert_eq!(shared_at - t0, m.cost().share(4));
+        m.unshare_range(GuestAddr(0), 4 * PAGE_SIZE).unwrap();
+        assert_eq!(m.clock().now() - shared_at, m.cost().unshare(4));
+        let snap = m.meter().snapshot();
+        assert_eq!(snap.pages_shared, 4);
+        assert_eq!(snap.pages_revoked, 4);
+    }
+
+    #[test]
+    fn copy_helpers_meter() {
+        let m = mem(1);
+        m.guest().copy_in(GuestAddr(0), &[7u8; 100]).unwrap();
+        let mut out = [0u8; 100];
+        m.guest().copy_out(GuestAddr(0), &mut out).unwrap();
+        assert_eq!(out, [7u8; 100]);
+        let snap = m.meter().snapshot();
+        assert_eq!(snap.copies, 2);
+        assert_eq!(snap.bytes_copied, 200);
+        assert!(m.clock().now() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn scalar_accessors_roundtrip() {
+        let m = mem(1);
+        let g = m.guest();
+        g.write_u16(GuestAddr(0), 0xBEEF).unwrap();
+        g.write_u32(GuestAddr(8), 0xDEAD_BEEF).unwrap();
+        g.write_u64(GuestAddr(16), 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(g.read_u16(GuestAddr(0)).unwrap(), 0xBEEF);
+        assert_eq!(g.read_u32(GuestAddr(8)).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(g.read_u64(GuestAddr(16)).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn host_sees_guest_writes_to_shared() {
+        // The double-fetch window: host mutates between guest reads.
+        let m = mem(1);
+        m.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        let g = m.guest();
+        let h = m.host();
+        g.write_u32(GuestAddr(0), 100).unwrap();
+        let first_fetch = g.read_u32(GuestAddr(0)).unwrap();
+        h.write_u32(GuestAddr(0), 4096).unwrap(); // host flips it
+        let second_fetch = g.read_u32(GuestAddr(0)).unwrap();
+        assert_eq!(first_fetch, 100);
+        assert_eq!(second_fetch, 4096); // TOCTOU is representable
+    }
+
+    #[test]
+    fn zero_length_host_access_never_faults() {
+        let m = mem(1);
+        let mut empty = [0u8; 0];
+        m.host().read(GuestAddr(0), &mut empty).unwrap();
+        m.host().write(GuestAddr(0), &[]).unwrap();
+    }
+}

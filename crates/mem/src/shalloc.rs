@@ -1,0 +1,285 @@
+//! A host-distrust shared-memory allocator.
+//!
+//! The paper points at snmalloc's security work as the model for "a
+//! host-TEE shared memory allocator designed for distrust" (§3.2): buffers
+//! live in shared memory, but *all allocator metadata lives in private
+//! memory*, so a malicious host can scribble on buffer contents yet can
+//! never corrupt free lists, forge pointers, or trigger double frees.
+//!
+//! The allocator is a size-class slab allocator: the shared region is cut
+//! into power-of-two slabs; per-slab bitmaps (private) track allocation.
+//! Every pointer handed back by [`SharedAlloc::alloc`] is validated on
+//! [`SharedAlloc::free`] against the private metadata — a forged or stale
+//! handle is rejected, never trusted.
+
+use crate::{GuestAddr, GuestMemory, MemError, PAGE_SIZE};
+
+/// Smallest allocation size class (bytes).
+pub const MIN_CLASS: usize = 64;
+/// Largest allocation size class (bytes); one page.
+pub const MAX_CLASS: usize = PAGE_SIZE;
+
+/// A buffer allocated from the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedBuf {
+    /// Guest-physical address of the buffer start.
+    pub addr: GuestAddr,
+    /// Usable length in bytes (the size class).
+    pub len: usize,
+    /// Private allocation cookie; must match on free.
+    cookie: u64,
+}
+
+impl SharedBuf {
+    /// Usable capacity of the buffer.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+}
+
+struct SizeClass {
+    class: usize,
+    base: GuestAddr,
+    slots: usize,
+    /// Bitmap of allocated slots (private metadata).
+    used: Vec<bool>,
+    /// Per-slot cookie, bumped on every allocation to catch stale frees.
+    cookies: Vec<u64>,
+}
+
+/// Slab allocator over a shared region with private metadata.
+///
+/// # Examples
+///
+/// ```
+/// use cio_mem::{GuestMemory, GuestAddr, SharedAlloc};
+/// use cio_sim::{Clock, CostModel, Meter};
+///
+/// let mem = GuestMemory::new(64, Clock::new(), CostModel::default(), Meter::new());
+/// let mut alloc = SharedAlloc::new(&mem, GuestAddr(0), 16).unwrap();
+/// let buf = alloc.alloc(100).unwrap();
+/// assert!(buf.len >= 100);
+/// alloc.free(buf).unwrap();
+/// assert!(alloc.free(buf).is_err()); // double free rejected
+/// ```
+pub struct SharedAlloc {
+    classes: Vec<SizeClass>,
+    next_cookie: u64,
+}
+
+impl SharedAlloc {
+    /// Creates an allocator over `pages` pages at page-aligned `base`,
+    /// sharing them with the host. Pages are split evenly among size
+    /// classes from [`MIN_CLASS`] to [`MAX_CLASS`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates share errors; requires at least one page per size class.
+    pub fn new(mem: &GuestMemory, base: GuestAddr, pages: usize) -> Result<Self, MemError> {
+        let class_count = (MAX_CLASS / MIN_CLASS).trailing_zeros() as usize + 1; // 64..4096 -> 7
+        if pages < class_count {
+            return Err(MemError::PoolExhausted);
+        }
+        mem.share_range(base, pages * PAGE_SIZE)?;
+
+        let pages_per_class = pages / class_count;
+        let mut classes = Vec::with_capacity(class_count);
+        let mut cursor = base;
+        let mut class = MIN_CLASS;
+        for i in 0..class_count {
+            // Give the remainder pages to the last class.
+            let p = if i == class_count - 1 {
+                pages - pages_per_class * (class_count - 1)
+            } else {
+                pages_per_class
+            };
+            let slots = p * PAGE_SIZE / class;
+            classes.push(SizeClass {
+                class,
+                base: cursor,
+                slots,
+                used: vec![false; slots],
+                cookies: vec![0; slots],
+            });
+            cursor = cursor.add((p * PAGE_SIZE) as u64);
+            class *= 2;
+        }
+        Ok(SharedAlloc {
+            classes,
+            next_cookie: 1,
+        })
+    }
+
+    fn class_for(&self, len: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.class >= len)
+    }
+
+    /// Allocates a buffer of at least `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if `len` exceeds [`MAX_CLASS`];
+    /// [`MemError::PoolExhausted`] if the matching size class is full.
+    pub fn alloc(&mut self, len: usize) -> Result<SharedBuf, MemError> {
+        if len == 0 || len > MAX_CLASS {
+            return Err(MemError::OutOfBounds);
+        }
+        let ci = self.class_for(len).ok_or(MemError::OutOfBounds)?;
+        // Fall forward to bigger classes when the exact one is full.
+        for ci in ci..self.classes.len() {
+            let cookie = self.next_cookie;
+            let c = &mut self.classes[ci];
+            if let Some(slot) = c.used.iter().position(|u| !u) {
+                c.used[slot] = true;
+                c.cookies[slot] = cookie;
+                self.next_cookie += 1;
+                return Ok(SharedBuf {
+                    addr: c.base.add((slot * c.class) as u64),
+                    len: c.class,
+                    cookie,
+                });
+            }
+        }
+        Err(MemError::PoolExhausted)
+    }
+
+    /// Frees a buffer, validating it against private metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadFree`] if the handle does not name a live allocation
+    /// made by this allocator (forged address, wrong class, stale cookie,
+    /// or double free).
+    pub fn free(&mut self, buf: SharedBuf) -> Result<(), MemError> {
+        let c = self
+            .classes
+            .iter_mut()
+            .find(|c| c.class == buf.len)
+            .ok_or(MemError::BadFree)?;
+        let offset = buf.addr.0.checked_sub(c.base.0).ok_or(MemError::BadFree)? as usize;
+        if !offset.is_multiple_of(c.class) {
+            return Err(MemError::BadFree);
+        }
+        let slot = offset / c.class;
+        if slot >= c.slots || !c.used[slot] || c.cookies[slot] != buf.cookie {
+            return Err(MemError::BadFree);
+        }
+        c.used[slot] = false;
+        Ok(())
+    }
+
+    /// Total free slots across all classes (diagnostic).
+    pub fn free_slots(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.used.iter().filter(|u| !**u).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cio_sim::{Clock, CostModel, Meter};
+
+    fn alloc(pages: usize) -> (GuestMemory, SharedAlloc) {
+        let mem = GuestMemory::new(pages + 1, Clock::new(), CostModel::default(), Meter::new());
+        let a = SharedAlloc::new(&mem, GuestAddr(0), pages).unwrap();
+        (mem, a)
+    }
+
+    #[test]
+    fn allocates_suitable_class() {
+        let (_m, mut a) = alloc(14);
+        assert_eq!(a.alloc(1).unwrap().len, 64);
+        assert_eq!(a.alloc(64).unwrap().len, 64);
+        assert_eq!(a.alloc(65).unwrap().len, 128);
+        assert_eq!(a.alloc(1500).unwrap().len, 2048);
+        assert_eq!(a.alloc(4096).unwrap().len, 4096);
+    }
+
+    #[test]
+    fn zero_and_oversize_rejected() {
+        let (_m, mut a) = alloc(14);
+        assert_eq!(a.alloc(0), Err(MemError::OutOfBounds));
+        assert_eq!(a.alloc(MAX_CLASS + 1), Err(MemError::OutOfBounds));
+    }
+
+    #[test]
+    fn buffers_are_disjoint_and_shared() {
+        let (m, mut a) = alloc(14);
+        let x = a.alloc(256).unwrap();
+        let y = a.alloc(256).unwrap();
+        assert_ne!(x.addr, y.addr);
+        // Host can write both buffers.
+        m.host().write(x.addr, &[1u8; 256]).unwrap();
+        m.host().write(y.addr, &[2u8; 256]).unwrap();
+        let mut bx = [0u8; 256];
+        m.guest().read(x.addr, &mut bx).unwrap();
+        assert_eq!(bx, [1u8; 256]);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (_m, mut a) = alloc(14);
+        let before = a.free_slots();
+        let x = a.alloc(512).unwrap();
+        assert_eq!(a.free_slots(), before - 1);
+        a.free(x).unwrap();
+        assert_eq!(a.free_slots(), before);
+    }
+
+    #[test]
+    fn double_free_rejected_via_cookie() {
+        let (_m, mut a) = alloc(14);
+        let x = a.alloc(512).unwrap();
+        a.free(x).unwrap();
+        assert_eq!(a.free(x), Err(MemError::BadFree));
+        // Even after the slot is re-allocated, the stale handle stays dead.
+        let y = a.alloc(512).unwrap();
+        assert_eq!(y.addr, x.addr); // same slot reused
+        assert_eq!(a.free(x), Err(MemError::BadFree));
+        a.free(y).unwrap();
+    }
+
+    #[test]
+    fn forged_handles_rejected() {
+        let (_m, mut a) = alloc(14);
+        let real = a.alloc(128).unwrap();
+        // Wrong class.
+        let mut forged = real;
+        forged.len = 256;
+        assert_eq!(a.free(forged), Err(MemError::BadFree));
+        // Misaligned address inside the class region.
+        let mut forged = real;
+        forged.addr = GuestAddr(real.addr.0 + 1);
+        assert_eq!(a.free(forged), Err(MemError::BadFree));
+        // Address below the region.
+        let mut forged = real;
+        forged.addr = GuestAddr(0u64.wrapping_sub(128));
+        assert_eq!(a.free(forged), Err(MemError::BadFree));
+        a.free(real).unwrap();
+    }
+
+    #[test]
+    fn class_exhaustion_falls_forward() {
+        let (_m, mut a) = alloc(7); // one page per class
+                                    // Exhaust the 4096 class (one slot).
+        let big = a.alloc(4096).unwrap();
+        assert_eq!(a.alloc(4096), Err(MemError::PoolExhausted));
+        a.free(big).unwrap();
+        // Exhaust the 64 class and observe fall-forward into 128.
+        let mut held = Vec::new();
+        loop {
+            let b = a.alloc(64).unwrap();
+            if b.len != 64 {
+                assert_eq!(b.len, 128);
+                break;
+            }
+            held.push(b);
+        }
+        for b in held {
+            a.free(b).unwrap();
+        }
+    }
+}

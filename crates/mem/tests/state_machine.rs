@@ -1,0 +1,123 @@
+//! State-machine property test: the page-protection model against a
+//! reference model, under arbitrary operation sequences.
+
+use cio_mem::{GuestAddr, GuestMemory, MemError, PAGE_SIZE};
+use cio_sim::{Clock, CostModel, Meter};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Share(u8),
+    Unshare(u8),
+    HostWrite(u8, u8),
+    HostRead(u8),
+    GuestWrite(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Share),
+        (0u8..8).prop_map(Op::Unshare),
+        (0u8..8, any::<u8>()).prop_map(|(p, v)| Op::HostWrite(p, v)),
+        (0u8..8).prop_map(Op::HostRead),
+        (0u8..8, any::<u8>()).prop_map(|(p, v)| Op::GuestWrite(p, v)),
+    ]
+}
+
+proptest! {
+    /// For any sequence of share/unshare/access operations:
+    /// * host access succeeds iff the model says the page is shared;
+    /// * guest access always succeeds;
+    /// * byte contents always match the reference model.
+    #[test]
+    fn page_protection_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mem = GuestMemory::new(8, Clock::new(), CostModel::default(), Meter::new());
+        let mut shared = [false; 8];
+        let mut bytes = [0u8; 8]; // first byte of each page
+
+        for op in ops {
+            match op {
+                Op::Share(p) => {
+                    let r = mem.share_range(GuestAddr(u64::from(p) * PAGE_SIZE as u64), 1);
+                    if shared[p as usize] {
+                        prop_assert_eq!(r, Err(MemError::BadTransition));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        shared[p as usize] = true;
+                    }
+                }
+                Op::Unshare(p) => {
+                    let r = mem.unshare_range(GuestAddr(u64::from(p) * PAGE_SIZE as u64), 1);
+                    if shared[p as usize] {
+                        prop_assert!(r.is_ok());
+                        shared[p as usize] = false;
+                    } else {
+                        prop_assert_eq!(r, Err(MemError::BadTransition));
+                    }
+                }
+                Op::HostWrite(p, v) => {
+                    let addr = GuestAddr(u64::from(p) * PAGE_SIZE as u64);
+                    let r = mem.host().write(addr, &[v]);
+                    if shared[p as usize] {
+                        prop_assert!(r.is_ok());
+                        bytes[p as usize] = v;
+                    } else {
+                        prop_assert_eq!(r, Err(MemError::Protected));
+                    }
+                }
+                Op::HostRead(p) => {
+                    let addr = GuestAddr(u64::from(p) * PAGE_SIZE as u64);
+                    let mut b = [0u8; 1];
+                    let r = mem.host().read(addr, &mut b);
+                    if shared[p as usize] {
+                        prop_assert!(r.is_ok());
+                        prop_assert_eq!(b[0], bytes[p as usize]);
+                    } else {
+                        prop_assert_eq!(r, Err(MemError::Protected));
+                    }
+                }
+                Op::GuestWrite(p, v) => {
+                    let addr = GuestAddr(u64::from(p) * PAGE_SIZE as u64);
+                    mem.guest().write(addr, &[v]).unwrap();
+                    bytes[p as usize] = v;
+                }
+            }
+        }
+
+        // Final consistency: guest sees the model's bytes everywhere.
+        for p in 0..8u64 {
+            let mut b = [0u8; 1];
+            mem.guest().read(GuestAddr(p * PAGE_SIZE as u64), &mut b).unwrap();
+            prop_assert_eq!(b[0], bytes[p as usize]);
+        }
+    }
+
+    /// Meter accounting: pages_shared/pages_revoked equal the number of
+    /// successful transitions, regardless of interleaving.
+    #[test]
+    fn transition_metering_is_exact(
+        ops in prop::collection::vec((0u8..4, any::<bool>()), 1..40),
+    ) {
+        let meter = Meter::new();
+        let mem = GuestMemory::new(4, Clock::new(), CostModel::default(), meter.clone());
+        let mut shared = [false; 4];
+        let (mut expect_shared, mut expect_revoked) = (0u64, 0u64);
+        for (p, do_share) in ops {
+            let addr = GuestAddr(u64::from(p) * PAGE_SIZE as u64);
+            if do_share {
+                if mem.share_range(addr, 1).is_ok() {
+                    shared[p as usize] = true;
+                    expect_shared += 1;
+                }
+            } else if mem.unshare_range(addr, 1).is_ok() {
+                shared[p as usize] = false;
+                expect_revoked += 1;
+            }
+        }
+        let s = meter.snapshot();
+        prop_assert_eq!(s.pages_shared, expect_shared);
+        prop_assert_eq!(s.pages_revoked, expect_revoked);
+    }
+}

@@ -1,0 +1,91 @@
+//! UDP socket bookkeeping.
+//!
+//! UDP itself is stateless; this module only provides the per-port receive
+//! queue the [`crate::stack::Interface`] demultiplexes into.
+
+use crate::wire::Ipv4Addr;
+use std::collections::VecDeque;
+
+/// A received datagram with its source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender address.
+    pub src_ip: Ipv4Addr,
+    /// Sender port.
+    pub src_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A bound UDP port's receive queue (bounded; overflow drops oldest).
+#[derive(Debug, Default)]
+pub struct UdpSocket {
+    queue: VecDeque<Datagram>,
+}
+
+/// Maximum datagrams queued per socket before the oldest is dropped.
+pub const QUEUE_CAP: usize = 1024;
+
+impl UdpSocket {
+    /// Creates an empty socket.
+    pub fn new() -> Self {
+        UdpSocket::default()
+    }
+
+    /// Enqueues a received datagram (drops the oldest on overflow — UDP is
+    /// lossy by contract).
+    pub fn push(&mut self, d: Datagram) {
+        if self.queue.len() >= QUEUE_CAP {
+            self.queue.pop_front();
+        }
+        self.queue.push_back(d);
+    }
+
+    /// Dequeues the next datagram.
+    pub fn pop(&mut self) -> Option<Datagram> {
+        self.queue.pop_front()
+    }
+
+    /// Queued datagrams.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dg(n: u8) -> Datagram {
+        Datagram {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 99,
+            payload: vec![n],
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut s = UdpSocket::new();
+        s.push(dg(1));
+        s.push(dg(2));
+        assert_eq!(s.pop().unwrap().payload, [1]);
+        assert_eq!(s.pop().unwrap().payload, [2]);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut s = UdpSocket::new();
+        for i in 0..=QUEUE_CAP {
+            s.push(dg((i % 256) as u8));
+        }
+        assert_eq!(s.len(), QUEUE_CAP);
+        assert_eq!(s.pop().unwrap().payload, [1]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Experiments must be exactly reproducible from a seed, including across
+//! platforms, so the simulator carries its own small PRNG rather than
+//! depending on `rand`'s version-dependent stream guarantees. The generator
+//! is xoshiro256** seeded through SplitMix64 (the construction recommended
+//! by its authors). It is emphatically *not* a cryptographic RNG — the
+//! crypto crate has its own deterministic test drivers.
+
+/// A deterministic xoshiro256** PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use cio_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, unbiased for any
+    /// non-zero bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only retry for the biased low values.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range must be non-empty");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+        for _ in 0..100 {
+            assert_eq!(r.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut r = SimRng::seed_from(4);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn next_below_zero_panics() {
+        SimRng::seed_from(0).next_below(0);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1_000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(6);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // p = 0.5 should land near half over many trials.
+        let hits = (0..10_000).filter(|_| r.chance(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn stream_is_pinned_forever() {
+        // EXPERIMENTS.md promises bit-reproducible tables; that promise
+        // dies silently if the generator ever changes. Pin the stream.
+        let mut r = SimRng::seed_from(0xC10);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                11_442_961_911_125_646_694,
+                11_725_987_655_037_934_854,
+                14_707_821_835_233_536_145,
+                5_279_093_300_173_660_959,
+            ],
+            "SimRng stream changed: every EXPERIMENTS.md table just moved"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut r = SimRng::seed_from(8);
+        for len in 0..33 {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                // Overwhelmingly unlikely to remain all-zero.
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! A lightweight shared event log.
+//!
+//! Tests and the attack harness use a [`Trace`] to assert *ordering*
+//! properties ("the copy happened before the host could observe the
+//! buffer") that counters alone cannot express. Tracing is cheap but not
+//! free, so harnesses only attach a trace when they need one.
+
+use crate::Cycles;
+use std::sync::{Arc, Mutex};
+
+/// One recorded event: when it happened and a short label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: Cycles,
+    /// Component that recorded it (static so recording stays cheap).
+    pub component: &'static str,
+    /// Event label.
+    pub what: String,
+}
+
+/// A shared, append-only event log.
+///
+/// Cloning yields a handle to the same log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, at: Cycles, component: &'static str, what: impl Into<String>) {
+        self.events
+            .lock()
+            .expect("trace poisoned")
+            .push(TraceEvent {
+                at,
+                component,
+                what: what.into(),
+            });
+    }
+
+    /// Returns a copy of all events recorded so far, in insertion order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the insertion index of the first event whose label contains
+    /// `needle`, if any.
+    pub fn position_of(&self, needle: &str) -> Option<usize> {
+        self.events
+            .lock()
+            .expect("trace poisoned")
+            .iter()
+            .position(|e| e.what.contains(needle))
+    }
+
+    /// Asserts that an event containing `first` was recorded before one
+    /// containing `second`. Returns `false` if either is missing.
+    pub fn happened_before(&self, first: &str, second: &str) -> bool {
+        match (self.position_of(first), self.position_of(second)) {
+            (Some(a), Some(b)) => a < b,
+            _ => false,
+        }
+    }
+
+    /// Removes all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let t = Trace::new();
+        t.record(Cycles(1), "guest", "tx enqueue");
+        t.record(Cycles(2), "host", "tx dequeue");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].component, "guest");
+        assert_eq!(evs[1].at, Cycles(2));
+    }
+
+    #[test]
+    fn happened_before_queries() {
+        let t = Trace::new();
+        t.record(Cycles(0), "guest", "copy payload");
+        t.record(Cycles(5), "host", "observe buffer");
+        assert!(t.happened_before("copy", "observe"));
+        assert!(!t.happened_before("observe", "copy"));
+        assert!(!t.happened_before("copy", "missing"));
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let a = Trace::new();
+        let b = a.clone();
+        a.record(Cycles(0), "x", "e1");
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(a.is_empty());
+    }
+}

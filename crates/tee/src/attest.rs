@@ -1,0 +1,202 @@
+//! Attestation: measurements, quotes, and verification.
+//!
+//! Real platforms sign a launch measurement with a hardware-rooted key
+//! (VCEK/TDX-quote/EPID). The simulation keeps the *protocol shape* —
+//! measure, quote over a challenge nonce, verify against a root of trust —
+//! and replaces the asymmetric signature with an HMAC under a platform key
+//! shared with the verifier's root of trust. That preserves everything the
+//! stack above cares about: freshness (nonce), binding (measurement inside
+//! the MAC), and unforgeability relative to the model's trust assumptions.
+
+use cio_crypto::ct::ct_eq;
+use cio_crypto::hmac::HmacSha256;
+use cio_crypto::sha256::Sha256;
+
+use crate::TeeError;
+
+/// A 32-byte launch measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement(pub [u8; 32]);
+
+impl Measurement {
+    /// Measures a workload image/config blob.
+    pub fn of(image: &[u8]) -> Self {
+        Measurement(Sha256::digest(image))
+    }
+
+    /// Extends this measurement with more data (TPM-PCR style):
+    /// `m' = H(m || data)`.
+    pub fn extend(&self, data: &[u8]) -> Measurement {
+        let mut h = Sha256::new();
+        h.update(&self.0);
+        h.update(data);
+        Measurement(h.finalize())
+    }
+}
+
+/// A signed attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The attested measurement.
+    pub measurement: Measurement,
+    /// Verifier-supplied freshness nonce.
+    pub nonce: [u8; 32],
+    /// Caller-chosen report data (e.g. a channel-binding public key).
+    pub report_data: [u8; 32],
+    /// MAC over the above under the platform key.
+    mac: [u8; 32],
+}
+
+fn quote_mac(
+    platform_key: &[u8; 32],
+    measurement: &Measurement,
+    nonce: &[u8; 32],
+    report_data: &[u8; 32],
+) -> [u8; 32] {
+    let mut mac = HmacSha256::new(platform_key);
+    mac.update(b"cio-quote-v1");
+    mac.update(&measurement.0);
+    mac.update(nonce);
+    mac.update(report_data);
+    mac.finalize()
+}
+
+impl Quote {
+    /// Produces a quote over `measurement` for `nonce`, embedding
+    /// `report_data` (typically a hash of a channel public key so the
+    /// secure channel is *bound* to the attested TEE).
+    pub fn generate(
+        platform_key: &[u8; 32],
+        measurement: Measurement,
+        nonce: [u8; 32],
+        report_data: [u8; 32],
+    ) -> Quote {
+        let mac = quote_mac(platform_key, &measurement, &nonce, &report_data);
+        Quote {
+            measurement,
+            nonce,
+            report_data,
+            mac,
+        }
+    }
+
+    /// Serializes the quote (measurement || nonce || report_data || mac).
+    pub fn to_bytes(&self) -> [u8; 128] {
+        let mut b = [0u8; 128];
+        b[0..32].copy_from_slice(&self.measurement.0);
+        b[32..64].copy_from_slice(&self.nonce);
+        b[64..96].copy_from_slice(&self.report_data);
+        b[96..128].copy_from_slice(&self.mac);
+        b
+    }
+
+    /// Parses a serialized quote.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::AttestationFailed`] on short input (the MAC is still
+    /// verified separately by [`Quote::verify`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Quote, TeeError> {
+        if bytes.len() != 128 {
+            return Err(TeeError::AttestationFailed);
+        }
+        let field =
+            |r: std::ops::Range<usize>| -> [u8; 32] { bytes[r].try_into().expect("32-byte slice") };
+        Ok(Quote {
+            measurement: Measurement(field(0..32)),
+            nonce: field(32..64),
+            report_data: field(64..96),
+            mac: field(96..128),
+        })
+    }
+
+    /// Verifies the quote under `platform_key` against an expected
+    /// measurement and the verifier's nonce.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::AttestationFailed`] if the MAC, measurement, or nonce do
+    /// not check out.
+    pub fn verify(
+        &self,
+        platform_key: &[u8; 32],
+        expected: &Measurement,
+        nonce: &[u8; 32],
+    ) -> Result<(), TeeError> {
+        let mac = quote_mac(
+            platform_key,
+            &self.measurement,
+            &self.nonce,
+            &self.report_data,
+        );
+        if !ct_eq(&mac, &self.mac) {
+            return Err(TeeError::AttestationFailed);
+        }
+        if self.measurement != *expected || !ct_eq(&self.nonce, nonce) {
+            return Err(TeeError::AttestationFailed);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PK: [u8; 32] = [0x77; 32];
+
+    #[test]
+    fn measurement_is_deterministic() {
+        assert_eq!(Measurement::of(b"image"), Measurement::of(b"image"));
+        assert_ne!(Measurement::of(b"image"), Measurement::of(b"imagf"));
+    }
+
+    #[test]
+    fn extend_chains() {
+        let m = Measurement::of(b"base");
+        let e1 = m.extend(b"config");
+        let e2 = m.extend(b"confih");
+        assert_ne!(e1, e2);
+        assert_ne!(e1, m);
+    }
+
+    #[test]
+    fn quote_roundtrip() {
+        let m = Measurement::of(b"workload");
+        let nonce = [9u8; 32];
+        let rd = [1u8; 32];
+        let q = Quote::generate(&PK, m, nonce, rd);
+        q.verify(&PK, &m, &nonce).unwrap();
+    }
+
+    #[test]
+    fn quote_rejects_wrong_key() {
+        let m = Measurement::of(b"workload");
+        let q = Quote::generate(&PK, m, [0u8; 32], [0u8; 32]);
+        assert_eq!(
+            q.verify(&[0x78; 32], &m, &[0u8; 32]),
+            Err(TeeError::AttestationFailed)
+        );
+    }
+
+    #[test]
+    fn quote_rejects_wrong_measurement_or_nonce() {
+        let m = Measurement::of(b"workload");
+        let q = Quote::generate(&PK, m, [5u8; 32], [0u8; 32]);
+        assert!(q
+            .verify(&PK, &Measurement::of(b"other"), &[5u8; 32])
+            .is_err());
+        assert!(q.verify(&PK, &m, &[6u8; 32]).is_err());
+    }
+
+    #[test]
+    fn tampered_report_data_detected() {
+        let m = Measurement::of(b"workload");
+        let mut q = Quote::generate(&PK, m, [5u8; 32], [1u8; 32]);
+        q.report_data = [2u8; 32];
+        assert_eq!(
+            q.verify(&PK, &m, &[5u8; 32]),
+            Err(TeeError::AttestationFailed)
+        );
+    }
+}

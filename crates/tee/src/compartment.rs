@@ -1,0 +1,323 @@
+//! Intra-TEE compartments and call gates.
+//!
+//! The dual-boundary design (§3.1) runs the I/O stack in a compartment that
+//! the rest of the confidential unit does *not* trust, enforced with
+//! "low-latency memory isolation techniques within the TEE" (MPK, Spons &
+//! Shields, FlexOS). This module models that machinery:
+//!
+//! * a [`Table`] of compartments with per-page ownership,
+//! * software-checked access ([`Table::check_access`]) standing in for the
+//!   hardware protection-key check, and
+//! * a [`Gate`] that charges the MPK-style domain-switch cost for every
+//!   cross-compartment call and return.
+//!
+//! Ownership metadata is ordinary private Rust state: the host never sees
+//! it, and compartments can only be reconfigured through `&mut` methods
+//! used at setup time (the control plane is fixed thereafter, in the same
+//! "zero re-negotiation" spirit as the L2 interface).
+
+use crate::TeeError;
+use cio_mem::{GuestAddr, PAGE_SIZE};
+use cio_sim::{Clock, Cycles, Meter};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Identifier of a compartment inside one TEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompartmentId(pub usize);
+
+/// Page-ownership entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// Owned exclusively by one compartment.
+    Exclusive(CompartmentId),
+    /// Readable and writable by exactly two compartments (a shared arena
+    /// between the app and the I/O stack).
+    SharedPair(CompartmentId, CompartmentId),
+}
+
+/// The compartment table of one TEE.
+#[derive(Debug, Default)]
+pub struct Table {
+    names: Vec<&'static str>,
+    /// Page-index -> owner. Pages absent from the map are owned by the
+    /// root compartment (id 0 conventionally) — unrestricted.
+    owners: HashMap<usize, Owner>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Creates a compartment and returns its id.
+    pub fn create(&mut self, name: &'static str) -> CompartmentId {
+        self.names.push(name);
+        CompartmentId(self.names.len() - 1)
+    }
+
+    /// Number of compartments.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no compartments exist.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a compartment.
+    pub fn name(&self, id: CompartmentId) -> Result<&'static str, TeeError> {
+        self.names
+            .get(id.0)
+            .copied()
+            .ok_or(TeeError::NoSuchCompartment)
+    }
+
+    /// Fails unless `id` names a live compartment.
+    pub fn check_exists(&self, id: CompartmentId) -> Result<(), TeeError> {
+        self.name(id).map(|_| ())
+    }
+
+    fn page_range(addr: GuestAddr, len: usize) -> Range<usize> {
+        let first = addr.page_index();
+        let last = if len == 0 {
+            first
+        } else {
+            (addr.0 as usize + len - 1) / PAGE_SIZE
+        };
+        first..last + 1
+    }
+
+    /// Assigns the pages covering `[addr, addr+len)` exclusively to `owner`.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::NoSuchCompartment`] for dead ids.
+    pub fn assign(
+        &mut self,
+        owner: CompartmentId,
+        addr: GuestAddr,
+        len: usize,
+    ) -> Result<(), TeeError> {
+        self.check_exists(owner)?;
+        for p in Self::page_range(addr, len) {
+            self.owners.insert(p, Owner::Exclusive(owner));
+        }
+        Ok(())
+    }
+
+    /// Assigns the pages covering `[addr, addr+len)` to a shared arena
+    /// accessible by exactly `a` and `b`.
+    ///
+    /// This is the "trusted component allocates" surface of the L5
+    /// boundary: the app writes send payloads directly into pages the I/O
+    /// stack can also read, so no pointer ever crosses the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::NoSuchCompartment`] for dead ids.
+    pub fn assign_shared(
+        &mut self,
+        a: CompartmentId,
+        b: CompartmentId,
+        addr: GuestAddr,
+        len: usize,
+    ) -> Result<(), TeeError> {
+        self.check_exists(a)?;
+        self.check_exists(b)?;
+        for p in Self::page_range(addr, len) {
+            self.owners.insert(p, Owner::SharedPair(a, b));
+        }
+        Ok(())
+    }
+
+    /// Checks that compartment `who` may access `[addr, addr+len)`.
+    ///
+    /// Unassigned pages are accessible to everyone (root-owned); assigned
+    /// pages require exclusive ownership or shared-pair membership.
+    ///
+    /// # Errors
+    ///
+    /// [`TeeError::CompartmentViolation`] if any touched page is owned by a
+    /// different compartment.
+    pub fn check_access(
+        &self,
+        who: CompartmentId,
+        addr: GuestAddr,
+        len: usize,
+    ) -> Result<(), TeeError> {
+        for p in Self::page_range(addr, len) {
+            match self.owners.get(&p) {
+                None => {}
+                Some(Owner::Exclusive(o)) if *o == who => {}
+                Some(Owner::SharedPair(a, b)) if *a == who || *b == who => {}
+                Some(_) => return Err(TeeError::CompartmentViolation),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A call gate between two compartments.
+///
+/// Each [`Gate::call`] charges two domain switches (entry and return) and
+/// counts them on the meter. The closure runs "inside" the callee; the
+/// gate's job in this simulation is purely cost/accounting plus making the
+/// boundary explicit in the code that uses it.
+pub struct Gate {
+    from: CompartmentId,
+    to: CompartmentId,
+    clock: Clock,
+    switch_cost: Cycles,
+    meter: Meter,
+}
+
+impl Gate {
+    pub(crate) fn new(
+        from: CompartmentId,
+        to: CompartmentId,
+        clock: Clock,
+        switch_cost: Cycles,
+        meter: Meter,
+    ) -> Self {
+        Gate {
+            from,
+            to,
+            clock,
+            switch_cost,
+            meter,
+        }
+    }
+
+    /// Caller compartment.
+    pub fn from(&self) -> CompartmentId {
+        self.from
+    }
+
+    /// Callee compartment.
+    pub fn to(&self) -> CompartmentId {
+        self.to
+    }
+
+    /// Calls into the callee compartment: charges entry + return switches.
+    pub fn call<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.clock.advance(self.switch_cost);
+        self.meter.compartment_switches(1);
+        let r = f();
+        self.clock.advance(self.switch_cost);
+        self.meter.compartment_switches(1);
+        r
+    }
+
+    /// One-way transfer (used by notification-style upcalls); charges a
+    /// single switch.
+    pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.clock.advance(self.switch_cost);
+        self.meter.compartment_switches(1);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_name() {
+        let mut t = Table::new();
+        let a = t.create("app");
+        let b = t.create("iostack");
+        assert_eq!(t.name(a).unwrap(), "app");
+        assert_eq!(t.name(b).unwrap(), "iostack");
+        assert_eq!(t.len(), 2);
+        assert!(t.name(CompartmentId(5)).is_err());
+    }
+
+    #[test]
+    fn unassigned_pages_are_open() {
+        let mut t = Table::new();
+        let a = t.create("app");
+        t.check_access(a, GuestAddr(0), 4096).unwrap();
+    }
+
+    #[test]
+    fn exclusive_ownership_enforced() {
+        let mut t = Table::new();
+        let app = t.create("app");
+        let io = t.create("iostack");
+        t.assign(io, GuestAddr(0), 2 * PAGE_SIZE).unwrap();
+        assert!(t.check_access(io, GuestAddr(100), 64).is_ok());
+        assert_eq!(
+            t.check_access(app, GuestAddr(100), 64),
+            Err(TeeError::CompartmentViolation)
+        );
+        // App access past the assigned range is fine.
+        assert!(t
+            .check_access(app, GuestAddr(2 * PAGE_SIZE as u64), 64)
+            .is_ok());
+    }
+
+    #[test]
+    fn straddling_access_checks_every_page() {
+        let mut t = Table::new();
+        let app = t.create("app");
+        let io = t.create("iostack");
+        t.assign(app, GuestAddr(0), PAGE_SIZE).unwrap();
+        t.assign(io, GuestAddr(PAGE_SIZE as u64), PAGE_SIZE)
+            .unwrap();
+        assert_eq!(
+            t.check_access(app, GuestAddr(PAGE_SIZE as u64 - 8), 16),
+            Err(TeeError::CompartmentViolation)
+        );
+    }
+
+    #[test]
+    fn shared_pair_accessible_to_both_only() {
+        let mut t = Table::new();
+        let app = t.create("app");
+        let io = t.create("iostack");
+        let other = t.create("other");
+        t.assign_shared(app, io, GuestAddr(0), PAGE_SIZE).unwrap();
+        assert!(t.check_access(app, GuestAddr(0), 64).is_ok());
+        assert!(t.check_access(io, GuestAddr(0), 64).is_ok());
+        assert_eq!(
+            t.check_access(other, GuestAddr(0), 64),
+            Err(TeeError::CompartmentViolation)
+        );
+    }
+
+    #[test]
+    fn zero_length_access_allowed() {
+        let mut t = Table::new();
+        let app = t.create("app");
+        let io = t.create("iostack");
+        t.assign(io, GuestAddr(0), PAGE_SIZE).unwrap();
+        // Zero-length probe still validates the page it points into.
+        assert_eq!(
+            t.check_access(app, GuestAddr(0), 0),
+            Err(TeeError::CompartmentViolation)
+        );
+    }
+
+    #[test]
+    fn gate_charges_two_switches_per_call() {
+        let clock = Clock::new();
+        let meter = Meter::new();
+        let g = Gate::new(
+            CompartmentId(0),
+            CompartmentId(1),
+            clock.clone(),
+            Cycles(60),
+            meter.clone(),
+        );
+        let out = g.call(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(clock.now(), Cycles(120));
+        assert_eq!(meter.snapshot().compartment_switches, 2);
+        g.enter(|| ());
+        assert_eq!(clock.now(), Cycles(180));
+        assert_eq!(meter.snapshot().compartment_switches, 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! The ternary trust model (§2.1, §3.1) as executable configuration.
+//!
+//! The paper's central structural idea is a *nested* trust relation:
+//! the confidential application and the I/O stack jointly distrust the
+//! host, while the application additionally does not trust the I/O stack
+//! (one-way: the stack trusts the application). Encoding the relation as a
+//! queryable matrix lets every boundary configuration in `cio` *assert*
+//! the trust assumptions it is built for, and lets the attack harness
+//! check that a compromise only propagates along trust edges.
+
+/// Parties in the confidential I/O architecture (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// The confidential application (part of ① in Figure 1).
+    App,
+    /// The I/O stack serving the application (in ① or ③ depending on design).
+    IoStack,
+    /// Host software: hypervisor or untrusted OS (③).
+    Host,
+    /// Host hardware: NIC, disk (④).
+    Device,
+    /// The external network beyond the host.
+    Network,
+}
+
+/// All parties, for iteration.
+pub const PARTIES: [Party; 5] = [
+    Party::App,
+    Party::IoStack,
+    Party::Host,
+    Party::Device,
+    Party::Network,
+];
+
+/// A directed trust matrix: `trusts(a, b)` answers "does `a` rely on `b`
+/// for its confidentiality/integrity?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustMatrix {
+    edges: Vec<(Party, Party)>,
+}
+
+impl TrustMatrix {
+    /// Creates an empty relation (nobody trusts anybody; reflexive trust is
+    /// implicit).
+    pub fn new() -> Self {
+        TrustMatrix { edges: Vec::new() }
+    }
+
+    /// Adds a directed trust edge.
+    pub fn trust(mut self, from: Party, to: Party) -> Self {
+        if from != to && !self.edges.contains(&(from, to)) {
+            self.edges.push((from, to));
+        }
+        self
+    }
+
+    /// Whether `a` trusts `b` (reflexively true for `a == b`).
+    pub fn trusts(&self, a: Party, b: Party) -> bool {
+        a == b || self.edges.contains(&(a, b))
+    }
+
+    /// Whether `a` and `b` trust each other.
+    pub fn mutual(&self, a: Party, b: Party) -> bool {
+        self.trusts(a, b) && self.trusts(b, a)
+    }
+
+    /// Size of the TCB of `p`: the set of parties `p` transitively trusts
+    /// (including itself).
+    pub fn tcb_of(&self, p: Party) -> Vec<Party> {
+        let mut tcb = vec![p];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(from, to) in &self.edges {
+                if tcb.contains(&from) && !tcb.contains(&to) {
+                    tcb.push(to);
+                    changed = true;
+                }
+            }
+        }
+        tcb
+    }
+
+    /// The traditional single-boundary model used by ShieldBox/rkt-io-style
+    /// designs: the whole confidential unit (app + I/O stack) is one trust
+    /// domain; the host and device are untrusted.
+    pub fn single_boundary() -> Self {
+        TrustMatrix::new()
+            .trust(Party::App, Party::IoStack)
+            .trust(Party::IoStack, Party::App)
+    }
+
+    /// The paper's ternary model (§3.1): app ∪ stack distrust the host;
+    /// the stack trusts the app; the app does *not* trust the stack.
+    pub fn ternary() -> Self {
+        TrustMatrix::new().trust(Party::IoStack, Party::App)
+    }
+
+    /// The L5-host model (Graphene/CCF-shaped): the I/O stack *is* host
+    /// software; the app necessarily relies on nothing but itself, but its
+    /// transport flows through an untrusted stack.
+    pub fn l5_host() -> Self {
+        TrustMatrix::new()
+            .trust(Party::IoStack, Party::Host)
+            .trust(Party::Host, Party::IoStack)
+    }
+
+    /// Direct device assignment with TDISP attestation (§3.4): the device
+    /// is attested and joins the app's TCB.
+    pub fn dda() -> Self {
+        TrustMatrix::new()
+            .trust(Party::App, Party::IoStack)
+            .trust(Party::IoStack, Party::App)
+            .trust(Party::App, Party::Device)
+            .trust(Party::IoStack, Party::Device)
+    }
+}
+
+impl Default for TrustMatrix {
+    fn default() -> Self {
+        TrustMatrix::ternary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflexive_trust() {
+        let m = TrustMatrix::new();
+        for p in PARTIES {
+            assert!(m.trusts(p, p));
+        }
+        assert!(!m.trusts(Party::App, Party::Host));
+    }
+
+    #[test]
+    fn ternary_model_shape() {
+        let m = TrustMatrix::ternary();
+        // One-way: the stack trusts the app...
+        assert!(m.trusts(Party::IoStack, Party::App));
+        // ...but not vice versa.
+        assert!(!m.trusts(Party::App, Party::IoStack));
+        // Nobody trusts the host.
+        assert!(!m.trusts(Party::App, Party::Host));
+        assert!(!m.trusts(Party::IoStack, Party::Host));
+        assert!(!m.mutual(Party::App, Party::IoStack));
+    }
+
+    #[test]
+    fn ternary_shrinks_app_tcb() {
+        let single = TrustMatrix::single_boundary();
+        let ternary = TrustMatrix::ternary();
+        let app_tcb_single = single.tcb_of(Party::App);
+        let app_tcb_ternary = ternary.tcb_of(Party::App);
+        // The paper's claim: excluding the I/O stack shrinks the app's TCB.
+        assert!(app_tcb_single.contains(&Party::IoStack));
+        assert!(!app_tcb_ternary.contains(&Party::IoStack));
+        assert!(app_tcb_ternary.len() < app_tcb_single.len());
+    }
+
+    #[test]
+    fn dda_adds_device_to_tcb() {
+        let m = TrustMatrix::dda();
+        assert!(m.tcb_of(Party::App).contains(&Party::Device));
+        assert!(!TrustMatrix::ternary()
+            .tcb_of(Party::App)
+            .contains(&Party::Device));
+    }
+
+    #[test]
+    fn tcb_is_transitive() {
+        let m = TrustMatrix::new()
+            .trust(Party::App, Party::IoStack)
+            .trust(Party::IoStack, Party::Device);
+        let tcb = m.tcb_of(Party::App);
+        assert!(tcb.contains(&Party::Device));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let m = TrustMatrix::new()
+            .trust(Party::App, Party::IoStack)
+            .trust(Party::App, Party::IoStack);
+        assert_eq!(m.tcb_of(Party::App).len(), 2);
+    }
+
+    #[test]
+    fn l5_host_stack_is_host_side() {
+        let m = TrustMatrix::l5_host();
+        assert!(m.mutual(Party::IoStack, Party::Host));
+        assert!(!m.trusts(Party::App, Party::IoStack));
+    }
+}

@@ -1,0 +1,1005 @@
+//! The paper's safe-by-construction ring (§3.2, "Hardening L2").
+//!
+//! Every design principle from the paper maps to a concrete mechanism:
+//!
+//! | Principle | Mechanism here |
+//! |---|---|
+//! | Stateless interface | [`RingConfig`] is validated once and immutable; every data-plane call is self-contained; misconfiguration is [`RingError::Fatal`] at construction, not an error path at runtime |
+//! | Copy as first-class | [`Producer::produce`] / [`Consumer::consume`] perform exactly one early, metered copy; [`Producer::produce_zero_copy`] skips it where double fetch is impossible by layout |
+//! | No notifications | [`NotifyMode::Polling`] is the default; [`NotifyMode::Doorbell`] exists for E8 and its handler ([`Consumer::on_doorbell`]) is stateless and idempotent |
+//! | Zero (re-)negotiation | MAC/MTU/checksum policy are fields of the fixed config; there is no runtime control plane at all |
+//! | Safe ring & shared area | slot count, slot size, and area size are powers of two; every index/offset read from shared memory is masked (`x & (n-1)`) and every length clamped, so no host value can steer an access out of bounds |
+//!
+//! The ring is single-producer single-consumer with free-running `u32`
+//! indices. The producer trusts only its private produce counter; the
+//! consumer trusts only its private consume counter; the shared index
+//! words are *hints* whose misuse is either detected ([`Violation::BadIndex`])
+//! or harmless by masking.
+//!
+//! Payload placement is configurable for experiment E6:
+//! [`DataMode::Inline`] (payload in the slot), [`DataMode::SharedArea`]
+//! (slot holds offset+len into a dedicated area, one fetch), and
+//! [`DataMode::Indirect`] (slot holds a masked descriptor index, two
+//! fetches). For E7, a page-aligned area enables [`Consumer::consume_revoking`],
+//! which un-shares the payload pages instead of copying.
+
+use crate::{RingError, Violation};
+use cio_mem::{GuestAddr, GuestView, MemView, PAGE_SIZE};
+use cio_sim::Cycles;
+
+/// Where payload bytes live relative to the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Payload inline in the ring slot after a 4-byte length.
+    Inline,
+    /// Slot holds `{offset u32, len u32}` into the shared data area.
+    SharedArea,
+    /// Slot holds a descriptor index; the descriptor holds offset+len.
+    Indirect,
+}
+
+/// Whether the consumer polls or is kicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyMode {
+    /// Consumer polls (the paper's default: no notification concurrency).
+    Polling,
+    /// Producer posts a doorbell after each batch.
+    Doorbell,
+}
+
+/// The fixed, zero-renegotiation device configuration.
+///
+/// Everything a virtio control plane would negotiate at runtime is fixed
+/// here at deployment: "parameters like MAC address, MTU size, or who
+/// calculates checksums are known at device startup" (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Number of ring slots; must be a power of two.
+    pub slots: u32,
+    /// Bytes per slot; must be a power of two ≥ 16.
+    pub slot_size: u32,
+    /// Payload placement.
+    pub mode: DataMode,
+    /// Maximum payload bytes per transfer (the fixed MTU).
+    pub mtu: u32,
+    /// Fixed device MAC.
+    pub mac: [u8; 6],
+    /// Fixed checksum-offload policy (who computes checksums).
+    pub csum_offload: bool,
+    /// Notification discipline.
+    pub notify: NotifyMode,
+    /// Shared-area bytes (non-inline modes); must be a power of two.
+    pub area_size: u32,
+    /// Align each payload region to a page, enabling revocation receive.
+    pub page_aligned_payloads: bool,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            slots: 256,
+            slot_size: 16,
+            mode: DataMode::SharedArea,
+            mtu: 1500,
+            mac: [0x02, 0, 0, 0, 0, 0x01],
+            csum_offload: true,
+            notify: NotifyMode::Polling,
+            area_size: 1 << 19, // 512 KiB -> 2 KiB stride at 256 slots
+            page_aligned_payloads: false,
+        }
+    }
+}
+
+impl RingConfig {
+    /// Bytes of payload stride each slot owns in the shared area.
+    pub fn stride(&self) -> u32 {
+        self.area_size / self.slots
+    }
+
+    /// Inline payload capacity.
+    pub fn inline_capacity(&self) -> u32 {
+        self.slot_size.saturating_sub(4)
+    }
+
+    /// Validates the configuration; all errors are fatal by design.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] with a description of the broken invariant.
+    pub fn validate(&self) -> Result<(), RingError> {
+        if self.slots == 0 || !self.slots.is_power_of_two() {
+            return Err(RingError::Fatal("slot count must be a power of two"));
+        }
+        if self.slot_size < 16 || !self.slot_size.is_power_of_two() {
+            return Err(RingError::Fatal("slot size must be a power of two >= 16"));
+        }
+        if self.mtu == 0 {
+            return Err(RingError::Fatal("mtu must be non-zero"));
+        }
+        match self.mode {
+            DataMode::Inline => {
+                if self.mtu > self.inline_capacity() {
+                    return Err(RingError::Fatal("mtu exceeds inline slot capacity"));
+                }
+                if self.page_aligned_payloads {
+                    return Err(RingError::Fatal(
+                        "revocation requires a shared area, not inline slots",
+                    ));
+                }
+            }
+            DataMode::SharedArea | DataMode::Indirect => {
+                if self.area_size == 0 || !self.area_size.is_power_of_two() {
+                    return Err(RingError::Fatal("area size must be a power of two"));
+                }
+                if self.area_size < self.slots {
+                    return Err(RingError::Fatal("area smaller than slot count"));
+                }
+                if self.mtu > self.stride() {
+                    return Err(RingError::Fatal("mtu exceeds per-slot area stride"));
+                }
+                if self.page_aligned_payloads && !(self.stride() as usize).is_multiple_of(PAGE_SIZE)
+                {
+                    return Err(RingError::Fatal("revocation requires page-multiple stride"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Geometry of one direction of the interface.
+///
+/// ```text
+/// base + 0:    producer index (u32), cache-line isolated
+/// base + 64:   consumer index (u32)
+/// base + 128:  slots           (slots * slot_size bytes)
+/// after slots: descriptor table (Indirect only; slots * 8 bytes)
+/// area:        payload area     (non-inline modes; caller-provided base)
+/// ```
+#[derive(Debug, Clone)]
+pub struct CioRing {
+    cfg: RingConfig,
+    base: GuestAddr,
+    area: GuestAddr,
+}
+
+impl CioRing {
+    /// Creates and validates the ring geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fatal config errors; misaligned area for revocation mode.
+    pub fn new(cfg: RingConfig, base: GuestAddr, area: GuestAddr) -> Result<Self, RingError> {
+        cfg.validate()?;
+        if cfg.page_aligned_payloads && !area.is_page_aligned() {
+            return Err(RingError::Fatal("revocation requires page-aligned area"));
+        }
+        Ok(CioRing { cfg, base, area })
+    }
+
+    /// The fixed configuration.
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    fn slot_mask(&self) -> u32 {
+        self.cfg.slots - 1
+    }
+
+    /// Address of the shared producer index (public so adversarial
+    /// harnesses can aim at it; the *guest* never trusts it unmasked).
+    pub fn prod_idx_addr(&self) -> GuestAddr {
+        self.base
+    }
+
+    /// Address of the shared consumer index.
+    pub fn cons_idx_addr(&self) -> GuestAddr {
+        self.base.add(64)
+    }
+
+    /// Address of slot `masked` (adversary targeting).
+    pub fn slot_addr(&self, masked: u32) -> GuestAddr {
+        self.base
+            .add(128 + u64::from(masked) * u64::from(self.cfg.slot_size))
+    }
+
+    fn desc_addr(&self, masked: u32) -> GuestAddr {
+        self.base.add(
+            128 + u64::from(self.cfg.slots) * u64::from(self.cfg.slot_size) + u64::from(masked) * 8,
+        )
+    }
+
+    /// Payload region owned by slot `masked` (non-inline modes).
+    pub fn payload_addr(&self, masked: u32) -> GuestAddr {
+        self.area
+            .add(u64::from(masked) * u64::from(self.cfg.stride()))
+    }
+
+    /// Total bytes of ring structures (excluding the payload area).
+    pub fn ring_bytes(&self) -> usize {
+        let descs = if self.cfg.mode == DataMode::Indirect {
+            self.cfg.slots as usize * 8
+        } else {
+            0
+        };
+        128 + self.cfg.slots as usize * self.cfg.slot_size as usize + descs
+    }
+
+    /// Bytes of payload area required (0 for inline mode).
+    pub fn area_bytes(&self) -> usize {
+        if self.cfg.mode == DataMode::Inline {
+            0
+        } else {
+            self.cfg.area_size as usize
+        }
+    }
+}
+
+fn charge_ring_ops<V: MemView>(view: &V, n: u64) {
+    let mem = view.memory();
+    mem.clock().advance(Cycles(mem.cost().ring_op.get() * n));
+}
+
+fn charge_copy<V: MemView>(view: &V, bytes: usize) {
+    let mem = view.memory();
+    mem.clock().advance(mem.cost().copy(bytes));
+    mem.meter().copies(1);
+    mem.meter().bytes_copied(bytes as u64);
+}
+
+/// The producing endpoint (either side of the trust boundary).
+pub struct Producer<V: MemView> {
+    ring: CioRing,
+    view: V,
+    /// Private produce counter — the only index the producer trusts.
+    next: u32,
+}
+
+impl<V: MemView> Producer<V> {
+    /// Creates a producer and zeroes the shared producer index.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors if the ring region is not accessible to this view.
+    pub fn new(ring: CioRing, view: V) -> Result<Self, RingError> {
+        view.write_u32(ring.prod_idx_addr(), 0)?;
+        Ok(Producer {
+            ring,
+            view,
+            next: 0,
+        })
+    }
+
+    /// The ring geometry.
+    pub fn ring(&self) -> &CioRing {
+        &self.ring
+    }
+
+    fn in_flight(&self) -> Result<u32, RingError> {
+        // The consumer index is a *hint*: a lying peer can only cause
+        // spurious Full results (peer's own loss), never unsafety.
+        let cons = self.view.read_u32(self.ring.cons_idx_addr())?;
+        Ok(self.next.wrapping_sub(cons).min(self.ring.cfg.slots))
+    }
+
+    /// Produces one payload with copy-as-first-class semantics (the copy
+    /// into the interface is explicit, early, and metered).
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::TooLarge`] over the fixed MTU; [`RingError::Full`] when
+    /// the ring has no free slot.
+    pub fn produce(&mut self, payload: &[u8]) -> Result<(), RingError> {
+        self.produce_impl(payload, true)
+    }
+
+    /// Produces one payload *without* the data copy: valid for non-inline
+    /// modes where the payload region is single-writer by layout and is
+    /// fetched exactly once by the consumer, so a double fetch cannot
+    /// occur. This is the "avoided when possible" arm of the copy policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] in inline mode (layout requires the copy);
+    /// otherwise as [`Producer::produce`].
+    pub fn produce_zero_copy(&mut self, payload: &[u8]) -> Result<(), RingError> {
+        if self.ring.cfg.mode == DataMode::Inline {
+            return Err(RingError::Fatal("inline mode requires the slot copy"));
+        }
+        self.produce_impl(payload, false)
+    }
+
+    /// Stages a payload without publishing the producer index: the slot is
+    /// written but invisible to the consumer until [`Producer::publish`].
+    /// Amortizes the index write (and the doorbell) over a batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Producer::produce`].
+    pub fn stage(&mut self, payload: &[u8]) -> Result<(), RingError> {
+        self.produce_impl_inner(payload, true, false)
+    }
+
+    /// Publishes all staged payloads with a single shared-index write.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors only.
+    pub fn publish(&mut self) -> Result<(), RingError> {
+        self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        Ok(())
+    }
+
+    fn produce_impl(&mut self, payload: &[u8], copy: bool) -> Result<(), RingError> {
+        self.produce_impl_inner(payload, copy, true)
+    }
+
+    fn produce_impl_inner(
+        &mut self,
+        payload: &[u8],
+        copy: bool,
+        publish: bool,
+    ) -> Result<(), RingError> {
+        if payload.len() > self.ring.cfg.mtu as usize {
+            return Err(RingError::TooLarge);
+        }
+        if self.in_flight()? >= self.ring.cfg.slots {
+            return Err(RingError::Full);
+        }
+        let masked = self.next & self.ring.slot_mask();
+        let slot = self.ring.slot_addr(masked);
+        let len = payload.len() as u32;
+
+        match self.ring.cfg.mode {
+            DataMode::Inline => {
+                self.view.write_u32(slot, len)?;
+                self.view.write(slot.add(4), payload)?;
+                charge_ring_ops(&self.view, 1);
+                charge_copy(&self.view, payload.len());
+            }
+            DataMode::SharedArea => {
+                let dst = self.ring.payload_addr(masked);
+                self.view.write(dst, payload)?;
+                if copy {
+                    charge_copy(&self.view, payload.len());
+                } else {
+                    self.view
+                        .memory()
+                        .meter()
+                        .bytes_zero_copy(payload.len() as u64);
+                }
+                let offset = (dst.0 - self.ring.area.0) as u32;
+                self.view.write_u32(slot, offset)?;
+                self.view.write_u32(slot.add(4), len)?;
+                charge_ring_ops(&self.view, 2);
+            }
+            DataMode::Indirect => {
+                let dst = self.ring.payload_addr(masked);
+                self.view.write(dst, payload)?;
+                if copy {
+                    charge_copy(&self.view, payload.len());
+                } else {
+                    self.view
+                        .memory()
+                        .meter()
+                        .bytes_zero_copy(payload.len() as u64);
+                }
+                let offset = (dst.0 - self.ring.area.0) as u32;
+                let desc = self.ring.desc_addr(masked);
+                self.view.write_u32(desc, offset)?;
+                self.view.write_u32(desc.add(4), len)?;
+                self.view.write_u32(slot, masked)?;
+                charge_ring_ops(&self.view, 3);
+            }
+        }
+
+        self.next = self.next.wrapping_add(1);
+        if publish {
+            self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
+            charge_ring_ops(&self.view, 1);
+        }
+        Ok(())
+    }
+
+    /// Posts a doorbell (only meaningful in [`NotifyMode::Doorbell`]).
+    ///
+    /// Guest producers pay a host-notify exit; host producers pay an
+    /// interrupt injection.
+    pub fn kick(&self) {
+        if self.ring.cfg.notify != NotifyMode::Doorbell {
+            return;
+        }
+        let mem = self.view.memory();
+        if self.view.is_host() {
+            mem.clock().advance(mem.cost().interrupt_inject);
+            mem.meter().interrupts_received(1);
+        } else {
+            mem.clock().advance(mem.cost().notify_host);
+            mem.meter().notifications_sent(1);
+        }
+    }
+
+    /// Free slots from this producer's perspective.
+    pub fn free_slots(&self) -> Result<u32, RingError> {
+        Ok(self.ring.cfg.slots - self.in_flight()?)
+    }
+}
+
+/// A payload received by revocation instead of copy: the pages holding it
+/// were un-shared from the host and are now private.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevokedPayload {
+    /// Private (revoked) guest address of the payload.
+    pub addr: GuestAddr,
+    /// Validated payload length.
+    pub len: u32,
+    /// Masked slot index (needed to re-share on release).
+    masked: u32,
+}
+
+/// The consuming endpoint.
+pub struct Consumer<V: MemView> {
+    ring: CioRing,
+    view: V,
+    /// Private consume counter — the only index the consumer trusts.
+    next: u32,
+}
+
+impl<V: MemView> Consumer<V> {
+    /// Creates a consumer and zeroes the shared consumer index.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors if the ring region is not accessible to this view.
+    pub fn new(ring: CioRing, view: V) -> Result<Self, RingError> {
+        view.write_u32(ring.cons_idx_addr(), 0)?;
+        Ok(Consumer {
+            ring,
+            view,
+            next: 0,
+        })
+    }
+
+    /// The ring geometry.
+    pub fn ring(&self) -> &CioRing {
+        &self.ring
+    }
+
+    /// How many entries appear available. A peer claiming more than the
+    /// ring size is lying; that is detected, not believed.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::BadIndex`] if the producer index implies more in-flight
+    /// entries than the ring can hold.
+    pub fn available(&self) -> Result<u32, RingError> {
+        let prod = self.view.read_u32(self.ring.prod_idx_addr())?;
+        charge_ring_ops(&self.view, 1);
+        let avail = prod.wrapping_sub(self.next);
+        if avail > self.ring.cfg.slots {
+            self.view.memory().meter().violations_detected(1);
+            return Err(RingError::HostViolation(Violation::BadIndex));
+        }
+        Ok(avail)
+    }
+
+    /// Reads one slot's `(offset, len)` pair — each field fetched exactly
+    /// once, masked, and clamped. Returns `(payload_addr, len)`.
+    fn read_slot_meta(&self, masked: u32) -> Result<(GuestAddr, u32), RingError> {
+        let mem = self.view.memory();
+        let cfg = &self.ring.cfg;
+        let slot = self.ring.slot_addr(masked);
+        match cfg.mode {
+            DataMode::Inline => {
+                let len = self.view.read_u32(slot)?; // single fetch
+                charge_ring_ops(&self.view, 1);
+                mem.clock().advance(mem.cost().validate_field);
+                mem.meter().validations(1);
+                let len = len.min(cfg.inline_capacity()).min(cfg.mtu);
+                Ok((slot.add(4), len))
+            }
+            DataMode::SharedArea => {
+                let offset = self.view.read_u32(slot)?; // single fetch
+                let len = self.view.read_u32(slot.add(4))?; // single fetch
+                charge_ring_ops(&self.view, 2);
+                mem.clock()
+                    .advance(Cycles(mem.cost().validate_field.get() * 2));
+                mem.meter().validations(2);
+                // Mask the offset into the area; clamp the length to what
+                // fits between the masked offset and the area end, the
+                // stride, and the MTU. No host value can escape the area.
+                let offset = offset & (cfg.area_size - 1);
+                let max = (cfg.area_size - offset).min(cfg.stride()).min(cfg.mtu);
+                Ok((self.ring.area.add(u64::from(offset)), len.min(max)))
+            }
+            DataMode::Indirect => {
+                let didx = self.view.read_u32(slot)?; // single fetch
+                let desc = self.ring.desc_addr(didx & self.ring.slot_mask());
+                let offset = self.view.read_u32(desc)?;
+                let len = self.view.read_u32(desc.add(4))?;
+                charge_ring_ops(&self.view, 3);
+                mem.clock()
+                    .advance(Cycles(mem.cost().validate_field.get() * 3));
+                mem.meter().validations(3);
+                let offset = offset & (cfg.area_size - 1);
+                let max = (cfg.area_size - offset).min(cfg.stride()).min(cfg.mtu);
+                Ok((self.ring.area.add(u64::from(offset)), len.min(max)))
+            }
+        }
+    }
+
+    fn commit(&mut self) -> Result<(), RingError> {
+        self.next = self.next.wrapping_add(1);
+        self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        Ok(())
+    }
+
+    /// Consumes one payload by early copy into private memory.
+    ///
+    /// Returns `None` when the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::BadIndex`] for a lying producer index; memory errors.
+    pub fn consume(&mut self) -> Result<Option<Vec<u8>>, RingError> {
+        if self.available()? == 0 {
+            return Ok(None);
+        }
+        let masked = self.next & self.ring.slot_mask();
+        let (addr, len) = self.read_slot_meta(masked)?;
+        let mut buf = vec![0u8; len as usize];
+        self.view.read(addr, &mut buf)?;
+        charge_copy(&self.view, len as usize);
+        self.commit()?;
+        Ok(Some(buf))
+    }
+
+    /// One poll iteration: consume if available, else charge idle-poll.
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn poll(&mut self) -> Result<Option<Vec<u8>>, RingError> {
+        match self.consume()? {
+            Some(v) => Ok(Some(v)),
+            None => {
+                let mem = self.view.memory();
+                mem.clock().advance(mem.cost().poll_idle);
+                mem.meter().idle_polls(1);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Doorbell handler: stateless, idempotent, re-entrancy-safe drain.
+    ///
+    /// Calling it spuriously (no work) or repeatedly is harmless by
+    /// construction — it holds no state beyond the private counter and
+    /// drains until empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn on_doorbell(&mut self) -> Result<Vec<Vec<u8>>, RingError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.consume()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+impl Consumer<GuestView> {
+    /// Consumes one payload by *revoking* its pages instead of copying
+    /// (guest-side receive only; requires `page_aligned_payloads`).
+    ///
+    /// The slot's whole stride is un-shared, making the payload private and
+    /// immune to further host writes — the copy-elimination avenue of §3.2.
+    /// The caller must hand the pages back with
+    /// [`Consumer::release_revoked`] before the slot can be reused.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] if the ring was not configured for revocation;
+    /// otherwise as [`Consumer::consume`].
+    pub fn consume_revoking(&mut self) -> Result<Option<RevokedPayload>, RingError> {
+        if !self.ring.cfg.page_aligned_payloads {
+            return Err(RingError::Fatal("ring not configured for revocation"));
+        }
+        if self.available()? == 0 {
+            return Ok(None);
+        }
+        let masked = self.next & self.ring.slot_mask();
+        let (addr, len) = self.read_slot_meta(masked)?;
+        // Confine the payload to this slot's own stride before revoking:
+        // a hostile offset pointing into another slot's stride would
+        // otherwise leave the returned pointer in still-shared memory and
+        // reopen the TOCTOU window revocation exists to close.
+        let stride = u64::from(self.ring.cfg.stride());
+        let stride_base = self.ring.payload_addr(masked);
+        let in_stride = addr.0.wrapping_sub(stride_base.0) % stride;
+        let addr = stride_base.add(in_stride);
+        let len = len.min((stride - in_stride) as u32);
+        // Revoke the whole stride of this slot (page-aligned by config).
+        self.view
+            .memory()
+            .unshare_range(stride_base, self.ring.cfg.stride() as usize)?;
+        self.view.memory().meter().bytes_zero_copy(u64::from(len));
+        self.commit()?;
+        Ok(Some(RevokedPayload { addr, len, masked }))
+    }
+
+    /// Returns revoked pages to the shared pool (re-shares the stride).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors from the share transition.
+    pub fn release_revoked(&mut self, p: RevokedPayload) -> Result<(), RingError> {
+        let stride_base = self.ring.payload_addr(p.masked);
+        self.view
+            .memory()
+            .share_range(stride_base, self.ring.cfg.stride() as usize)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cio_mem::{GuestMemory, HostView};
+    use cio_sim::{Clock, CostModel, Meter};
+
+    const RING_BASE: u64 = 0;
+    const AREA_BASE: u64 = 16 * PAGE_SIZE as u64;
+
+    fn mem_pages(pages: usize) -> GuestMemory {
+        GuestMemory::new(pages, Clock::new(), CostModel::default(), Meter::new())
+    }
+
+    fn tx_pair(cfg: RingConfig) -> (GuestMemory, Producer<GuestView>, Consumer<HostView>) {
+        // Guest produces, host consumes: the TX direction.
+        let mem = mem_pages(16 + (cfg.area_size as usize / PAGE_SIZE) + 16);
+        let ring = CioRing::new(cfg, GuestAddr(RING_BASE), GuestAddr(AREA_BASE)).unwrap();
+        mem.share_range(GuestAddr(RING_BASE), ring.ring_bytes())
+            .unwrap();
+        if ring.area_bytes() > 0 {
+            mem.share_range(GuestAddr(AREA_BASE), ring.area_bytes())
+                .unwrap();
+        }
+        let p = Producer::new(ring.clone(), mem.guest()).unwrap();
+        let c = Consumer::new(ring, mem.host()).unwrap();
+        (mem, p, c)
+    }
+
+    fn rx_pair(cfg: RingConfig) -> (GuestMemory, Producer<HostView>, Consumer<GuestView>) {
+        // Host produces, guest consumes: the RX direction.
+        let mem = mem_pages(16 + (cfg.area_size as usize / PAGE_SIZE) + 16);
+        let ring = CioRing::new(cfg, GuestAddr(RING_BASE), GuestAddr(AREA_BASE)).unwrap();
+        mem.share_range(GuestAddr(RING_BASE), ring.ring_bytes())
+            .unwrap();
+        if ring.area_bytes() > 0 {
+            mem.share_range(GuestAddr(AREA_BASE), ring.area_bytes())
+                .unwrap();
+        }
+        let p = Producer::new(ring.clone(), mem.host()).unwrap();
+        let c = Consumer::new(ring, mem.guest()).unwrap();
+        (mem, p, c)
+    }
+
+    fn small_cfg(mode: DataMode) -> RingConfig {
+        RingConfig {
+            slots: 8,
+            slot_size: mode_slot_size(mode),
+            mode,
+            mtu: 1024,
+            area_size: 8 * 1024,
+            ..RingConfig::default()
+        }
+    }
+
+    fn mode_slot_size(mode: DataMode) -> u32 {
+        match mode {
+            DataMode::Inline => 2048,
+            _ => 16,
+        }
+    }
+
+    #[test]
+    fn config_validation_is_fatal() {
+        let cfg = RingConfig {
+            slots: 7,
+            ..RingConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(RingError::Fatal(_))));
+        let cfg = RingConfig {
+            slot_size: 8,
+            ..RingConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(RingError::Fatal(_))));
+        let mut cfg = RingConfig {
+            mode: DataMode::Inline,
+            slot_size: 512,
+            mtu: 1500,
+            ..RingConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(RingError::Fatal(_))));
+        cfg.mtu = 500;
+        cfg.validate().unwrap();
+        // Revocation needs page-multiple strides.
+        let cfg = RingConfig {
+            page_aligned_payloads: true,
+            area_size: 1 << 16, // 64 KiB / 256 slots = 256 B stride
+            mtu: 256,
+            ..RingConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(RingError::Fatal(_))));
+    }
+
+    #[test]
+    fn roundtrip_every_mode() {
+        for mode in [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect] {
+            let (_m, mut p, mut c) = tx_pair(small_cfg(mode));
+            for i in 0..5u8 {
+                p.produce(&vec![i; 100 + i as usize]).unwrap();
+            }
+            for i in 0..5u8 {
+                let got = c.consume().unwrap().expect("payload");
+                assert_eq!(got, vec![i; 100 + i as usize], "mode {mode:?}");
+            }
+            assert_eq!(c.consume().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn fills_at_slot_count_and_recycles() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        for _ in 0..8 {
+            p.produce(b"x").unwrap();
+        }
+        assert!(matches!(p.produce(b"x"), Err(RingError::Full)));
+        assert_eq!(p.free_slots().unwrap(), 0);
+        c.consume().unwrap().unwrap();
+        // Producer sees the freed slot through the consumer index.
+        p.produce(b"y").unwrap();
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let (_m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        assert!(matches!(
+            p.produce(&vec![0u8; 1025]),
+            Err(RingError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::Inline));
+        for round in 0..100u32 {
+            p.produce(&round.to_le_bytes()).unwrap();
+            let got = c.consume().unwrap().unwrap();
+            assert_eq!(got, round.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn staged_payloads_invisible_until_publish() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        p.stage(b"one").unwrap();
+        p.stage(b"two").unwrap();
+        assert_eq!(c.consume().unwrap(), None, "staged but unpublished");
+        p.publish().unwrap();
+        assert_eq!(c.consume().unwrap().unwrap(), b"one");
+        assert_eq!(c.consume().unwrap().unwrap(), b"two");
+        assert_eq!(c.consume().unwrap(), None);
+    }
+
+    #[test]
+    fn batching_amortizes_index_writes() {
+        // 16 staged messages + 1 publish must cost fewer ring ops than 16
+        // published messages.
+        let cycles_for = |batch: bool| {
+            let (m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+            let t0 = m.clock().now();
+            if batch {
+                for _ in 0..8 {
+                    p.stage(b"x").unwrap();
+                }
+                p.publish().unwrap();
+            } else {
+                for _ in 0..8 {
+                    p.produce(b"x").unwrap();
+                }
+            }
+            m.clock().since(t0)
+        };
+        assert!(cycles_for(true) < cycles_for(false));
+    }
+
+    #[test]
+    fn zero_copy_produce_skips_copy_meter() {
+        let (m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let before = m.meter().snapshot();
+        p.produce_zero_copy(b"zero copy payload").unwrap();
+        let after = m.meter().snapshot().delta(&before);
+        assert_eq!(after.copies, 0);
+        assert_eq!(after.bytes_zero_copy, 17);
+        // Consumer still gets the bytes.
+        assert_eq!(c.consume().unwrap().unwrap(), b"zero copy payload");
+        // Inline mode refuses zero copy.
+        let (_m2, mut p2, _c2) = tx_pair(small_cfg(DataMode::Inline));
+        assert!(matches!(
+            p2.produce_zero_copy(b"x"),
+            Err(RingError::Fatal(_))
+        ));
+    }
+
+    // --- Adversarial safety: the §3.2 masking guarantees. ---
+
+    #[test]
+    fn host_forged_offset_cannot_escape_area() {
+        let (m, mut p, mut c) = rx_pair(small_cfg(DataMode::SharedArea));
+        // Host (producer side here) writes a hostile slot directly: offset
+        // far outside the area, enormous length.
+        p.produce(b"legit").unwrap();
+        let ring = c.ring().clone();
+        let slot0 = ring.slot_addr(0);
+        m.host().write_u32(slot0, 0xFFFF_FFF0).unwrap();
+        m.host().write_u32(slot0.add(4), 0xFFFF_FFFF).unwrap();
+        // The guest consumer must not fault, must not read out of area.
+        let got = c.consume().unwrap().unwrap();
+        assert!(got.len() <= ring.config().stride() as usize);
+    }
+
+    #[test]
+    fn host_forged_desc_index_masked() {
+        let (m, mut p, mut c) = rx_pair(small_cfg(DataMode::Indirect));
+        p.produce(b"payload").unwrap();
+        let ring = c.ring().clone();
+        // Corrupt the slot's descriptor index to a huge value.
+        m.host().write_u32(ring.slot_addr(0), 0xDEAD_BEEF).unwrap();
+        let got = c.consume().unwrap();
+        // No panic, no out-of-bounds; some (wrong) in-area payload returned.
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn lying_producer_index_detected() {
+        let (m, mut p, mut c) = rx_pair(small_cfg(DataMode::SharedArea));
+        p.produce(b"one").unwrap();
+        // Host claims 1000 entries are available.
+        m.host().write_u32(c.ring().prod_idx_addr(), 1000).unwrap();
+        assert!(matches!(
+            c.consume(),
+            Err(RingError::HostViolation(Violation::BadIndex))
+        ));
+        assert!(m.meter().snapshot().violations_detected >= 1);
+    }
+
+    #[test]
+    fn lying_consumer_index_only_starves_producer() {
+        let (m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        // Host-side consumer claims it consumed *ahead* of production.
+        m.host()
+            .write_u32(p.ring().cons_idx_addr(), 4_000_000)
+            .unwrap();
+        // wrapping_sub makes in_flight look huge -> clamped to slots -> Full.
+        assert!(matches!(p.produce(b"x"), Err(RingError::Full)));
+        // Guest state is untouched; restoring the index restores progress.
+        m.host().write_u32(p.ring().cons_idx_addr(), 0).unwrap();
+        p.produce(b"x").unwrap();
+    }
+
+    #[test]
+    fn doorbell_handler_is_idempotent() {
+        let cfg = RingConfig {
+            notify: NotifyMode::Doorbell,
+            ..small_cfg(DataMode::SharedArea)
+        };
+        let (m, mut p, mut c) = tx_pair(cfg);
+        p.produce(b"a").unwrap();
+        p.produce(b"b").unwrap();
+        p.kick();
+        assert_eq!(m.meter().snapshot().notifications_sent, 1);
+        let drained = c.on_doorbell().unwrap();
+        assert_eq!(drained.len(), 2);
+        // Spurious doorbells: safe, empty.
+        assert!(c.on_doorbell().unwrap().is_empty());
+        assert!(c.on_doorbell().unwrap().is_empty());
+    }
+
+    #[test]
+    fn polling_mode_kick_is_noop() {
+        let (m, p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        p.kick();
+        assert_eq!(m.meter().snapshot().notifications_sent, 0);
+    }
+
+    #[test]
+    fn idle_poll_charges_poll_cost() {
+        let (m, _p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let t0 = m.clock().now();
+        assert_eq!(c.poll().unwrap(), None);
+        assert!(m.clock().now() > t0);
+        assert_eq!(m.meter().snapshot().idle_polls, 1);
+    }
+
+    // --- Revocation receive (E7 mechanics). ---
+
+    fn revoke_cfg() -> RingConfig {
+        RingConfig {
+            slots: 8,
+            slot_size: 16,
+            mode: DataMode::SharedArea,
+            mtu: 4096,
+            area_size: 8 * PAGE_SIZE as u32,
+            page_aligned_payloads: true,
+            ..RingConfig::default()
+        }
+    }
+
+    #[test]
+    fn revocation_receive_unshares_pages() {
+        let (m, mut p, mut c) = rx_pair(revoke_cfg());
+        p.produce(&[7u8; 2000]).unwrap();
+        let before = m.meter().snapshot();
+        let r = c.consume_revoking().unwrap().expect("payload");
+        assert_eq!(r.len, 2000);
+        // The payload pages are now private: host writes fail.
+        assert!(m.host().write(r.addr, b"tamper").is_err());
+        // The guest can read the payload in place, no copy metered.
+        let mut buf = vec![0u8; r.len as usize];
+        m.guest().read(r.addr, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 2000]);
+        let d = m.meter().snapshot().delta(&before);
+        assert_eq!(d.copies, 0);
+        assert!(d.pages_revoked >= 1);
+        // Releasing re-shares the stride for reuse.
+        c.release_revoked(r).unwrap();
+        assert!(m.host().write(r.addr, b"ok now").is_ok());
+    }
+
+    #[test]
+    fn revocation_confines_hostile_offsets_to_the_revoked_stride() {
+        // A hostile producer aims the slot's offset at *another* slot's
+        // stride; the returned payload must still live inside the pages
+        // that were actually revoked.
+        let (m, mut p, mut c) = rx_pair(revoke_cfg());
+        p.produce(&[9u8; 100]).unwrap();
+        let ring = c.ring().clone();
+        // Point slot 0's descriptor at slot 3's stride.
+        let hostile_offset = 3 * ring.config().stride();
+        m.host()
+            .write_u32(ring.slot_addr(0), hostile_offset)
+            .unwrap();
+        let r = c.consume_revoking().unwrap().expect("payload");
+        // The payload address is inside slot 0's (revoked) stride...
+        let base = ring.payload_addr(0).0;
+        assert!(r.addr.0 >= base && r.addr.0 < base + u64::from(ring.config().stride()));
+        // ...which means the host can no longer touch it.
+        assert!(m.host().write(r.addr, b"flip").is_err());
+        c.release_revoked(r).unwrap();
+    }
+
+    #[test]
+    fn revocation_requires_configuration() {
+        let (_m, _p, mut c) = rx_pair(small_cfg(DataMode::SharedArea));
+        assert!(matches!(c.consume_revoking(), Err(RingError::Fatal(_))));
+    }
+
+    #[test]
+    fn revoked_payload_immune_to_late_host_write() {
+        // The TOCTOU-elimination property: after revocation, the host
+        // cannot flip payload bytes between guest validation and use.
+        let (m, mut p, mut c) = rx_pair(revoke_cfg());
+        p.produce(b"validated content").unwrap();
+        let r = c.consume_revoking().unwrap().unwrap();
+        // Host tries the classic double-fetch flip — and faults.
+        assert!(m.host().write(r.addr, b"flipped!").is_err());
+        let mut buf = vec![0u8; r.len as usize];
+        m.guest().read(r.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"validated content");
+    }
+}

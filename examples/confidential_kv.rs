@@ -1,0 +1,111 @@
+//! A confidential key-value store on the §3.3 storage stack.
+//!
+//! ```text
+//! cargo run --example confidential_kv
+//! ```
+//!
+//! The KV store is an ordinary application data structure persisted
+//! through the in-TEE storage stack: `SimpleFs` over the authenticated
+//! encryption layer over the safe block ring. The host serves every block
+//! — and can prove to itself that it learned nothing and could change
+//! nothing undetected.
+
+use cio::storage::{StorageBoundary, StorageWorld};
+use cio::CioError;
+use cio_block::fs::FileId;
+use cio_sim::CostModel;
+use std::collections::HashMap;
+
+/// A tiny log-structured KV: one file per store, records appended as
+/// `[klen u16][vlen u32][key][value]`; the index lives in TEE memory.
+struct KvStore {
+    world: StorageWorld,
+    file: FileId,
+    tail: u64,
+    index: HashMap<Vec<u8>, (u64, u32)>, // key -> (value offset, len)
+}
+
+impl KvStore {
+    fn open(name: &str) -> Result<KvStore, CioError> {
+        let mut world = StorageWorld::new(StorageBoundary::BlockInTee, CostModel::default())?;
+        let file = world.create(name)?;
+        Ok(KvStore {
+            world,
+            file,
+            tail: 0,
+            index: HashMap::new(),
+        })
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), CioError> {
+        let mut rec = Vec::with_capacity(6 + key.len() + value.len());
+        rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(value);
+        let at = self.tail;
+        self.world.write(self.file, at, &rec)?;
+        self.tail += rec.len() as u64;
+        self.index.insert(
+            key.to_vec(),
+            (at + 6 + key.len() as u64, value.len() as u32),
+        );
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, CioError> {
+        let Some(&(off, len)) = self.index.get(key) else {
+            return Ok(None);
+        };
+        Ok(Some(self.world.read(self.file, off, len as usize)?))
+    }
+}
+
+fn main() {
+    println!("== confidential KV store (block-level boundary, §3.3) ==\n");
+    let mut kv = KvStore::open("kv.log").expect("open store");
+
+    // A workload with obviously sensitive contents.
+    kv.put(b"patient:1142", b"diagnosis=hypertension meds=lisinopril")
+        .unwrap();
+    kv.put(b"patient:2718", b"diagnosis=diabetes-t2 meds=metformin")
+        .unwrap();
+    kv.put(b"apikey:prod", b"sk-cio-2f9a77cc01").unwrap();
+    println!("stored 3 records through the untrusted host's disk");
+
+    let v = kv.get(b"patient:1142").unwrap().expect("hit");
+    println!("get patient:1142 -> {}", String::from_utf8_lossy(&v));
+    assert!(kv.get(b"patient:9999").unwrap().is_none());
+
+    // Host-side view: only opaque block traffic.
+    let obs = kv.world.recorder().summary();
+    println!(
+        "\nhost observed {} block events, kinds: {:?}",
+        obs.events,
+        {
+            let mut k: Vec<_> = obs.by_kind.keys().collect();
+            k.sort();
+            k
+        }
+    );
+    let aead = kv.world.tee().meter().snapshot();
+    println!(
+        "TEE paid: {} AEAD ops over {} bytes; {} world exits on the data path",
+        aead.aead_ops, aead.aead_bytes, aead.host_transitions
+    );
+
+    // The host turns evil: flips a byte somewhere in its own disk.
+    println!("\nhost tampers with stored blocks...");
+    for lba in 6..14 {
+        kv.world.host_tamper(lba, 1000, 0x80).unwrap();
+    }
+    match kv.get(b"patient:1142") {
+        Err(e) => println!("read refused: {e} — falsified data never reached the app"),
+        Ok(Some(v)) => {
+            // If the tamper missed the record's blocks the data is intact.
+            assert_eq!(v, b"diagnosis=hypertension meds=lisinopril");
+            println!("tamper missed this record; data verified intact");
+        }
+        Ok(None) => unreachable!("index entry exists"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Walk the whole design space: every boundary design, one workload,
+//! side-by-side numbers (a quick interactive Figure 5).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use cio_bench::{bench_opts, echo_latency, stream_download, ALL_BOUNDARIES};
+
+fn main() {
+    println!("== one workload, seven trust-boundary designs ==\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "design", "Gbit/s", "RTT µs", "exits", "copies", "obs bits/op"
+    );
+    for kind in ALL_BOUNDARIES {
+        let stream = stream_download(kind, bench_opts(), 512 * 1024, 16 * 1024)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let (rtt, run) =
+            echo_latency(kind, bench_opts(), 256, 16).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        println!(
+            "{:<18} {:>12.2} {:>12.1} {:>10} {:>12} {:>12.0}",
+            kind.to_string(),
+            stream.gbps,
+            rtt.to_nanos(bench_opts().cost.ghz) / 1000.0,
+            run.meter.host_transitions,
+            run.meter.copies,
+            run.obs_bits as f64 / 16.0,
+        );
+    }
+    println!(
+        "\nRun `cargo run -p cio-bench --bin fig5` for the full measured Figure 5 \
+         (adds TCB accounting and compatibility notes), and `--bin tab_attacks` \
+         for what the adversary does to each of these."
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: bring up the paper's dual-boundary design and talk to a
+//! remote confidential peer over attested cTLS.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! What happens under the hood:
+//! 1. A confidential VM is created with two compartments: the application
+//!    and the I/O stack (TCP/IP + cio-ring driver). The app does not trust
+//!    the stack; the stack trusts the app (§3.1's ternary trust model).
+//! 2. The I/O stack talks raw Ethernet frames to the untrusted host over
+//!    the safe ring: masked indices, fixed config, polling (§3.2).
+//! 3. The app opens a TCP connection through the stack and runs the cTLS
+//!    handshake end-to-end: the peer proves its TEE measurement inside the
+//!    key exchange.
+//! 4. Application data crosses the host as ciphertext in frames; the host
+//!    learns only what a network tap would.
+
+use cio::world::{BoundaryKind, World, WorldOptions, ECHO_PORT};
+
+fn main() {
+    let mut world = World::new(BoundaryKind::DualBoundary, WorldOptions::default())
+        .expect("world construction is infallible with default options");
+
+    println!("== cio quickstart: dual-boundary confidential I/O ==\n");
+
+    let conn = world.connect(ECHO_PORT).expect("connect");
+    world
+        .establish(conn, 20_000)
+        .expect("TCP + attested cTLS handshake");
+    println!("connected: TCP established, peer attestation verified, cTLS keys derived");
+
+    let secret = b"account=4242 balance=100000 (the host must never see this)";
+    world.send(conn, secret).expect("send");
+    let echoed = world
+        .recv_exact(conn, secret.len(), 20_000)
+        .expect("echo reply");
+    assert_eq!(&echoed, secret);
+    println!(
+        "echoed {} bytes through the untrusted host, intact\n",
+        echoed.len()
+    );
+
+    let m = world.meter().snapshot();
+    let obs = world.recorder().summary();
+    println!("what it cost (virtual time {}):", world.clock().now());
+    println!(
+        "  compartment switches (L5 boundary): {}",
+        m.compartment_switches
+    );
+    println!(
+        "  world exits (data path):            {}",
+        m.host_transitions
+    );
+    println!(
+        "  metered copies / bytes:             {} / {}",
+        m.copies, m.bytes_copied
+    );
+    println!(
+        "  AEAD operations / bytes:            {} / {}",
+        m.aead_ops, m.aead_bytes
+    );
+    println!("\nwhat the host saw:");
+    for (kind, count) in &obs.by_kind {
+        println!("  {kind:10} x{count}");
+    }
+    println!("  ...headers and timing only — every payload byte was ciphertext.");
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the `cio` reproduction workspace.
+//!
+//! Re-exports the public crates so that the root-level examples and
+//! integration tests can exercise the whole stack through one import.
+
+pub use cio;
+pub use cio_block as block;
+pub use cio_crypto as crypto;
+pub use cio_ctls as ctls;
+pub use cio_host as host;
+pub use cio_mem as mem;
+pub use cio_netstack as netstack;
+pub use cio_sim as sim;
+pub use cio_study as study;
+pub use cio_tee as tee;
+pub use cio_vring as vring;
