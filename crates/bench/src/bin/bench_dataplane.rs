@@ -1,0 +1,249 @@
+//! Micro-benchmark for the one-pass AEAD dataplane.
+//!
+//! Three report sections, written to stdout and `BENCH_dataplane.json`:
+//!
+//! 1. `seal_open` — wall-clock throughput of AEAD seal+open round trips
+//!    at 64 B..64 KiB, two-pass reference API vs the fused one-pass API
+//!    on the same reused buffer. The acceptance bar for the dataplane
+//!    rework is a >= 1.5x fused/two-pass ratio at 4 KiB.
+//! 2. `record_scratch` — cTLS record seal/open through the reusable
+//!    [`RecordScratch`] path (header + fused AEAD + tag in one buffer).
+//! 3. `record_ring` — end-to-end records through the full stack: cTLS
+//!    seal into a scratch, produce onto a cio ring, host-side
+//!    `consume_into` a reused buffer, and decapsulation through the
+//!    speer tunnel gateway onto its network segment. Wall-clock
+//!    records/sec plus the deterministic cio-sim cycle meter series.
+//!
+//! `--quick` shrinks the timing windows for CI smoke runs.
+
+use cio::world::speer::TunnelGateway;
+use cio_bench::micro::{json_array, measure, JsonObj, Measurement};
+use cio_crypto::ChaCha20Poly1305;
+use cio_ctls::{Channel, RecordScratch, SimHooks};
+use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+use cio_netstack::{MacAddr, NetDevice, PairDevice};
+use cio_sim::{Clock, CostModel, Meter, SimRng};
+use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
+use std::hint::black_box;
+
+const SIZES: [usize; 6] = [64, 256, 1024, 4096, 16384, 65536];
+const KEY_SIZE: usize = 4096; // the acceptance-bar size
+
+struct SealOpenRow {
+    size: usize,
+    two_pass: Measurement,
+    fused: Measurement,
+}
+
+impl SealOpenRow {
+    fn ratio(&self) -> f64 {
+        self.fused.gb_per_s() / self.two_pass.gb_per_s()
+    }
+}
+
+/// AEAD seal+open round trip on a reused buffer, two-pass vs fused.
+fn bench_seal_open(target_ms: u64) -> Vec<SealOpenRow> {
+    let mut rng = SimRng::seed_from(0xbe7c);
+    let mut key = [0u8; 32];
+    rng.fill_bytes(&mut key);
+    let aead = ChaCha20Poly1305::new(key);
+    let nonce = [7u8; 12];
+    let aad = [0xA5u8; 8];
+
+    SIZES
+        .iter()
+        .map(|&size| {
+            let mut buf = vec![0u8; size];
+            rng.fill_bytes(&mut buf);
+
+            let two_pass = measure(target_ms, 2 * size as u64, || {
+                let tag = aead.seal_in_place(&nonce, &aad, &mut buf);
+                aead.open_in_place(&nonce, &aad, &mut buf, &tag)
+                    .expect("self round trip");
+                black_box(&buf);
+            });
+            let fused = measure(target_ms, 2 * size as u64, || {
+                let tag = aead.seal_fused_in_place(&nonce, &aad, &mut buf);
+                aead.open_fused_in_place(&nonce, &aad, &mut buf, &tag)
+                    .expect("self round trip");
+                black_box(&buf);
+            });
+            SealOpenRow {
+                size,
+                two_pass,
+                fused,
+            }
+        })
+        .collect()
+}
+
+/// cTLS record seal+open through reused scratches (no transport).
+fn bench_record_scratch(target_ms: u64, payload_len: usize) -> Measurement {
+    let mut tx = Channel::from_secrets([1; 32], [2; 32], true, None);
+    let mut rx = Channel::from_secrets([1; 32], [2; 32], false, None);
+    // Lockstep rekeying costs would dominate tiny windows identically on
+    // both ends; leave the default policy on — it is part of the path.
+    let payload = vec![0x5Au8; payload_len];
+    let mut rec = RecordScratch::new();
+    let mut plain = RecordScratch::new();
+    measure(target_ms, payload_len as u64, || {
+        tx.seal_into(&payload, &mut rec).expect("seal");
+        rx.open_into(rec.as_slice(), &mut plain).expect("open");
+        black_box(plain.as_slice());
+    })
+}
+
+/// End-to-end: cTLS seal -> cio ring -> consume_into -> tunnel gateway.
+fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, Meter) {
+    let clock = Clock::new();
+    let cost = CostModel::default();
+    let meter = Meter::new();
+    let cfg = RingConfig {
+        mtu: 2048,
+        mode: DataMode::SharedArea,
+        ..RingConfig::default()
+    };
+    let area_pages = cfg.area_size as usize / PAGE_SIZE;
+    let mem = GuestMemory::new(32 + area_pages, clock.clone(), cost.clone(), meter.clone());
+    let ring =
+        CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).expect("ring config");
+    mem.share_range(GuestAddr(0), ring.ring_bytes())
+        .expect("share ring");
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
+        .expect("share area");
+    let mut producer = Producer::new(ring.clone(), mem.guest()).expect("producer");
+    let mut consumer = Consumer::new(ring, mem.host()).expect("consumer");
+
+    let hooks = SimHooks {
+        clock: clock.clone(),
+        cost,
+        meter: meter.clone(),
+    };
+    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, Some(hooks));
+    let gw_chan = Channel::from_secrets([3; 32], [4; 32], false, None);
+    let (gw_side, mut peer_side) = PairDevice::pair([MacAddr([0xA; 6]), MacAddr([0xB; 6])], 2048);
+    let mut gw = TunnelGateway::new(gw_chan, gw_side);
+
+    let payload = vec![0x42u8; payload_len];
+    let mut rec = RecordScratch::new();
+    let mut blob: Vec<u8> = Vec::new();
+    let t0 = clock.now();
+    let m = measure(target_ms, payload_len as u64, || {
+        guest.seal_into(&payload, &mut rec).expect("seal");
+        producer.produce(rec.as_slice()).expect("produce");
+        consumer
+            .consume_into(&mut blob)
+            .expect("consume")
+            .expect("record available");
+        assert!(gw.ingress(&blob), "gateway must accept the record");
+        let frame = peer_side.receive().expect("frame on segment");
+        black_box(&frame);
+    });
+    let sim_cycles = clock.since(t0).get();
+    (m, sim_cycles, meter)
+}
+
+fn seal_open_json(rows: &[SealOpenRow]) -> String {
+    json_array(rows.iter().map(|r| {
+        JsonObj::new()
+            .int("size", r.size as u64)
+            .f64("two_pass_gbps", r.two_pass.gb_per_s() * 8.0)
+            .f64("fused_gbps", r.fused.gb_per_s() * 8.0)
+            .f64("two_pass_ns_per_op", r.two_pass.ns_per_iter())
+            .f64("fused_ns_per_op", r.fused.ns_per_iter())
+            .f64("ratio", r.ratio())
+            .finish()
+    }))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target_ms = if quick { 5 } else { 200 };
+
+    println!(
+        "one-pass AEAD dataplane micro-bench ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+    println!("seal+open round trip, two-pass reference vs fused one-pass:");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>7}",
+        "size", "two-pass GB/s", "fused GB/s", "ratio"
+    );
+    let rows = bench_seal_open(target_ms);
+    for r in &rows {
+        println!(
+            "{:>8}  {:>14.3}  {:>14.3}  {:>6.2}x",
+            r.size,
+            r.two_pass.gb_per_s(),
+            r.fused.gb_per_s(),
+            r.ratio()
+        );
+    }
+    let key_row = rows
+        .iter()
+        .find(|r| r.size == KEY_SIZE)
+        .expect("4 KiB row present");
+    let key_ratio = key_row.ratio();
+
+    let scratch = bench_record_scratch(target_ms, 1024);
+    println!();
+    println!(
+        "cTLS record scratch path (1 KiB payloads): {:.0} records/s, {:.3} GB/s payload",
+        scratch.per_sec(),
+        scratch.gb_per_s()
+    );
+
+    let (ring, sim_cycles, meter) = bench_record_ring(target_ms, 1024);
+    let snap = meter.snapshot();
+    println!(
+        "ctls -> ring -> gateway end-to-end (1 KiB payloads): {:.0} records/s, \
+         {:.0} sim cycles/record",
+        ring.per_sec(),
+        sim_cycles as f64 / ring.iters as f64
+    );
+    println!(
+        "  sim meter: {} aead ops, {} copies, {} bytes copied",
+        snap.aead_ops, snap.copies, snap.bytes_copied
+    );
+
+    let verdict_met = key_ratio >= 1.5;
+    println!();
+    println!(
+        "4 KiB fused/two-pass ratio: {:.2}x ({} the 1.5x bar)",
+        key_ratio,
+        if verdict_met { "meets" } else { "BELOW" }
+    );
+
+    let doc = JsonObj::new()
+        .str("bench", "dataplane")
+        .str("mode", if quick { "quick" } else { "full" })
+        .raw("seal_open", seal_open_json(&rows))
+        .raw(
+            "record_scratch",
+            JsonObj::new()
+                .int("payload", 1024)
+                .f64("records_per_sec", scratch.per_sec())
+                .f64("gb_per_s", scratch.gb_per_s())
+                .finish(),
+        )
+        .raw(
+            "record_ring",
+            JsonObj::new()
+                .int("payload", 1024)
+                .f64("records_per_sec", ring.per_sec())
+                .f64("ns_per_record", ring.ns_per_iter())
+                .f64(
+                    "sim_cycles_per_record",
+                    sim_cycles as f64 / ring.iters as f64,
+                )
+                .int("aead_ops", snap.aead_ops)
+                .int("copies", snap.copies)
+                .int("bytes_copied", snap.bytes_copied)
+                .finish(),
+        )
+        .f64("ratio_4k", key_ratio)
+        .finish();
+    std::fs::write("BENCH_dataplane.json", doc + "\n").expect("write BENCH_dataplane.json");
+    println!("wrote BENCH_dataplane.json");
+}

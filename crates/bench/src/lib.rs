@@ -18,6 +18,7 @@ use cio_sim::{Cycles, MeterSnapshot};
 /// Re-export for binaries.
 pub use cio::world::ALL_BOUNDARIES;
 
+pub mod micro;
 pub mod transport;
 
 /// Options tuned for throughput experiments (short link, no loss).

@@ -480,6 +480,11 @@ pub struct TunnelDevice {
     chan: cio_ctls::Channel,
     mac: MacAddr,
     mtu: usize,
+    /// Reusable receive buffer for blobs consumed off the carrier ring.
+    blob: Vec<u8>,
+    /// Reusable scratches for the fused seal/open passes.
+    seal_scratch: cio_ctls::RecordScratch,
+    open_scratch: cio_ctls::RecordScratch,
 }
 
 impl TunnelDevice {
@@ -497,6 +502,9 @@ impl TunnelDevice {
             chan,
             mac,
             mtu,
+            blob: Vec::new(),
+            seal_scratch: cio_ctls::RecordScratch::new(),
+            open_scratch: cio_ctls::RecordScratch::new(),
         }
     }
 }
@@ -506,10 +514,14 @@ impl NetDevice for TunnelDevice {
         if frame.len() > self.mtu + cio_netstack::wire::ETH_HDR_LEN {
             return Err(NetError::TooLarge);
         }
-        let blob = self.chan.seal(frame).map_err(|_| NetError::Malformed)?;
-        match self.inner_tx.produce(&blob) {
+        // One-pass seal into the reused scratch, then straight onto the
+        // ring — no per-frame allocation.
+        self.chan
+            .seal_into(frame, &mut self.seal_scratch)
+            .map_err(|_| NetError::Malformed)?;
+        match self.inner_tx.produce(self.seal_scratch.as_slice()) {
             Ok(()) => Ok(()),
-            Err(cio_vring::RingError::Full) => Err(NetError::DeviceFull),
+            Err(cio_vring::RingError::TooLarge) => Err(NetError::TooLarge),
             Err(_) => Err(NetError::DeviceFull),
         }
     }
@@ -518,9 +530,13 @@ impl NetDevice for TunnelDevice {
         // Host-injected garbage fails to open and is dropped — the tunnel
         // boundary is exactly one AEAD check wide.
         loop {
-            let blob = self.inner_rx.consume().ok().flatten()?;
-            if let Ok(frame) = self.chan.open(&blob) {
-                return Some(frame);
+            self.inner_rx.consume_into(&mut self.blob).ok().flatten()?;
+            if self
+                .chan
+                .open_into(&self.blob, &mut self.open_scratch)
+                .is_ok()
+            {
+                return Some(self.open_scratch.as_slice().to_vec());
             }
         }
     }

@@ -14,7 +14,7 @@ use crate::dev::{
     TunnelDevice, VirtqueueNetDevice, VqArena,
 };
 use crate::CioError;
-use cio_ctls::{Channel, SimHooks};
+use cio_ctls::{Channel, RecordScratch, SimHooks};
 use cio_host::backend::{CioNetBackend, VirtioNetBackend};
 use cio_host::fabric::{Fabric, FabricPort, LinkParams};
 use cio_host::l5::L5Service;
@@ -31,7 +31,7 @@ use cio_vring::hardened::HardenedDriver;
 use cio_vring::virtqueue::{
     driver_negotiate, ConfigSpace, DeviceSide, Driver, Layout, F_NET_MAC, F_NET_MTU, F_VERSION_1,
 };
-use speer::{SecurePeer, SecureStream, TunnelGateway};
+use speer::{FeedResult, SecurePeer, SecureStream, TunnelGateway};
 
 pub use speer::{ECHO_PORT, RPC_PORT};
 
@@ -197,6 +197,9 @@ struct ConnState {
     outbox: Vec<u8>,
     /// Decrypted application bytes awaiting the app.
     app_in: Vec<u8>,
+    /// Reusable stream-feed output buffers (steady state allocates
+    /// nothing per poll).
+    feed_scratch: FeedResult,
 }
 
 /// One complete simulated deployment.
@@ -214,6 +217,8 @@ pub struct World {
     rng: SimRng,
     anatomy: Anatomy,
     layout: GuestLayoutAlloc,
+    /// Reusable scratch for sealing outgoing application data.
+    seal_scratch: RecordScratch,
 }
 
 impl World {
@@ -568,6 +573,7 @@ impl World {
             rng,
             anatomy,
             layout,
+            seal_scratch: RecordScratch::new(),
         })
     }
 
@@ -804,9 +810,9 @@ impl World {
                 while let Some(blob) = gw_port.receive() {
                     gw.ingress(&blob);
                 }
-                for blob in gw.egress() {
-                    let _ = gw_port.transmit(&blob);
-                }
+                gw.egress_each(|blob| {
+                    let _ = gw_port.transmit(blob);
+                });
                 peer.poll();
             }
         }
@@ -927,6 +933,7 @@ impl World {
             stream,
             outbox,
             app_in: Vec::new(),
+            feed_scratch: FeedResult::default(),
         });
         Ok(Conn(self.conns.len() - 1))
     }
@@ -950,9 +957,10 @@ impl World {
             }
             let data = self.raw_recv(handle)?;
             if !data.is_empty() {
-                let result = self.conns[i].stream.feed(&data)?;
-                self.conns[i].app_in.extend(result.app_data);
-                self.conns[i].outbox.extend(result.to_send);
+                let conn = &mut self.conns[i];
+                conn.stream.feed_into(&data, &mut conn.feed_scratch)?;
+                conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
+                conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
             }
         }
         Ok(())
@@ -984,9 +992,17 @@ impl World {
     ///
     /// Stream/transport errors.
     pub fn send(&mut self, c: Conn, data: &[u8]) -> Result<(), CioError> {
-        let sealed = self.conn_mut(c)?.stream.seal(data)?;
-        let handle = self.conns[c.0].handle;
-        self.raw_send(handle, &sealed)
+        // Seal into the world's reusable scratch (taken for the duration
+        // so the borrow checker sees a local) — steady-state sends
+        // allocate nothing.
+        let mut scratch = std::mem::take(&mut self.seal_scratch);
+        let result = (|| {
+            self.conn_mut(c)?.stream.seal_into(data, &mut scratch)?;
+            let handle = self.conns[c.0].handle;
+            self.raw_send(handle, scratch.as_slice())
+        })();
+        self.seal_scratch = scratch;
+        result
     }
 
     /// Takes decrypted application bytes received so far.

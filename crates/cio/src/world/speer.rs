@@ -9,11 +9,14 @@
 
 use crate::CioError;
 use cio_ctls::handshake::{ServerHello, SERVER_HELLO_LEN};
-use cio_ctls::{Channel, ClientHandshake, CtlsError, ServerHandshake, ServerIdentity};
+use cio_ctls::{
+    Channel, ClientHandshake, CtlsError, RecordScratch, ServerHandshake, ServerIdentity,
+};
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{Ipv4Addr, NetDevice};
 use cio_sim::{Clock, SimRng};
 use cio_tee::attest::Measurement;
+use cio_vring::cioring::BufPool;
 
 /// Echo service port.
 pub const ECHO_PORT: u16 = 7;
@@ -29,8 +32,12 @@ pub fn peer_measurement() -> Measurement {
     Measurement::of(PEER_IMAGE)
 }
 
-/// Extracts one complete `[len u32-le][body]` record from `buf`, if whole.
-pub fn take_record(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+/// Total length (header included) of one complete `[len u32-le][body]`
+/// record at the head of `buf`, if whole.
+///
+/// Hot paths peek with this and process the record in place in the
+/// receive buffer, then `drain(..n)` — no per-record allocation.
+pub fn record_len(buf: &[u8]) -> Option<usize> {
     if buf.len() < 4 {
         return None;
     }
@@ -38,7 +45,15 @@ pub fn take_record(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
     if len > (1 << 22) || buf.len() < 4 + len {
         return None;
     }
-    Some(buf.drain(..4 + len).collect())
+    Some(4 + len)
+}
+
+/// Extracts one complete `[len u32-le][body]` record from `buf`, if whole.
+///
+/// Allocating convenience over [`record_len`].
+pub fn take_record(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+    let n = record_len(buf)?;
+    Some(buf.drain(..n).collect())
 }
 
 #[allow(clippy::large_enum_variant)] // few, long-lived per-connection states
@@ -57,11 +72,22 @@ struct PeerConn {
 }
 
 /// The remote confidential peer: echo + RPC, plaintext or cTLS.
+///
+/// The record dataplane is allocation-free in steady state: records are
+/// opened in place out of the connection's receive buffer into reusable
+/// scratches, responses are built in a reusable buffer and sealed into a
+/// reusable record scratch, and receive buffers of closed connections are
+/// recycled through a small [`BufPool`].
 pub struct SecurePeer<D: NetDevice> {
     iface: Interface<D>,
     tls: bool,
     rng: SimRng,
     conns: Vec<PeerConn>,
+    pool: BufPool,
+    plain: RecordScratch,
+    resp: Vec<u8>,
+    rec: RecordScratch,
+    txbuf: Vec<u8>,
 }
 
 impl<D: NetDevice> SecurePeer<D> {
@@ -75,6 +101,11 @@ impl<D: NetDevice> SecurePeer<D> {
             tls,
             rng: SimRng::seed_from(seed),
             conns: Vec::new(),
+            pool: BufPool::default(),
+            plain: RecordScratch::new(),
+            resp: Vec::new(),
+            rec: RecordScratch::new(),
+            txbuf: Vec::new(),
         }
     }
 
@@ -85,20 +116,21 @@ impl<D: NetDevice> SecurePeer<D> {
         }
     }
 
-    fn serve(port: u16, request: &[u8]) -> Vec<u8> {
+    fn serve_into(port: u16, request: &[u8], resp: &mut Vec<u8>) {
+        resp.clear();
         if port == ECHO_PORT {
-            return request.to_vec();
+            resp.extend_from_slice(request);
+            return;
         }
         // RPC: 4-byte LE size request -> length-prefixed 0x5A response.
         if request.len() < 4 {
-            return Vec::new();
+            return;
         }
         let want = u32::from_le_bytes([request[0], request[1], request[2], request[3]]) as usize;
         let want = want.min(1 << 20);
-        let mut resp = Vec::with_capacity(4 + want);
+        resp.reserve(4 + want);
         resp.extend_from_slice(&(want as u32).to_le_bytes());
         resp.extend(std::iter::repeat_n(0x5A, want));
-        resp
     }
 
     /// Drives the peer one round.
@@ -106,6 +138,7 @@ impl<D: NetDevice> SecurePeer<D> {
         let _ = self.iface.poll();
         for port in [ECHO_PORT, RPC_PORT] {
             while let Some(h) = self.iface.tcp_accept(port) {
+                let inbuf = self.pool.get();
                 self.conns.push(PeerConn {
                     h,
                     port,
@@ -114,7 +147,7 @@ impl<D: NetDevice> SecurePeer<D> {
                     } else {
                         PeerTls::Plain
                     },
-                    inbuf: Vec::new(),
+                    inbuf,
                 });
             }
         }
@@ -127,7 +160,7 @@ impl<D: NetDevice> SecurePeer<D> {
             };
             conn.inbuf.extend(data);
 
-            let mut out: Vec<u8> = Vec::new();
+            self.txbuf.clear();
             loop {
                 match &mut conn.tls {
                     PeerTls::Plain => {
@@ -137,14 +170,16 @@ impl<D: NetDevice> SecurePeer<D> {
                             if conn.inbuf.len() < 4 {
                                 break;
                             }
-                            let req: Vec<u8> = conn.inbuf.drain(..4).collect();
-                            out.extend(Self::serve(conn.port, &req));
+                            Self::serve_into(conn.port, &conn.inbuf[..4], &mut self.resp);
+                            conn.inbuf.drain(..4);
+                            self.txbuf.extend_from_slice(&self.resp);
                         } else {
+                            // Echo: the response is the buffered bytes.
                             if conn.inbuf.is_empty() {
                                 break;
                             }
-                            let req: Vec<u8> = std::mem::take(&mut conn.inbuf);
-                            out.extend(Self::serve(conn.port, &req));
+                            self.txbuf.extend_from_slice(&conn.inbuf);
+                            conn.inbuf.clear();
                             break;
                         }
                     }
@@ -160,7 +195,7 @@ impl<D: NetDevice> SecurePeer<D> {
                         self.rng.fill_bytes(&mut entropy);
                         match ServerHandshake::respond(&hello, &Self::identity(), entropy, None) {
                             Ok((sh, cont)) => {
-                                out.extend_from_slice(&sh.to_bytes());
+                                self.txbuf.extend_from_slice(&sh.to_bytes());
                                 conn.tls = PeerTls::AwaitFinished(Box::new(cont));
                             }
                             Err(_) => {
@@ -188,16 +223,21 @@ impl<D: NetDevice> SecurePeer<D> {
                         }
                     }
                     PeerTls::Open(chan) => {
-                        let Some(record) = take_record(&mut conn.inbuf) else {
+                        // Open in place out of the receive buffer: the
+                        // record is only drained once it verified, and
+                        // request, response, and sealed reply all live in
+                        // reusable scratches.
+                        let Some(n) = record_len(&conn.inbuf) else {
                             break;
                         };
-                        match chan.open(&record) {
-                            Ok(plain) => {
-                                let resp = Self::serve(conn.port, &plain);
-                                if !resp.is_empty() {
-                                    if let Ok(rec) = chan.seal(&resp) {
-                                        out.extend(rec);
-                                    }
+                        match chan.open_into(&conn.inbuf[..n], &mut self.plain) {
+                            Ok(()) => {
+                                conn.inbuf.drain(..n);
+                                Self::serve_into(conn.port, self.plain.as_slice(), &mut self.resp);
+                                if !self.resp.is_empty()
+                                    && chan.seal_into(&self.resp, &mut self.rec).is_ok()
+                                {
+                                    self.txbuf.extend_from_slice(self.rec.as_slice());
                                 }
                             }
                             Err(_) => {
@@ -208,8 +248,8 @@ impl<D: NetDevice> SecurePeer<D> {
                     }
                 }
             }
-            if !out.is_empty() {
-                let _ = self.iface.tcp_send(conn.h, &out);
+            if !self.txbuf.is_empty() {
+                let _ = self.iface.tcp_send(conn.h, &self.txbuf);
             }
             if self.iface.tcp_peer_closed(conn.h).unwrap_or(true) {
                 let _ = self.iface.tcp_close(conn.h);
@@ -219,7 +259,8 @@ impl<D: NetDevice> SecurePeer<D> {
         dead.sort_unstable();
         dead.dedup();
         for i in dead.into_iter().rev() {
-            self.conns.remove(i);
+            let conn = self.conns.remove(i);
+            self.pool.put(conn.inbuf);
         }
         let _ = self.iface.poll();
     }
@@ -249,6 +290,8 @@ enum StreamState {
     Open {
         chan: Box<Channel>,
         inbuf: Vec<u8>,
+        /// Per-record decrypt scratch, reused across the stream's life.
+        plain: RecordScratch,
     },
 }
 
@@ -290,20 +333,53 @@ impl SecureStream {
     ///
     /// [`CioError::Ctls`] if called before the handshake completes.
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, CioError> {
+        let mut out = RecordScratch::new();
+        self.seal_into(plaintext, &mut out)?;
+        Ok(out.as_slice().to_vec())
+    }
+
+    /// Protects outgoing application bytes into a reusable scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Ctls`] if called before the handshake completes.
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut RecordScratch) -> Result<(), CioError> {
         match &mut self.state {
-            StreamState::Plain => Ok(plaintext.to_vec()),
-            StreamState::Open { chan, .. } => Ok(chan.seal(plaintext)?),
+            StreamState::Plain => {
+                out.copy_from(plaintext);
+                Ok(())
+            }
+            StreamState::Open { chan, .. } => Ok(chan.seal_into(plaintext, out)?),
             StreamState::AwaitServerHello { .. } => Err(CioError::Ctls(CtlsError::BadSequence)),
         }
     }
 
     /// Feeds raw bytes received from the transport.
     ///
+    /// Allocating convenience over [`SecureStream::feed_into`].
+    ///
     /// # Errors
     ///
     /// Handshake/record failures; the stream is dead afterwards.
     pub fn feed(&mut self, bytes: &[u8]) -> Result<FeedResult, CioError> {
         let mut result = FeedResult::default();
+        self.feed_into(bytes, &mut result)?;
+        Ok(result)
+    }
+
+    /// Feeds raw bytes received from the transport, reusing the caller's
+    /// [`FeedResult`] buffers (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Handshake/record failures; the stream is dead afterwards.
+    pub fn feed_into(&mut self, bytes: &[u8], result: &mut FeedResult) -> Result<(), CioError> {
+        result.to_send.clear();
+        result.app_data.clear();
+        self.feed_append(bytes, result)
+    }
+
+    fn feed_append(&mut self, bytes: &[u8], result: &mut FeedResult) -> Result<(), CioError> {
         match &mut self.state {
             StreamState::Plain => {
                 result.app_data.extend_from_slice(bytes);
@@ -316,25 +392,26 @@ impl SecureStream {
                     let sh = ServerHello::from_bytes(&sh_bytes)?;
                     let hs = hs.take().expect("handshake consumed once");
                     let (fin, chan) = hs.finish(&sh, &PLATFORM_KEY, &peer_measurement())?;
-                    result.to_send = fin;
+                    result.to_send.extend_from_slice(&fin);
                     self.state = StreamState::Open {
                         chan: Box::new(chan),
                         inbuf: leftover,
+                        plain: RecordScratch::new(),
                     };
                     // Any piggybacked records are processed below.
-                    let more = self.feed(&[])?;
-                    result.app_data.extend(more.app_data);
-                    result.to_send.extend(more.to_send);
+                    self.feed_append(&[], result)?;
                 }
             }
-            StreamState::Open { chan, inbuf } => {
+            StreamState::Open { chan, inbuf, plain } => {
                 inbuf.extend_from_slice(bytes);
-                while let Some(record) = take_record(inbuf) {
-                    result.app_data.extend(chan.open(&record)?);
+                while let Some(n) = record_len(inbuf) {
+                    chan.open_into(&inbuf[..n], plain)?;
+                    inbuf.drain(..n);
+                    result.app_data.extend_from_slice(plain.as_slice());
                 }
             }
         }
-        Ok(result)
+        Ok(())
     }
 }
 
@@ -345,32 +422,48 @@ pub struct TunnelGateway {
     chan: Channel,
     /// Gateway side of the safe segment (the peer holds the other end).
     pub segment: cio_netstack::PairDevice,
+    open_scratch: RecordScratch,
+    seal_scratch: RecordScratch,
 }
 
 impl TunnelGateway {
     /// Creates the gateway from the provisioned tunnel channel.
     pub fn new(chan: Channel, segment: cio_netstack::PairDevice) -> Self {
-        TunnelGateway { chan, segment }
+        TunnelGateway {
+            chan,
+            segment,
+            open_scratch: RecordScratch::new(),
+            seal_scratch: RecordScratch::new(),
+        }
     }
 
     /// Decapsulates one blob from the untrusted side; returns whether the
-    /// inner frame was valid and forwarded.
+    /// inner frame was valid and forwarded. The decrypted frame lives in a
+    /// reusable scratch — no per-blob allocation.
     pub fn ingress(&mut self, blob: &[u8]) -> bool {
-        match self.chan.open(blob) {
-            Ok(frame) => self.segment.transmit(&frame).is_ok(),
+        match self.chan.open_into(blob, &mut self.open_scratch) {
+            Ok(()) => self.segment.transmit(self.open_scratch.as_slice()).is_ok(),
             Err(_) => false,
+        }
+    }
+
+    /// Encapsulates frames arriving from the safe segment, handing each
+    /// sealed blob to `emit` straight out of a reusable scratch.
+    pub fn egress_each<F: FnMut(&[u8])>(&mut self, mut emit: F) {
+        while let Some(frame) = self.segment.receive() {
+            if self.chan.seal_into(&frame, &mut self.seal_scratch).is_ok() {
+                emit(self.seal_scratch.as_slice());
+            }
         }
     }
 
     /// Encapsulates frames arriving from the safe segment; returns sealed
     /// blobs for the untrusted side.
+    ///
+    /// Allocating convenience over [`TunnelGateway::egress_each`].
     pub fn egress(&mut self) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
-        while let Some(frame) = self.segment.receive() {
-            if let Ok(blob) = self.chan.seal(&frame) {
-                out.push(blob);
-            }
-        }
+        self.egress_each(|blob| out.push(blob.to_vec()));
         out
     }
 }
@@ -446,6 +539,32 @@ mod tests {
         assert!(r1.app_data.is_empty());
         let r2 = stream.feed(&resp[3..]).unwrap();
         assert_eq!(r2.app_data, b"fragmented");
+    }
+
+    #[test]
+    fn stream_reused_scratches_roundtrip() {
+        let (hello, mut stream) = SecureStream::client([5u8; 64], None);
+        let identity = ServerIdentity {
+            platform_key: PLATFORM_KEY,
+            measurement: peer_measurement(),
+        };
+        let (sh, cont) = ServerHandshake::respond(&hello, &identity, [6u8; 64], None).unwrap();
+        let mut result = FeedResult::default();
+        stream.feed_into(&sh.to_bytes(), &mut result).unwrap();
+        let mut server_chan = cont.verify_finished(&result.to_send).unwrap();
+
+        // One record scratch and one feed result, reused across messages
+        // of varying size in both directions.
+        let mut rec = RecordScratch::new();
+        for i in 0..8usize {
+            let msg = vec![i as u8; i * 31];
+            stream.seal_into(&msg, &mut rec).unwrap();
+            assert_eq!(server_chan.open(rec.as_slice()).unwrap(), msg);
+            let resp = server_chan.seal(&msg).unwrap();
+            stream.feed_into(&resp, &mut result).unwrap();
+            assert_eq!(result.app_data, msg);
+            assert!(result.to_send.is_empty());
+        }
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
 
-use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::chacha20::{self, ChaCha20, BLOCK_LEN, KEY_LEN, NONCE_LEN, WIDE_BLOCKS};
 use crate::ct::ct_eq;
 use crate::poly1305::{Poly1305, TAG_LEN};
 use crate::CryptoError;
+
+/// Bytes encrypted/absorbed per iteration of the fused loops: one wide
+/// ChaCha20 run. A multiple of 16, so the Poly1305 fast path never has
+/// to stage bytes until the final partial chunk.
+const FUSE_CHUNK: usize = WIDE_BLOCKS * BLOCK_LEN;
 
 /// An RFC 8439 ChaCha20-Poly1305 AEAD key.
 ///
@@ -109,6 +114,152 @@ impl ChaCha20Poly1305 {
             return Err(CryptoError::BadTag);
         }
         chacha20::xor_stream(&self.key, 1, nonce, buf);
+        Ok(())
+    }
+
+    /// Starts a fused one-pass operation: a cached-schedule ChaCha20
+    /// session plus a Poly1305 MAC keyed from the counter-0 block of
+    /// that same session, with the AAD already absorbed and padded.
+    fn fused_start(&self, nonce: &[u8; NONCE_LEN], aad: &[u8]) -> (ChaCha20, Poly1305) {
+        let session = ChaCha20::new(&self.key, nonce);
+        let block0 = session.block_words(0);
+        let mut pk = [0u8; 32];
+        for (chunk, w) in pk.chunks_exact_mut(4).zip(&block0[..8]) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        let mut mac = Poly1305::new(&pk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        (session, mac)
+    }
+
+    /// Pads the ciphertext, absorbs the RFC 8439 length trailer, and
+    /// produces the tag.
+    fn fused_finish(mut mac: Poly1305, aad_len: usize, ct_len: usize) -> [u8; TAG_LEN] {
+        mac.update(&[0u8; 16][..(16 - ct_len % 16) % 16]);
+        mac.update(&(aad_len as u64).to_le_bytes());
+        mac.update(&(ct_len as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// One-pass in-place seal: each 256-byte run is encrypted by the
+    /// wide keystream path and immediately absorbed by the MAC while
+    /// still hot in cache. Output is bit-identical to [`seal_in_place`].
+    pub fn seal_fused_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        let (session, mut mac) = self.fused_start(nonce, aad);
+        let mut counter = 1u32;
+        let aad_len = aad.len();
+        let ct_len = buf.len();
+        for chunk in buf.chunks_mut(FUSE_CHUNK) {
+            session.xor_at(counter, chunk);
+            counter = counter.wrapping_add(chunk.len().div_ceil(BLOCK_LEN) as u32);
+            mac.update(chunk);
+        }
+        Self::fused_finish(mac, aad_len, ct_len)
+    }
+
+    /// One-pass in-place open of `buf` (ciphertext) against the detached
+    /// `tag`: each run is absorbed by the MAC and then decrypted, so the
+    /// data is read once. Output is bit-identical to [`open_in_place`].
+    ///
+    /// On tag mismatch the buffer is restored to ciphertext (ChaCha20 is
+    /// an involution, so re-encrypting undoes the speculative decrypt)
+    /// and no plaintext is released.
+    pub fn open_fused_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<(), CryptoError> {
+        let (session, mut mac) = self.fused_start(nonce, aad);
+        let mut counter = 1u32;
+        let aad_len = aad.len();
+        let ct_len = buf.len();
+        for chunk in buf.chunks_mut(FUSE_CHUNK) {
+            mac.update(chunk);
+            session.xor_at(counter, chunk);
+            counter = counter.wrapping_add(chunk.len().div_ceil(BLOCK_LEN) as u32);
+        }
+        let expected = Self::fused_finish(mac, aad_len, ct_len);
+        if !ct_eq(&expected, tag) {
+            session.xor_at(1, buf);
+            return Err(CryptoError::BadTag);
+        }
+        Ok(())
+    }
+
+    /// Fused counterpart of [`seal`]: returns `ciphertext || tag`,
+    /// bit-identical to the two-pass API.
+    pub fn seal_fused(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_fused_in_place(nonce, aad, &mut out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Fused counterpart of [`open`].
+    pub fn open_fused(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::new();
+        self.open_fused_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Seals `plaintext` into a caller-provided buffer, appending
+    /// `ciphertext || tag` to `out` without intermediate allocations, so
+    /// steady-state paths can reuse the buffer's capacity.
+    pub fn seal_fused_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_fused_in_place(nonce, aad, &mut out[start..]);
+        out.extend_from_slice(&tag);
+    }
+
+    /// Opens `sealed` (= ciphertext || tag) into a caller-provided
+    /// buffer: `out` is cleared, then filled with the plaintext. The
+    /// only steady-state cost is one pass over the data — no allocation
+    /// once `out` has warmed up to the message size.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadLength`] if `sealed` is shorter than a tag;
+    /// [`CryptoError::BadTag`] on authentication failure, in which case
+    /// `out` is left empty.
+    pub fn open_fused_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::BadLength);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let tag: &[u8; TAG_LEN] = tag.try_into().expect("tag length");
+        out.clear();
+        out.extend_from_slice(ciphertext);
+        if let Err(e) = self.open_fused_in_place(nonce, aad, out, tag) {
+            out.clear();
+            return Err(e);
+        }
         Ok(())
     }
 }

@@ -1,8 +1,13 @@
 //! Poly1305 one-time authenticator (RFC 8439).
 //!
-//! Implemented with radix-2^26 limbs (the "donna" representation): five
-//! 26-bit limbs fit products in `u64` without overflow and keep carries
-//! simple and branch-free.
+//! Implemented with radix-2^44 limbs (the 64-bit "donna"
+//! representation): three limbs of 44/44/42 bits keep each `h *= r`
+//! step to nine widening multiplies whose products fit in `u128`, and
+//! carries stay simple and branch-free. On 64-bit targets this roughly
+//! halves the per-byte cost of the classic five-limb radix-2^26 form.
+
+const M44: u64 = 0xfff_ffff_ffff;
+const M42: u64 = 0x3ff_ffff_ffff;
 
 /// Poly1305 key length (r || s) in bytes.
 pub const KEY_LEN: usize = 32;
@@ -12,100 +17,129 @@ pub const TAG_LEN: usize = 16;
 /// Incremental Poly1305 state.
 #[derive(Clone)]
 pub struct Poly1305 {
-    r: [u32; 5],
-    s: [u32; 4],
-    h: [u32; 5],
+    /// Clamped `r`, radix-2^44 limbs (44/44/42 bits).
+    r: [u64; 3],
+    /// Precomputed `20 * r[1..]` folding constants for the wrapped terms.
+    f: [u64; 2],
+    /// The pad `s` as two raw little-endian words.
+    s: [u64; 2],
+    /// Accumulator, radix-2^44 limbs.
+    h: [u64; 3],
     buffer: [u8; 16],
     buffered: usize,
+}
+
+#[inline]
+fn le64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
 }
 
 impl Poly1305 {
     /// Creates a state from the 32-byte one-time key `(r, s)`.
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
-        // Clamp r per the RFC.
-        let t0 = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes"));
-        let t1 = u32::from_le_bytes(key[4..8].try_into().expect("4 bytes"));
-        let t2 = u32::from_le_bytes(key[8..12].try_into().expect("4 bytes"));
-        let t3 = u32::from_le_bytes(key[12..16].try_into().expect("4 bytes"));
-
-        let r = [
-            t0 & 0x03ff_ffff,
-            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
-            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
-            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
-            (t3 >> 8) & 0x000f_ffff,
-        ];
-        let s = [
-            u32::from_le_bytes(key[16..20].try_into().expect("4 bytes")),
-            u32::from_le_bytes(key[20..24].try_into().expect("4 bytes")),
-            u32::from_le_bytes(key[24..28].try_into().expect("4 bytes")),
-            u32::from_le_bytes(key[28..32].try_into().expect("4 bytes")),
-        ];
+        // Clamp r per the RFC, split into 44/44/42-bit limbs.
+        let t0 = le64(&key[0..8]);
+        let t1 = le64(&key[8..16]);
+        let r0 = t0 & 0xffc_0fff_ffff;
+        let r1 = ((t0 >> 44) | (t1 << 20)) & 0xfff_ffc0_ffff;
+        let r2 = (t1 >> 24) & 0x00f_ffff_fc0f;
         Poly1305 {
-            r,
-            s,
-            h: [0; 5],
+            r: [r0, r1, r2],
+            // A limb that overflows past 2^130 re-enters at 5x; terms
+            // sourced from the 42-bit top limb carry an extra 4x from
+            // the radix difference, hence 20 = 5 * 4. Clamping makes
+            // r's low two bits of every high limb zero, so 20 * r fits.
+            f: [r1 * 20, r2 * 20],
+            s: [le64(&key[16..24]), le64(&key[24..32])],
+            h: [0; 3],
             buffer: [0; 16],
             buffered: 0,
         }
     }
 
     fn process_block(&mut self, block: &[u8; 16], final_bit: bool) {
-        let hibit: u32 = if final_bit { 0 } else { 1 << 24 };
+        let hibit: u64 = if final_bit { 0 } else { 1 << 40 };
+        let [r0, r1, r2] = self.r;
+        let [f1, f2] = self.f;
+        let [mut h0, mut h1, mut h2] = self.h;
 
-        let t0 = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
-        let t1 = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes"));
-        let t2 = u32::from_le_bytes(block[8..12].try_into().expect("4 bytes"));
-        let t3 = u32::from_le_bytes(block[12..16].try_into().expect("4 bytes"));
+        // h += m (with the 2^128 message bit on full blocks).
+        let t0 = le64(&block[0..8]);
+        let t1 = le64(&block[8..16]);
+        h0 += t0 & M44;
+        h1 += ((t0 >> 44) | (t1 << 20)) & M44;
+        h2 += ((t1 >> 24) & M42) | hibit;
 
-        // h += m
-        self.h[0] = self.h[0].wrapping_add(t0 & 0x03ff_ffff);
-        self.h[1] = self.h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
-        self.h[2] = self.h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
-        self.h[3] = self.h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
-        self.h[4] = self.h[4].wrapping_add((t3 >> 8) | hibit);
-
-        // h *= r (mod 2^130 - 5), schoolbook with 5*r folding.
-        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
-        let s1 = r1 * 5;
-        let s2 = r2 * 5;
-        let s3 = r3 * 5;
-        let s4 = r4 * 5;
-        let [h0, h1, h2, h3, h4] = self.h.map(u64::from);
-
-        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
-        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
-        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
-        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
-        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+        // h *= r (mod 2^130 - 5), schoolbook with folded wrap terms.
+        let d0 = u128::from(h0) * u128::from(r0)
+            + u128::from(h1) * u128::from(f2)
+            + u128::from(h2) * u128::from(f1);
+        let mut d1 = u128::from(h0) * u128::from(r1)
+            + u128::from(h1) * u128::from(r0)
+            + u128::from(h2) * u128::from(f2);
+        let mut d2 = u128::from(h0) * u128::from(r2)
+            + u128::from(h1) * u128::from(r1)
+            + u128::from(h2) * u128::from(r0);
 
         // Carry propagation.
-        let mut c: u64;
-        let mut d0 = d0;
-        let mut d1 = d1;
-        let mut d2 = d2;
-        let mut d3 = d3;
-        let mut d4 = d4;
-        c = d0 >> 26;
-        d0 &= 0x03ff_ffff;
-        d1 += c;
-        c = d1 >> 26;
-        d1 &= 0x03ff_ffff;
-        d2 += c;
-        c = d2 >> 26;
-        d2 &= 0x03ff_ffff;
-        d3 += c;
-        c = d3 >> 26;
-        d3 &= 0x03ff_ffff;
-        d4 += c;
-        c = d4 >> 26;
-        d4 &= 0x03ff_ffff;
-        d0 += c * 5;
-        c = d0 >> 26;
-        d0 &= 0x03ff_ffff;
-        d1 += c;
+        let c = (d0 >> 44) as u64;
+        h0 = (d0 as u64) & M44;
+        d1 += u128::from(c);
+        let c = (d1 >> 44) as u64;
+        h1 = (d1 as u64) & M44;
+        d2 += u128::from(c);
+        let c = (d2 >> 42) as u64;
+        h2 = (d2 as u64) & M42;
+        h0 += c * 5;
+        let c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
 
-        self.h = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+        self.h = [h0, h1, h2];
+    }
+
+    /// Aligned multi-block fast path: absorbs `data` (whose length must
+    /// be a multiple of 16) without staging through the 16-byte buffer,
+    /// keeping the accumulator and the folding constants in locals
+    /// across the whole run instead of reloading them per block.
+    fn process_blocks(&mut self, data: &[u8]) {
+        debug_assert_eq!(data.len() % 16, 0);
+        let [r0, r1, r2] = self.r;
+        let [f1, f2] = self.f;
+        let [mut h0, mut h1, mut h2] = self.h;
+
+        for block in data.chunks_exact(16) {
+            let t0 = le64(&block[0..8]);
+            let t1 = le64(&block[8..16]);
+            h0 += t0 & M44;
+            h1 += ((t0 >> 44) | (t1 << 20)) & M44;
+            h2 += ((t1 >> 24) & M42) | (1 << 40);
+
+            let d0 = u128::from(h0) * u128::from(r0)
+                + u128::from(h1) * u128::from(f2)
+                + u128::from(h2) * u128::from(f1);
+            let mut d1 = u128::from(h0) * u128::from(r1)
+                + u128::from(h1) * u128::from(r0)
+                + u128::from(h2) * u128::from(f2);
+            let mut d2 = u128::from(h0) * u128::from(r2)
+                + u128::from(h1) * u128::from(r1)
+                + u128::from(h2) * u128::from(r0);
+
+            let c = (d0 >> 44) as u64;
+            h0 = (d0 as u64) & M44;
+            d1 += u128::from(c);
+            let c = (d1 >> 44) as u64;
+            h1 = (d1 as u64) & M44;
+            d2 += u128::from(c);
+            let c = (d2 >> 42) as u64;
+            h2 = (d2 as u64) & M42;
+            h0 += c * 5;
+            let c = h0 >> 44;
+            h0 &= M44;
+            h1 += c;
+        }
+
+        self.h = [h0, h1, h2];
     }
 
     /// Absorbs message bytes.
@@ -122,10 +156,10 @@ impl Poly1305 {
                 self.buffered = 0;
             }
         }
-        while input.len() >= 16 {
-            let block: [u8; 16] = input[..16].try_into().expect("16 bytes");
-            self.process_block(&block, false);
-            input = &input[16..];
+        let aligned = input.len() & !15;
+        if aligned > 0 {
+            self.process_blocks(&input[..aligned]);
+            input = &input[aligned..];
         }
         if !input.is_empty() {
             self.buffer[..input.len()].copy_from_slice(input);
@@ -143,70 +177,60 @@ impl Poly1305 {
             self.process_block(&block, true);
         }
 
-        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let [mut h0, mut h1, mut h2] = self.h;
 
         // Full carry.
-        let mut c: u32;
-        c = h1 >> 26;
-        h1 &= 0x03ff_ffff;
-        h2 = h2.wrapping_add(c);
-        c = h2 >> 26;
-        h2 &= 0x03ff_ffff;
-        h3 = h3.wrapping_add(c);
-        c = h3 >> 26;
-        h3 &= 0x03ff_ffff;
-        h4 = h4.wrapping_add(c);
-        c = h4 >> 26;
-        h4 &= 0x03ff_ffff;
-        h0 = h0.wrapping_add(c.wrapping_mul(5));
-        c = h0 >> 26;
-        h0 &= 0x03ff_ffff;
-        h1 = h1.wrapping_add(c);
+        let mut c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
+        c = h1 >> 44;
+        h1 &= M44;
+        h2 += c;
+        c = h2 >> 42;
+        h2 &= M42;
+        h0 += c * 5;
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 += c;
 
-        // Compute h + -p = h - (2^130 - 5) via g = h + 5 - 2^130.
+        // Compute g = h + 5 - 2^130; if it does not underflow, h >= p.
         let mut g0 = h0.wrapping_add(5);
-        c = g0 >> 26;
-        g0 &= 0x03ff_ffff;
+        c = g0 >> 44;
+        g0 &= M44;
         let mut g1 = h1.wrapping_add(c);
-        c = g1 >> 26;
-        g1 &= 0x03ff_ffff;
-        let mut g2 = h2.wrapping_add(c);
-        c = g2 >> 26;
-        g2 &= 0x03ff_ffff;
-        let mut g3 = h3.wrapping_add(c);
-        c = g3 >> 26;
-        g3 &= 0x03ff_ffff;
-        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+        c = g1 >> 44;
+        g1 &= M44;
+        let g2 = h2.wrapping_add(c).wrapping_sub(1 << 42);
 
-        // Select h if h < p else g, branch-free.
-        let mask = (g4 >> 31).wrapping_sub(1); // all-ones if g4 >= 0 (h >= p)
-        h0 = (h0 & !mask) | (g0 & mask);
-        h1 = (h1 & !mask) | (g1 & mask);
-        h2 = (h2 & !mask) | (g2 & mask);
-        h3 = (h3 & !mask) | (g3 & mask);
-        h4 = (h4 & !mask) | (g4 & mask);
+        // Select h if h < p else g, branch-free: underflow sets g2's
+        // top bit.
+        let keep_h = (g2 >> 63).wrapping_neg(); // all-ones if h < p
+        h0 = (h0 & keep_h) | (g0 & !keep_h);
+        h1 = (h1 & keep_h) | (g1 & !keep_h);
+        h2 = (h2 & keep_h) | (g2 & !keep_h);
 
-        // Serialize to 128 bits.
-        let f0 = (h0 | (h1 << 26)) as u64;
-        let f1 = ((h1 >> 6) | (h2 << 20)) as u64;
-        let f2 = ((h2 >> 12) | (h3 << 14)) as u64;
-        let f3 = ((h3 >> 18) | (h4 << 8)) as u64;
+        // tag = (h + s) mod 2^128, added in the 44/44/42 radix.
+        let [t0, t1] = self.s;
+        h0 = h0.wrapping_add(t0 & M44);
+        c = h0 >> 44;
+        h0 &= M44;
+        h1 = h1.wrapping_add((((t0 >> 44) | (t1 << 20)) & M44).wrapping_add(c));
+        c = h1 >> 44;
+        h1 &= M44;
+        h2 = h2.wrapping_add(((t1 >> 24) & M42).wrapping_add(c)) & M42;
 
-        // tag = (h + s) mod 2^128.
-        let mut acc = f0 + u64::from(self.s[0]);
-        let w0 = acc as u32;
-        acc = f1 + u64::from(self.s[1]) + (acc >> 32);
-        let w1 = acc as u32;
-        acc = f2 + u64::from(self.s[2]) + (acc >> 32);
-        let w2 = acc as u32;
-        acc = f3 + u64::from(self.s[3]) + (acc >> 32);
-        let w3 = acc as u32;
-
+        // Serialize to two little-endian words.
+        let w0 = h0 | (h1 << 44);
+        let w1 = (h1 >> 20) | (h2 << 24);
         let mut tag = [0u8; TAG_LEN];
-        tag[0..4].copy_from_slice(&w0.to_le_bytes());
-        tag[4..8].copy_from_slice(&w1.to_le_bytes());
-        tag[8..12].copy_from_slice(&w2.to_le_bytes());
-        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag[0..8].copy_from_slice(&w0.to_le_bytes());
+        tag[8..16].copy_from_slice(&w1.to_le_bytes());
         tag
     }
 
@@ -295,6 +319,21 @@ mod tests {
         );
         let tag = Poly1305::mac(&key, &msg);
         assert_eq!(tag.to_vec(), unhex("14000000000000005500000000000000"));
+    }
+
+    #[test]
+    fn multi_block_fast_path_equals_per_block() {
+        // Feed the same message through the aligned fast path (one big
+        // update) and through forced per-block staging (1-byte updates).
+        let key: [u8; 32] = (100u8..132).collect::<Vec<_>>().try_into().unwrap();
+        for len in [16usize, 32, 48, 64, 160, 512, 1024, 1040] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let mut bytewise = Poly1305::new(&key);
+            for b in &data {
+                bytewise.update(core::slice::from_ref(b));
+            }
+            assert_eq!(bytewise.finalize(), Poly1305::mac(&key, &data), "len {len}");
+        }
     }
 
     #[test]

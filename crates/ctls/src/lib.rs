@@ -27,7 +27,7 @@ pub mod handshake;
 pub mod record;
 
 pub use handshake::{ClientHandshake, ServerHandshake, ServerIdentity};
-pub use record::Channel;
+pub use record::{Channel, RecordScratch};
 
 use cio_sim::{Clock, CostModel, Meter};
 

@@ -9,10 +9,66 @@
 
 use crate::{CtlsError, SimHooks};
 use cio_crypto::aead::ChaCha20Poly1305;
+use cio_crypto::poly1305::TAG_LEN;
 use cio_crypto::{hkdf, CryptoError};
 
 /// Overhead added to each record: 4-byte length + 16-byte tag.
 pub const RECORD_OVERHEAD: usize = 20;
+
+/// A reusable buffer for record seal/open output.
+///
+/// The record layer writes into this scratch in place — header, payload,
+/// and tag assembled directly in the one backing `Vec` — so a steady-state
+/// send/receive loop allocates nothing once the scratch has warmed up to
+/// the largest record it has carried.
+#[derive(Default)]
+pub struct RecordScratch {
+    buf: Vec<u8>,
+}
+
+impl RecordScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        RecordScratch::default()
+    }
+
+    /// A scratch pre-sized for `n`-byte contents.
+    pub fn with_capacity(n: usize) -> Self {
+        RecordScratch {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// The bytes produced by the last seal/open.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Replaces the contents with a copy of `bytes`.
+    ///
+    /// Lets pass-through (plaintext) paths share one scratch with sealed
+    /// paths without allocating.
+    pub fn copy_from(&mut self, bytes: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length of the current contents.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the scratch currently holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for RecordScratch {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
 
 /// Records per key generation when automatic rekeying is enabled.
 ///
@@ -66,18 +122,26 @@ impl Direction {
         }
     }
 
-    fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+    /// Encrypts one record into `out` (cleared first): the header is
+    /// written straight into the buffer, the payload is encrypted in
+    /// place by the fused one-pass AEAD, and the tag appended — no
+    /// intermediate Vec anywhere.
+    fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) {
         self.maybe_rekey();
         let aad = self.seq.to_be_bytes();
-        let sealed = self.aead.seal(&Self::nonce(self.seq), &aad, plaintext);
+        let nonce = Self::nonce(self.seq);
+        out.clear();
+        out.reserve(4 + plaintext.len() + TAG_LEN);
+        out.extend_from_slice(&((plaintext.len() + TAG_LEN) as u32).to_le_bytes());
+        out.extend_from_slice(plaintext);
+        let tag = self.aead.seal_fused_in_place(&nonce, &aad, &mut out[4..]);
+        out.extend_from_slice(&tag);
         self.seq += 1;
-        let mut rec = Vec::with_capacity(4 + sealed.len());
-        rec.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&sealed);
-        rec
     }
 
-    fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, CtlsError> {
+    /// Verifies and decrypts one record into `out` (cleared first; left
+    /// empty on failure).
+    fn open_into(&mut self, record: &[u8], out: &mut Vec<u8>) -> Result<(), CtlsError> {
         if record.len() < 4 {
             return Err(CtlsError::Malformed);
         }
@@ -87,15 +151,14 @@ impl Direction {
         }
         self.maybe_rekey();
         let aad = self.seq.to_be_bytes();
-        let plain = self
-            .aead
-            .open(&Self::nonce(self.seq), &aad, &record[4..])
+        self.aead
+            .open_fused_into(&Self::nonce(self.seq), &aad, &record[4..], out)
             .map_err(|e| match e {
                 CryptoError::BadTag => CtlsError::BadSequence,
                 other => CtlsError::Crypto(other),
             })?;
         self.seq += 1;
-        Ok(plain)
+        Ok(())
     }
 }
 
@@ -154,18 +217,50 @@ impl Channel {
 
     /// Encrypts one application message into a record.
     ///
+    /// Allocating convenience over [`Channel::seal_into`].
+    ///
     /// # Errors
     ///
     /// Currently infallible in practice; kept fallible for API stability
     /// with future length limits.
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, CtlsError> {
+        let mut out = Vec::new();
+        self.seal_into_vec(plaintext, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encrypts one application message into a reusable scratch.
+    ///
+    /// The record (`[len][ciphertext][tag]`) is assembled in place in the
+    /// scratch's backing buffer; steady state performs zero allocations.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for API stability
+    /// with future length limits.
+    pub fn seal_into(
+        &mut self,
+        plaintext: &[u8],
+        out: &mut RecordScratch,
+    ) -> Result<(), CtlsError> {
+        self.seal_into_vec(plaintext, &mut out.buf)
+    }
+
+    pub(crate) fn seal_into_vec(
+        &mut self,
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CtlsError> {
         if let Some(h) = &self.hooks {
             h.charge_aead(plaintext.len());
         }
-        Ok(self.tx.seal(plaintext))
+        self.tx.seal_into(plaintext, out);
+        Ok(())
     }
 
     /// Verifies and decrypts one record.
+    ///
+    /// Allocating convenience over [`Channel::open_into`].
     ///
     /// # Errors
     ///
@@ -173,10 +268,32 @@ impl Channel {
     /// stream (replay, reorder, tamper); [`CtlsError::Malformed`] for
     /// framing damage.
     pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, CtlsError> {
+        let mut out = Vec::new();
+        self.open_into_vec(record, &mut out)?;
+        Ok(out)
+    }
+
+    /// Verifies and decrypts one record into a reusable scratch.
+    ///
+    /// On success the scratch holds the plaintext; on failure it is left
+    /// empty. Steady state performs zero allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Channel::open`].
+    pub fn open_into(&mut self, record: &[u8], out: &mut RecordScratch) -> Result<(), CtlsError> {
+        self.open_into_vec(record, &mut out.buf)
+    }
+
+    pub(crate) fn open_into_vec(
+        &mut self,
+        record: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CtlsError> {
         if let Some(h) = &self.hooks {
             h.charge_aead(record.len().saturating_sub(4));
         }
-        self.rx.open(record)
+        self.rx.open_into(record, out)
     }
 
     /// Records sent so far.
@@ -330,6 +447,47 @@ mod tests {
         }
         // The generation-0 record cannot be replayed into generation 1+.
         assert!(s.open(&old).is_err());
+    }
+
+    #[test]
+    fn scratch_seal_open_matches_vec_api() {
+        // Two channel pairs with identical secrets: one driven through
+        // the Vec API, one through reusable scratches. Records and
+        // plaintexts must match byte for byte at every step.
+        let (mut c1, mut s1) = pair();
+        let (mut c2, mut s2) = pair();
+        let mut rec = RecordScratch::new();
+        let mut plain = RecordScratch::new();
+        for i in 0..8usize {
+            let msg: Vec<u8> = (0..i * 37).map(|b| b as u8).collect();
+            let vec_record = c1.seal(&msg).unwrap();
+            c2.seal_into(&msg, &mut rec).unwrap();
+            assert_eq!(vec_record, rec.as_slice(), "record {i}");
+
+            let vec_plain = s1.open(&vec_record).unwrap();
+            s2.open_into(rec.as_slice(), &mut plain).unwrap();
+            assert_eq!(vec_plain, plain.as_slice(), "plain {i}");
+            assert_eq!(plain.as_slice(), &msg[..], "roundtrip {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_open_failure_leaves_scratch_empty() {
+        let (mut c, mut s) = pair();
+        let mut rec = RecordScratch::new();
+        c.seal_into(b"target", &mut rec).unwrap();
+        let mut tampered = rec.as_slice().to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x40;
+        let mut plain = RecordScratch::new();
+        assert_eq!(
+            s.open_into(&tampered, &mut plain),
+            Err(CtlsError::BadSequence)
+        );
+        assert!(plain.is_empty());
+        // The channel did not advance: the genuine record still opens.
+        s.open_into(rec.as_slice(), &mut plain).unwrap();
+        assert_eq!(plain.as_slice(), b"target");
     }
 
     #[test]

@@ -10,8 +10,7 @@
 
 use crate::{GuestAddr, MemError, PAGE_SIZE};
 use cio_sim::{Clock, CostModel, Meter};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Protection state of one guest page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +68,7 @@ impl GuestMemory {
 
     /// Total size in bytes.
     pub fn len(&self) -> usize {
-        self.inner.lock().data.len()
+        self.inner.lock().expect("memory lock poisoned").data.len()
     }
 
     /// Whether the memory has zero pages.
@@ -94,7 +93,7 @@ impl GuestMemory {
 
     /// Returns the state of the page containing `addr`.
     pub fn page_state(&self, addr: GuestAddr) -> Result<PageState, MemError> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("memory lock poisoned");
         inner
             .states
             .get(addr.page_index())
@@ -108,7 +107,7 @@ impl GuestMemory {
         }
         let pages = len.div_ceil(PAGE_SIZE);
         let first = addr.page_index();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("memory lock poisoned");
         if first + pages > inner.states.len() {
             return Err(MemError::OutOfBounds);
         }
@@ -169,7 +168,7 @@ impl GuestMemory {
     ) -> Result<(), MemError> {
         let start = addr.0 as usize;
         let end = start.checked_add(len).ok_or(MemError::OutOfBounds)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("memory lock poisoned");
         if end > inner.data.len() {
             return Err(MemError::OutOfBounds);
         }

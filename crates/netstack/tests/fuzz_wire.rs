@@ -1,130 +1,153 @@
 //! Wire-format fuzzing: parsers are the first code hostile bytes reach,
 //! so they must be total (no panics) on every input, and exact on every
 //! roundtrip.
+//!
+//! Inputs come from the deterministic `cio_sim::SimRng` so the fuzzing is
+//! offline and reproducible from the fixed seeds.
 
 use cio_netstack::tcp::{Connection, TcpConfig};
 use cio_netstack::wire::{
     ArpPacket, EthFrame, EtherType, IpProto, Ipv4Addr, Ipv4Packet, MacAddr, TcpSegment, UdpDatagram,
 };
-use cio_sim::Clock;
-use proptest::prelude::*;
+use cio_sim::{Clock, SimRng};
 
 const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
-proptest! {
-    #[test]
-    fn parsers_are_total(bytes in prop::collection::vec(any::<u8>(), 0..3000)) {
+fn rand_vec(rng: &mut SimRng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.range(lo, hi);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn parsers_are_total() {
+    let mut rng = SimRng::seed_from(0x707a1);
+    for _ in 0..256 {
+        let bytes = rand_vec(&mut rng, 0, 3000);
         let _ = EthFrame::parse(&bytes);
         let _ = Ipv4Packet::parse(&bytes);
         let _ = UdpDatagram::parse(A, B, &bytes);
         let _ = TcpSegment::parse(A, B, &bytes);
         let _ = ArpPacket::parse(&bytes);
     }
+}
 
-    #[test]
-    fn eth_roundtrip_exact(
-        dst in any::<[u8; 6]>(),
-        src in any::<[u8; 6]>(),
-        ethertype in any::<u16>(),
-        payload in prop::collection::vec(any::<u8>(), 0..2000),
-    ) {
+#[test]
+fn eth_roundtrip_exact() {
+    let mut rng = SimRng::seed_from(0xe7);
+    for _ in 0..64 {
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        rng.fill_bytes(&mut dst);
+        rng.fill_bytes(&mut src);
         let f = EthFrame {
             dst: MacAddr(dst),
             src: MacAddr(src),
-            ethertype: EtherType::from(ethertype),
-            payload,
+            ethertype: EtherType::from(rng.next_u64() as u16),
+            payload: rand_vec(&mut rng, 0, 2000),
         };
-        prop_assert_eq!(EthFrame::parse(&f.build()).unwrap(), f);
+        assert_eq!(EthFrame::parse(&f.build()).unwrap(), f);
     }
+}
 
-    #[test]
-    fn ipv4_roundtrip_exact(
-        src in any::<[u8; 4]>(),
-        dst in any::<[u8; 4]>(),
-        proto in any::<u8>(),
-        ttl in any::<u8>(),
-        payload in prop::collection::vec(any::<u8>(), 0..1480),
-    ) {
+#[test]
+fn ipv4_roundtrip_exact() {
+    let mut rng = SimRng::seed_from(0x1f4);
+    for _ in 0..64 {
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        rng.fill_bytes(&mut src);
+        rng.fill_bytes(&mut dst);
         let p = Ipv4Packet {
             src: Ipv4Addr(src),
             dst: Ipv4Addr(dst),
-            proto: IpProto::from(proto),
-            ttl,
-            payload,
+            proto: IpProto::from(rng.next_u64() as u8),
+            ttl: rng.next_u64() as u8,
+            payload: rand_vec(&mut rng, 0, 1480),
         };
-        prop_assert_eq!(Ipv4Packet::parse(&p.build()).unwrap(), p);
+        assert_eq!(Ipv4Packet::parse(&p.build()).unwrap(), p);
     }
+}
 
-    #[test]
-    fn tcp_roundtrip_exact(
-        src_port in any::<u16>(),
-        dst_port in any::<u16>(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        flags in any::<u8>(),
-        window in any::<u16>(),
-        payload in prop::collection::vec(any::<u8>(), 0..1460),
-    ) {
-        let s = TcpSegment { src_port, dst_port, seq, ack, flags, window, payload };
-        prop_assert_eq!(TcpSegment::parse(A, B, &s.build(A, B)).unwrap(), s);
-    }
-
-    #[test]
-    fn udp_roundtrip_exact(
-        src_port in any::<u16>(),
-        dst_port in any::<u16>(),
-        payload in prop::collection::vec(any::<u8>(), 0..1400),
-    ) {
-        let d = UdpDatagram { src_port, dst_port, payload };
-        prop_assert_eq!(UdpDatagram::parse(A, B, &d.build(A, B)).unwrap(), d);
-    }
-
-    #[test]
-    fn every_single_byte_corruption_is_rejected_or_differs(
-        payload in prop::collection::vec(any::<u8>(), 1..200),
-        corrupt_at in any::<usize>(),
-        corrupt_mask in 1u8..=255,
-    ) {
-        // End-to-end checksum property: corrupting any byte of a TCP
-        // segment either fails the checksum or (for corruption inside the
-        // checksum field making it consistent — impossible for a single
-        // byte) changes nothing. It must never parse into *different*
-        // accepted content.
+#[test]
+fn tcp_roundtrip_exact() {
+    let mut rng = SimRng::seed_from(0x7c9);
+    for _ in 0..64 {
         let s = TcpSegment {
-            src_port: 1, dst_port: 2, seq: 3, ack: 4,
-            flags: 0x10, window: 100, payload,
+            src_port: rng.next_u64() as u16,
+            dst_port: rng.next_u64() as u16,
+            seq: rng.next_u64() as u32,
+            ack: rng.next_u64() as u32,
+            flags: rng.next_u64() as u8,
+            window: rng.next_u64() as u16,
+            payload: rand_vec(&mut rng, 0, 1460),
+        };
+        assert_eq!(TcpSegment::parse(A, B, &s.build(A, B)).unwrap(), s);
+    }
+}
+
+#[test]
+fn udp_roundtrip_exact() {
+    let mut rng = SimRng::seed_from(0x0d9);
+    for _ in 0..64 {
+        let d = UdpDatagram {
+            src_port: rng.next_u64() as u16,
+            dst_port: rng.next_u64() as u16,
+            payload: rand_vec(&mut rng, 0, 1400),
+        };
+        assert_eq!(UdpDatagram::parse(A, B, &d.build(A, B)).unwrap(), d);
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_rejected_or_differs() {
+    // End-to-end checksum property: corrupting any byte of a TCP
+    // segment either fails the checksum or (for corruption inside the
+    // checksum field making it consistent — impossible for a single
+    // byte) changes nothing. It must never parse into *different*
+    // accepted content.
+    let mut rng = SimRng::seed_from(0xc0440);
+    for _ in 0..128 {
+        let s = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 3,
+            ack: 4,
+            flags: 0x10,
+            window: 100,
+            payload: rand_vec(&mut rng, 1, 200),
         };
         let mut bytes = s.build(A, B);
-        let idx = corrupt_at % bytes.len();
-        bytes[idx] ^= corrupt_mask;
+        let idx = rng.next_below(bytes.len() as u64) as usize;
+        let mask = rng.range(1, 256) as u8;
+        bytes[idx] ^= mask;
         match TcpSegment::parse(A, B, &bytes) {
             Err(_) => {}
-            Ok(parsed) => prop_assert_eq!(parsed, s, "corruption accepted as different content"),
+            Ok(parsed) => assert_eq!(parsed, s, "corruption accepted as different content"),
         }
     }
+}
 
-    /// The TCP state machine is total: any sequence of arbitrary segments
-    /// fed to a connection never panics and leaves it in a valid state.
-    #[test]
-    fn tcp_state_machine_is_total(
-        segs in prop::collection::vec(
-            (any::<u32>(), any::<u32>(), any::<u8>(), any::<u16>(),
-             prop::collection::vec(any::<u8>(), 0..64)),
-            0..24
-        ),
-    ) {
+/// The TCP state machine is total: any sequence of arbitrary segments
+/// fed to a connection never panics and leaves it in a valid state.
+#[test]
+fn tcp_state_machine_is_total() {
+    let mut rng = SimRng::seed_from(0x7c9572);
+    for _case in 0..64 {
         let clock = Clock::new();
         let mut conn = Connection::connect(1000, 2000, 42, clock, TcpConfig::default());
-        for (seq, ack, flags, window, payload) in segs {
+        let n_segs = rng.next_below(24) as usize;
+        for _ in 0..n_segs {
             let seg = TcpSegment {
                 src_port: 2000,
                 dst_port: 1000,
-                seq,
-                ack,
-                flags,
-                window,
-                payload,
+                seq: rng.next_u64() as u32,
+                ack: rng.next_u64() as u32,
+                flags: rng.next_u64() as u8,
+                window: rng.next_u64() as u16,
+                payload: rand_vec(&mut rng, 0, 64),
             };
             let _ = conn.on_segment(&seg);
             while conn.poll_outbox().is_some() {}

@@ -402,6 +402,37 @@ impl<V: MemView> Producer<V> {
         Ok(())
     }
 
+    /// Produces a whole batch through the staged path: every payload is
+    /// staged, then one shared-index write publishes them all and (in
+    /// doorbell mode) a single kick notifies the consumer — the index
+    /// write and the notification cost are amortized over the batch.
+    ///
+    /// Stops early when the ring fills; returns how many payloads were
+    /// sent. Payloads staged before a non-`Full` error remain staged and
+    /// become visible at the next publish.
+    ///
+    /// # Errors
+    ///
+    /// As [`Producer::produce`], except `Full` which ends the batch.
+    pub fn produce_batch<'a, I>(&mut self, payloads: I) -> Result<usize, RingError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut sent = 0;
+        for payload in payloads {
+            match self.stage(payload) {
+                Ok(()) => sent += 1,
+                Err(RingError::Full) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if sent > 0 {
+            self.publish()?;
+            self.kick();
+        }
+        Ok(sent)
+    }
+
     /// Posts a doorbell (only meaningful in [`NotifyMode::Doorbell`]).
     ///
     /// Guest producers pay a host-notify exit; host producers pay an
@@ -538,22 +569,68 @@ impl<V: MemView> Consumer<V> {
 
     /// Consumes one payload by early copy into private memory.
     ///
-    /// Returns `None` when the ring is empty.
+    /// Returns `None` when the ring is empty. Allocating convenience over
+    /// [`Consumer::consume_into`].
     ///
     /// # Errors
     ///
     /// [`Violation::BadIndex`] for a lying producer index; memory errors.
     pub fn consume(&mut self) -> Result<Option<Vec<u8>>, RingError> {
+        let mut buf = Vec::new();
+        Ok(self.consume_into(&mut buf)?.map(|_| buf))
+    }
+
+    /// Consumes one payload into a caller-provided reusable buffer.
+    ///
+    /// `buf` is resized to the validated payload length and overwritten;
+    /// its capacity is reused, so a steady-state receive loop that keeps
+    /// handing back the same buffer performs no heap allocation once the
+    /// buffer has grown to the largest payload seen. Returns the payload
+    /// length, or `None` when the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn consume_into(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, RingError> {
         if self.available()? == 0 {
             return Ok(None);
         }
+        self.consume_slot_into(buf).map(Some)
+    }
+
+    /// Consumes up to `bufs.len()` payloads, one into each reusable
+    /// buffer in order, after a single read of the shared producer
+    /// index. Returns how many buffers were filled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn consume_batch(&mut self, bufs: &mut [Vec<u8>]) -> Result<usize, RingError> {
+        let avail = self.available()? as usize;
+        let n = avail.min(bufs.len());
+        for buf in &mut bufs[..n] {
+            self.consume_slot_into(buf)?;
+        }
+        Ok(n)
+    }
+
+    /// Copies the next slot's payload into `buf` and commits. The caller
+    /// must have established that an entry is available.
+    fn consume_slot_into(&mut self, buf: &mut Vec<u8>) -> Result<usize, RingError> {
         let masked = self.next & self.ring.slot_mask();
         let (addr, len) = self.read_slot_meta(masked)?;
-        let mut buf = vec![0u8; len as usize];
-        self.view.read(addr, &mut buf)?;
-        charge_copy(&self.view, len as usize);
+        let len = len as usize;
+        // Shrinks leave existing bytes alone; only growth zero-fills (and
+        // the read overwrites everything up to `len` anyway).
+        if buf.len() < len {
+            buf.resize(len, 0);
+        } else {
+            buf.truncate(len);
+        }
+        self.view.read(addr, buf)?;
+        charge_copy(&self.view, len);
         self.commit()?;
-        Ok(Some(buf))
+        Ok(len)
     }
 
     /// One poll iteration: consume if available, else charge idle-poll.
@@ -642,6 +719,54 @@ impl Consumer<GuestView> {
             .memory()
             .share_range(stride_base, self.ring.cfg.stride() as usize)?;
         Ok(())
+    }
+}
+
+/// A small free-list of reusable byte buffers for steady-state dataplane
+/// loops.
+///
+/// [`BufPool::get`] hands out an empty buffer that keeps whatever capacity
+/// it accumulated in earlier rounds; [`BufPool::put`] returns it. Once
+/// every buffer in circulation has warmed up to the working payload size,
+/// the loop performs zero heap allocations.
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    max_retained: usize,
+}
+
+impl BufPool {
+    /// A pool retaining at most `max_retained` idle buffers (surplus
+    /// buffers handed back are dropped rather than hoarded).
+    pub fn new(max_retained: usize) -> Self {
+        BufPool {
+            free: Vec::with_capacity(max_retained),
+            max_retained,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (or a fresh one if empty).
+    pub fn get(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool; its contents are cleared, its
+    /// capacity kept.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_retained {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new(8)
     }
 }
 
@@ -782,6 +907,112 @@ mod tests {
             let got = c.consume().unwrap().unwrap();
             assert_eq!(got, round.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn consume_into_reused_buffer_matches_consume() {
+        // Two identical rings, one drained through `consume`, one through
+        // `consume_into` with a single reused buffer — every payload must
+        // match, including shrinking lengths (stale-byte hazard) and
+        // payloads larger than the inline capacity through the indirect
+        // descriptor path.
+        for mode in [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect] {
+            let (_m1, mut p1, mut c1) = tx_pair(small_cfg(mode));
+            let (_m2, mut p2, mut c2) = tx_pair(small_cfg(mode));
+            let lengths = [100usize, 1024, 3, 0, 512, 1];
+            let mut reused = Vec::new();
+            for (i, &len) in lengths.iter().enumerate() {
+                let payload = vec![(i as u8).wrapping_mul(31); len];
+                p1.produce(&payload).unwrap();
+                p2.produce(&payload).unwrap();
+                let reference = c1.consume().unwrap().expect("payload");
+                let got = c2.consume_into(&mut reused).unwrap().expect("payload");
+                assert_eq!(got, len, "mode {mode:?} len {len}");
+                assert_eq!(reused, reference, "mode {mode:?} len {len}");
+            }
+            assert_eq!(c2.consume_into(&mut reused).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn consume_into_oversize_payload_rejected_at_produce() {
+        // 1025 bytes against the 1024-byte MTU: refused before it ever
+        // reaches a slot, so the consumer path never sees it.
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::Indirect));
+        assert!(matches!(
+            p.produce(&vec![0u8; 1025]),
+            Err(RingError::TooLarge)
+        ));
+        let mut buf = Vec::new();
+        assert_eq!(c.consume_into(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn consume_batch_fills_reusable_buffers_in_order() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        for i in 0..5u8 {
+            p.produce(&vec![i; 10 + i as usize]).unwrap();
+        }
+        let mut bufs = vec![Vec::new(); 3];
+        assert_eq!(c.consume_batch(&mut bufs).unwrap(), 3);
+        for (i, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &vec![i as u8; 10 + i]);
+        }
+        // Second batch drains the remaining two, reusing the buffers.
+        assert_eq!(c.consume_batch(&mut bufs).unwrap(), 2);
+        assert_eq!(bufs[0], vec![3u8; 13]);
+        assert_eq!(bufs[1], vec![4u8; 14]);
+        assert_eq!(c.consume_batch(&mut bufs).unwrap(), 0);
+    }
+
+    #[test]
+    fn produce_batch_publishes_once_and_kicks_once() {
+        let cfg = RingConfig {
+            notify: NotifyMode::Doorbell,
+            ..small_cfg(DataMode::SharedArea)
+        };
+        let (m, mut p, mut c) = tx_pair(cfg);
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 20]).collect();
+        let sent = p.produce_batch(payloads.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(sent, 5);
+        // One doorbell for the whole batch.
+        assert_eq!(m.meter().snapshot().notifications_sent, 1);
+        for (i, payload) in payloads.iter().enumerate() {
+            assert_eq!(&c.consume().unwrap().expect("payload"), payload, "{i}");
+        }
+    }
+
+    #[test]
+    fn produce_batch_stops_at_full() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let payloads: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 4]).collect();
+        // 8 slots: the batch sends 8 and reports it.
+        let sent = p.produce_batch(payloads.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(sent, 8);
+        let mut buf = Vec::new();
+        for i in 0..8u8 {
+            c.consume_into(&mut buf).unwrap().expect("payload");
+            assert_eq!(buf, vec![i; 4]);
+        }
+        assert_eq!(c.consume_into(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn buf_pool_recycles_capacity() {
+        let mut pool = BufPool::new(2);
+        let mut a = pool.get();
+        a.extend_from_slice(&[1u8; 4096]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.get();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        // Retention is bounded.
+        pool.put(b);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8));
+        assert_eq!(pool.idle(), 2);
     }
 
     #[test]

@@ -6,11 +6,26 @@
 //! manipulation may ever pass AEAD, no segmentation of a TCP stream may
 //! change its bytes, no sequence of filesystem operations may diverge
 //! from the reference model.
+//!
+//! Randomness comes from the in-repo deterministic `cio_sim::SimRng`
+//! (no external proptest dependency): fully offline, reproducible seeds.
 
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
-use cio_sim::{Clock, CostModel, Meter};
+use cio_sim::{Clock, CostModel, Meter, SimRng};
 use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
-use proptest::prelude::*;
+
+fn rand_vec(rng: &mut SimRng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.range(lo, hi);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn rand_array<const N: usize>(rng: &mut SimRng) -> [u8; N] {
+    let mut a = [0u8; N];
+    rng.fill_bytes(&mut a);
+    a
+}
 
 fn ring_world(
     mode: DataMode,
@@ -39,98 +54,112 @@ fn ring_world(
     (mem, p, c)
 }
 
-proptest! {
-    /// Whatever the host writes anywhere in the shared region, the guest
-    /// consumer never faults, never panics, and never returns a payload
-    /// larger than the fixed MTU.
-    #[test]
-    fn ring_consumer_is_total_under_host_corruption(
-        mode_sel in 0u8..3,
-        writes in prop::collection::vec((0u32..40_000, any::<u32>()), 1..40),
-        legit in prop::collection::vec(any::<u8>(), 0..1514),
-    ) {
-        let mode = [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect][mode_sel as usize];
+/// Whatever the host writes anywhere in the shared region, the guest
+/// consumer never faults, never panics, and never returns a payload
+/// larger than the fixed MTU.
+#[test]
+fn ring_consumer_is_total_under_host_corruption() {
+    let mut rng = SimRng::seed_from(0x41139);
+    for case in 0..96 {
+        let mode = [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect][case % 3];
         let (mem, mut p, mut c) = ring_world(mode);
+        let legit = rand_vec(&mut rng, 0, 1514);
         p.produce(&legit).unwrap();
         // Arbitrary host scribbling over the whole shared window.
-        for (off, val) in writes {
-            let _ = mem.host().write_u32(GuestAddr(u64::from(off)), val);
+        let writes = rng.range(1, 40);
+        for _ in 0..writes {
+            let off = rng.next_below(40_000);
+            let val = rng.next_u64() as u32;
+            let _ = mem.host().write_u32(GuestAddr(off), val);
         }
         // Consume everything that appears available; count is bounded.
         for _ in 0..64 {
             match c.consume() {
-                Ok(Some(payload)) => prop_assert!(payload.len() <= 1514),
+                Ok(Some(payload)) => assert!(payload.len() <= 1514),
                 Ok(None) => break,
                 Err(cio_vring::RingError::HostViolation(_)) => break, // detected
-                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                Err(e) => panic!("unexpected: {e}"),
             }
         }
     }
+}
 
-    /// AEAD: any bit flip anywhere in any sealed message is rejected.
-    #[test]
-    fn aead_rejects_every_single_bitflip(
-        key in any::<[u8; 32]>(),
-        msg in prop::collection::vec(any::<u8>(), 0..300),
-        aad in prop::collection::vec(any::<u8>(), 0..32),
-        flip_byte in any::<usize>(),
-        flip_bit in 0u8..8,
-    ) {
+/// AEAD: any bit flip anywhere in any sealed message is rejected.
+#[test]
+fn aead_rejects_every_single_bitflip() {
+    let mut rng = SimRng::seed_from(0xb17f11b);
+    for _ in 0..64 {
+        let key: [u8; 32] = rand_array(&mut rng);
+        let msg = rand_vec(&mut rng, 0, 300);
+        let aad = rand_vec(&mut rng, 0, 32);
         let aead = cio_crypto::ChaCha20Poly1305::new(key);
         let nonce = [7u8; 12];
         let mut sealed = aead.seal(&nonce, &aad, &msg);
-        let idx = flip_byte % sealed.len();
-        sealed[idx] ^= 1 << flip_bit;
-        prop_assert!(aead.open(&nonce, &aad, &sealed).is_err());
+        let idx = rng.next_below(sealed.len() as u64) as usize;
+        let bit = rng.next_below(8) as u8;
+        sealed[idx] ^= 1 << bit;
+        assert!(aead.open(&nonce, &aad, &sealed).is_err());
     }
+}
 
-    /// AEAD roundtrip is the identity for all inputs.
-    #[test]
-    fn aead_roundtrip_identity(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        msg in prop::collection::vec(any::<u8>(), 0..2000),
-    ) {
+/// AEAD roundtrip is the identity for all inputs.
+#[test]
+fn aead_roundtrip_identity() {
+    let mut rng = SimRng::seed_from(0x1de9717);
+    for _ in 0..48 {
+        let key: [u8; 32] = rand_array(&mut rng);
+        let nonce: [u8; 12] = rand_array(&mut rng);
+        let msg = rand_vec(&mut rng, 0, 2000);
         let aead = cio_crypto::ChaCha20Poly1305::new(key);
         let sealed = aead.seal(&nonce, b"", &msg);
-        prop_assert_eq!(aead.open(&nonce, b"", &sealed).unwrap(), msg);
+        assert_eq!(aead.open(&nonce, b"", &sealed).unwrap(), msg);
     }
+}
 
-    /// SHA-256 incremental == one-shot for any chunking.
-    #[test]
-    fn sha256_chunking_invariant(
-        data in prop::collection::vec(any::<u8>(), 0..2000),
-        cuts in prop::collection::vec(any::<usize>(), 0..8),
-    ) {
-        let mut h = cio_crypto::Sha256::new();
-        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+/// SHA-256 incremental == one-shot for any chunking.
+#[test]
+fn sha256_chunking_invariant() {
+    let mut rng = SimRng::seed_from(0x54a256);
+    for _ in 0..64 {
+        let data = rand_vec(&mut rng, 0, 2000);
+        let n_cuts = rng.next_below(8) as usize;
+        let mut cuts: Vec<usize> = (0..n_cuts)
+            .map(|_| rng.next_below(data.len() as u64 + 1) as usize)
+            .collect();
         cuts.sort_unstable();
+        let mut h = cio_crypto::Sha256::new();
         let mut prev = 0;
         for &c in &cuts {
             h.update(&data[prev..c]);
             prev = c;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), cio_crypto::Sha256::digest(&data));
+        assert_eq!(h.finalize(), cio_crypto::Sha256::digest(&data));
     }
+}
 
-    /// TCP: any segmentation of a byte stream delivers the same bytes.
-    #[test]
-    fn tcp_delivery_independent_of_segmentation(
-        data in prop::collection::vec(any::<u8>(), 1..5000),
-        chunk_seed in any::<u64>(),
-    ) {
-        use cio_netstack::tcp::{Connection, TcpConfig};
+/// TCP: any segmentation of a byte stream delivers the same bytes.
+#[test]
+fn tcp_delivery_independent_of_segmentation() {
+    use cio_netstack::tcp::{Connection, TcpConfig};
+    let mut seed_rng = SimRng::seed_from(0x7c9d47a);
+    for _case in 0..12 {
+        let data = rand_vec(&mut seed_rng, 1, 5000);
+        let chunk_seed = seed_rng.next_u64();
         let clock = Clock::new();
         let mut client = Connection::connect(1000, 2000, 7, clock.clone(), TcpConfig::default());
         let mut server = Connection::listen(2000, 9, clock.clone(), TcpConfig::default());
         // Handshake.
         for _ in 0..8 {
-            while let Some(s) = client.poll_outbox() { let _ = server.on_segment(&s); }
-            while let Some(s) = server.poll_outbox() { let _ = client.on_segment(&s); }
+            while let Some(s) = client.poll_outbox() {
+                let _ = server.on_segment(&s);
+            }
+            while let Some(s) = server.poll_outbox() {
+                let _ = client.on_segment(&s);
+            }
         }
         // Send in pseudo-random chunks.
-        let mut rng = cio_sim::SimRng::seed_from(chunk_seed);
+        let mut rng = SimRng::seed_from(chunk_seed);
         let mut sent = 0usize;
         let mut received = Vec::new();
         while sent < data.len() || received.len() < data.len() {
@@ -140,56 +169,64 @@ proptest! {
                 sent += n;
             }
             for _ in 0..4 {
-                while let Some(s) = client.poll_outbox() { let _ = server.on_segment(&s); }
-                while let Some(s) = server.poll_outbox() { let _ = client.on_segment(&s); }
+                while let Some(s) = client.poll_outbox() {
+                    let _ = server.on_segment(&s);
+                }
+                while let Some(s) = server.poll_outbox() {
+                    let _ = client.on_segment(&s);
+                }
             }
             received.extend(server.recv(usize::MAX));
         }
-        prop_assert_eq!(received, data);
+        assert_eq!(received, data);
     }
+}
 
-    /// Filesystem vs. reference model: random writes at random offsets
-    /// then full readback must match a plain byte-vector model.
-    #[test]
-    fn filesystem_matches_reference_model(
-        ops in prop::collection::vec(
-            (0u64..60_000, prop::collection::vec(any::<u8>(), 1..3000)),
-            1..12
-        ),
-    ) {
-        use cio_block::{blockdev::RamDisk, SimpleFs};
+/// Filesystem vs. reference model: random writes at random offsets
+/// then full readback must match a plain byte-vector model.
+#[test]
+fn filesystem_matches_reference_model() {
+    use cio_block::{blockdev::RamDisk, SimpleFs};
+    let mut rng = SimRng::seed_from(0xf5);
+    'case: for _case in 0..24 {
         let mut fs = SimpleFs::format(RamDisk::new(128)).unwrap();
         let id = fs.create("model").unwrap();
         let mut model: Vec<u8> = Vec::new();
-        for (offset, data) in &ops {
-            if fs.write(id, *offset, data).is_err() {
+        let n_ops = rng.range(1, 12);
+        for _ in 0..n_ops {
+            let offset = rng.next_below(60_000);
+            let data = rand_vec(&mut rng, 1, 3000);
+            if fs.write(id, offset, &data).is_err() {
                 // Out of space/extents: acceptable, stop the scenario.
-                return Ok(());
+                continue 'case;
             }
-            let end = *offset as usize + data.len();
+            let end = offset as usize + data.len();
             if model.len() < end {
                 model.resize(end, 0);
             }
-            model[*offset as usize..end].copy_from_slice(data);
+            model[offset as usize..end].copy_from_slice(&data);
         }
         let back = fs.read(id, 0, model.len()).unwrap();
-        prop_assert_eq!(back, model);
+        assert_eq!(back, model);
     }
+}
 
-    /// The shared allocator never hands out overlapping live buffers.
-    #[test]
-    fn shared_alloc_no_overlap(
-        sizes in prop::collection::vec(1usize..4096, 1..40),
-    ) {
-        use cio_mem::SharedAlloc;
+/// The shared allocator never hands out overlapping live buffers.
+#[test]
+fn shared_alloc_no_overlap() {
+    use cio_mem::SharedAlloc;
+    let mut rng = SimRng::seed_from(0x0541a9);
+    for _case in 0..24 {
         let mem = GuestMemory::new(80, Clock::new(), CostModel::default(), Meter::new());
         let mut alloc = SharedAlloc::new(&mem, GuestAddr(0), 32).unwrap();
         let mut live: Vec<(u64, u64)> = Vec::new();
-        for s in sizes {
+        let n = rng.range(1, 40);
+        for _ in 0..n {
+            let s = rng.range(1, 4096);
             let Ok(buf) = alloc.alloc(s) else { continue };
             let (a, b) = (buf.addr.0, buf.addr.0 + buf.len as u64);
             for &(x, y) in &live {
-                prop_assert!(b <= x || a >= y, "overlap [{a},{b}) vs [{x},{y})");
+                assert!(b <= x || a >= y, "overlap [{a},{b}) vs [{x},{y})");
             }
             live.push((a, b));
         }

@@ -1,0 +1,106 @@
+//! Steady-state allocation audit for the record dataplane.
+//!
+//! The one-pass rework threads reusable scratches through the whole
+//! record path: cTLS seal into a [`RecordScratch`], produce onto a cio
+//! ring, `consume_into` a reused buffer on the host side, and open back
+//! into a scratch. After warm-up (buffers grown to their high-water
+//! marks), pushing records through that loop must hit the heap zero
+//! times. A counting `#[global_allocator]` enforces it; this file holds
+//! only this test so no sibling test thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cio_ctls::{Channel, RecordScratch};
+use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+use cio_sim::{Clock, CostModel, Meter};
+use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers all allocation to `System`; only adds counting.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_record_path_does_not_allocate() {
+    // Setup may allocate freely: ring, shared memory, channels.
+    let clock = Clock::new();
+    let cost = CostModel::default();
+    let meter = Meter::new();
+    let cfg = RingConfig {
+        mtu: 2048,
+        mode: DataMode::SharedArea,
+        ..RingConfig::default()
+    };
+    let area_pages = cfg.area_size as usize / PAGE_SIZE;
+    let mem = GuestMemory::new(32 + area_pages, clock, cost, meter);
+    let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).unwrap();
+    mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
+        .unwrap();
+    let mut producer = Producer::new(ring.clone(), mem.guest()).unwrap();
+    let mut consumer = Consumer::new(ring, mem.host()).unwrap();
+
+    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, None);
+    let mut host = Channel::from_secrets([3; 32], [4; 32], false, None);
+
+    let payload = vec![0x42u8; 1024];
+    let mut rec = RecordScratch::new();
+    let mut plain = RecordScratch::new();
+    let mut blob: Vec<u8> = Vec::new();
+
+    let mut cycle = |rec: &mut RecordScratch, plain: &mut RecordScratch, blob: &mut Vec<u8>| {
+        guest.seal_into(&payload, rec).expect("seal");
+        producer.produce(rec.as_slice()).expect("produce");
+        consumer
+            .consume_into(blob)
+            .expect("consume")
+            .expect("record available");
+        host.open_into(blob, plain).expect("open");
+        assert_eq!(plain.as_slice(), &payload[..]);
+    };
+
+    // Warm-up: grow every reused buffer to its high-water mark.
+    for _ in 0..32 {
+        cycle(&mut rec, &mut plain, &mut blob);
+    }
+
+    let before = allocations();
+    for _ in 0..1_000 {
+        cycle(&mut rec, &mut plain, &mut blob);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state record send/recv must not touch the heap \
+         ({during} allocations over 1000 records)"
+    );
+}
