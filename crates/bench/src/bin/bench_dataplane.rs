@@ -13,11 +13,16 @@
 //!    `consume_into` a reused buffer, and decapsulation through the
 //!    speer tunnel gateway onto its network segment. Wall-clock
 //!    records/sec plus the deterministic cio-sim cycle meter series.
+//! 4. `multiqueue` — wall-clock cost of simulating the full multi-queue
+//!    world (8 RSS-steered flows through 1 vs 4 cio queues), alongside
+//!    the virtual-time speedup the lane scheduler reports.
 //!
 //! `--quick` shrinks the timing windows for CI smoke runs.
 
 use cio::world::speer::TunnelGateway;
+use cio::world::{BoundaryKind, WorldOptions};
 use cio_bench::micro::{json_array, measure, JsonObj, Measurement};
+use cio_bench::{bench_opts, multi_stream_download};
 use cio_crypto::ChaCha20Poly1305;
 use cio_ctls::{Channel, RecordScratch, SimHooks};
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
@@ -143,6 +148,26 @@ fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, M
     (m, sim_cycles, meter)
 }
 
+/// Wall-clock cost of the whole multi-queue world: world build + 8 flows
+/// moving `MQ_PER_FLOW` bytes each. Returns the measurement plus the
+/// virtual cycles one run consumed.
+fn bench_multiqueue_world(target_ms: u64, queues: usize) -> (Measurement, u64) {
+    const MQ_FLOWS: usize = 8;
+    const MQ_PER_FLOW: u64 = 8 * 1024;
+    let mut sim_cycles = 0u64;
+    let m = measure(target_ms, MQ_FLOWS as u64 * MQ_PER_FLOW, || {
+        let opts = WorldOptions {
+            queues,
+            ..bench_opts()
+        };
+        let r = multi_stream_download(BoundaryKind::L2CioRing, opts, MQ_FLOWS, MQ_PER_FLOW, 4096)
+            .expect("multiqueue workload");
+        sim_cycles = r.elapsed.get();
+        black_box(r.app_bytes);
+    });
+    (m, sim_cycles)
+}
+
 fn seal_open_json(rows: &[SealOpenRow]) -> String {
     json_array(rows.iter().map(|r| {
         JsonObj::new()
@@ -207,6 +232,18 @@ fn main() {
         snap.aead_ops, snap.copies, snap.bytes_copied
     );
 
+    let (mq1, mq1_cycles) = bench_multiqueue_world(target_ms, 1);
+    let (mq4, mq4_cycles) = bench_multiqueue_world(target_ms, 4);
+    let vt_speedup = mq1_cycles as f64 / mq4_cycles.max(1) as f64;
+    println!();
+    println!(
+        "multi-queue world wall cost (8 flows x 8 KiB, 4 KiB chunks): \
+         1q {:.1} ms/run, 4q {:.1} ms/run; virtual-time speedup {:.2}x",
+        mq1.ns_per_iter() / 1e6,
+        mq4.ns_per_iter() / 1e6,
+        vt_speedup
+    );
+
     let verdict_met = key_ratio >= 1.5;
     println!();
     println!(
@@ -240,6 +277,18 @@ fn main() {
                 .int("aead_ops", snap.aead_ops)
                 .int("copies", snap.copies)
                 .int("bytes_copied", snap.bytes_copied)
+                .finish(),
+        )
+        .raw(
+            "multiqueue",
+            JsonObj::new()
+                .int("flows", 8)
+                .int("per_flow_bytes", 8 * 1024)
+                .f64("wall_ms_per_run_1q", mq1.ns_per_iter() / 1e6)
+                .f64("wall_ms_per_run_4q", mq4.ns_per_iter() / 1e6)
+                .int("sim_cycles_1q", mq1_cycles)
+                .int("sim_cycles_4q", mq4_cycles)
+                .f64("virtual_speedup_4q", vt_speedup)
                 .finish(),
         )
         .f64("ratio_4k", key_ratio)

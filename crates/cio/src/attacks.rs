@@ -26,6 +26,7 @@ use crate::world::{BoundaryKind, World, WorldOptions, ECHO_PORT};
 use crate::CioError;
 use cio_host::adversary::AttackKind;
 use cio_host::fabric::LinkParams;
+use cio_host::VirtioNetBackend;
 use cio_sim::Cycles;
 
 pub use cio_host::adversary::ALL_ATTACKS;
@@ -96,29 +97,39 @@ fn has_surface(boundary: BoundaryKind, attack: AttackKind) -> bool {
     }
 }
 
+/// Downcasts the world's backend to the virtio device model, if that is
+/// what it runs (exercises the [`World::backend_mut`] trait-object path).
+fn virtio_of(world: &mut World) -> Option<&mut VirtioNetBackend> {
+    world.backend_mut().as_any_mut().downcast_mut()
+}
+
 /// Launches one attack against a running world. Returns false if the
 /// design offers no surface (nothing was attempted).
+///
+/// Ring-targeted attacks aim at the *last* cio queue, so multi-queue
+/// worlds prove every queue independently preserves the §3.2 defenses
+/// (queue 0 is covered by the single-queue matrix).
 fn launch(world: &mut World, attack: AttackKind) -> Result<bool, CioError> {
     use AttackKind::*;
     let mem = world.guest_memory().clone();
     let host = mem.host();
     match attack {
         CompletionIdOob => {
-            let Some(b) = world.virtio_backend_mut() else {
+            let Some(b) = virtio_of(world) else {
                 return Ok(false);
             };
             b.tx_device().complete(1000, 0)?;
             b.rx_device().complete(4999, 0)?;
         }
         CompletionLenOverrun => {
-            let Some(b) = world.virtio_backend_mut() else {
+            let Some(b) = virtio_of(world) else {
                 return Ok(false);
             };
             // Claim an enormous write into whatever chain 0 is.
             b.rx_device().complete(0, 1 << 24)?;
         }
         SpuriousCompletion => {
-            let Some(b) = world.virtio_backend_mut() else {
+            let Some(b) = virtio_of(world) else {
                 return Ok(false);
             };
             // Double-complete descriptor 0 on both queues.
@@ -152,7 +163,7 @@ fn launch(world: &mut World, attack: AttackKind) -> Result<bool, CioError> {
             return Ok(false);
         }
         IndexJump => {
-            if let Some((_, rx_ring)) = world.anatomy().cio_rings.clone() {
+            if let Some((_, rx_ring)) = world.anatomy().cio_queues.last().cloned() {
                 // Lie about the producer index on the guest's RX ring.
                 host.write(rx_ring.prod_idx_addr(), &1_000_000u32.to_le_bytes())?;
             } else if let Some((_, rx_layout, _)) = world.anatomy().virtio {
@@ -168,7 +179,7 @@ fn launch(world: &mut World, attack: AttackKind) -> Result<bool, CioError> {
             }
         }
         SlotForgery => {
-            if let Some((_, rx_ring)) = world.anatomy().cio_rings.clone() {
+            if let Some((_, rx_ring)) = world.anatomy().cio_queues.last().cloned() {
                 // Scribble hostile offset/len pairs over every RX slot.
                 for i in 0..rx_ring.config().slots {
                     let slot = rx_ring.slot_addr(i);
@@ -206,6 +217,21 @@ fn launch(world: &mut World, attack: AttackKind) -> Result<bool, CioError> {
 ///
 /// Only infrastructure failures; attack effects are the *result*.
 pub fn run_scenario(boundary: BoundaryKind, attack: AttackKind) -> Result<AttackReport, CioError> {
+    run_scenario_with(boundary, attack, 1)
+}
+
+/// [`run_scenario`] with a dataplane queue count. Designs without
+/// multi-queue support run single-queue regardless (the matrix stays
+/// complete). Ring attacks hit the last queue — see [`launch`].
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn run_scenario_with(
+    boundary: BoundaryKind,
+    attack: AttackKind,
+    queues: usize,
+) -> Result<AttackReport, CioError> {
     if !has_surface(boundary, attack) {
         return Ok(AttackReport {
             boundary,
@@ -215,7 +241,19 @@ pub fn run_scenario(boundary: BoundaryKind, attack: AttackKind) -> Result<Attack
         });
     }
 
-    let mut world = World::new(boundary, attack_opts())?;
+    let queues = if matches!(
+        boundary,
+        BoundaryKind::L2CioRing | BoundaryKind::DualBoundary
+    ) {
+        queues
+    } else {
+        1
+    };
+    let opts = WorldOptions {
+        queues,
+        ..attack_opts()
+    };
+    let mut world = World::new(boundary, opts)?;
     let conn = world.connect(ECHO_PORT)?;
     world.establish(conn, 3_000)?;
 
@@ -266,10 +304,23 @@ pub fn run_scenario(boundary: BoundaryKind, attack: AttackKind) -> Result<Attack
 ///
 /// Infrastructure failures only.
 pub fn run_matrix(boundaries: &[BoundaryKind]) -> Result<Vec<AttackReport>, CioError> {
+    run_matrix_with(boundaries, 1)
+}
+
+/// Runs the full matrix with a dataplane queue count (applied to the
+/// multi-queue-capable designs; others run single-queue).
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn run_matrix_with(
+    boundaries: &[BoundaryKind],
+    queues: usize,
+) -> Result<Vec<AttackReport>, CioError> {
     let mut out = Vec::new();
     for &b in boundaries {
         for &a in &ALL_ATTACKS {
-            out.push(run_scenario(b, a)?);
+            out.push(run_scenario_with(b, a, queues)?);
         }
     }
     Ok(out)
@@ -509,6 +560,33 @@ mod tests {
         assert_eq!(unhardened, Outcome::Undetected);
         assert_eq!(copy, Outcome::Prevented);
         assert_eq!(revoke, Outcome::Prevented);
+    }
+
+    #[test]
+    fn multiqueue_preserves_every_defense() {
+        // The §3.2 defenses are per-queue state machines; attacking the
+        // last of 4 queues must classify exactly like the single-queue
+        // matrix does.
+        let designs = [BoundaryKind::L2CioRing, BoundaryKind::DualBoundary];
+        let reports = run_matrix_with(&designs, 4).unwrap();
+        assert_eq!(reports.len(), designs.len() * ALL_ATTACKS.len());
+        for r in &reports {
+            assert_ne!(
+                r.outcome,
+                Outcome::Undetected,
+                "4-queue {} fell to {}",
+                r.boundary,
+                r.attack
+            );
+            if r.attack == AttackKind::IndexJump {
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Detected,
+                    "index forgery on the last queue must still be caught ({})",
+                    r.boundary
+                );
+            }
+        }
     }
 
     #[test]

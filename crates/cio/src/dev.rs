@@ -37,10 +37,25 @@ pub enum SendMode {
     ZeroCopy,
 }
 
-/// The cio-ring as a network device.
-pub struct CioRingDevice {
+/// One queue's guest-side ring pair.
+struct GuestQueue {
     tx: Producer<GuestView>,
     rx: Consumer<GuestView>,
+}
+
+/// The cio-ring as a (multi-queue) network device.
+///
+/// Transmit steers each frame to a queue with the symmetric RSS hash
+/// ([`cio_netstack::rss`]); the host backend uses the same hash for the
+/// return direction, so a flow stays on one queue end to end without any
+/// negotiation. Receive round-robins across queues, or drains a single
+/// queue when a scheduler pins one via
+/// [`select_rx_queue`](NetDevice::select_rx_queue).
+pub struct CioRingDevice {
+    queues: Vec<GuestQueue>,
+    mask: u32,
+    active_rx: Option<usize>,
+    rx_cursor: usize,
     mac: MacAddr,
     mtu: usize,
     send_mode: SendMode,
@@ -49,42 +64,98 @@ pub struct CioRingDevice {
 }
 
 impl CioRingDevice {
-    /// Wraps a ring pair. The MTU and MAC come from the fixed ring config
-    /// (zero-negotiation: there is no other source).
+    /// Wraps one ring pair per queue. The MTU and MAC come from the fixed
+    /// ring config (zero-negotiation: there is no other source); the queue
+    /// count must be a non-zero power of two so steering is a masked
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Fatal`] for a bad queue count or a revocation-mode pair
+    /// without page-aligned rings — misconfiguration never becomes a
+    /// runtime error path.
     pub fn new(
+        queues: Vec<(Producer<GuestView>, Consumer<GuestView>)>,
+        mem: GuestMemory,
+        send_mode: SendMode,
+        recv_mode: RecvMode,
+    ) -> Result<Self, CioError> {
+        if queues.is_empty() || !queues.len().is_power_of_two() {
+            return Err(CioError::Fatal(
+                "cio-ring device needs a power-of-two queue count",
+            ));
+        }
+        if recv_mode == RecvMode::Revoke
+            && queues
+                .iter()
+                .any(|(_, rx)| !rx.ring().config().page_aligned_payloads)
+        {
+            return Err(CioError::Fatal(
+                "revocation receive needs page-aligned rings",
+            ));
+        }
+        let cfg = queues[0].0.ring().config();
+        let mask = queues.len() as u32 - 1;
+        Ok(CioRingDevice {
+            mac: MacAddr(cfg.mac),
+            mtu: cfg.mtu as usize - cio_netstack::wire::ETH_HDR_LEN,
+            queues: queues
+                .into_iter()
+                .map(|(tx, rx)| GuestQueue { tx, rx })
+                .collect(),
+            mask,
+            active_rx: None,
+            rx_cursor: 0,
+            send_mode,
+            recv_mode,
+            mem,
+        })
+    }
+
+    /// Single-queue convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// As [`CioRingDevice::new`].
+    pub fn single(
         tx: Producer<GuestView>,
         rx: Consumer<GuestView>,
         mem: GuestMemory,
         send_mode: SendMode,
         recv_mode: RecvMode,
     ) -> Result<Self, CioError> {
-        let cfg = tx.ring().config();
-        if recv_mode == RecvMode::Revoke && !rx.ring().config().page_aligned_payloads {
-            return Err(CioError::Fatal(
-                "revocation receive needs page-aligned rings",
-            ));
+        CioRingDevice::new(vec![(tx, rx)], mem, send_mode, recv_mode)
+    }
+
+    fn recv_from(&mut self, q: usize) -> Option<Vec<u8>> {
+        let queue = &mut self.queues[q];
+        match self.recv_mode {
+            RecvMode::Copy => queue.rx.consume().ok().flatten(),
+            RecvMode::Revoke => {
+                let payload: RevokedPayload = queue.rx.consume_revoking().ok().flatten()?;
+                // In-place processing: materialize without a metered copy,
+                // then hand the pages back to the shared pool.
+                let mut buf = vec![0u8; payload.len as usize];
+                let view = self.mem.guest();
+                view.read(payload.addr, &mut buf).ok()?;
+                queue.rx.release_revoked(payload).ok()?;
+                Some(buf)
+            }
         }
-        Ok(CioRingDevice {
-            mac: MacAddr(cfg.mac),
-            mtu: cfg.mtu as usize - cio_netstack::wire::ETH_HDR_LEN,
-            tx,
-            rx,
-            send_mode,
-            recv_mode,
-            mem,
-        })
     }
 }
 
 impl NetDevice for CioRingDevice {
     fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let q = cio_netstack::rss::steer(frame, self.mask);
+        let queue = &mut self.queues[q];
         let r = match self.send_mode {
-            SendMode::Copy => self.tx.produce(frame),
-            SendMode::ZeroCopy => self.tx.produce_zero_copy(frame),
+            SendMode::Copy => queue.tx.produce(frame),
+            SendMode::ZeroCopy => queue.tx.produce_zero_copy(frame),
         };
         match r {
             Ok(()) => {
-                self.tx.kick(); // no-op in polling mode
+                queue.tx.kick(); // no-op in polling mode
                 Ok(())
             }
             Err(cio_vring::RingError::Full) => Err(NetError::DeviceFull),
@@ -94,19 +165,20 @@ impl NetDevice for CioRingDevice {
     }
 
     fn receive(&mut self) -> Option<Vec<u8>> {
-        match self.recv_mode {
-            RecvMode::Copy => self.rx.consume().ok().flatten(),
-            RecvMode::Revoke => {
-                let payload: RevokedPayload = self.rx.consume_revoking().ok().flatten()?;
-                // In-place processing: materialize without a metered copy,
-                // then hand the pages back to the shared pool.
-                let mut buf = vec![0u8; payload.len as usize];
-                let view = self.mem.guest();
-                view.read(payload.addr, &mut buf).ok()?;
-                self.rx.release_revoked(payload).ok()?;
-                Some(buf)
+        if let Some(q) = self.active_rx {
+            return self.recv_from(q);
+        }
+        // Round-robin: resume at the cursor so no queue starves when the
+        // caller drains one frame at a time.
+        for i in 0..self.queues.len() {
+            let q = (self.rx_cursor + i) & self.mask as usize;
+            if let Some(frame) = self.recv_from(q) {
+                self.rx_cursor = q;
+                return Some(frame);
             }
         }
+        self.rx_cursor = (self.rx_cursor + 1) & self.mask as usize;
+        None
     }
 
     fn mac(&self) -> MacAddr {
@@ -115,6 +187,16 @@ impl NetDevice for CioRingDevice {
 
     fn mtu(&self) -> usize {
         self.mtu
+    }
+
+    fn rx_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn select_rx_queue(&mut self, queue: Option<usize>) {
+        // Masked-index discipline: an out-of-range request cannot select
+        // an out-of-range queue.
+        self.active_rx = queue.map(|q| q & self.mask as usize);
     }
 }
 

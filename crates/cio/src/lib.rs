@@ -42,7 +42,34 @@ pub mod policy;
 pub mod storage;
 pub mod world;
 
-pub use world::{BoundaryKind, World, WorldOptions};
+pub use world::{BoundaryKind, World, WorldBuilder, WorldOptions};
+
+/// Recoverable conditions: retrying the same call later is expected to
+/// succeed without any reconfiguration.
+///
+/// The §3.2 "errors are fatal" principle applies to *host-facing* faults —
+/// a malformed descriptor or forged index tears the interface down rather
+/// than entering a renegotiation dance. Backpressure inside the guest's own
+/// stack is not a fault at all, so it gets its own non-fatal channel
+/// instead of masquerading as one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transient {
+    /// The send path is saturated; nothing was accepted. Drain (poll /
+    /// step the world) and retry.
+    WouldBlock,
+    /// The operation made partial progress and should be retried later
+    /// for the remainder.
+    AgainLater,
+}
+
+impl std::fmt::Display for Transient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transient::WouldBlock => f.write_str("would block"),
+            Transient::AgainLater => f.write_str("partial progress, retry later"),
+        }
+    }
+}
 
 /// Errors raised by the cio framework.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +95,18 @@ pub enum CioError {
     /// A fatal configuration error (stateless-interface principle: bad
     /// config never becomes a runtime error path).
     Fatal(&'static str),
+    /// A recoverable condition — retry later; see [`Transient`].
+    Transient(Transient),
+}
+
+impl CioError {
+    /// Whether this error is recoverable by simply retrying later.
+    ///
+    /// Everything else is terminal for the operation (and, for host-facing
+    /// faults, for the interface — §3.2).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CioError::Transient(_))
+    }
 }
 
 macro_rules! from_err {
@@ -101,6 +140,7 @@ impl std::fmt::Display for CioError {
             CioError::Unsupported(s) => write!(f, "unsupported by this boundary: {s}"),
             CioError::Timeout(s) => write!(f, "no progress: {s}"),
             CioError::Fatal(s) => write!(f, "fatal configuration error: {s}"),
+            CioError::Transient(t) => write!(f, "transient: {t}"),
         }
     }
 }

@@ -13,16 +13,16 @@ use crate::dev::{
     CioRingDevice, GuestLayoutAlloc, HardenedVirtioNetDevice, IdeNetDevice, RecvMode, SendMode,
     TunnelDevice, VirtqueueNetDevice, VqArena,
 };
-use crate::CioError;
+use crate::{CioError, Transient};
 use cio_ctls::{Channel, RecordScratch, SimHooks};
-use cio_host::backend::{CioNetBackend, VirtioNetBackend};
+use cio_host::backend::{Backend, CioNetBackend, NullBackend, VirtioNetBackend};
 use cio_host::fabric::{Fabric, FabricPort, LinkParams};
 use cio_host::l5::L5Service;
 use cio_host::observe::Recorder;
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
-use cio_netstack::{Ipv4Addr, MacAddr, NetDevice, PairDevice};
-use cio_sim::{Clock, CostModel, Cycles, Meter, SimRng};
+use cio_netstack::{rss, Ipv4Addr, MacAddr, NetDevice, PairDevice};
+use cio_sim::{Clock, CostModel, Cycles, Lanes, Meter, SimRng};
 use cio_tee::compartment::Gate;
 use cio_tee::dda::{spdm_attest, Device, IdeChannel};
 use cio_tee::{Tee, TeeKind};
@@ -110,6 +110,11 @@ pub struct WorldOptions {
     pub step_quantum: Cycles,
     /// TEE flavour.
     pub tee_kind: TeeKind,
+    /// Dataplane queue count (cio-ring designs only). Must be a non-zero
+    /// power of two, at most [`MAX_QUEUES`]. With more than one queue,
+    /// flows are RSS-steered and each queue is serviced on its own
+    /// virtual core (see [`cio_sim::Lanes`]).
+    pub queues: usize,
 }
 
 impl Default for WorldOptions {
@@ -126,9 +131,19 @@ impl Default for WorldOptions {
             dda_tamper: false,
             step_quantum: Cycles(5_000),
             tee_kind: TeeKind::ConfidentialVm,
+            queues: 1,
         }
     }
 }
+
+/// Upper bound on [`WorldOptions::queues`], set by the guest memory
+/// budget (each queue pair carves its rings and payload areas out of the
+/// fixed guest layout).
+pub const MAX_QUEUES: usize = 8;
+
+/// Unsent-backlog threshold above which [`World::send`] reports
+/// backpressure ([`Transient::WouldBlock`]) instead of buffering more.
+pub const SEND_HIGH_WATER: usize = 64 * 1024;
 
 /// Guest address of the world (fixed).
 pub const GUEST_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -158,13 +173,6 @@ enum Guest {
 }
 
 #[allow(clippy::large_enum_variant)] // one per world
-enum Backend {
-    None,
-    Virtio(VirtioNetBackend),
-    Cio(CioNetBackend),
-}
-
-#[allow(clippy::large_enum_variant)] // one per world
 enum PeerNode {
     Direct(SecurePeer<FabricPort>),
     Tunnel {
@@ -175,15 +183,18 @@ enum PeerNode {
 }
 
 /// Pieces produced when building a cio-ring data path.
-type CioRingParts = (Box<dyn NetDevice>, CioNetBackend, (CioRing, CioRing));
+type CioRingParts = (Box<dyn NetDevice>, CioNetBackend, Vec<(CioRing, CioRing)>);
 
 /// Layout facts the adversary harness needs to aim its attacks.
 #[derive(Debug, Clone, Default)]
 pub struct Anatomy {
     /// Virtqueue layouts (tx, rx) and the config page, when present.
     pub virtio: Option<(Layout, Layout, GuestAddr)>,
-    /// cio rings (tx, rx), when present.
+    /// Queue-0 cio rings (tx, rx), when present (kept for callers that
+    /// predate multi-queue; identical to `cio_queues[0]`).
     pub cio_rings: Option<(CioRing, CioRing)>,
+    /// All cio ring pairs (tx, rx), one per queue, in queue order.
+    pub cio_queues: Vec<(CioRing, CioRing)>,
 }
 
 /// Handle to one application connection in a world.
@@ -200,6 +211,9 @@ struct ConnState {
     /// Reusable stream-feed output buffers (steady state allocates
     /// nothing per poll).
     feed_scratch: FeedResult,
+    /// The virtual core / queue this connection's flow steers to
+    /// (always 0 when the world runs a single queue).
+    lane: usize,
 }
 
 /// One complete simulated deployment.
@@ -211,24 +225,106 @@ pub struct World {
     recorder: Recorder,
     tee: Tee,
     guest: Guest,
-    backend: Backend,
+    backend: Box<dyn Backend>,
     peer: PeerNode,
     conns: Vec<ConnState>,
     rng: SimRng,
     anatomy: Anatomy,
     layout: GuestLayoutAlloc,
+    /// Per-queue virtual-core accounting (one lane when single-queue).
+    lanes: Lanes,
     /// Reusable scratch for sealing outgoing application data.
     seal_scratch: RecordScratch,
 }
 
-impl World {
-    /// Builds a world for the given boundary design.
+/// Step-by-step construction of a [`World`].
+///
+/// Obtained from [`World::builder`]; finish with
+/// [`build`](WorldBuilder::build). Setters cover the common knobs; the
+/// rest of [`WorldOptions`] is reachable through
+/// [`options`](WorldBuilder::options).
+///
+/// # Examples
+///
+/// ```
+/// use cio::world::{BoundaryKind, World};
+/// let w = World::builder(BoundaryKind::L2CioRing)
+///     .queues(4)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(w.queues(), 4);
+/// ```
+#[derive(Clone)]
+pub struct WorldBuilder {
+    kind: BoundaryKind,
+    opts: WorldOptions,
+}
+
+impl WorldBuilder {
+    /// Replaces the whole option set (escape hatch for knobs without a
+    /// dedicated setter).
+    pub fn options(mut self, opts: WorldOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Dataplane queue count (cio-ring designs; power of two, <=
+    /// [`MAX_QUEUES`]).
+    pub fn queues(mut self, queues: usize) -> Self {
+        self.opts.queues = queues;
+        self
+    }
+
+    /// The platform cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.opts.cost = cost;
+        self
+    }
+
+    /// Deterministic RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Fabric link characteristics.
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.opts.link = link;
+        self
+    }
+
+    /// End-to-end cTLS for application data.
+    pub fn app_tls(mut self, on: bool) -> Self {
+        self.opts.app_tls = on;
+        self
+    }
+
+    /// Adversary mode: the DDA device misbehaves after attestation.
+    pub fn dda_tamper(mut self, on: bool) -> Self {
+        self.opts.dda_tamper = on;
+        self
+    }
+
+    /// Builds the world.
     ///
     /// # Errors
     ///
     /// [`CioError::Fatal`] for configuration errors; transport errors
     /// during setup.
-    pub fn new(kind: BoundaryKind, opts: WorldOptions) -> Result<World, CioError> {
+    pub fn build(self) -> Result<World, CioError> {
+        let WorldBuilder { kind, opts } = self;
+        if opts.queues == 0 || !opts.queues.is_power_of_two() || opts.queues > MAX_QUEUES {
+            return Err(CioError::Fatal(
+                "queue count must be a power of two between 1 and MAX_QUEUES",
+            ));
+        }
+        if opts.queues > 1 && !matches!(kind, BoundaryKind::L2CioRing | BoundaryKind::DualBoundary)
+        {
+            return Err(CioError::Fatal(
+                "multi-queue is implemented for the cio-ring designs",
+            ));
+        }
         let tee = Tee::new(opts.tee_kind, GUEST_PAGES, opts.cost.clone());
         let clock = tee.clock().clone();
         let meter = tee.meter().clone();
@@ -261,7 +357,11 @@ impl World {
                     opts.app_tls,
                     opts.seed ^ 1,
                 );
-                (Guest::L5 { svc }, Backend::None, PeerNode::Direct(peer))
+                (
+                    Guest::L5 { svc },
+                    Box::new(NullBackend) as Box<dyn Backend>,
+                    PeerNode::Direct(peer),
+                )
             }
 
             BoundaryKind::L2VirtioUnhardened | BoundaryKind::L2VirtioHardened => {
@@ -363,17 +463,17 @@ impl World {
                 );
                 (
                     Guest::Stack { iface },
-                    Backend::Virtio(backend),
+                    Box::new(backend) as Box<dyn Backend>,
                     PeerNode::Direct(peer),
                 )
             }
 
             BoundaryKind::L2CioRing | BoundaryKind::DualBoundary => {
                 let (ring_cfg, dual) = (
-                    Self::net_ring_config(&opts),
+                    World::net_ring_config(&opts),
                     kind == BoundaryKind::DualBoundary,
                 );
-                let (device, backend, rings) = Self::build_cio_rings(
+                let (device, backend, rings) = World::build_cio_rings(
                     &mem,
                     &mut layout,
                     &ring_cfg,
@@ -382,7 +482,8 @@ impl World {
                     recorder.clone(),
                     clock.clone(),
                 )?;
-                anatomy.cio_rings = Some(rings);
+                anatomy.cio_rings = rings.first().cloned();
+                anatomy.cio_queues = rings;
                 let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
                 let peer = SecurePeer::new(
                     peer_port,
@@ -394,11 +495,11 @@ impl World {
                 let guest = if dual {
                     let app = tee.compartments_mut().create("app");
                     let iostack = tee.compartments_mut().create("iostack");
-                    // The I/O compartment owns the rings and payload areas:
-                    // the app can never dereference into them (the
-                    // trusted-component-allocates arena is the only shared
-                    // surface, carved out below).
-                    if let Some((txr, rxr)) = &anatomy.cio_rings {
+                    // The I/O compartment owns every queue's rings and
+                    // payload areas: the app can never dereference into
+                    // them (the trusted-component-allocates arena is the
+                    // only shared surface, carved out below).
+                    for (txr, rxr) in &anatomy.cio_queues {
                         for r in [txr, rxr] {
                             tee.compartments_mut().assign(
                                 iostack,
@@ -427,7 +528,11 @@ impl World {
                 } else {
                     Guest::Stack { iface }
                 };
-                (guest, Backend::Cio(backend), PeerNode::Direct(peer))
+                (
+                    guest,
+                    Box::new(backend) as Box<dyn Backend>,
+                    PeerNode::Direct(peer),
+                )
             }
 
             BoundaryKind::Tunneled => {
@@ -442,8 +547,9 @@ impl World {
                     notify: opts.notify,
                     ..RingConfig::default()
                 };
-                let (tx_ring, rx_ring) = Self::alloc_ring_pair(&mem, &mut layout, &ring_cfg)?;
+                let (tx_ring, rx_ring) = World::alloc_ring_pair(&mem, &mut layout, &ring_cfg)?;
                 anatomy.cio_rings = Some((tx_ring.clone(), rx_ring.clone()));
+                anatomy.cio_queues = vec![(tx_ring.clone(), rx_ring.clone())];
                 let guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
                 let guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
                 let host_tx = Consumer::new(tx_ring, mem.host())?;
@@ -466,8 +572,13 @@ impl World {
                     guest_tx, guest_rx, guest_chan, GUEST_MAC, 1500,
                 ));
                 let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
-                let mut backend =
-                    CioNetBackend::new(host_tx, host_rx, nic_port, recorder.clone(), clock.clone());
+                let mut backend = CioNetBackend::single(
+                    host_tx,
+                    host_rx,
+                    nic_port,
+                    recorder.clone(),
+                    clock.clone(),
+                );
                 backend.opaque = true;
 
                 let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
@@ -481,7 +592,7 @@ impl World {
                 );
                 (
                     Guest::Stack { iface },
-                    Backend::Cio(backend),
+                    Box::new(backend) as Box<dyn Backend>,
                     PeerNode::Tunnel {
                         gw_port: peer_port,
                         gw,
@@ -553,12 +664,13 @@ impl World {
                 );
                 (
                     Guest::Stack { iface },
-                    Backend::None,
+                    Box::new(NullBackend) as Box<dyn Backend>,
                     PeerNode::Direct(peer),
                 )
             }
         };
 
+        let lanes = Lanes::new(clock.clone(), opts.queues);
         Ok(World {
             kind,
             opts,
@@ -573,8 +685,32 @@ impl World {
             rng,
             anatomy,
             layout,
+            lanes,
             seal_scratch: RecordScratch::new(),
         })
+    }
+}
+
+impl World {
+    /// Starts building a world for the given boundary design with default
+    /// options.
+    pub fn builder(kind: BoundaryKind) -> WorldBuilder {
+        WorldBuilder {
+            kind,
+            opts: WorldOptions::default(),
+        }
+    }
+
+    /// Builds a world for the given boundary design — a thin wrapper over
+    /// [`World::builder`] for callers that already hold a full
+    /// [`WorldOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Fatal`] for configuration errors; transport errors
+    /// during setup.
+    pub fn new(kind: BoundaryKind, opts: WorldOptions) -> Result<World, CioError> {
+        World::builder(kind).options(opts).build()
     }
 
     fn net_ring_config(opts: &WorldOptions) -> RingConfig {
@@ -633,20 +769,29 @@ impl World {
         recorder: Recorder,
         clock: Clock,
     ) -> Result<CioRingParts, CioError> {
-        let (tx_ring, rx_ring) = Self::alloc_ring_pair(mem, layout, cfg)?;
-        let guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
-        let guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
-        let host_tx = Consumer::new(tx_ring.clone(), mem.host())?;
-        let host_rx = Producer::new(rx_ring.clone(), mem.host())?;
+        let mut rings = Vec::with_capacity(opts.queues);
+        let mut guest_pairs = Vec::with_capacity(opts.queues);
+        let mut host_pairs = Vec::with_capacity(opts.queues);
+        for _ in 0..opts.queues {
+            let (tx_ring, rx_ring) = Self::alloc_ring_pair(mem, layout, cfg)?;
+            guest_pairs.push((
+                Producer::new(tx_ring.clone(), mem.guest())?,
+                Consumer::new(rx_ring.clone(), mem.guest())?,
+            ));
+            host_pairs.push((
+                Consumer::new(tx_ring.clone(), mem.host())?,
+                Producer::new(rx_ring.clone(), mem.host())?,
+            ));
+            rings.push((tx_ring, rx_ring));
+        }
         let device = Box::new(CioRingDevice::new(
-            guest_tx,
-            guest_rx,
+            guest_pairs,
             mem.clone(),
             opts.send_mode,
             opts.recv_mode,
         )?) as Box<dyn NetDevice>;
-        let backend = CioNetBackend::new(host_tx, host_rx, nic_port, recorder, clock);
-        Ok((device, backend, (tx_ring, rx_ring)))
+        let backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
+        Ok((device, backend, rings))
     }
 
     /// Layout facts for the adversary harness.
@@ -684,20 +829,23 @@ impl World {
         &self.tee
     }
 
-    /// Direct access to the host backend's cio rings (adversary harness).
-    pub fn cio_backend_mut(&mut self) -> Option<&mut CioNetBackend> {
-        match &mut self.backend {
-            Backend::Cio(b) => Some(b),
-            _ => None,
-        }
+    /// The host device backend. Callers that need a concrete model
+    /// (adversary harness, per-queue meters) downcast through
+    /// [`Backend::as_any_mut`]:
+    ///
+    /// ```ignore
+    /// let b = world
+    ///     .backend_mut()
+    ///     .as_any_mut()
+    ///     .downcast_mut::<cio_host::CioNetBackend>();
+    /// ```
+    pub fn backend_mut(&mut self) -> &mut dyn Backend {
+        &mut *self.backend
     }
 
-    /// Direct access to the host backend's virtqueues (adversary harness).
-    pub fn virtio_backend_mut(&mut self) -> Option<&mut VirtioNetBackend> {
-        match &mut self.backend {
-            Backend::Virtio(b) => Some(b),
-            _ => None,
-        }
+    /// Dataplane queue count.
+    pub fn queues(&self) -> usize {
+        self.opts.queues
     }
 
     /// Guest memory (adversary harness).
@@ -731,7 +879,8 @@ impl World {
                 "hot swap is implemented for the cio-ring designs",
             ));
         }
-        let Backend::Cio(old) = std::mem::replace(&mut self.backend, Backend::None) else {
+        let old = std::mem::replace(&mut self.backend, Box::new(NullBackend));
+        let Ok(old) = old.into_any().downcast::<CioNetBackend>() else {
             return Err(CioError::Unsupported("no cio backend present"));
         };
         let port = old.into_port();
@@ -746,12 +895,13 @@ impl World {
             self.recorder.clone(),
             self.clock.clone(),
         )?;
-        self.anatomy.cio_rings = Some(rings);
+        self.anatomy.cio_rings = rings.first().cloned();
+        self.anatomy.cio_queues = rings;
         // The dual boundary's I/O compartment owns the replacement rings
         // exactly like the originals.
         if let Guest::Dual { iostack, .. } = &self.guest {
             let iostack = *iostack;
-            if let Some((txr, rxr)) = &self.anatomy.cio_rings {
+            for (txr, rxr) in &self.anatomy.cio_queues {
                 for r in [txr.clone(), rxr.clone()] {
                     self.tee.compartments_mut().assign(
                         iostack,
@@ -772,11 +922,17 @@ impl World {
             }
             Guest::L5 { .. } => unreachable!("kind checked above"),
         }
-        self.backend = Backend::Cio(backend);
+        self.backend = Box::new(backend);
         Ok(())
     }
 
     /// Advances the whole world one scheduling round.
+    ///
+    /// With one queue this is strictly serial (byte-identical to the
+    /// historical single-ring schedule). With `queues > 1` each queue's
+    /// guest poll, host servicing, and connection flushing run on that
+    /// queue's [`Lanes`] lane, so concurrent flows progress in parallel
+    /// virtual time under the one shared clock.
     ///
     /// # Errors
     ///
@@ -784,6 +940,14 @@ impl World {
     /// as detected violations, not errors, unless the design cannot
     /// contain it).
     pub fn step(&mut self) -> Result<(), CioError> {
+        if self.opts.queues > 1 {
+            self.step_multiqueue()
+        } else {
+            self.step_serial()
+        }
+    }
+
+    fn step_serial(&mut self) -> Result<(), CioError> {
         let t0 = self.clock.now();
         match &mut self.guest {
             Guest::Stack { iface } | Guest::Dual { iface, .. } => {
@@ -793,17 +957,76 @@ impl World {
                 svc.poll()?;
             }
         }
-        match &mut self.backend {
-            Backend::None => {}
-            Backend::Virtio(b) => {
-                b.process()?;
-            }
-            Backend::Cio(b) => {
-                // The adversary may have wedged a ring; detected violations
-                // surface on the meter, and the world keeps stepping.
-                let _ = b.process();
-            }
+        if matches!(
+            self.kind,
+            BoundaryKind::L2VirtioUnhardened | BoundaryKind::L2VirtioHardened
+        ) {
+            self.backend.process()?;
+        } else {
+            // The adversary may have wedged a cio ring; detected violations
+            // surface on the meter, and the world keeps stepping.
+            let _ = self.backend.process();
         }
+        self.poll_peer();
+        // Flush any protocol bytes produced by stream processing.
+        self.flush_outboxes()?;
+        if self.clock.now() == t0 {
+            self.clock.advance(self.opts.step_quantum);
+        }
+        Ok(())
+    }
+
+    /// The multi-queue schedule (cio-ring designs only): each queue is one
+    /// virtual core on both sides of the boundary. Guest poll and host
+    /// servicing for queue `q` accumulate on lane `q`; a barrier then
+    /// advances the shared clock by the busiest lane — the wall-clock of
+    /// `n` cores finishing the round in parallel. Peer servicing charges
+    /// no guest cycles (the fabric models latency by timestamp), so it
+    /// runs between barriers.
+    fn step_multiqueue(&mut self) -> Result<(), CioError> {
+        let t0 = self.clock.now();
+        let nq = self.opts.queues;
+        for q in 0..nq {
+            let base = self.lanes.begin(q);
+            let polled = match &mut self.guest {
+                Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                    iface.device_mut().select_rx_queue(Some(q));
+                    let r = iface.poll();
+                    iface.device_mut().select_rx_queue(None);
+                    r
+                }
+                Guest::L5 { svc } => svc.poll(),
+            };
+            self.lanes.end(q, base);
+            polled?;
+        }
+        // Fabric ingress steers frames to queues without charging guest
+        // cycles; per-queue servicing then runs on the queue's lane.
+        self.backend.ingress();
+        for q in 0..self.backend.queue_count() {
+            let base = self.lanes.begin(q % nq);
+            let serviced = self.backend.service_queue(q);
+            self.lanes.end(q % nq, base);
+            // Multi-queue is cio-ring only: a wedged ring surfaces on the
+            // meter and the world keeps stepping.
+            let _ = serviced;
+        }
+        self.poll_peer();
+        for i in 0..self.conns.len() {
+            let lane = self.conns[i].lane;
+            let base = self.lanes.begin(lane);
+            let flushed = self.flush_conn(i);
+            self.lanes.end(lane, base);
+            flushed?;
+        }
+        self.lanes.sync();
+        if self.clock.now() == t0 {
+            self.clock.advance(self.opts.step_quantum);
+        }
+        Ok(())
+    }
+
+    fn poll_peer(&mut self) {
         match &mut self.peer {
             PeerNode::Direct(p) => p.poll(),
             PeerNode::Tunnel { gw_port, gw, peer } => {
@@ -816,12 +1039,6 @@ impl World {
                 peer.poll();
             }
         }
-        // Flush any protocol bytes produced by stream processing.
-        self.flush_outboxes()?;
-        if self.clock.now() == t0 {
-            self.clock.advance(self.opts.step_quantum);
-        }
-        Ok(())
     }
 
     /// Runs `n` steps.
@@ -928,12 +1145,28 @@ impl World {
         } else {
             (Vec::new(), SecureStream::plain())
         };
+        // The connection's lane is its RSS queue: the same symmetric hash
+        // the device and backend steer with, so all of this flow's work
+        // lands on one virtual core.
+        let lane = if self.opts.queues > 1 {
+            match &mut self.guest {
+                Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                    let local_port = iface.tcp_local_port(handle)?;
+                    let hash = rss::flow_hash((GUEST_IP, local_port), (PEER_IP, port));
+                    (hash as usize) & (self.opts.queues - 1)
+                }
+                Guest::L5 { .. } => 0,
+            }
+        } else {
+            0
+        };
         self.conns.push(ConnState {
             handle,
             stream,
             outbox,
             app_in: Vec::new(),
             feed_scratch: FeedResult::default(),
+            lane,
         });
         Ok(Conn(self.conns.len() - 1))
     }
@@ -945,23 +1178,29 @@ impl World {
         Ok(&mut self.conns[c.0])
     }
 
-    /// Pumps received bytes through each connection's stream and flushes
-    /// pending protocol bytes.
+    /// Pumps received bytes through one connection's stream and flushes
+    /// its pending protocol bytes.
+    fn flush_conn(&mut self, i: usize) -> Result<(), CioError> {
+        let handle = self.conns[i].handle;
+        // Only push protocol bytes once TCP is up.
+        if !self.conns[i].outbox.is_empty() && self.raw_established(handle)? {
+            let out = std::mem::take(&mut self.conns[i].outbox);
+            self.raw_send(handle, &out)?;
+        }
+        let data = self.raw_recv(handle)?;
+        if !data.is_empty() {
+            let conn = &mut self.conns[i];
+            conn.stream.feed_into(&data, &mut conn.feed_scratch)?;
+            conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
+            conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
+        }
+        Ok(())
+    }
+
+    /// Serial flush over all connections (single-queue path).
     fn flush_outboxes(&mut self) -> Result<(), CioError> {
         for i in 0..self.conns.len() {
-            let handle = self.conns[i].handle;
-            // Only push protocol bytes once TCP is up.
-            if !self.conns[i].outbox.is_empty() && self.raw_established(handle)? {
-                let out = std::mem::take(&mut self.conns[i].outbox);
-                self.raw_send(handle, &out)?;
-            }
-            let data = self.raw_recv(handle)?;
-            if !data.is_empty() {
-                let conn = &mut self.conns[i];
-                conn.stream.feed_into(&data, &mut conn.feed_scratch)?;
-                conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
-                conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
-            }
+            self.flush_conn(i)?;
         }
         Ok(())
     }
@@ -986,12 +1225,32 @@ impl World {
         Err(CioError::Timeout("connection establishment"))
     }
 
-    /// Sends application data (sealed when cTLS is on).
+    /// Sends application data (sealed when cTLS is on); returns the bytes
+    /// accepted.
+    ///
+    /// Backpressure is *not* a fault: when the connection's unsent backlog
+    /// is over the high-water mark the call returns
+    /// [`CioError::Transient`]`(`[`Transient::WouldBlock`]`)` with nothing
+    /// consumed — step the world and retry. The §3.2 "errors are fatal"
+    /// principle is reserved for host-facing interface faults.
     ///
     /// # Errors
     ///
-    /// Stream/transport errors.
-    pub fn send(&mut self, c: Conn, data: &[u8]) -> Result<(), CioError> {
+    /// [`CioError::Transient`] for backpressure; stream/transport errors
+    /// otherwise.
+    pub fn send(&mut self, c: Conn, data: &[u8]) -> Result<usize, CioError> {
+        let handle = self.conn_mut(c)?.handle;
+        // The backlog probe is the app reading its own socket bookkeeping
+        // — no boundary is crossed, so nothing is charged.
+        let backlog = match &mut self.guest {
+            Guest::Stack { iface } | Guest::Dual { iface, .. } => iface.tcp_send_backlog(handle)?,
+            Guest::L5 { .. } => 0,
+        };
+        if backlog > SEND_HIGH_WATER {
+            return Err(CioError::Transient(Transient::WouldBlock));
+        }
+        let lane = self.conns[c.0].lane;
+        let base = (self.opts.queues > 1).then(|| self.lanes.begin(lane));
         // Seal into the world's reusable scratch (taken for the duration
         // so the borrow checker sees a local) — steady-state sends
         // allocate nothing.
@@ -1002,7 +1261,18 @@ impl World {
             self.raw_send(handle, scratch.as_slice())
         })();
         self.seal_scratch = scratch;
-        result
+        if let Some(base) = base {
+            self.lanes.end(lane, base);
+        }
+        match result {
+            Ok(()) => Ok(data.len()),
+            // A saturated device queue is backpressure too (TCP keeps the
+            // sealed record buffered; flushing resumes on later steps).
+            Err(CioError::Net(cio_netstack::NetError::DeviceFull)) => {
+                Err(CioError::Transient(Transient::AgainLater))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Takes decrypted application bytes received so far.
@@ -1092,6 +1362,90 @@ mod tests {
         for kind in ALL_BOUNDARIES {
             echo_roundtrip(kind, quick_opts());
         }
+    }
+
+    #[test]
+    fn multiqueue_echo_with_many_connections() {
+        for kind in [BoundaryKind::L2CioRing, BoundaryKind::DualBoundary] {
+            let mut w = World::builder(kind)
+                .queues(4)
+                .options(WorldOptions {
+                    queues: 4,
+                    ..quick_opts()
+                })
+                .build()
+                .unwrap();
+            let conns: Vec<Conn> = (0..8).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
+            for &c in &conns {
+                w.establish(c, 5_000).unwrap();
+            }
+            // Flows must spread beyond lane 0 for the test to mean much.
+            let lanes: std::collections::HashSet<usize> = w.conns.iter().map(|c| c.lane).collect();
+            assert!(lanes.len() > 1, "{kind}: all flows steered to one lane");
+            for (i, &c) in conns.iter().enumerate() {
+                let msg = format!("hello from flow {i}");
+                w.send(c, msg.as_bytes()).unwrap();
+            }
+            for (i, &c) in conns.iter().enumerate() {
+                let want = format!("hello from flow {i}");
+                let got = w.recv_exact(c, want.len(), 5_000).unwrap();
+                assert_eq!(got, want.as_bytes(), "{kind} conn {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_constructs_and_validates() {
+        let w = World::builder(BoundaryKind::L2CioRing)
+            .queues(2)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(w.queues(), 2);
+        assert!(matches!(
+            World::builder(BoundaryKind::L2CioRing).queues(3).build(),
+            Err(CioError::Fatal(_))
+        ));
+        assert!(matches!(
+            World::builder(BoundaryKind::L2CioRing)
+                .queues(2 * MAX_QUEUES)
+                .build(),
+            Err(CioError::Fatal(_))
+        ));
+        // Multi-queue is a cio-ring feature; other designs reject it at
+        // construction (stateless principle: misconfig is fatal, early).
+        assert!(matches!(
+            World::builder(BoundaryKind::L2VirtioHardened)
+                .queues(2)
+                .build(),
+            Err(CioError::Fatal(_))
+        ));
+    }
+
+    #[test]
+    fn send_backpressure_is_transient_not_fatal() {
+        let mut w = World::new(BoundaryKind::L2CioRing, quick_opts()).unwrap();
+        let c = w.connect(ECHO_PORT).unwrap();
+        w.establish(c, 3_000).unwrap();
+        // Without stepping, the TCP send window fills and the unsent
+        // backlog grows past the high-water mark.
+        let chunk = vec![0x42u8; 16 * 1024];
+        let mut hit_backpressure = false;
+        for _ in 0..64 {
+            match w.send(c, &chunk) {
+                Ok(n) => assert_eq!(n, chunk.len()),
+                Err(e) => {
+                    assert!(e.is_transient(), "expected backpressure, got {e}");
+                    assert_eq!(e, CioError::Transient(Transient::WouldBlock));
+                    hit_backpressure = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit_backpressure, "never hit the high-water mark");
+        // Backpressure is recoverable by construction: drain and retry.
+        w.run(2_000).unwrap();
+        assert_eq!(w.send(c, b"after drain").unwrap(), 11);
     }
 
     #[test]

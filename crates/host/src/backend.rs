@@ -1,27 +1,128 @@
 //! Paravirtual device backends: the host side of the guest's NIC.
 //!
 //! A backend shovels frames between a guest-facing transport (virtqueues
-//! or a cio-ring pair) and a [`FabricPort`]. Every frame that passes
+//! or cio-ring pairs) and a [`FabricPort`]. Every frame that passes
 //! through is, by definition, host-visible, so backends record it on the
 //! [`Recorder`] with wire-tap-equivalent metadata (L2 boundary
 //! observability = what the network already sees, §2.4).
+//!
+//! Both backends are multi-queue: the guest interface is a set of
+//! independent queues and the backend services them with batched
+//! round-robin polling, steering inbound frames with the same symmetric
+//! RSS hash the guest uses ([`cio_netstack::rss`]). The [`Backend`] trait
+//! is the uniform host-side handle — callers that need a concrete device
+//! model (the adversary harness, hot-swap) downcast through
+//! [`Backend::as_any_mut`] instead of the `World` growing one accessor
+//! per device type.
 
 use crate::fabric::FabricPort;
 use crate::observe::{bits, Recorder};
 use crate::HostError;
 use cio_mem::HostView;
-use cio_netstack::NetDevice;
+use cio_netstack::{rss, NetDevice};
 use cio_sim::Clock;
-use cio_vring::cioring::{Consumer, Producer};
+use cio_vring::cioring::{Consumer, MultiQueue, Producer};
 use cio_vring::virtqueue::{Chain, DeviceSide};
+use cio_vring::RingError;
+use std::any::Any;
 use std::collections::VecDeque;
 
-/// Host backend for a virtio-net device (two split virtqueues).
-pub struct VirtioNetBackend {
+/// Frames a backend retains per queue while the guest is slow; beyond
+/// this the queue tail-drops like a full NIC ring.
+const PENDING_CAP: usize = 256;
+
+/// How many guest->host frames one batched consume pass pulls per queue
+/// (one shared-index read per batch).
+const TX_BATCH: usize = 16;
+
+/// The uniform host-side device-backend interface.
+///
+/// One processing pass is split so a scheduler can attribute work to
+/// queues: [`Backend::ingress`] pulls delivered frames off the fabric and
+/// steers them (cost-free bookkeeping — the metered work is the ring
+/// traffic), then [`Backend::service_queue`] does the per-queue batched
+/// ring servicing. [`Backend::process`] is the convenience that does both
+/// in round-robin order.
+pub trait Backend {
+    /// Number of guest-facing queues.
+    fn queue_count(&self) -> usize {
+        1
+    }
+
+    /// Pulls delivered frames from the fabric and steers them to queues.
+    /// Returns frames staged for delivery.
+    fn ingress(&mut self) -> usize {
+        0
+    }
+
+    /// Services queue `q`: drains guest->net work and delivers staged
+    /// net->guest frames, with batched index publication.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (a malicious *guest* could still wedge its own
+    /// queues; the host defends itself and surfaces the error).
+    fn service_queue(&mut self, q: usize) -> Result<usize, HostError>;
+
+    /// One full processing pass over every queue; returns frames moved.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::service_queue`].
+    fn process(&mut self) -> Result<usize, HostError> {
+        self.ingress();
+        let mut moved = 0;
+        for q in 0..self.queue_count() {
+            moved += self.service_queue(q)?;
+        }
+        Ok(moved)
+    }
+
+    /// Downcast access for callers that need the concrete device model
+    /// (adversary harness, per-queue ring access).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Consumes the boxed backend for ownership-taking teardown
+    /// (hot-swap needs the fabric port back).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Backend for designs with no paravirtual device at all (the L5 socket
+/// service and direct device assignment talk to the world differently).
+#[derive(Debug, Default)]
+pub struct NullBackend;
+
+impl Backend for NullBackend {
+    fn queue_count(&self) -> usize {
+        0
+    }
+
+    fn service_queue(&mut self, _q: usize) -> Result<usize, HostError> {
+        Ok(0)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// One virtio queue pair (TX + RX split virtqueues) with its posted
+/// receive chains and steered inbound frames.
+struct VirtioQueuePair {
     tx: DeviceSide,
     rx: DeviceSide,
-    port: FabricPort,
     rx_chains: VecDeque<Chain>,
+    pending: VecDeque<Vec<u8>>,
+}
+
+/// Host backend for a virtio-net device (split virtqueues, multi-queue).
+pub struct VirtioNetBackend {
+    pairs: Vec<VirtioQueuePair>,
+    port: FabricPort,
     recorder: Recorder,
     clock: Clock,
     /// When set, the backend injects an interrupt (charged) per received
@@ -33,7 +134,7 @@ pub struct VirtioNetBackend {
 }
 
 impl VirtioNetBackend {
-    /// Creates the backend over the guest's TX and RX queues.
+    /// Creates the backend over the guest's first TX and RX queues.
     pub fn new(
         tx: DeviceSide,
         rx: DeviceSide,
@@ -42,16 +143,30 @@ impl VirtioNetBackend {
         clock: Clock,
     ) -> Self {
         VirtioNetBackend {
-            tx,
-            rx,
+            pairs: vec![VirtioQueuePair {
+                tx,
+                rx,
+                rx_chains: VecDeque::new(),
+                pending: VecDeque::new(),
+            }],
             port,
-            rx_chains: VecDeque::new(),
             recorder,
             clock,
             irq_on_rx: false,
             cost: cio_sim::CostModel::default(),
             meter: cio_sim::Meter::new(),
         }
+    }
+
+    /// Adds another guest queue pair; inbound flows spread across pairs
+    /// by the RSS hash.
+    pub fn add_queue_pair(&mut self, tx: DeviceSide, rx: DeviceSide) {
+        self.pairs.push(VirtioQueuePair {
+            tx,
+            rx,
+            rx_chains: VecDeque::new(),
+            pending: VecDeque::new(),
+        });
     }
 
     /// Enables interrupt-driven receive charging against `meter`.
@@ -61,18 +176,55 @@ impl VirtioNetBackend {
         self.meter = meter;
     }
 
-    /// One processing pass; returns frames moved.
-    ///
-    /// # Errors
-    ///
-    /// Transport errors (a malicious *guest* could still wedge its own
-    /// queues; the host defends itself and surfaces the error).
-    pub fn process(&mut self) -> Result<usize, HostError> {
+    /// Receive buffers currently posted by the guest (all queues).
+    pub fn posted_rx(&self) -> usize {
+        self.pairs.iter().map(|p| p.rx_chains.len()).sum()
+    }
+
+    /// The guest-facing TX queue of pair 0 (adversary access).
+    pub fn tx_device(&mut self) -> &mut DeviceSide {
+        &mut self.pairs[0].tx
+    }
+
+    /// The guest-facing RX queue of pair 0 (adversary access).
+    pub fn rx_device(&mut self) -> &mut DeviceSide {
+        &mut self.pairs[0].rx
+    }
+}
+
+impl Backend for VirtioNetBackend {
+    fn queue_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn ingress(&mut self) -> usize {
+        let n = self.pairs.len();
+        let mut staged = 0;
+        while let Some(frame) = self.port.receive() {
+            // Legacy virtio has no masked-queue discipline; reduce the
+            // flow hash modulo the pair count.
+            let q = if n == 1 {
+                0
+            } else {
+                rss::steer(&frame, u32::MAX) % n
+            };
+            let pair = &mut self.pairs[q];
+            if pair.pending.len() >= PENDING_CAP {
+                continue; // tail-drop, like a full NIC queue
+            }
+            pair.pending.push_back(frame);
+            staged += 1;
+        }
+        staged
+    }
+
+    fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
         let mut moved = 0;
+        let pair = &mut self.pairs[q];
 
         // Guest -> network.
-        while let Some(chain) = self.tx.pop()? {
-            let frame = self.tx.read_payload(&chain)?;
+        while let Some(chain) = pair.tx.pop()? {
+            let frame = pair.tx.read_payload(&chain)?;
             self.recorder.record(
                 self.clock.now(),
                 "frame.tx",
@@ -81,28 +233,28 @@ impl VirtioNetBackend {
             // Device-side MTU errors are the guest's problem; drop silently
             // like hardware would.
             let _ = self.port.transmit(&frame);
-            self.tx.complete(chain.head, 0)?;
+            pair.tx.complete(chain.head, 0)?;
             moved += 1;
         }
 
         // Collect posted receive buffers.
-        while let Some(chain) = self.rx.pop()? {
-            self.rx_chains.push_back(chain);
+        while let Some(chain) = pair.rx.pop()? {
+            pair.rx_chains.push_back(chain);
         }
 
         // Network -> guest.
-        while !self.rx_chains.is_empty() {
-            let Some(frame) = self.port.receive() else {
+        while !pair.rx_chains.is_empty() {
+            let Some(frame) = pair.pending.pop_front() else {
                 break;
             };
-            let chain = self.rx_chains.pop_front().expect("checked non-empty");
+            let chain = pair.rx_chains.pop_front().expect("checked non-empty");
             self.recorder.record(
                 self.clock.now(),
                 "frame.rx",
                 bits::FRAME_HEADERS + bits::LENGTH + bits::TIMING,
             );
-            let written = self.rx.write_payload(&chain, &frame)?;
-            self.rx.complete(chain.head, written)?;
+            let written = pair.rx.write_payload(&chain, &frame)?;
+            pair.rx.complete(chain.head, written)?;
             if self.irq_on_rx {
                 self.clock.advance(self.cost.interrupt_inject);
                 self.meter.interrupts_received(1);
@@ -112,53 +264,82 @@ impl VirtioNetBackend {
         Ok(moved)
     }
 
-    /// Receive buffers currently posted by the guest.
-    pub fn posted_rx(&self) -> usize {
-        self.rx_chains.len()
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 
-    /// The guest-facing TX queue (adversary access).
-    pub fn tx_device(&mut self) -> &mut DeviceSide {
-        &mut self.tx
-    }
-
-    /// The guest-facing RX queue (adversary access).
-    pub fn rx_device(&mut self) -> &mut DeviceSide {
-        &mut self.rx
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 
-/// Host backend for the cio-ring interface (one ring per direction).
-pub struct CioNetBackend {
-    /// Guest -> host ring (host consumes).
+/// One host-side cio queue: consumer of the guest->host ring, producer of
+/// the host->guest ring, plus the inbound frames steered to this queue.
+struct HostQueue {
     tx: Consumer<HostView>,
-    /// Host -> guest ring (host produces).
     rx: Producer<HostView>,
+    pending: VecDeque<Vec<u8>>,
+}
+
+/// Host backend for the cio-ring interface: N independent ring pairs
+/// serviced with batched round-robin polling.
+pub struct CioNetBackend {
+    queues: MultiQueue<HostQueue>,
     port: FabricPort,
     recorder: Recorder,
     clock: Clock,
     /// When set, frames are treated as opaque blobs (tunnel carrier): the
     /// recorder only sees length and timing, never headers.
     pub opaque: bool,
+    /// Reusable scratch for batched consumes (buffers come from the
+    /// serviced queue's own pool).
+    scratch: Vec<Vec<u8>>,
 }
 
 impl CioNetBackend {
-    /// Creates the backend over the two rings.
+    /// Creates the backend over one `(guest->host, host->guest)` ring
+    /// pair per queue.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Ring`] unless the queue count is a non-zero power of
+    /// two — the ring's own masked-index rule, applied to steering.
     pub fn new(
+        queues: Vec<(Consumer<HostView>, Producer<HostView>)>,
+        port: FabricPort,
+        recorder: Recorder,
+        clock: Clock,
+    ) -> Result<Self, HostError> {
+        let queues = MultiQueue::new(
+            queues
+                .into_iter()
+                .map(|(tx, rx)| HostQueue {
+                    tx,
+                    rx,
+                    pending: VecDeque::new(),
+                })
+                .collect(),
+        )?;
+        Ok(CioNetBackend {
+            queues,
+            port,
+            recorder,
+            clock,
+            opaque: false,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Single-queue convenience constructor.
+    pub fn single(
         tx: Consumer<HostView>,
         rx: Producer<HostView>,
         port: FabricPort,
         recorder: Recorder,
         clock: Clock,
     ) -> Self {
-        CioNetBackend {
-            tx,
-            rx,
-            port,
-            recorder,
-            clock,
-            opaque: false,
-        }
+        CioNetBackend::new(vec![(tx, rx)], port, recorder, clock)
+            .expect("one queue is a power of two")
     }
 
     fn frame_bits(&self) -> u32 {
@@ -169,45 +350,118 @@ impl CioNetBackend {
         }
     }
 
-    /// One processing pass; returns frames moved.
-    ///
-    /// # Errors
-    ///
-    /// Ring errors. The host consumes with the same masked discipline as
-    /// the guest — the interface is symmetric by design.
-    pub fn process(&mut self) -> Result<usize, HostError> {
-        let mut moved = 0;
-        let fbits = self.frame_bits();
-        while let Some(frame) = self.tx.consume()? {
-            self.recorder.record(self.clock.now(), "frame.tx", fbits);
-            let _ = self.port.transmit(&frame);
-            moved += 1;
-        }
-        while let Some(frame) = self.port.receive() {
-            self.recorder.record(self.clock.now(), "frame.rx", fbits);
-            match self.rx.produce(&frame) {
-                Ok(()) => moved += 1,
-                Err(cio_vring::RingError::Full) => break, // guest slow: drop
-                Err(e) => return Err(e.into()),
-            }
-        }
-        Ok(moved)
-    }
-
     /// Dismantles the backend, returning the fabric port so a fresh
     /// backend can be attached to the same link (device hot-swap, §3.2).
     pub fn into_port(self) -> FabricPort {
         self.port
     }
 
-    /// The guest->host consumer (adversary access).
-    pub fn tx_ring(&mut self) -> &mut Consumer<HostView> {
-        &mut self.tx
+    /// Per-queue traffic snapshot (frames in `copies`, bytes in
+    /// `bytes_copied`).
+    pub fn queue_meter(&self, q: usize) -> cio_sim::MeterSnapshot {
+        self.queues.lane(q).meter.snapshot()
     }
 
-    /// The host->guest producer (adversary access).
+    /// The guest->host consumer of queue `q` (adversary access).
+    pub fn tx_ring_of(&mut self, q: usize) -> &mut Consumer<HostView> {
+        &mut self.queues.lane_mut(q).end.tx
+    }
+
+    /// The host->guest producer of queue `q` (adversary access).
+    pub fn rx_ring_of(&mut self, q: usize) -> &mut Producer<HostView> {
+        &mut self.queues.lane_mut(q).end.rx
+    }
+
+    /// The guest->host consumer of queue 0 (adversary access).
+    pub fn tx_ring(&mut self) -> &mut Consumer<HostView> {
+        self.tx_ring_of(0)
+    }
+
+    /// The host->guest producer of queue 0 (adversary access).
     pub fn rx_ring(&mut self) -> &mut Producer<HostView> {
-        &mut self.rx
+        self.rx_ring_of(0)
+    }
+}
+
+impl Backend for CioNetBackend {
+    fn queue_count(&self) -> usize {
+        self.queues.queues()
+    }
+
+    fn ingress(&mut self) -> usize {
+        let mask = self.queues.mask();
+        let mut staged = 0;
+        while let Some(frame) = self.port.receive() {
+            let lane = self.queues.lane_mut(rss::steer(&frame, mask));
+            if lane.end.pending.len() >= PENDING_CAP {
+                continue; // tail-drop, like a full NIC queue
+            }
+            lane.end.pending.push_back(frame);
+            staged += 1;
+        }
+        staged
+    }
+
+    fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
+        let fbits = self.frame_bits();
+        let mut moved = 0;
+        let lane = self.queues.lane_mut(q);
+
+        // Guest -> network: batched consume, one shared-index read per
+        // TX_BATCH frames, buffers reused from the queue's pool.
+        self.scratch.clear();
+        while self.scratch.len() < TX_BATCH {
+            self.scratch.push(lane.pool.get());
+        }
+        loop {
+            let n = lane.end.tx.consume_batch(&mut self.scratch)?;
+            for frame in &self.scratch[..n] {
+                self.recorder.record(self.clock.now(), "frame.tx", fbits);
+                lane.note_frame(frame.len());
+                let _ = self.port.transmit(frame);
+                moved += 1;
+            }
+            if n < TX_BATCH {
+                break;
+            }
+        }
+        for buf in self.scratch.drain(..) {
+            lane.pool.put(buf);
+        }
+
+        // Network -> guest: stage every deliverable frame, then one index
+        // publish (and at most one kick) for the whole batch.
+        let mut staged = 0;
+        while let Some(frame) = lane.end.pending.pop_front() {
+            self.recorder.record(self.clock.now(), "frame.rx", fbits);
+            match lane.end.rx.stage(&frame) {
+                Ok(()) => {
+                    lane.note_frame(frame.len());
+                    lane.pool.put(frame);
+                    staged += 1;
+                    moved += 1;
+                }
+                Err(RingError::Full) => {
+                    // Guest slow: keep the frame for a later pass.
+                    lane.end.pending.push_front(frame);
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if staged > 0 {
+            lane.end.rx.publish()?;
+            lane.end.rx.kick();
+        }
+        Ok(moved)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 
@@ -304,10 +558,7 @@ mod tests {
         assert_eq!(s.by_kind["frame.rx"], 1);
     }
 
-    #[test]
-    fn cio_backend_moves_frames_both_ways() {
-        let clock = Clock::new();
-        let mem = GuestMemory::new(600, clock.clone(), CostModel::default(), Meter::new());
+    fn cio_ring_pair(mem: &GuestMemory, base_page: u64, area_page: u64) -> (CioRing, CioRing) {
         let cfg = RingConfig {
             slots: 64,
             slot_size: 16,
@@ -316,22 +567,40 @@ mod tests {
             area_size: 1 << 17,
             ..RingConfig::default()
         };
-        // TX ring at 0, area at page 16; RX ring at page 8, area at page 48+32.
-        let tx_ring =
-            CioRing::new(cfg.clone(), GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).unwrap();
-        let rx_ring = CioRing::new(
-            cfg,
-            GuestAddr(8 * PAGE_SIZE as u64),
-            GuestAddr(64 * PAGE_SIZE as u64),
+        let tx_ring = CioRing::new(
+            cfg.clone(),
+            GuestAddr(base_page * PAGE_SIZE as u64),
+            GuestAddr(area_page * PAGE_SIZE as u64),
         )
         .unwrap();
-        mem.share_range(GuestAddr(0), tx_ring.ring_bytes()).unwrap();
-        mem.share_range(GuestAddr(8 * PAGE_SIZE as u64), rx_ring.ring_bytes())
+        let rx_ring = CioRing::new(
+            cfg,
+            GuestAddr((base_page + 1) * PAGE_SIZE as u64),
+            GuestAddr((area_page + 32) * PAGE_SIZE as u64),
+        )
+        .unwrap();
+        mem.share_range(tx_ring.prod_idx_addr(), tx_ring.ring_bytes())
             .unwrap();
-        mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), tx_ring.area_bytes())
+        mem.share_range(rx_ring.prod_idx_addr(), rx_ring.ring_bytes())
             .unwrap();
-        mem.share_range(GuestAddr(64 * PAGE_SIZE as u64), rx_ring.area_bytes())
-            .unwrap();
+        mem.share_range(
+            GuestAddr(area_page * PAGE_SIZE as u64),
+            tx_ring.area_bytes(),
+        )
+        .unwrap();
+        mem.share_range(
+            GuestAddr((area_page + 32) * PAGE_SIZE as u64),
+            rx_ring.area_bytes(),
+        )
+        .unwrap();
+        (tx_ring, rx_ring)
+    }
+
+    #[test]
+    fn cio_backend_moves_frames_both_ways() {
+        let clock = Clock::new();
+        let mem = GuestMemory::new(600, clock.clone(), CostModel::default(), Meter::new());
+        let (tx_ring, rx_ring) = cio_ring_pair(&mem, 0, 16);
 
         let mut guest_tx = Producer::new(tx_ring.clone(), mem.guest()).unwrap();
         let host_tx = Consumer::new(tx_ring, mem.host()).unwrap();
@@ -340,7 +609,8 @@ mod tests {
 
         let (dev_port, mut peer_port) = fabric_pair(&clock);
         let recorder = Recorder::new();
-        let mut backend = CioNetBackend::new(host_tx, host_rx, dev_port, recorder.clone(), clock);
+        let mut backend =
+            CioNetBackend::single(host_tx, host_rx, dev_port, recorder.clone(), clock);
 
         guest_tx.produce(b"cio frame out").unwrap();
         backend.process().unwrap();
@@ -351,5 +621,64 @@ mod tests {
         assert_eq!(guest_rx.consume().unwrap().unwrap(), b"cio frame in");
 
         assert_eq!(recorder.summary().events, 2);
+        assert_eq!(backend.queue_meter(0).copies, 2);
+    }
+
+    #[test]
+    fn cio_backend_requires_power_of_two_queues() {
+        let clock = Clock::new();
+        let (dev_port, _peer) = fabric_pair(&clock);
+        assert!(CioNetBackend::new(Vec::new(), dev_port, Recorder::new(), clock).is_err());
+    }
+
+    #[test]
+    fn cio_backend_services_queues_round_robin() {
+        let clock = Clock::new();
+        let mem = GuestMemory::new(2048, clock.clone(), CostModel::default(), Meter::new());
+        let mut guest = Vec::new();
+        let mut host = Vec::new();
+        for q in 0..4u64 {
+            let (tx_ring, rx_ring) = cio_ring_pair(&mem, q * 2, 100 + q * 80);
+            guest.push((
+                Producer::new(tx_ring.clone(), mem.guest()).unwrap(),
+                Consumer::new(rx_ring.clone(), mem.guest()).unwrap(),
+            ));
+            host.push((
+                Consumer::new(tx_ring, mem.host()).unwrap(),
+                Producer::new(rx_ring, mem.host()).unwrap(),
+            ));
+        }
+
+        let (dev_port, mut peer_port) = fabric_pair(&clock);
+        let recorder = Recorder::new();
+        let mut backend = CioNetBackend::new(host, dev_port, recorder, clock).unwrap();
+        assert_eq!(backend.queue_count(), 4);
+
+        // A frame produced on every guest queue crosses in one pass.
+        for (q, (tx, _)) in guest.iter_mut().enumerate() {
+            tx.produce(format!("queue {q}").as_bytes()).unwrap();
+        }
+        assert_eq!(backend.process().unwrap(), 4);
+        let mut seen = Vec::new();
+        while let Some(f) = peer_port.receive() {
+            seen.push(String::from_utf8(f).unwrap());
+        }
+        seen.sort();
+        assert_eq!(seen, ["queue 0", "queue 1", "queue 2", "queue 3"]);
+        for q in 0..4 {
+            assert_eq!(
+                backend.queue_meter(q).copies,
+                1,
+                "queue {q} moved its frame"
+            );
+        }
+
+        // Inbound non-flow traffic steers to queue 0.
+        peer_port.transmit(b"not ip").unwrap();
+        backend.process().unwrap();
+        assert_eq!(guest[0].1.consume().unwrap().unwrap(), b"not ip");
+        for (q, (_, rx)) in guest.iter_mut().enumerate().skip(1) {
+            assert_eq!(rx.available().unwrap(), 0, "queue {q} stays idle");
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod l5;
 pub mod observe;
 pub mod peers;
 
+pub use backend::{Backend, CioNetBackend, NullBackend, VirtioNetBackend};
 pub use fabric::{Fabric, FabricPort, LinkParams};
 pub use observe::{ObsEvent, Recorder};
 

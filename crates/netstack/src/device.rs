@@ -28,6 +28,20 @@ pub trait NetDevice {
 
     /// The device's fixed MTU (IP payload bytes per frame).
     fn mtu(&self) -> usize;
+
+    /// Number of receive queues the device exposes (1 for single-queue
+    /// devices, which is the default).
+    fn rx_queues(&self) -> usize {
+        1
+    }
+
+    /// Restricts [`receive`](Self::receive) to one queue, or lifts the
+    /// restriction with `None` (round-robin over all queues).
+    ///
+    /// Single-queue devices ignore this; it exists so a scheduler can
+    /// drain a multi-queue device one queue at a time and attribute the
+    /// work to that queue's virtual core.
+    fn select_rx_queue(&mut self, _queue: Option<usize>) {}
 }
 
 impl NetDevice for Box<dyn NetDevice> {
@@ -42,6 +56,12 @@ impl NetDevice for Box<dyn NetDevice> {
     }
     fn mtu(&self) -> usize {
         (**self).mtu()
+    }
+    fn rx_queues(&self) -> usize {
+        (**self).rx_queues()
+    }
+    fn select_rx_queue(&mut self, queue: Option<usize>) {
+        (**self).select_rx_queue(queue)
     }
 }
 

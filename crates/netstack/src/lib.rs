@@ -23,6 +23,7 @@
 
 pub mod arp;
 pub mod device;
+pub mod rss;
 pub mod stack;
 pub mod tcp;
 pub mod udp;

@@ -273,6 +273,25 @@ impl<D: NetDevice> Interface<D> {
         Ok(self.sock(h)?.conn.state())
     }
 
+    /// The connection's local port (used e.g. to compute its RSS queue).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for dead handles.
+    pub fn tcp_local_port(&mut self, h: SocketHandle) -> Result<u16, NetError> {
+        Ok(self.sock(h)?.conn.local_port())
+    }
+
+    /// Bytes accepted by [`tcp_send`](Self::tcp_send) but not yet emitted
+    /// as segments — the unsent backlog a caller can use for backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for dead handles.
+    pub fn tcp_send_backlog(&mut self, h: SocketHandle) -> Result<usize, NetError> {
+        Ok(self.sock(h)?.conn.send_backlog())
+    }
+
     /// Sends application data.
     ///
     /// # Errors

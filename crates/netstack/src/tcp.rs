@@ -209,6 +209,12 @@ impl Connection {
         self.recv_buf.len()
     }
 
+    /// Bytes queued by [`send`](Self::send) but not yet emitted as
+    /// segments (the unsent backlog; excludes in-flight data).
+    pub fn send_backlog(&self) -> usize {
+        self.send_buf.len()
+    }
+
     /// Whether the peer closed its direction and all data was drained.
     pub fn peer_closed(&self) -> bool {
         self.peer_fin && self.recv_buf.is_empty() && self.ooo.is_empty()

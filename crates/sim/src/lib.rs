@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod lanes;
 pub mod meter;
 pub mod rng;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use lanes::Lanes;
 pub use meter::{Meter, MeterSnapshot};
 pub use rng::SimRng;
 pub use trace::{Trace, TraceEvent};
@@ -157,6 +159,16 @@ impl Clock {
     #[inline]
     pub fn since(&self, start: Cycles) -> Cycles {
         self.now().saturating_sub(start)
+    }
+
+    /// Sets the clock to an absolute time, possibly rewinding it.
+    ///
+    /// Only [`Lanes`] uses this, to position the clock at a lane's local
+    /// frontier and put it back afterwards; everything else must go
+    /// through [`Clock::advance`] so time stays monotonic.
+    #[inline]
+    pub(crate) fn store(&self, t: Cycles) {
+        self.now.store(t.0, Ordering::Relaxed);
     }
 }
 

@@ -25,7 +25,7 @@
 
 use crate::{RingError, Violation};
 use cio_mem::{GuestAddr, GuestView, MemView, PAGE_SIZE};
-use cio_sim::Cycles;
+use cio_sim::{Cycles, Meter};
 
 /// Where payload bytes live relative to the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -729,6 +729,7 @@ impl Consumer<GuestView> {
 /// it accumulated in earlier rounds; [`BufPool::put`] returns it. Once
 /// every buffer in circulation has warmed up to the working payload size,
 /// the loop performs zero heap allocations.
+#[derive(Debug)]
 pub struct BufPool {
     free: Vec<Vec<u8>>,
     max_retained: usize,
@@ -767,6 +768,115 @@ impl BufPool {
 impl Default for BufPool {
     fn default() -> Self {
         BufPool::new(8)
+    }
+}
+
+/// One queue of a [`MultiQueue`]: a ring endpoint plus the private state a
+/// per-core queue owns on real multi-queue NICs.
+///
+/// `end` is whatever the embedding layer services per queue (a
+/// producer/consumer pair, a device half, ...). The pool and meter are
+/// *per queue* so queues share no heap buffers and traffic can be
+/// attributed queue by queue.
+#[derive(Debug)]
+pub struct QueueLane<E> {
+    /// The ring endpoint serviced on this queue.
+    pub end: E,
+    /// Reusable payload buffers private to this queue.
+    pub pool: BufPool,
+    /// Traffic counters private to this queue (frames land in `copies`,
+    /// bytes in `bytes_copied`, mirroring the global meter's categories).
+    pub meter: Meter,
+}
+
+impl<E> QueueLane<E> {
+    fn new(end: E) -> Self {
+        QueueLane {
+            end,
+            pool: BufPool::default(),
+            meter: Meter::new(),
+        }
+    }
+
+    /// Records one frame of `bytes` payload moved through this queue.
+    #[inline]
+    pub fn note_frame(&self, bytes: usize) {
+        self.meter.copies(1);
+        self.meter.bytes_copied(bytes as u64);
+    }
+}
+
+/// N independent safe rings steered as one multi-queue interface.
+///
+/// Scaling the §3.2 ring out does not relax any of its principles — it
+/// replicates them. Each queue is a complete single-producer
+/// single-consumer ring with its own fixed config, masked indices, and
+/// fatal-only error discipline; `MultiQueue` adds only the steering
+/// arithmetic. The queue count must be a power of two so that steering is
+/// the same masked-index discipline the ring itself uses
+/// (`hash & (n - 1)`): no host- or flow-derived value can select an
+/// out-of-range queue.
+#[derive(Debug)]
+pub struct MultiQueue<E> {
+    lanes: Vec<QueueLane<E>>,
+    mask: u32,
+}
+
+impl<E> MultiQueue<E> {
+    /// Wraps one endpoint per queue.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] unless the queue count is a non-zero power of
+    /// two (fixed at construction; there is no runtime queue control
+    /// plane).
+    pub fn new(ends: Vec<E>) -> Result<Self, RingError> {
+        let n = ends.len();
+        if n == 0 || !n.is_power_of_two() || n > u32::MAX as usize {
+            return Err(RingError::Fatal("queue count must be a power of two"));
+        }
+        Ok(MultiQueue {
+            lanes: ends.into_iter().map(QueueLane::new).collect(),
+            mask: (n - 1) as u32,
+        })
+    }
+
+    /// Number of queues.
+    #[inline]
+    pub fn queues(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The steering mask (`queues - 1`).
+    #[inline]
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Maps a flow hash to a queue index; masking makes any hash in range.
+    #[inline]
+    pub fn lane_for(&self, hash: u32) -> usize {
+        (hash & self.mask) as usize
+    }
+
+    /// Borrows queue `q`.
+    pub fn lane(&self, q: usize) -> &QueueLane<E> {
+        &self.lanes[q]
+    }
+
+    /// Mutably borrows queue `q`.
+    pub fn lane_mut(&mut self, q: usize) -> &mut QueueLane<E> {
+        &mut self.lanes[q]
+    }
+
+    /// Iterates over the queues in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueLane<E>> {
+        self.lanes.iter()
+    }
+
+    /// Mutably iterates over the queues in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueueLane<E>> {
+        self.lanes.iter_mut()
     }
 }
 
@@ -1232,5 +1342,71 @@ mod tests {
         let mut buf = vec![0u8; r.len as usize];
         m.guest().read(r.addr, &mut buf).unwrap();
         assert_eq!(&buf, b"validated content");
+    }
+
+    #[test]
+    fn multiqueue_requires_power_of_two() {
+        assert!(MultiQueue::new(Vec::<u32>::new()).is_err());
+        assert!(matches!(
+            MultiQueue::new(vec![0u32, 1, 2]),
+            Err(RingError::Fatal(_))
+        ));
+        let mq = MultiQueue::new(vec![0u32, 1, 2, 3]).unwrap();
+        assert_eq!(mq.queues(), 4);
+        assert_eq!(mq.mask(), 3);
+    }
+
+    #[test]
+    fn multiqueue_steering_is_masked() {
+        let mq = MultiQueue::new((0u32..8).collect::<Vec<_>>()).unwrap();
+        for hash in [0u32, 7, 8, 0xdead_beef, u32::MAX] {
+            let q = mq.lane_for(hash);
+            assert!(q < mq.queues());
+            assert_eq!(q, (hash as usize) & 7);
+        }
+    }
+
+    #[test]
+    fn multiqueue_lanes_have_private_pools_and_meters() {
+        let mut mq = MultiQueue::new(vec![(), ()]).unwrap();
+        let buf = {
+            let lane = mq.lane_mut(0);
+            let mut b = lane.pool.get();
+            b.extend_from_slice(&[0u8; 1514]);
+            b
+        };
+        mq.lane_mut(0).pool.put(buf);
+        mq.lane(0).note_frame(1514);
+        assert_eq!(mq.lane(0).pool.idle(), 1);
+        assert_eq!(mq.lane(1).pool.idle(), 0);
+        assert_eq!(mq.lane(0).meter.snapshot().bytes_copied, 1514);
+        assert_eq!(mq.lane(1).meter.snapshot().bytes_copied, 0);
+    }
+
+    #[test]
+    fn multiqueue_wraps_real_ring_pairs() {
+        // Each queue is a complete, independent safe ring.
+        let mut pairs = Vec::new();
+        for _ in 0..4 {
+            let (_m, p, c) = tx_pair(small_cfg(DataMode::SharedArea));
+            pairs.push((p, c));
+        }
+        let mut mq = MultiQueue::new(pairs).unwrap();
+        let q = mq.lane_for(0xabcd_1234);
+        let lane = mq.lane_mut(q);
+        lane.end.0.produce(b"steered frame").unwrap();
+        let got = lane
+            .end
+            .1
+            .consume()
+            .unwrap()
+            .expect("frame on steered queue");
+        assert_eq!(&got, b"steered frame");
+        // Sibling queues saw nothing.
+        for i in 0..4 {
+            if i != q {
+                assert_eq!(mq.lane_mut(i).end.1.available().unwrap(), 0);
+            }
+        }
     }
 }

@@ -17,11 +17,18 @@
 //! 4. Application data crosses the host as ciphertext in frames; the host
 //!    learns only what a network tap would.
 
-use cio::world::{BoundaryKind, World, WorldOptions, ECHO_PORT};
+use cio::world::{BoundaryKind, World, ECHO_PORT};
 
 fn main() {
-    let mut world = World::new(BoundaryKind::DualBoundary, WorldOptions::default())
-        .expect("world construction is infallible with default options");
+    // The builder is the front door: pick a boundary, then opt into
+    // extras (queue count, cost model, seed) as needed. Two RSS-steered
+    // cio queues here — quickstart-scale proof that multi-queue changes
+    // nothing about the trust story.
+    let mut world = World::builder(BoundaryKind::DualBoundary)
+        .queues(2)
+        .seed(1)
+        .build()
+        .expect("world construction is infallible with valid options");
 
     println!("== cio quickstart: dual-boundary confidential I/O ==\n");
 

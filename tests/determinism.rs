@@ -4,6 +4,7 @@
 
 use cio::world::{BoundaryKind, World, WorldOptions, ALL_BOUNDARIES, ECHO_PORT};
 use cio_host::fabric::LinkParams;
+use cio_host::Backend;
 use cio_sim::Cycles;
 
 fn opts(seed: u64) -> WorldOptions {
@@ -53,6 +54,67 @@ fn different_seeds_still_deliver() {
         assert!(clock > 0);
         assert!(meter.aead_bytes > 0);
     }
+}
+
+/// Runs a multi-connection echo workload at `queues` queues and returns
+/// the global trace plus every per-queue meter snapshot.
+fn run_multiqueue(
+    queues: usize,
+    seed: u64,
+) -> (
+    u64,
+    cio_sim::MeterSnapshot,
+    u64,
+    Vec<cio_sim::MeterSnapshot>,
+) {
+    let mut w = World::builder(BoundaryKind::L2CioRing)
+        .options(opts(seed))
+        .queues(queues)
+        .build()
+        .unwrap();
+    let conns: Vec<_> = (0..6).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
+    for &c in &conns {
+        w.establish(c, 20_000).unwrap();
+    }
+    for (i, &c) in conns.iter().enumerate() {
+        let msg = vec![i as u8; 700 + 41 * i];
+        w.send(c, &msg).unwrap();
+        let got = w.recv_exact(c, msg.len(), 20_000).unwrap();
+        assert_eq!(got, msg, "queue-steered echo corrupted");
+    }
+    let backend = w
+        .backend_mut()
+        .as_any_mut()
+        .downcast_mut::<cio_host::CioNetBackend>()
+        .expect("cio backend");
+    let per_queue: Vec<_> = (0..backend.queue_count())
+        .map(|q| backend.queue_meter(q))
+        .collect();
+    (
+        w.clock().now().get(),
+        w.meter().snapshot(),
+        w.recorder().summary().bits,
+        per_queue,
+    )
+}
+
+#[test]
+fn multiqueue_runs_are_deterministic_per_queue() {
+    for queues in [1usize, 2, 4] {
+        let a = run_multiqueue(queues, 11);
+        let b = run_multiqueue(queues, 11);
+        assert_eq!(a.0, b.0, "{queues} queues: clock diverged");
+        assert_eq!(a.1, b.1, "{queues} queues: meter diverged");
+        assert_eq!(a.2, b.2, "{queues} queues: observability diverged");
+        assert_eq!(a.3.len(), queues, "backend queue count");
+        for (q, (ma, mb)) in a.3.iter().zip(&b.3).enumerate() {
+            assert_eq!(ma, mb, "{queues} queues: queue {q} meter diverged");
+        }
+    }
+    // With 4 queues, the steering hash must actually spread this workload.
+    let spread = run_multiqueue(4, 11).3;
+    let busy = spread.iter().filter(|m| m.bytes_copied > 0).count();
+    assert!(busy > 1, "all flows landed on one queue: {spread:?}");
 }
 
 #[test]

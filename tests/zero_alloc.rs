@@ -103,4 +103,67 @@ fn steady_state_record_path_does_not_allocate() {
         "steady-state record send/recv must not touch the heap \
          ({during} allocations over 1000 records)"
     );
+
+    // Phase 2: the same audit over a 4-queue ring set, with records
+    // steered to queues by the RSS flow hash exactly as the multi-queue
+    // device does. Per-queue reused buffers stand in for per-queue pools;
+    // once warm, no queue's path may allocate. This lives in the same
+    // test because this file's allocator counter is process-global.
+    const QUEUES: usize = 4;
+    let mut lanes = Vec::new();
+    for _ in 0..QUEUES {
+        let clock = Clock::new();
+        let cfg = RingConfig {
+            mtu: 2048,
+            mode: DataMode::SharedArea,
+            ..RingConfig::default()
+        };
+        let area_pages = cfg.area_size as usize / PAGE_SIZE;
+        let mem = GuestMemory::new(32 + area_pages, clock, CostModel::default(), Meter::new());
+        let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).unwrap();
+        mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
+        mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
+            .unwrap();
+        let producer = Producer::new(ring.clone(), mem.guest()).unwrap();
+        let consumer = Consumer::new(ring, mem.host()).unwrap();
+        lanes.push((producer, consumer, Vec::<u8>::new(), mem));
+    }
+    // Eight synthetic flows, hashed to queues like connect() assigns lanes.
+    let flows: Vec<usize> = (0..8u16)
+        .map(|i| {
+            cio_netstack::rss::flow_hash(
+                (cio_netstack::Ipv4Addr([10, 0, 0, 1]), 40_000 + i),
+                (cio_netstack::Ipv4Addr([10, 0, 0, 2]), 443),
+            ) as usize
+                & (QUEUES - 1)
+        })
+        .collect();
+
+    let mut mq_cycle = |rec: &mut RecordScratch, plain: &mut RecordScratch| {
+        for &q in &flows {
+            let (producer, consumer, blob, _) = &mut lanes[q];
+            guest.seal_into(&payload, rec).expect("seal");
+            producer.produce(rec.as_slice()).expect("produce");
+            consumer
+                .consume_into(blob)
+                .expect("consume")
+                .expect("record available");
+            host.open_into(blob, plain).expect("open");
+            assert_eq!(plain.as_slice(), &payload[..]);
+        }
+    };
+    for _ in 0..32 {
+        mq_cycle(&mut rec, &mut plain);
+    }
+
+    let before = allocations();
+    for _ in 0..250 {
+        mq_cycle(&mut rec, &mut plain);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "4-queue steady-state record path must not touch the heap \
+         ({during} allocations over 2000 steered records)"
+    );
 }
