@@ -123,6 +123,7 @@ fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, M
         clock: clock.clone(),
         cost,
         meter: meter.clone(),
+        telemetry: cio_sim::Telemetry::disabled(),
     };
     let mut guest = Channel::from_secrets([3; 32], [4; 32], true, Some(hooks));
     let gw_chan = Channel::from_secrets([3; 32], [4; 32], false, None);

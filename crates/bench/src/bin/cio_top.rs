@@ -1,0 +1,116 @@
+//! E17 — `cio-top`: cycle attribution across the dual-boundary dataplane.
+//!
+//! Runs the flow-steered echo workload on the cio-ring design with the
+//! deterministic telemetry layer enabled, then prints where every virtual
+//! cycle went: the per-stage/per-queue attribution table, per-queue RTT
+//! histograms, per-stage residency, and ring batch-size distributions.
+//! Everything derives from the shared virtual clock, so two runs with the
+//! same arguments print byte-identical output.
+//!
+//! Usage: `cio_top [--quick] [--prom] [--json]`
+//! `--prom` / `--json` additionally dump the raw exporter payloads.
+
+use cio_bench::{fmt_cycles, print_table, telemetry_echo_world};
+use cio_sim::{Histogram, Stage};
+
+const QUEUES: usize = 4;
+
+fn hist_row(label: String, h: &Histogram) -> Vec<String> {
+    vec![
+        label,
+        h.count().to_string(),
+        h.p50().to_string(),
+        h.p95().to_string(),
+        h.p99().to_string(),
+        h.max().to_string(),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let want_prom = std::env::args().any(|a| a == "--prom");
+    let want_json = std::env::args().any(|a| a == "--json");
+    let (flows, rounds, size) = if quick { (8, 12, 512) } else { (16, 64, 1024) };
+
+    let w = telemetry_echo_world(QUEUES, flows, rounds, size, true).expect("E17 workload failed");
+    let tel = w.telemetry();
+    let profile = tel.profile();
+
+    println!(
+        "## E17 — cio-top: cycle attribution ({QUEUES} queues, {flows} flows, \
+         {rounds} x {size} B echo, virtual time)\n"
+    );
+    print!("{}", profile.render_table());
+    println!(
+        "\ncovered: {} cycles across {} queues, span overflows: {}",
+        fmt_cycles(profile.covered()),
+        profile.queues(),
+        profile.overflows()
+    );
+
+    let rtt_rows: Vec<Vec<String>> = (0..QUEUES)
+        .map(|q| hist_row(format!("q{q}"), &tel.rtt_histogram(q)))
+        .collect();
+    print_table(
+        "per-queue echo RTT (cycles)",
+        &["queue", "count", "p50", "p95", "p99", "max"],
+        &rtt_rows,
+    );
+
+    let batch_rows: Vec<Vec<String>> = (0..QUEUES)
+        .map(|q| hist_row(format!("q{q}"), &tel.batch_histogram(q)))
+        .collect();
+    print_table(
+        "per-queue ring batch sizes (frames)",
+        &["queue", "count", "p50", "p95", "p99", "max"],
+        &batch_rows,
+    );
+
+    let res_rows: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|&s| (s, tel.residency_histogram(s)))
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(s, h)| hist_row(s.name().to_string(), &h))
+        .collect();
+    print_table(
+        "per-stage span residency (cycles)",
+        &["stage", "spans", "p50", "p95", "p99", "max"],
+        &res_rows,
+    );
+
+    // Acceptance: stage self-times partition the covered virtual time, so
+    // the per-stage fractions must sum to 100% within 1%.
+    let frac_sum: f64 = Stage::ALL.iter().map(|&s| profile.fraction(s)).sum();
+    println!(
+        "\nstage fraction sum: {:.4} (target: 1.0 +- 0.01)",
+        frac_sum
+    );
+    assert!(
+        (frac_sum - 1.0).abs() <= 0.01,
+        "stage fractions do not partition covered time: {frac_sum:.4}"
+    );
+    let attributed = profile.total_cycles();
+    let covered = profile.covered().get();
+    assert!(
+        attributed.abs_diff(covered) <= covered / 100 + 1,
+        "attributed {attributed} vs covered {covered} diverge by >1%"
+    );
+    assert_eq!(profile.overflows(), 0, "span stack overflowed");
+
+    println!(
+        "\nReading: host.service + ring consume/produce is the host-side cost \
+         of the dual boundary; tx.seal/rx.open + crypto is the cTLS tax the \
+         guest pays for confidentiality; idle is quantum padding while flows \
+         wait on the link. All numbers fold deterministically out of the \
+         virtual clock — rerunning this binary reproduces them exactly."
+    );
+
+    if want_prom {
+        println!("\n--- prometheus ---");
+        print!("{}", tel.prometheus_text());
+    }
+    if want_json {
+        println!("\n--- json ---");
+        println!("{}", tel.json_snapshot());
+    }
+}

@@ -242,6 +242,87 @@ pub fn echo_latency(
     ))
 }
 
+/// Runs a multi-flow echo workload with the telemetry layer optionally
+/// enabled and returns the finished [`World`] so callers can inspect the
+/// attribution profile, histograms, and exporters.
+///
+/// Each flow keeps one `size`-byte ping outstanding and records the
+/// application-observed round-trip into the per-queue RTT histogram of the
+/// flow's RSS lane. This is the workload behind `cio-top` (E17) and the
+/// telemetry determinism suite; running it with `telemetry: false` gives
+/// the control for "observability does not perturb the simulation".
+///
+/// # Errors
+///
+/// World construction or timeout failures.
+pub fn telemetry_echo_world(
+    queues: usize,
+    flows: usize,
+    rounds: u32,
+    size: usize,
+    telemetry: bool,
+) -> Result<World, CioError> {
+    let opts = WorldOptions {
+        queues,
+        telemetry,
+        ..bench_opts()
+    };
+    let mut w = World::new(BoundaryKind::L2CioRing, opts)?;
+    let conns: Vec<_> = (0..flows)
+        .map(|_| w.connect(ECHO_PORT))
+        .collect::<Result<_, _>>()?;
+    for &c in &conns {
+        w.establish(c, 50_000)?;
+    }
+    let payload = vec![0x5Au8; size];
+    let mut left = vec![rounds; flows];
+    // Echo bytes still owed per flow (0 = ready for a new ping).
+    let mut pending = vec![0usize; flows];
+    let mut sent_at = vec![Cycles(0); flows];
+    let mut done = 0usize;
+    let mut idle_steps = 0u32;
+    while done < flows {
+        for (i, &c) in conns.iter().enumerate() {
+            if left[i] > 0 && pending[i] == 0 {
+                match w.send(c, &payload) {
+                    Ok(_) => {
+                        pending[i] = size;
+                        sent_at[i] = w.clock().now();
+                    }
+                    Err(e) if e.is_transient() => {} // retry next round
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        w.step()?;
+        let mut progressed = false;
+        for (i, &c) in conns.iter().enumerate() {
+            if pending[i] == 0 {
+                continue;
+            }
+            let data = w.recv(c)?;
+            if data.is_empty() {
+                continue;
+            }
+            progressed = true;
+            pending[i] = pending[i].saturating_sub(data.len());
+            if pending[i] == 0 {
+                let q = w.conn_lane(c).unwrap_or(0);
+                w.telemetry().record_rtt(q, w.clock().since(sent_at[i]));
+                left[i] -= 1;
+                if left[i] == 0 {
+                    done += 1;
+                }
+            }
+        }
+        idle_steps = if progressed { 0 } else { idle_steps + 1 };
+        if idle_steps > 200_000 {
+            return Err(CioError::Timeout("telemetry_echo_world stalled"));
+        }
+    }
+    Ok(w)
+}
+
 /// World options for the cio-ring variants used in E7/E9 sweeps.
 pub fn ring_mode_opts(send: SendMode, recv: RecvMode) -> WorldOptions {
     WorldOptions {

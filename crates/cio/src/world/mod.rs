@@ -22,7 +22,7 @@ use cio_host::observe::Recorder;
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{rss, Ipv4Addr, MacAddr, NetDevice, PairDevice};
-use cio_sim::{Clock, CostModel, Cycles, Lanes, Meter, SimRng};
+use cio_sim::{Clock, CostModel, Cycles, Lanes, Meter, SimRng, Stage, Telemetry};
 use cio_tee::compartment::Gate;
 use cio_tee::dda::{spdm_attest, Device, IdeChannel};
 use cio_tee::{Tee, TeeKind};
@@ -115,6 +115,12 @@ pub struct WorldOptions {
     /// flows are RSS-steered and each queue is serviced on its own
     /// virtual core (see [`cio_sim::Lanes`]).
     pub queues: usize,
+    /// Arm the deterministic telemetry layer (spans, histograms, cycle
+    /// attribution — see [`cio_sim::telemetry`]). Off by default: a
+    /// disabled handle costs one branch per instrumentation site and
+    /// records nothing. Telemetry never advances the clock, so enabling
+    /// it cannot perturb the simulation.
+    pub telemetry: bool,
 }
 
 impl Default for WorldOptions {
@@ -132,6 +138,7 @@ impl Default for WorldOptions {
             step_quantum: Cycles(5_000),
             tee_kind: TeeKind::ConfidentialVm,
             queues: 1,
+            telemetry: false,
         }
     }
 }
@@ -235,6 +242,9 @@ pub struct World {
     lanes: Lanes,
     /// Reusable scratch for sealing outgoing application data.
     seal_scratch: RecordScratch,
+    /// Telemetry domain (a disabled no-op handle unless
+    /// [`WorldOptions::telemetry`] armed it).
+    telemetry: Telemetry,
 }
 
 /// Step-by-step construction of a [`World`].
@@ -306,6 +316,13 @@ impl WorldBuilder {
         self
     }
 
+    /// Arms the deterministic telemetry layer (spans, latency
+    /// histograms, per-stage cycle attribution). Off by default.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.opts.telemetry = on;
+        self
+    }
+
     /// Builds the world.
     ///
     /// # Errors
@@ -330,6 +347,11 @@ impl WorldBuilder {
         let meter = tee.meter().clone();
         let mem = tee.memory().clone();
         let recorder = Recorder::new();
+        let telemetry = if opts.telemetry {
+            Telemetry::new(clock.clone(), opts.queues)
+        } else {
+            Telemetry::disabled()
+        };
         let fabric = Fabric::new(clock.clone(), opts.seed);
         let mut rng = SimRng::seed_from(opts.seed ^ 0x5EED);
 
@@ -342,7 +364,7 @@ impl WorldBuilder {
         let mut layout =
             GuestLayoutAlloc::new(GuestAddr(0), GuestAddr((GUEST_PAGES * PAGE_SIZE) as u64));
 
-        let (guest, backend, peer) = match kind {
+        let (guest, backend, mut peer) = match kind {
             BoundaryKind::L5Host => {
                 let svc = L5Service::new(
                     nic_port,
@@ -454,6 +476,7 @@ impl WorldBuilder {
                 if hardened {
                     backend.enable_rx_interrupts(opts.cost.clone(), meter.clone());
                 }
+                backend.set_telemetry(telemetry.clone());
                 let peer = SecurePeer::new(
                     peer_port,
                     PEER_IP,
@@ -481,6 +504,7 @@ impl WorldBuilder {
                     nic_port,
                     recorder.clone(),
                     clock.clone(),
+                    &telemetry,
                 )?;
                 anatomy.cio_rings = rings.first().cloned();
                 anatomy.cio_queues = rings;
@@ -550,8 +574,10 @@ impl WorldBuilder {
                 let (tx_ring, rx_ring) = World::alloc_ring_pair(&mem, &mut layout, &ring_cfg)?;
                 anatomy.cio_rings = Some((tx_ring.clone(), rx_ring.clone()));
                 anatomy.cio_queues = vec![(tx_ring.clone(), rx_ring.clone())];
-                let guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
-                let guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
+                let mut guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
+                let mut guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
+                guest_tx.set_telemetry(telemetry.clone(), 0);
+                guest_rx.set_telemetry(telemetry.clone(), 0);
                 let host_tx = Consumer::new(tx_ring, mem.host())?;
                 let host_rx = Producer::new(rx_ring, mem.host())?;
 
@@ -564,6 +590,7 @@ impl WorldBuilder {
                     clock: clock.clone(),
                     cost: opts.cost.clone(),
                     meter: meter.clone(),
+                    telemetry: telemetry.clone(),
                 };
                 let guest_chan = Channel::from_secrets(c_secret, s_secret, true, Some(hooks));
                 let gw_chan = Channel::from_secrets(c_secret, s_secret, false, None);
@@ -580,6 +607,7 @@ impl WorldBuilder {
                     clock.clone(),
                 );
                 backend.opaque = true;
+                backend.set_telemetry(telemetry.clone());
 
                 let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
                 let gw = TunnelGateway::new(gw_chan, gw_side);
@@ -670,6 +698,10 @@ impl WorldBuilder {
             }
         };
 
+        match &mut peer {
+            PeerNode::Direct(p) => p.set_telemetry(telemetry.clone()),
+            PeerNode::Tunnel { peer, .. } => peer.set_telemetry(telemetry.clone()),
+        }
         let lanes = Lanes::new(clock.clone(), opts.queues);
         Ok(World {
             kind,
@@ -687,6 +719,7 @@ impl WorldBuilder {
             layout,
             lanes,
             seal_scratch: RecordScratch::new(),
+            telemetry,
         })
     }
 }
@@ -760,6 +793,7 @@ impl World {
         Ok((mk(mem, layout)?, mk(mem, layout)?))
     }
 
+    #[allow(clippy::too_many_arguments)] // internal builder plumbing
     fn build_cio_rings(
         mem: &GuestMemory,
         layout: &mut GuestLayoutAlloc,
@@ -768,16 +802,18 @@ impl World {
         nic_port: FabricPort,
         recorder: Recorder,
         clock: Clock,
+        telemetry: &Telemetry,
     ) -> Result<CioRingParts, CioError> {
         let mut rings = Vec::with_capacity(opts.queues);
         let mut guest_pairs = Vec::with_capacity(opts.queues);
         let mut host_pairs = Vec::with_capacity(opts.queues);
-        for _ in 0..opts.queues {
+        for q in 0..opts.queues {
             let (tx_ring, rx_ring) = Self::alloc_ring_pair(mem, layout, cfg)?;
-            guest_pairs.push((
-                Producer::new(tx_ring.clone(), mem.guest())?,
-                Consumer::new(rx_ring.clone(), mem.guest())?,
-            ));
+            let mut guest_tx = Producer::new(tx_ring.clone(), mem.guest())?;
+            let mut guest_rx = Consumer::new(rx_ring.clone(), mem.guest())?;
+            guest_tx.set_telemetry(telemetry.clone(), q);
+            guest_rx.set_telemetry(telemetry.clone(), q);
+            guest_pairs.push((guest_tx, guest_rx));
             host_pairs.push((
                 Consumer::new(tx_ring.clone(), mem.host())?,
                 Producer::new(rx_ring.clone(), mem.host())?,
@@ -790,7 +826,8 @@ impl World {
             opts.send_mode,
             opts.recv_mode,
         )?) as Box<dyn NetDevice>;
-        let backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
+        let mut backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
+        backend.set_telemetry(telemetry.clone());
         Ok((device, backend, rings))
     }
 
@@ -848,6 +885,19 @@ impl World {
         self.opts.queues
     }
 
+    /// The telemetry domain. Disabled (inert) unless the world was built
+    /// with [`WorldBuilder::telemetry`]; use it to pull
+    /// [`cio_sim::Profile`] tables, histograms, and exporter snapshots.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The RSS lane / queue this connection's flow steers to (`None` for
+    /// a dead handle).
+    pub fn conn_lane(&self, c: Conn) -> Option<usize> {
+        self.conns.get(c.0).map(|s| s.lane)
+    }
+
     /// Guest memory (adversary harness).
     pub fn guest_memory(&self) -> &GuestMemory {
         self.tee.memory()
@@ -894,6 +944,7 @@ impl World {
             port,
             self.recorder.clone(),
             self.clock.clone(),
+            &self.telemetry,
         )?;
         self.anatomy.cio_rings = rings.first().cloned();
         self.anatomy.cio_queues = rings;
@@ -949,12 +1000,15 @@ impl World {
 
     fn step_serial(&mut self) -> Result<(), CioError> {
         let t0 = self.clock.now();
-        match &mut self.guest {
-            Guest::Stack { iface } | Guest::Dual { iface, .. } => {
-                iface.poll()?;
-            }
-            Guest::L5 { svc } => {
-                svc.poll()?;
+        {
+            let _poll = self.telemetry.span(0, Stage::GuestPoll);
+            match &mut self.guest {
+                Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                    iface.poll()?;
+                }
+                Guest::L5 { svc } => {
+                    svc.poll()?;
+                }
             }
         }
         if matches!(
@@ -967,11 +1021,16 @@ impl World {
             // surface on the meter, and the world keeps stepping.
             let _ = self.backend.process();
         }
-        self.poll_peer();
+        {
+            let _peer = self.telemetry.span(0, Stage::Peer);
+            self.poll_peer();
+        }
         // Flush any protocol bytes produced by stream processing.
         self.flush_outboxes()?;
         if self.clock.now() == t0 {
             self.clock.advance(self.opts.step_quantum);
+            self.telemetry
+                .attribute(0, Stage::Idle, self.opts.step_quantum);
         }
         Ok(())
     }
@@ -988,14 +1047,19 @@ impl World {
         let nq = self.opts.queues;
         for q in 0..nq {
             let base = self.lanes.begin(q);
-            let polled = match &mut self.guest {
-                Guest::Stack { iface } | Guest::Dual { iface, .. } => {
-                    iface.device_mut().select_rx_queue(Some(q));
-                    let r = iface.poll();
-                    iface.device_mut().select_rx_queue(None);
-                    r
+            // The span lives strictly inside the lane region, where the
+            // clock is positioned at this lane's local frontier.
+            let polled = {
+                let _poll = self.telemetry.span(q, Stage::GuestPoll);
+                match &mut self.guest {
+                    Guest::Stack { iface } | Guest::Dual { iface, .. } => {
+                        iface.device_mut().select_rx_queue(Some(q));
+                        let r = iface.poll();
+                        iface.device_mut().select_rx_queue(None);
+                        r
+                    }
+                    Guest::L5 { svc } => svc.poll(),
                 }
-                Guest::L5 { svc } => svc.poll(),
             };
             self.lanes.end(q, base);
             polled?;
@@ -1011,7 +1075,10 @@ impl World {
             // meter and the world keeps stepping.
             let _ = serviced;
         }
-        self.poll_peer();
+        {
+            let _peer = self.telemetry.span(0, Stage::Peer);
+            self.poll_peer();
+        }
         for i in 0..self.conns.len() {
             let lane = self.conns[i].lane;
             let base = self.lanes.begin(lane);
@@ -1022,6 +1089,8 @@ impl World {
         self.lanes.sync();
         if self.clock.now() == t0 {
             self.clock.advance(self.opts.step_quantum);
+            self.telemetry
+                .attribute(0, Stage::Idle, self.opts.step_quantum);
         }
         Ok(())
     }
@@ -1075,6 +1144,7 @@ impl World {
             Guest::L5 { svc } => {
                 // World switch plus marshalling: the payload is copied
                 // through an untrusted exchange buffer on every call.
+                let _exit = self.telemetry.span(0, Stage::HostExit);
                 self.tee.exit_to_host();
                 self.clock.advance(self.opts.cost.copy(bytes.len()));
                 self.meter.copies(1);
@@ -1090,6 +1160,7 @@ impl World {
             Guest::Stack { iface } => iface.tcp_recv(handle, usize::MAX)?,
             Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_recv(handle, usize::MAX))?,
             Guest::L5 { svc } => {
+                let _exit = self.telemetry.span(0, Stage::HostExit);
                 self.tee.exit_to_host();
                 let data = svc.recv(handle, usize::MAX)?;
                 if !data.is_empty() {
@@ -1139,6 +1210,7 @@ impl World {
                 clock: self.clock.clone(),
                 cost: self.opts.cost.clone(),
                 meter: self.meter.clone(),
+                telemetry: self.telemetry.clone(),
             };
             let (hello, stream) = SecureStream::client(entropy, Some(hooks));
             (hello, stream)
@@ -1181,6 +1253,7 @@ impl World {
     /// Pumps received bytes through one connection's stream and flushes
     /// its pending protocol bytes.
     fn flush_conn(&mut self, i: usize) -> Result<(), CioError> {
+        let _flush = self.telemetry.span(self.conns[i].lane, Stage::AppFlush);
         let handle = self.conns[i].handle;
         // Only push protocol bytes once TCP is up.
         if !self.conns[i].outbox.is_empty() && self.raw_established(handle)? {
@@ -1190,6 +1263,7 @@ impl World {
         let data = self.raw_recv(handle)?;
         if !data.is_empty() {
             let conn = &mut self.conns[i];
+            let _open = self.telemetry.span(conn.lane, Stage::RxOpen);
             conn.stream.feed_into(&data, &mut conn.feed_scratch)?;
             conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
             conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
@@ -1247,6 +1321,7 @@ impl World {
             Guest::L5 { .. } => 0,
         };
         if backlog > SEND_HIGH_WATER {
+            self.meter.backpressure_wouldblock(1);
             return Err(CioError::Transient(Transient::WouldBlock));
         }
         let lane = self.conns[c.0].lane;
@@ -1255,11 +1330,19 @@ impl World {
         // so the borrow checker sees a local) — steady-state sends
         // allocate nothing.
         let mut scratch = std::mem::take(&mut self.seal_scratch);
-        let result = (|| {
-            self.conn_mut(c)?.stream.seal_into(data, &mut scratch)?;
-            let handle = self.conns[c.0].handle;
-            self.raw_send(handle, scratch.as_slice())
-        })();
+        let result = {
+            // Span scoped inside the lane window (clock is lane-local).
+            let _send = self.telemetry.span(lane, Stage::GuestSend);
+            let result = (|| {
+                {
+                    let _seal = self.telemetry.span(lane, Stage::TxSeal);
+                    self.conn_mut(c)?.stream.seal_into(data, &mut scratch)?;
+                }
+                let handle = self.conns[c.0].handle;
+                self.raw_send(handle, scratch.as_slice())
+            })();
+            result
+        };
         self.seal_scratch = scratch;
         if let Some(base) = base {
             self.lanes.end(lane, base);
@@ -1269,6 +1352,7 @@ impl World {
             // A saturated device queue is backpressure too (TCP keeps the
             // sealed record buffered; flushing resumes on later steps).
             Err(CioError::Net(cio_netstack::NetError::DeviceFull)) => {
+                self.meter.backpressure_again(1);
                 Err(CioError::Transient(Transient::AgainLater))
             }
             Err(e) => Err(e),
@@ -1443,6 +1527,11 @@ mod tests {
             }
         }
         assert!(hit_backpressure, "never hit the high-water mark");
+        // The bounce is metered at the send site.
+        assert!(
+            w.meter().snapshot().backpressure_wouldblock >= 1,
+            "WouldBlock bounce must increment the backpressure meter"
+        );
         // Backpressure is recoverable by construction: drain and retry.
         w.run(2_000).unwrap();
         assert_eq!(w.send(c, b"after drain").unwrap(), 11);

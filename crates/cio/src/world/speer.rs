@@ -14,7 +14,7 @@ use cio_ctls::{
 };
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{Ipv4Addr, NetDevice};
-use cio_sim::{Clock, SimRng};
+use cio_sim::{Clock, SimRng, Stage, Telemetry};
 use cio_tee::attest::Measurement;
 use cio_vring::cioring::BufPool;
 
@@ -88,6 +88,7 @@ pub struct SecurePeer<D: NetDevice> {
     resp: Vec<u8>,
     rec: RecordScratch,
     txbuf: Vec<u8>,
+    telemetry: Telemetry,
 }
 
 impl<D: NetDevice> SecurePeer<D> {
@@ -106,7 +107,13 @@ impl<D: NetDevice> SecurePeer<D> {
             resp: Vec::new(),
             rec: RecordScratch::new(),
             txbuf: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry domain; peer work is booked to [`Stage::Peer`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn identity() -> ServerIdentity {
@@ -135,6 +142,7 @@ impl<D: NetDevice> SecurePeer<D> {
 
     /// Drives the peer one round.
     pub fn poll(&mut self) {
+        let _span = self.telemetry.span(0, Stage::Peer);
         let _ = self.iface.poll();
         for port in [ECHO_PORT, RPC_PORT] {
             while let Some(h) = self.iface.tcp_accept(port) {

@@ -29,7 +29,7 @@ pub mod record;
 pub use handshake::{ClientHandshake, ServerHandshake, ServerIdentity};
 pub use record::{Channel, RecordScratch};
 
-use cio_sim::{Clock, CostModel, Meter};
+use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
 
 /// Errors raised by cTLS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,12 +76,18 @@ pub struct SimHooks {
     pub cost: CostModel,
     /// The shared meter.
     pub meter: Meter,
+    /// Telemetry domain for cycle attribution (disabled handle = no-op).
+    /// AEAD charges are booked to [`Stage::Crypto`] on whichever queue's
+    /// span is open, so seal/open spans report pure framing self-time.
+    pub telemetry: Telemetry,
 }
 
 impl SimHooks {
     pub(crate) fn charge_aead(&self, bytes: usize) {
-        self.clock.advance(self.cost.aead(bytes));
+        let spent = self.cost.aead(bytes);
+        self.clock.advance(spent);
         self.meter.aead_ops(1);
         self.meter.aead_bytes(bytes as u64);
+        self.telemetry.attribute_here(Stage::Crypto, spent);
     }
 }

@@ -20,7 +20,7 @@ use crate::observe::{bits, Recorder};
 use crate::HostError;
 use cio_mem::HostView;
 use cio_netstack::{rss, NetDevice};
-use cio_sim::Clock;
+use cio_sim::{Clock, Stage, Telemetry};
 use cio_vring::cioring::{Consumer, MultiQueue, Producer};
 use cio_vring::virtqueue::{Chain, DeviceSide};
 use cio_vring::RingError;
@@ -131,6 +131,7 @@ pub struct VirtioNetBackend {
     /// Cost model used for interrupt charging.
     pub cost: cio_sim::CostModel,
     meter: cio_sim::Meter,
+    telemetry: Telemetry,
 }
 
 impl VirtioNetBackend {
@@ -155,7 +156,14 @@ impl VirtioNetBackend {
             irq_on_rx: false,
             cost: cio_sim::CostModel::default(),
             meter: cio_sim::Meter::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Arms telemetry: queue servicing is recorded as
+    /// [`Stage::HostService`] spans with batch-size histograms.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Adds another guest queue pair; inbound flows spread across pairs
@@ -219,6 +227,7 @@ impl Backend for VirtioNetBackend {
     }
 
     fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
+        let _svc = self.telemetry.span(q, Stage::HostService);
         let mut moved = 0;
         let pair = &mut self.pairs[q];
 
@@ -261,6 +270,9 @@ impl Backend for VirtioNetBackend {
             }
             moved += 1;
         }
+        if moved > 0 {
+            self.telemetry.record_batch(q, moved as u64);
+        }
         Ok(moved)
     }
 
@@ -294,6 +306,7 @@ pub struct CioNetBackend {
     /// Reusable scratch for batched consumes (buffers come from the
     /// serviced queue's own pool).
     scratch: Vec<Vec<u8>>,
+    telemetry: Telemetry,
 }
 
 impl CioNetBackend {
@@ -327,7 +340,20 @@ impl CioNetBackend {
             clock,
             opaque: false,
             scratch: Vec::new(),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Arms telemetry: queue servicing is recorded as
+    /// [`Stage::HostService`] spans with batch-size histograms, and every
+    /// queue's ring endpoints report their own ring-op spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for q in 0..self.queues.queues() {
+            let lane = self.queues.lane_mut(q);
+            lane.end.tx.set_telemetry(telemetry.clone(), q);
+            lane.end.rx.set_telemetry(telemetry.clone(), q);
+        }
+        self.telemetry = telemetry;
     }
 
     /// Single-queue convenience constructor.
@@ -403,6 +429,7 @@ impl Backend for CioNetBackend {
     }
 
     fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
+        let _svc = self.telemetry.span(q, Stage::HostService);
         let fbits = self.frame_bits();
         let mut moved = 0;
         let lane = self.queues.lane_mut(q);
@@ -415,6 +442,9 @@ impl Backend for CioNetBackend {
         }
         loop {
             let n = lane.end.tx.consume_batch(&mut self.scratch)?;
+            if n > 0 {
+                self.telemetry.record_batch(q, n as u64);
+            }
             for frame in &self.scratch[..n] {
                 self.recorder.record(self.clock.now(), "frame.tx", fbits);
                 lane.note_frame(frame.len());
@@ -450,6 +480,7 @@ impl Backend for CioNetBackend {
             }
         }
         if staged > 0 {
+            self.telemetry.record_batch(q, staged);
             lane.end.rx.publish()?;
             lane.end.rx.kick();
         }

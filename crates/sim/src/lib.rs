@@ -14,6 +14,8 @@
 //! * [`rng`] — a small deterministic PRNG so every experiment is exactly
 //!   reproducible from a seed.
 //! * [`trace`] — an optional event log used by tests and debugging.
+//! * [`telemetry`] — deterministic spans, latency histograms, and cycle
+//!   attribution riding the virtual clock.
 //!
 //! Nothing in this crate is specific to networking or storage; it is the
 //! lowest layer of the dependency DAG.
@@ -25,12 +27,14 @@ pub mod cost;
 pub mod lanes;
 pub mod meter;
 pub mod rng;
+pub mod telemetry;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use lanes::Lanes;
 pub use meter::{Meter, MeterSnapshot};
 pub use rng::SimRng;
+pub use telemetry::{Histogram, Profile, Span, Stage, Telemetry};
 pub use trace::{Trace, TraceEvent};
 
 use std::fmt;

@@ -87,6 +87,12 @@ meter_fields! {
     interrupts_received,
     /// Poll iterations that found no work.
     idle_polls,
+    /// `World::send` calls bounced with `Transient(WouldBlock)` because the
+    /// connection's unacked backlog was over the high-water mark.
+    backpressure_wouldblock,
+    /// `World::send` calls bounced with `Transient(AgainLater)` because the
+    /// device ring was full mid-write.
+    backpressure_again,
     /// Host-supplied fields validated.
     validations,
     /// Interface violations *detected* and rejected by a boundary.

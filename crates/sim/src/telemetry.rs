@@ -1,0 +1,995 @@
+//! Deterministic telemetry: spans, latency histograms, cycle attribution.
+//!
+//! The [`Meter`](crate::Meter) counts *what happened* and the
+//! [`Clock`](crate::Clock) tracks *how long everything took*, but neither
+//! can say *where in the path* the cycles went. This module adds that
+//! third axis without giving up determinism: every measurement rides the
+//! virtual clock, so two runs with the same seed produce byte-identical
+//! exports.
+//!
+//! Three instruments share one [`Telemetry`] handle:
+//!
+//! * **Spans** — [`Telemetry::span`] returns a guard that records
+//!   enter/exit [`Cycles`] for one [`Stage`] of the dataplane path
+//!   (guest send → cTLS seal → ring produce → exit → host service →
+//!   ring consume → open). Spans nest; a fixed-depth preallocated stack
+//!   makes enter/exit allocation-free in steady state.
+//! * **Histograms** — [`Histogram`] buckets values by power of two
+//!   (preallocated arrays, no allocation per sample) and answers
+//!   p50/p95/p99/max. Used for per-queue RTT, per-stage residency, and
+//!   batch sizes.
+//! * **Cycle attribution** — closed spans fold into a per-stage/per-queue
+//!   [`Profile`] of *self* cycles (elapsed minus time spent in child
+//!   spans), answering "what fraction of virtual time went to crypto vs.
+//!   copies vs. ring ops vs. exits".
+//!
+//! Exporters ([`Telemetry::prometheus_text`],
+//! [`Telemetry::json_snapshot`]) walk fixed-order arrays, so identical
+//! runs export identical bytes.
+//!
+//! A disabled handle ([`Telemetry::disabled`]) is an inert no-op that
+//! costs one branch per call site; components hold one unconditionally
+//! and worlds only arm it when asked.
+
+use crate::{Clock, Cycles};
+use std::sync::{Arc, Mutex};
+
+/// Maximum span nesting depth. Deeper spans are counted as overflows and
+/// dropped instead of allocating.
+pub const MAX_SPAN_DEPTH: usize = 16;
+
+/// Number of power-of-two histogram buckets (covers the full `u64`
+/// range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// One stage of the dual-boundary dataplane path.
+///
+/// Stages are listed in path order; [`Stage::ALL`] iterates them in a
+/// fixed order so reports and exports are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Application `send` call on the guest (outermost send-side span).
+    GuestSend,
+    /// cTLS seal of outgoing application data.
+    TxSeal,
+    /// Producing onto a cio ring (either side of the boundary).
+    RingProduce,
+    /// World switches to the host (VM exits / OCALL marshalling).
+    HostExit,
+    /// Host backend servicing one queue (outermost host-side span).
+    HostService,
+    /// Consuming from a cio ring (either side of the boundary).
+    RingConsume,
+    /// cTLS open of incoming records on the guest.
+    RxOpen,
+    /// AEAD work charged by the record layer (flat attribution from
+    /// `cio-ctls`, nested under whichever span is open).
+    Crypto,
+    /// Guest-side interface poll (stack processing + device receive).
+    GuestPoll,
+    /// Per-connection stream flushing (protocol bytes, record reassembly).
+    AppFlush,
+    /// Remote peer servicing (not on the guest's critical path).
+    Peer,
+    /// Idle step quantum (the world made no progress this round).
+    Idle,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 12;
+
+    /// Every stage, in fixed path order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::GuestSend,
+        Stage::TxSeal,
+        Stage::RingProduce,
+        Stage::HostExit,
+        Stage::HostService,
+        Stage::RingConsume,
+        Stage::RxOpen,
+        Stage::Crypto,
+        Stage::GuestPoll,
+        Stage::AppFlush,
+        Stage::Peer,
+        Stage::Idle,
+    ];
+
+    /// Stable dotted name used in tables and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::GuestSend => "guest.send",
+            Stage::TxSeal => "tx.seal",
+            Stage::RingProduce => "ring.produce",
+            Stage::HostExit => "exit",
+            Stage::HostService => "host.service",
+            Stage::RingConsume => "ring.consume",
+            Stage::RxOpen => "rx.open",
+            Stage::Crypto => "crypto",
+            Stage::GuestPoll => "guest.poll",
+            Stage::AppFlush => "app.flush",
+            Stage::Peer => "peer",
+            Stage::Idle => "idle",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A log-bucketed histogram: bucket `i` counts values whose binary
+/// magnitude is `i` (bucket 0 holds zero; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i - 1]`). The bucket array is preallocated, so recording
+/// never allocates.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= HIST_BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The `p`-th percentile (`0..=100`), reported as the upper bound of
+    /// the bucket holding that rank, clamped to the recorded maximum.
+    /// Returns 0 for an empty histogram. Integer arithmetic only, so the
+    /// answer is deterministic.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * p.min(100)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+}
+
+/// One open span on the fixed stack.
+#[derive(Debug, Clone, Copy)]
+struct SpanFrame {
+    stage: Stage,
+    queue: usize,
+    start: u64,
+    /// Virtual time spent in (direct) child spans and flat charges, so
+    /// the parent attributes only its *self* time.
+    child: u64,
+}
+
+const IDLE_FRAME: SpanFrame = SpanFrame {
+    stage: Stage::Idle,
+    queue: 0,
+    start: 0,
+    child: 0,
+};
+
+#[derive(Debug)]
+struct State {
+    queues: usize,
+    stack: [SpanFrame; MAX_SPAN_DEPTH],
+    depth: usize,
+    overflows: u64,
+    /// Total cycles covered by top-level spans and top-level flat
+    /// charges. Per-stage self cycles partition this exactly.
+    covered: u64,
+    /// `queues * Stage::COUNT` self-cycle cells, indexed
+    /// `q * Stage::COUNT + stage`.
+    attr_cycles: Vec<u64>,
+    attr_counts: Vec<u64>,
+    residency: Vec<Histogram>,
+    rtt: Vec<Histogram>,
+    batch: Vec<Histogram>,
+}
+
+impl State {
+    fn new(queues: usize) -> Self {
+        State {
+            queues,
+            stack: [IDLE_FRAME; MAX_SPAN_DEPTH],
+            depth: 0,
+            overflows: 0,
+            covered: 0,
+            attr_cycles: vec![0; queues * Stage::COUNT],
+            attr_counts: vec![0; queues * Stage::COUNT],
+            residency: vec![Histogram::new(); Stage::COUNT],
+            rtt: vec![Histogram::new(); queues],
+            batch: vec![Histogram::new(); queues],
+        }
+    }
+
+    #[inline]
+    fn cell(&self, queue: usize, stage: Stage) -> usize {
+        queue.min(self.queues - 1) * Stage::COUNT + stage.idx()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Clock,
+    state: Mutex<State>,
+}
+
+impl Inner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("telemetry poisoned")
+    }
+
+    fn enter(&self, queue: usize, stage: Stage) -> bool {
+        let now = self.clock.now().get();
+        let mut s = self.lock();
+        if s.depth == MAX_SPAN_DEPTH {
+            s.overflows += 1;
+            return false;
+        }
+        let queue = queue.min(s.queues - 1);
+        let depth = s.depth;
+        s.stack[depth] = SpanFrame {
+            stage,
+            queue,
+            start: now,
+            child: 0,
+        };
+        s.depth = depth + 1;
+        true
+    }
+
+    fn exit(&self) {
+        let now = self.clock.now().get();
+        let mut s = self.lock();
+        if s.depth == 0 {
+            return;
+        }
+        s.depth -= 1;
+        let f = s.stack[s.depth];
+        let elapsed = now.saturating_sub(f.start);
+        let self_cycles = elapsed.saturating_sub(f.child);
+        let cell = s.cell(f.queue, f.stage);
+        s.attr_cycles[cell] += self_cycles;
+        s.attr_counts[cell] += 1;
+        s.residency[f.stage.idx()].record(elapsed);
+        if s.depth > 0 {
+            let d = s.depth - 1;
+            s.stack[d].child = s.stack[d].child.saturating_add(elapsed);
+        } else {
+            s.covered = s.covered.saturating_add(elapsed);
+        }
+    }
+
+    /// Flat attribution: `cycles` already charged to the clock are booked
+    /// to `(queue, stage)` as a zero-depth child of the open span (so the
+    /// enclosing span does not double-count them). With `queue` `None`,
+    /// the innermost open span's queue is used.
+    fn attribute(&self, queue: Option<usize>, stage: Stage, cycles: u64) {
+        let mut s = self.lock();
+        let queue = queue.unwrap_or(if s.depth > 0 {
+            s.stack[s.depth - 1].queue
+        } else {
+            0
+        });
+        let cell = s.cell(queue, stage);
+        s.attr_cycles[cell] += cycles;
+        s.attr_counts[cell] += 1;
+        s.residency[stage.idx()].record(cycles);
+        if s.depth > 0 {
+            let d = s.depth - 1;
+            s.stack[d].child = s.stack[d].child.saturating_add(cycles);
+        } else {
+            s.covered = s.covered.saturating_add(cycles);
+        }
+    }
+}
+
+/// Shared handle to one deterministic telemetry domain.
+///
+/// Cloning is cheap (an `Arc` bump) and yields a handle to the same
+/// state; a [`Telemetry::disabled`] handle makes every operation a no-op.
+/// All steady-state operations (spans, histogram records, flat
+/// attribution) are allocation-free — the stack and bucket arrays are
+/// preallocated at construction.
+///
+/// # Examples
+///
+/// ```
+/// use cio_sim::{Clock, Cycles, Stage, Telemetry};
+/// let clock = Clock::new();
+/// let t = Telemetry::new(clock.clone(), 1);
+/// {
+///     let _outer = t.span(0, Stage::GuestSend);
+///     clock.advance(Cycles(10));
+///     {
+///         let _seal = t.span(0, Stage::TxSeal);
+///         clock.advance(Cycles(30));
+///     }
+/// }
+/// let p = t.profile();
+/// assert_eq!(p.cycles(0, Stage::GuestSend), 10); // self time only
+/// assert_eq!(p.cycles(0, Stage::TxSeal), 30);
+/// assert_eq!(p.covered(), Cycles(40));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// Creates an armed telemetry domain over `clock` with per-queue
+    /// instruments for `queues` queues (at least one).
+    pub fn new(clock: Clock, queues: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                clock,
+                state: Mutex::new(State::new(queues.max(1))),
+            })),
+        }
+    }
+
+    /// An inert handle: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Number of instrumented queues (0 when disabled).
+    pub fn queues(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.lock().queues)
+    }
+
+    /// Opens a span for `stage` on `queue`; the returned guard closes it
+    /// on drop. The guard owns a handle clone, so holding it borrows
+    /// nothing.
+    pub fn span(&self, queue: usize, stage: Stage) -> Span {
+        let active = match &self.inner {
+            Some(inner) => inner.enter(queue, stage),
+            None => false,
+        };
+        Span {
+            inner: if active { self.inner.clone() } else { None },
+        }
+    }
+
+    /// Books `cycles` (already charged to the clock) to `(queue, stage)`
+    /// without a span — used where the cost is known at the charge site
+    /// (exits, idle quanta).
+    pub fn attribute(&self, queue: usize, stage: Stage, cycles: Cycles) {
+        if let Some(inner) = &self.inner {
+            inner.attribute(Some(queue), stage, cycles.get());
+        }
+    }
+
+    /// Like [`Telemetry::attribute`], but books to the queue of the
+    /// innermost open span (queue 0 when none) — used by layers that
+    /// don't know their queue, like the record layer's AEAD charge.
+    pub fn attribute_here(&self, stage: Stage, cycles: Cycles) {
+        if let Some(inner) = &self.inner {
+            inner.attribute(None, stage, cycles.get());
+        }
+    }
+
+    /// Records one request round-trip time for `queue`.
+    pub fn record_rtt(&self, queue: usize, rtt: Cycles) {
+        if let Some(inner) = &self.inner {
+            let mut s = inner.lock();
+            let q = queue.min(s.queues - 1);
+            s.rtt[q].record(rtt.get());
+        }
+    }
+
+    /// Records one batch size (frames per servicing batch) for `queue`.
+    pub fn record_batch(&self, queue: usize, frames: u64) {
+        if let Some(inner) = &self.inner {
+            let mut s = inner.lock();
+            let q = queue.min(s.queues - 1);
+            s.batch[q].record(frames);
+        }
+    }
+
+    /// Snapshot of the cycle-attribution table.
+    pub fn profile(&self) -> Profile {
+        match &self.inner {
+            Some(inner) => {
+                let s = inner.lock();
+                Profile {
+                    queues: s.queues,
+                    covered: s.covered,
+                    overflows: s.overflows,
+                    cycles: s.attr_cycles.clone(),
+                    counts: s.attr_counts.clone(),
+                }
+            }
+            None => Profile {
+                queues: 0,
+                covered: 0,
+                overflows: 0,
+                cycles: Vec::new(),
+                counts: Vec::new(),
+            },
+        }
+    }
+
+    /// Snapshot of `queue`'s RTT histogram (empty when disabled).
+    pub fn rtt_histogram(&self, queue: usize) -> Histogram {
+        self.hist(|s| s.rtt.get(queue).cloned())
+    }
+
+    /// Snapshot of `stage`'s residency (span-elapsed) histogram.
+    pub fn residency_histogram(&self, stage: Stage) -> Histogram {
+        self.hist(|s| s.residency.get(stage.idx()).cloned())
+    }
+
+    /// Snapshot of `queue`'s batch-size histogram (empty when disabled).
+    pub fn batch_histogram(&self, queue: usize) -> Histogram {
+        self.hist(|s| s.batch.get(queue).cloned())
+    }
+
+    fn hist(&self, f: impl FnOnce(&State) -> Option<Histogram>) -> Histogram {
+        self.inner
+            .as_ref()
+            .and_then(|i| f(&i.lock()))
+            .unwrap_or_default()
+    }
+
+    /// Renders every instrument in Prometheus exposition text. The walk
+    /// order is fixed, so identical runs export identical bytes. Returns
+    /// an empty string when disabled.
+    pub fn prometheus_text(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let s = inner.lock();
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(
+            "# HELP cio_stage_cycles_total Self virtual cycles attributed to a dataplane stage.\n\
+             # TYPE cio_stage_cycles_total counter\n",
+        );
+        for q in 0..s.queues {
+            for stage in Stage::ALL {
+                let cell = q * Stage::COUNT + stage.idx();
+                out.push_str(&format!(
+                    "cio_stage_cycles_total{{queue=\"{q}\",stage=\"{}\"}} {}\n",
+                    stage.name(),
+                    s.attr_cycles[cell]
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP cio_stage_spans_total Closed spans and flat charges per stage.\n\
+             # TYPE cio_stage_spans_total counter\n",
+        );
+        for q in 0..s.queues {
+            for stage in Stage::ALL {
+                let cell = q * Stage::COUNT + stage.idx();
+                out.push_str(&format!(
+                    "cio_stage_spans_total{{queue=\"{q}\",stage=\"{}\"}} {}\n",
+                    stage.name(),
+                    s.attr_counts[cell]
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP cio_covered_cycles_total Virtual cycles covered by top-level spans.\n\
+             # TYPE cio_covered_cycles_total counter\n",
+        );
+        out.push_str(&format!("cio_covered_cycles_total {}\n", s.covered));
+        out.push_str(
+            "# HELP cio_span_overflows_total Spans dropped because the fixed stack was full.\n\
+             # TYPE cio_span_overflows_total counter\n",
+        );
+        out.push_str(&format!("cio_span_overflows_total {}\n", s.overflows));
+
+        let emit_hist = |out: &mut String, name: &str, label: &str, value: &str, h: &Histogram| {
+            let last = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().take(last).enumerate() {
+                cum += c;
+                let le = Histogram::bucket_upper_bound(i);
+                out.push_str(&format!(
+                    "{name}_bucket{{{label}=\"{value}\",le=\"{le}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{{label}=\"{value}\",le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("{name}_sum{{{label}=\"{value}\"}} {}\n", h.sum));
+            out.push_str(&format!(
+                "{name}_count{{{label}=\"{value}\"}} {}\n",
+                h.count
+            ));
+        };
+
+        out.push_str(
+            "# HELP cio_rtt_cycles Per-queue request round-trip time in virtual cycles.\n\
+             # TYPE cio_rtt_cycles histogram\n",
+        );
+        for (q, h) in s.rtt.iter().enumerate() {
+            emit_hist(&mut out, "cio_rtt_cycles", "queue", &q.to_string(), h);
+        }
+        out.push_str(
+            "# HELP cio_stage_residency_cycles Span elapsed time per stage in virtual cycles.\n\
+             # TYPE cio_stage_residency_cycles histogram\n",
+        );
+        for stage in Stage::ALL {
+            emit_hist(
+                &mut out,
+                "cio_stage_residency_cycles",
+                "stage",
+                stage.name(),
+                &s.residency[stage.idx()],
+            );
+        }
+        out.push_str(
+            "# HELP cio_batch_frames Frames moved per servicing batch, per queue.\n\
+             # TYPE cio_batch_frames histogram\n",
+        );
+        for (q, h) in s.batch.iter().enumerate() {
+            emit_hist(&mut out, "cio_batch_frames", "queue", &q.to_string(), h);
+        }
+        out
+    }
+
+    /// Renders every instrument as a JSON document (fixed key order,
+    /// integers and fixed-precision fractions only — byte-identical for
+    /// identical runs). Returns `{"enabled":false}` when disabled.
+    pub fn json_snapshot(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::from("{\"enabled\":false}");
+        };
+        let s = inner.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"enabled\": true,\n  \"queues\": {},\n",
+            s.queues
+        ));
+        out.push_str(&format!("  \"covered_cycles\": {},\n", s.covered));
+        out.push_str(&format!("  \"span_overflows\": {},\n", s.overflows));
+
+        out.push_str("  \"stages\": [\n");
+        for (si, stage) in Stage::ALL.iter().enumerate() {
+            let per_q: Vec<u64> = (0..s.queues)
+                .map(|q| s.attr_cycles[q * Stage::COUNT + stage.idx()])
+                .collect();
+            let spans: Vec<u64> = (0..s.queues)
+                .map(|q| s.attr_counts[q * Stage::COUNT + stage.idx()])
+                .collect();
+            let total: u64 = per_q.iter().sum();
+            let frac = if s.covered > 0 {
+                total as f64 / s.covered as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"cycles\": {per_q:?}, \"spans\": {spans:?}, \
+                 \"total_cycles\": {total}, \"fraction\": {frac:.6}}}{}\n",
+                stage.name(),
+                if si + 1 < Stage::ALL.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+
+        let hist_json = |h: &Histogram| {
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )
+        };
+        out.push_str("  \"rtt\": [\n");
+        for (q, h) in s.rtt.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"queue\": {q}, \"hist\": {}}}{}\n",
+                hist_json(h),
+                if q + 1 < s.queues { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"residency\": [\n");
+        for (si, stage) in Stage::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"hist\": {}}}{}\n",
+                stage.name(),
+                hist_json(&s.residency[stage.idx()]),
+                if si + 1 < Stage::ALL.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"batch\": [\n");
+        for (q, h) in s.batch.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"queue\": {q}, \"hist\": {}}}{}\n",
+                hist_json(h),
+                if q + 1 < s.queues { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Span guard: closes its span when dropped. Obtained from
+/// [`Telemetry::span`]; owns a handle clone, so it borrows nothing.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is held for"]
+pub struct Span {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            inner.exit();
+        }
+    }
+}
+
+/// Snapshot of the per-stage/per-queue cycle-attribution table.
+///
+/// Self cycles (span elapsed minus child spans) partition
+/// [`Profile::covered`] exactly: summing [`Profile::cycles`] over every
+/// queue and stage reproduces the covered total, which is what makes the
+/// fractions sum to 1.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    queues: usize,
+    covered: u64,
+    overflows: u64,
+    cycles: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Profile {
+    /// Number of queues in the table.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// Total virtual cycles covered by top-level spans.
+    pub fn covered(&self) -> Cycles {
+        Cycles(self.covered)
+    }
+
+    /// Spans dropped because the fixed stack was full (0 in a correctly
+    /// instrumented world).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Self cycles attributed to `stage` on `queue`.
+    pub fn cycles(&self, queue: usize, stage: Stage) -> u64 {
+        self.cycles
+            .get(queue * Stage::COUNT + stage.idx())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Closed spans (and flat charges) for `stage` on `queue`.
+    pub fn spans(&self, queue: usize, stage: Stage) -> u64 {
+        self.counts
+            .get(queue * Stage::COUNT + stage.idx())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Self cycles for `stage` summed over all queues.
+    pub fn stage_cycles(&self, stage: Stage) -> u64 {
+        (0..self.queues).map(|q| self.cycles(q, stage)).sum()
+    }
+
+    /// Sum of self cycles over every queue and stage (equals
+    /// [`Profile::covered`] when instrumentation is balanced).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `stage`'s share of the covered virtual time (0 when nothing was
+    /// covered).
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        if self.covered == 0 {
+            return 0.0;
+        }
+        self.stage_cycles(stage) as f64 / self.covered as f64
+    }
+
+    /// Renders the attribution table: one row per stage with per-queue
+    /// self cycles, the row total, and its share of covered time. Rows
+    /// that never fired are omitted; a footer row totals the columns.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>14}", "stage"));
+        for q in 0..self.queues {
+            out.push_str(&format!("{:>14}", format!("q{q} cycles")));
+        }
+        out.push_str(&format!("{:>16}{:>9}\n", "total", "share"));
+        for stage in Stage::ALL {
+            let total = self.stage_cycles(stage);
+            let spans: u64 = (0..self.queues).map(|q| self.spans(q, stage)).sum();
+            if total == 0 && spans == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:>14}", stage.name()));
+            for q in 0..self.queues {
+                out.push_str(&format!("{:>14}", self.cycles(q, stage)));
+            }
+            out.push_str(&format!(
+                "{:>16}{:>8.2}%\n",
+                total,
+                100.0 * self.fraction(stage)
+            ));
+        }
+        out.push_str(&format!("{:>14}", "(covered)"));
+        for q in 0..self.queues {
+            let col: u64 = Stage::ALL.iter().map(|&st| self.cycles(q, st)).sum();
+            out.push_str(&format!("{:>14}", col));
+        }
+        let frac = if self.covered > 0 {
+            100.0 * self.total_cycles() as f64 / self.covered as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("{:>16}{:>8.2}%\n", self.covered, frac));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 2); // 4, 7
+        assert_eq!(h.buckets()[4], 1); // 8
+        assert_eq!(h.buckets()[11], 1); // 1024
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, ub 127
+        }
+        h.record(100_000);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.percentile(100), 100_000);
+        assert_eq!(Histogram::new().p99(), 0);
+    }
+
+    #[test]
+    fn percentile_clamps_to_max() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket 3, ub 7 — but max is 5
+        assert_eq!(h.p50(), 5);
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 2);
+        {
+            let _svc = t.span(1, Stage::HostService);
+            clock.advance(Cycles(5));
+            {
+                let _ring = t.span(1, Stage::RingConsume);
+                clock.advance(Cycles(20));
+            }
+            clock.advance(Cycles(7));
+        }
+        let p = t.profile();
+        assert_eq!(p.cycles(1, Stage::HostService), 12);
+        assert_eq!(p.cycles(1, Stage::RingConsume), 20);
+        assert_eq!(p.covered(), Cycles(32));
+        assert_eq!(p.total_cycles(), 32);
+        assert_eq!(p.spans(1, Stage::HostService), 1);
+        // Residency records elapsed (with children), not self time.
+        assert_eq!(t.residency_histogram(Stage::HostService).max(), 32);
+    }
+
+    #[test]
+    fn flat_attribution_is_a_zero_depth_child() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 1);
+        {
+            let _seal = t.span(0, Stage::TxSeal);
+            clock.advance(Cycles(10));
+            // e.g. the record layer charging AEAD inside the seal span.
+            t.attribute_here(Stage::Crypto, Cycles(6));
+        }
+        let p = t.profile();
+        assert_eq!(p.cycles(0, Stage::TxSeal), 4);
+        assert_eq!(p.cycles(0, Stage::Crypto), 6);
+        assert_eq!(p.covered(), Cycles(10));
+        // Top-level flat attribution extends coverage directly.
+        t.attribute(0, Stage::Idle, Cycles(50));
+        assert_eq!(t.profile().covered(), Cycles(60));
+        assert_eq!(t.profile().total_cycles(), 60);
+    }
+
+    #[test]
+    fn overflowing_spans_are_counted_not_grown() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 1);
+        let mut guards = Vec::new();
+        for _ in 0..MAX_SPAN_DEPTH + 3 {
+            guards.push(t.span(0, Stage::GuestPoll));
+            clock.advance(Cycles(1));
+        }
+        drop(guards);
+        let p = t.profile();
+        assert_eq!(p.overflows(), 3);
+        assert_eq!(p.covered().get(), MAX_SPAN_DEPTH as u64 + 3);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        {
+            let _g = t.span(0, Stage::GuestSend);
+        }
+        t.attribute(0, Stage::Idle, Cycles(5));
+        t.record_rtt(0, Cycles(5));
+        t.record_batch(0, 5);
+        assert_eq!(t.profile().covered(), Cycles::ZERO);
+        assert_eq!(t.prometheus_text(), "");
+        assert_eq!(t.json_snapshot(), "{\"enabled\":false}");
+        assert_eq!(t.rtt_histogram(0).count(), 0);
+    }
+
+    #[test]
+    fn queue_indices_clamp() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 2);
+        {
+            let _g = t.span(99, Stage::GuestPoll);
+            clock.advance(Cycles(3));
+        }
+        t.record_rtt(99, Cycles(1));
+        t.record_batch(99, 1);
+        assert_eq!(t.profile().cycles(1, Stage::GuestPoll), 3);
+        assert_eq!(t.rtt_histogram(1).count(), 1);
+        assert_eq!(t.batch_histogram(1).count(), 1);
+    }
+
+    #[test]
+    fn exporters_are_deterministic_and_roundworthy() {
+        let run = || {
+            let clock = Clock::new();
+            let t = Telemetry::new(clock.clone(), 2);
+            for q in 0..2 {
+                let _g = t.span(q, Stage::HostService);
+                clock.advance(Cycles(100 + q as u64));
+                t.record_batch(q, 4);
+            }
+            t.record_rtt(0, Cycles(12_345));
+            (t.prometheus_text(), t.json_snapshot())
+        };
+        let (pa, ja) = run();
+        let (pb, jb) = run();
+        assert_eq!(pa, pb);
+        assert_eq!(ja, jb);
+        assert!(pa.contains("cio_stage_cycles_total{queue=\"0\",stage=\"host.service\"} 100"));
+        assert!(pa.contains("cio_rtt_cycles_count{queue=\"0\"} 1"));
+        assert!(ja.contains("\"covered_cycles\": 201"));
+    }
+
+    #[test]
+    fn profile_table_renders_rows_and_footer() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 2);
+        {
+            let _g = t.span(0, Stage::GuestSend);
+            clock.advance(Cycles(40));
+        }
+        let table = t.profile().render_table();
+        assert!(table.contains("guest.send"));
+        assert!(table.contains("(covered)"));
+        assert!(!table.contains("rx.open"), "zero rows omitted:\n{table}");
+    }
+}

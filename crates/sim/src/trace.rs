@@ -4,8 +4,18 @@
 //! properties ("the copy happened before the host could observe the
 //! buffer") that counters alone cannot express. Tracing is cheap but not
 //! free, so harnesses only attach a trace when they need one.
+//!
+//! Two retention modes exist:
+//!
+//! * **Unbounded** ([`Trace::new`]) keeps every event — what tests want,
+//!   since ordering assertions must never lose their evidence.
+//! * **Bounded** ([`Trace::bounded`]) keeps only the most recent
+//!   `capacity` events in a preallocated ring and counts what it evicted
+//!   ([`Trace::dropped`]) — what a long-running harness wants, so an
+//!   always-on trace cannot grow without bound.
 
 use crate::Cycles;
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// One recorded event: when it happened and a short label.
@@ -19,53 +29,98 @@ pub struct TraceEvent {
     pub what: String,
 }
 
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: VecDeque<TraceEvent>,
+    /// `None` = unbounded; `Some(n)` = keep the `n` most recent events.
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
 /// A shared, append-only event log.
 ///
 /// Cloning yields a handle to the same log.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Arc<Mutex<Vec<TraceEvent>>>,
+    inner: Arc<Mutex<TraceInner>>,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace (keeps every event).
     pub fn new() -> Self {
         Trace::default()
     }
 
-    /// Appends an event.
+    /// Creates a bounded trace that retains only the `capacity` most
+    /// recent events; older events are evicted and counted by
+    /// [`Trace::dropped`]. The ring is preallocated, so steady-state
+    /// recording reuses its storage. A capacity of 0 drops everything.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            inner: Arc::new(Mutex::new(TraceInner {
+                events: VecDeque::with_capacity(capacity),
+                capacity: Some(capacity),
+                dropped: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.inner.lock().expect("trace poisoned")
+    }
+
+    /// Appends an event. In bounded mode the oldest event is evicted
+    /// (and counted) once the ring is full.
     pub fn record(&self, at: Cycles, component: &'static str, what: impl Into<String>) {
-        self.events
-            .lock()
-            .expect("trace poisoned")
-            .push(TraceEvent {
-                at,
-                component,
-                what: what.into(),
-            });
+        let mut inner = self.lock();
+        if let Some(cap) = inner.capacity {
+            if cap == 0 {
+                inner.dropped += 1;
+                return;
+            }
+            while inner.events.len() >= cap {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+        }
+        inner.events.push_back(TraceEvent {
+            at,
+            component,
+            what: what.into(),
+        });
     }
 
-    /// Returns a copy of all events recorded so far, in insertion order.
+    /// Returns a copy of all *retained* events, in insertion order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("trace poisoned").clone()
+        self.lock().events.iter().cloned().collect()
     }
 
-    /// Number of events recorded.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace poisoned").len()
+        self.lock().events.len()
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Returns the insertion index of the first event whose label contains
-    /// `needle`, if any.
+    /// Number of events evicted (or refused) by a bounded trace. Always
+    /// 0 in unbounded mode.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The retention capacity, or `None` for an unbounded trace.
+    pub fn capacity(&self) -> Option<usize> {
+        self.lock().capacity
+    }
+
+    /// Returns the insertion index of the first retained event whose
+    /// label contains `needle`, if any.
     pub fn position_of(&self, needle: &str) -> Option<usize> {
-        self.events
-            .lock()
-            .expect("trace poisoned")
+        self.lock()
+            .events
             .iter()
             .position(|e| e.what.contains(needle))
     }
@@ -79,9 +134,9 @@ impl Trace {
         }
     }
 
-    /// Removes all recorded events.
+    /// Removes all retained events (the dropped counter is kept).
     pub fn clear(&self) {
-        self.events.lock().expect("trace poisoned").clear();
+        self.lock().events.clear();
     }
 }
 
@@ -118,5 +173,52 @@ mod tests {
         assert_eq!(b.len(), 1);
         b.clear();
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn unbounded_never_drops() {
+        let t = Trace::new();
+        for i in 0..1_000u64 {
+            t.record(Cycles(i), "x", "e");
+        }
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_keeps_most_recent_and_counts_evictions() {
+        let t = Trace::bounded(4);
+        assert_eq!(t.capacity(), Some(4));
+        for i in 0..10u64 {
+            t.record(Cycles(i), "x", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let evs = t.events();
+        assert_eq!(evs[0].what, "e6");
+        assert_eq!(evs[3].what, "e9");
+        // Ordering queries still work over the retained window.
+        assert!(t.happened_before("e6", "e9"));
+        assert_eq!(t.position_of("e0"), None, "evicted events are gone");
+    }
+
+    #[test]
+    fn bounded_zero_capacity_refuses_everything() {
+        let t = Trace::bounded(0);
+        t.record(Cycles(0), "x", "e");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let t = Trace::bounded(1);
+        t.record(Cycles(0), "x", "a");
+        t.record(Cycles(1), "x", "b");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::{RingError, Violation};
 use cio_mem::{GuestAddr, GuestView, MemView, PAGE_SIZE};
-use cio_sim::{Cycles, Meter};
+use cio_sim::{Cycles, Meter, Stage, Telemetry};
 
 /// Where payload bytes live relative to the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,6 +253,10 @@ pub struct Producer<V: MemView> {
     view: V,
     /// Private produce counter — the only index the producer trusts.
     next: u32,
+    /// Telemetry domain (disabled by default) and the queue index this
+    /// endpoint reports under.
+    telemetry: Telemetry,
+    tq: usize,
 }
 
 impl<V: MemView> Producer<V> {
@@ -267,7 +271,16 @@ impl<V: MemView> Producer<V> {
             ring,
             view,
             next: 0,
+            telemetry: Telemetry::disabled(),
+            tq: 0,
         })
+    }
+
+    /// Arms telemetry: ring operations are recorded as
+    /// [`Stage::RingProduce`] spans under `queue`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.telemetry = telemetry;
+        self.tq = queue;
     }
 
     /// The ring geometry.
@@ -326,6 +339,7 @@ impl<V: MemView> Producer<V> {
     ///
     /// Memory errors only.
     pub fn publish(&mut self) -> Result<(), RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
         self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
         Ok(())
@@ -341,6 +355,7 @@ impl<V: MemView> Producer<V> {
         copy: bool,
         publish: bool,
     ) -> Result<(), RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
         if payload.len() > self.ring.cfg.mtu as usize {
             return Err(RingError::TooLarge);
         }
@@ -475,6 +490,10 @@ pub struct Consumer<V: MemView> {
     view: V,
     /// Private consume counter — the only index the consumer trusts.
     next: u32,
+    /// Telemetry domain (disabled by default) and the queue index this
+    /// endpoint reports under.
+    telemetry: Telemetry,
+    tq: usize,
 }
 
 impl<V: MemView> Consumer<V> {
@@ -489,7 +508,16 @@ impl<V: MemView> Consumer<V> {
             ring,
             view,
             next: 0,
+            telemetry: Telemetry::disabled(),
+            tq: 0,
         })
+    }
+
+    /// Arms telemetry: ring operations are recorded as
+    /// [`Stage::RingConsume`] spans under `queue`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.telemetry = telemetry;
+        self.tq = queue;
     }
 
     /// The ring geometry.
@@ -592,6 +620,7 @@ impl<V: MemView> Consumer<V> {
     ///
     /// As [`Consumer::consume`].
     pub fn consume_into(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         if self.available()? == 0 {
             return Ok(None);
         }
@@ -606,6 +635,7 @@ impl<V: MemView> Consumer<V> {
     ///
     /// As [`Consumer::consume`].
     pub fn consume_batch(&mut self, bufs: &mut [Vec<u8>]) -> Result<usize, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         let avail = self.available()? as usize;
         let n = avail.min(bufs.len());
         for buf in &mut bufs[..n] {
@@ -682,6 +712,7 @@ impl Consumer<GuestView> {
     /// [`RingError::Fatal`] if the ring was not configured for revocation;
     /// otherwise as [`Consumer::consume`].
     pub fn consume_revoking(&mut self) -> Result<Option<RevokedPayload>, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         if !self.ring.cfg.page_aligned_payloads {
             return Err(RingError::Fatal("ring not configured for revocation"));
         }

@@ -1,0 +1,246 @@
+//! Telemetry determinism and exporter round-trip audit (E17).
+//!
+//! The telemetry layer rides the virtual clock, so its output is part of
+//! the simulation's determinism contract: two worlds built with the same
+//! options must export byte-identical Prometheus text and JSON snapshots,
+//! and enabling telemetry must not move the clock or the meters by a
+//! single cycle. The Prometheus exposition is additionally re-parsed by a
+//! small grammar checker: well-formed lines only, cumulative buckets
+//! monotone, `+Inf` bucket equal to the series count.
+
+use std::collections::HashMap;
+
+use cio_bench::telemetry_echo_world;
+use cio_sim::Stage;
+
+const QUEUES: usize = 4;
+const FLOWS: usize = 8;
+const ROUNDS: u32 = 8;
+const SIZE: usize = 512;
+
+fn run_world() -> cio::world::World {
+    telemetry_echo_world(QUEUES, FLOWS, ROUNDS, SIZE, true).expect("telemetry echo workload")
+}
+
+#[test]
+fn exports_are_byte_identical_across_same_seed_runs() {
+    let a = run_world();
+    let b = run_world();
+    assert_eq!(a.clock().now(), b.clock().now(), "virtual clocks diverged");
+    assert_eq!(
+        a.telemetry().prometheus_text(),
+        b.telemetry().prometheus_text(),
+        "Prometheus exports diverged between identical runs"
+    );
+    assert_eq!(
+        a.telemetry().json_snapshot(),
+        b.telemetry().json_snapshot(),
+        "JSON snapshots diverged between identical runs"
+    );
+    assert_eq!(
+        a.telemetry().profile().covered(),
+        b.telemetry().profile().covered()
+    );
+}
+
+#[test]
+fn telemetry_off_does_not_perturb_the_simulation() {
+    let on = run_world();
+    let off = telemetry_echo_world(QUEUES, FLOWS, ROUNDS, SIZE, false).expect("control workload");
+    assert_eq!(
+        on.clock().now(),
+        off.clock().now(),
+        "telemetry must never advance the virtual clock"
+    );
+    let (m_on, m_off) = (on.meter().snapshot(), off.meter().snapshot());
+    assert_eq!(m_on.aead_ops, m_off.aead_ops);
+    assert_eq!(m_on.aead_bytes, m_off.aead_bytes);
+    assert!(!off.telemetry().enabled());
+    assert_eq!(off.telemetry().prometheus_text(), "");
+    assert_eq!(off.telemetry().json_snapshot(), "{\"enabled\":false}");
+}
+
+#[test]
+fn histogram_totals_cross_check_workload_and_profile() {
+    let w = run_world();
+    let tel = w.telemetry();
+
+    // Every application round trip landed in exactly one queue's RTT
+    // histogram: the per-queue totals must sum to the global round count.
+    let rtt_total: u64 = (0..QUEUES).map(|q| tel.rtt_histogram(q).count()).sum();
+    assert_eq!(rtt_total, (FLOWS as u64) * u64::from(ROUNDS));
+
+    // Self-cycles partition the covered time (within rounding slack from
+    // lane-clock rewinds), the span stack never overflowed, and the cTLS
+    // seal/open path booked its AEAD work to the crypto stage.
+    let p = tel.profile();
+    assert!(p.covered().get() > 0);
+    assert_eq!(p.overflows(), 0);
+    let covered = p.covered().get();
+    assert!(
+        p.total_cycles().abs_diff(covered) <= covered / 100 + 1,
+        "attributed {} vs covered {covered}",
+        p.total_cycles()
+    );
+    assert!(p.stage_cycles(Stage::Crypto) > 0, "no crypto attribution");
+    assert!(
+        p.stage_cycles(Stage::RingProduce) > 0 && p.stage_cycles(Stage::RingConsume) > 0,
+        "ring stages must be exercised by the cio-ring dataplane"
+    );
+    // Batches were recorded on every queue the RSS hash steered flows to.
+    let batch_total: u64 = (0..QUEUES).map(|q| tel.batch_histogram(q).count()).sum();
+    assert!(batch_total > 0, "no servicing batches recorded");
+}
+
+/// One parsed Prometheus sample: metric name, labels, value text.
+type Sample = (String, Vec<(String, String)>, String);
+
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').expect("labels close with }");
+            let labels = body
+                .split(',')
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').expect("label is key=value");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .expect("label value is quoted");
+                    assert!(!v.contains('"') && !v.contains('\\'), "unescaped label");
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name.to_string(), labels)
+        }
+    };
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+        "bad metric name {name:?}"
+    );
+    (name, labels, value.to_string())
+}
+
+fn samples_of(text: &str) -> Vec<Sample> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_sample)
+        .collect()
+}
+
+#[test]
+fn prometheus_text_round_trips_through_a_parser() {
+    let w = run_world();
+    let text = w.telemetry().prometheus_text();
+    assert!(!text.is_empty());
+
+    // Grammar: every line is HELP, TYPE, or a well-formed sample whose
+    // value is a base-10 integer (the exporter only emits integers).
+    let mut types: HashMap<String, String> = HashMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().expect("TYPE names a metric");
+            let ty = it.next().expect("TYPE has a kind");
+            assert!(ty == "counter" || ty == "histogram", "unknown type {ty}");
+            types.insert(name.to_string(), ty.to_string());
+        } else if !line.starts_with("# HELP") {
+            let (_, _, value) = parse_sample(line);
+            value.parse::<u64>().expect("integer sample value");
+        }
+    }
+
+    // Every sample's family must be declared, with histogram suffixes
+    // resolving to their base family.
+    for (name, _, _) in samples_of(&text) {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| types.contains_key(*b))
+            .unwrap_or(&name);
+        assert!(types.contains_key(base), "undeclared family for {name}");
+    }
+
+    // Counter coverage: the attribution table exports every queue x stage
+    // cell, in fixed order.
+    let cycles: Vec<_> = samples_of(&text)
+        .into_iter()
+        .filter(|(n, _, _)| n == "cio_stage_cycles_total")
+        .collect();
+    assert_eq!(cycles.len(), QUEUES * Stage::ALL.len());
+
+    // Histogram discipline per series: cumulative buckets monotone, le
+    // bounds strictly increasing, +Inf bucket equal to the _count sample.
+    let samples = samples_of(&text);
+    let series_key = |labels: &[(String, String)]| {
+        labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut counts: HashMap<(String, String), u64> = HashMap::new();
+    for (name, labels, value) in &samples {
+        if let Some(base) = name.strip_suffix("_count") {
+            counts.insert(
+                (base.to_string(), series_key(labels)),
+                value.parse().unwrap(),
+            );
+        }
+    }
+    let mut cursor: HashMap<(String, String), (u64, Option<u64>)> = HashMap::new();
+    for (name, labels, value) in &samples {
+        let Some(base) = name.strip_suffix("_bucket") else {
+            continue;
+        };
+        let le = &labels.iter().find(|(k, _)| k == "le").expect("le label").1;
+        let cum: u64 = value.parse().unwrap();
+        let key = (base.to_string(), series_key(labels));
+        let entry = cursor.entry(key.clone()).or_insert((0, None));
+        assert!(cum >= entry.0, "cumulative bucket decreased in {name}");
+        entry.0 = cum;
+        if le == "+Inf" {
+            let count = counts.get(&key).expect("histogram has _count");
+            assert_eq!(cum, *count, "+Inf bucket != count for {name}");
+        } else {
+            let bound: u64 = le.parse().expect("numeric le bound");
+            if let Some(prev) = entry.1 {
+                assert!(bound > prev, "le bounds not increasing in {name}");
+            }
+            entry.1 = Some(bound);
+        }
+    }
+}
+
+#[test]
+fn counters_are_monotone_across_exports() {
+    let w = run_world();
+    let before: HashMap<_, _> = samples_of(&w.telemetry().prometheus_text())
+        .into_iter()
+        .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
+        .collect();
+    // More activity between two scrapes of the same domain: every sample
+    // (counters, sums, cumulative buckets) may only grow.
+    for q in 0..QUEUES {
+        w.telemetry().record_rtt(q, cio_sim::Cycles(1 << q));
+        w.telemetry().record_batch(q, 3);
+    }
+    w.telemetry().attribute(0, Stage::Idle, cio_sim::Cycles(17));
+    for ((name, labels), after) in samples_of(&w.telemetry().prometheus_text())
+        .into_iter()
+        .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
+    {
+        let prev = before
+            .get(&(name.clone(), labels.clone()))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            after >= prev,
+            "{name}{labels} went backwards: {prev} -> {after}"
+        );
+    }
+}

@@ -7,13 +7,17 @@
 //! marks), pushing records through that loop must hit the heap zero
 //! times. A counting `#[global_allocator]` enforces it; this file holds
 //! only this test so no sibling test thread can pollute the counter.
+//!
+//! The telemetry layer rides the same audit: spans, AEAD cycle
+//! attribution, and histogram recording run inside the measured loop, so
+//! enabling observability provably costs zero steady-state allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cio_ctls::{Channel, RecordScratch};
+use cio_ctls::{Channel, RecordScratch, SimHooks};
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
-use cio_sim::{Clock, CostModel, Meter};
+use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
 use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
 
 struct CountingAlloc;
@@ -61,7 +65,7 @@ fn steady_state_record_path_does_not_allocate() {
         ..RingConfig::default()
     };
     let area_pages = cfg.area_size as usize / PAGE_SIZE;
-    let mem = GuestMemory::new(32 + area_pages, clock, cost, meter);
+    let mem = GuestMemory::new(32 + area_pages, clock.clone(), cost.clone(), meter.clone());
     let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).unwrap();
     mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
     mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
@@ -69,8 +73,20 @@ fn steady_state_record_path_does_not_allocate() {
     let mut producer = Producer::new(ring.clone(), mem.guest()).unwrap();
     let mut consumer = Consumer::new(ring, mem.host()).unwrap();
 
-    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, None);
-    let mut host = Channel::from_secrets([3; 32], [4; 32], false, None);
+    // Telemetry rides along: spans, flat attribution (via the cTLS AEAD
+    // hooks), and histogram recording all happen inside the measured loop
+    // and must stay off the heap too.
+    let telemetry = Telemetry::new(clock.clone(), 1);
+    producer.set_telemetry(telemetry.clone(), 0);
+    consumer.set_telemetry(telemetry.clone(), 0);
+    let hooks = SimHooks {
+        clock,
+        cost,
+        meter,
+        telemetry: telemetry.clone(),
+    };
+    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, Some(hooks.clone()));
+    let mut host = Channel::from_secrets([3; 32], [4; 32], false, Some(hooks));
 
     let payload = vec![0x42u8; 1024];
     let mut rec = RecordScratch::new();
@@ -78,6 +94,7 @@ fn steady_state_record_path_does_not_allocate() {
     let mut blob: Vec<u8> = Vec::new();
 
     let mut cycle = |rec: &mut RecordScratch, plain: &mut RecordScratch, blob: &mut Vec<u8>| {
+        let _span = telemetry.span(0, Stage::GuestSend);
         guest.seal_into(&payload, rec).expect("seal");
         producer.produce(rec.as_slice()).expect("produce");
         consumer
@@ -85,6 +102,8 @@ fn steady_state_record_path_does_not_allocate() {
             .expect("consume")
             .expect("record available");
         host.open_into(blob, plain).expect("open");
+        telemetry.record_rtt(0, cio_sim::Cycles(blob.len() as u64));
+        telemetry.record_batch(0, 1);
         assert_eq!(plain.as_slice(), &payload[..]);
     };
 
@@ -110,22 +129,30 @@ fn steady_state_record_path_does_not_allocate() {
     // once warm, no queue's path may allocate. This lives in the same
     // test because this file's allocator counter is process-global.
     const QUEUES: usize = 4;
+    let mq_clock = Clock::new();
+    let mq_telemetry = Telemetry::new(mq_clock.clone(), QUEUES);
     let mut lanes = Vec::new();
-    for _ in 0..QUEUES {
-        let clock = Clock::new();
+    for q in 0..QUEUES {
         let cfg = RingConfig {
             mtu: 2048,
             mode: DataMode::SharedArea,
             ..RingConfig::default()
         };
         let area_pages = cfg.area_size as usize / PAGE_SIZE;
-        let mem = GuestMemory::new(32 + area_pages, clock, CostModel::default(), Meter::new());
+        let mem = GuestMemory::new(
+            32 + area_pages,
+            mq_clock.clone(),
+            CostModel::default(),
+            Meter::new(),
+        );
         let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).unwrap();
         mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
         mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
             .unwrap();
-        let producer = Producer::new(ring.clone(), mem.guest()).unwrap();
-        let consumer = Consumer::new(ring, mem.host()).unwrap();
+        let mut producer = Producer::new(ring.clone(), mem.guest()).unwrap();
+        let mut consumer = Consumer::new(ring, mem.host()).unwrap();
+        producer.set_telemetry(mq_telemetry.clone(), q);
+        consumer.set_telemetry(mq_telemetry.clone(), q);
         lanes.push((producer, consumer, Vec::<u8>::new(), mem));
     }
     // Eight synthetic flows, hashed to queues like connect() assigns lanes.
@@ -142,6 +169,7 @@ fn steady_state_record_path_does_not_allocate() {
     let mut mq_cycle = |rec: &mut RecordScratch, plain: &mut RecordScratch| {
         for &q in &flows {
             let (producer, consumer, blob, _) = &mut lanes[q];
+            let _span = mq_telemetry.span(q, Stage::GuestSend);
             guest.seal_into(&payload, rec).expect("seal");
             producer.produce(rec.as_slice()).expect("produce");
             consumer
@@ -149,6 +177,7 @@ fn steady_state_record_path_does_not_allocate() {
                 .expect("consume")
                 .expect("record available");
             host.open_into(blob, plain).expect("open");
+            mq_telemetry.record_batch(q, 1);
             assert_eq!(plain.as_slice(), &payload[..]);
         }
     };
