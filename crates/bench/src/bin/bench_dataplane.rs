@@ -8,11 +8,12 @@
 //!    rework is a >= 1.5x fused/two-pass ratio at 4 KiB.
 //! 2. `record_scratch` — cTLS record seal/open through the reusable
 //!    [`RecordScratch`] path (header + fused AEAD + tag in one buffer).
-//! 3. `record_ring` — end-to-end records through the full stack: cTLS
-//!    seal into a scratch, produce onto a cio ring, host-side
-//!    `consume_into` a reused buffer, and decapsulation through the
+//! 3. `record_ring` — end-to-end records through the full stack on the
+//!    seal-in-slot path: cTLS seal directly into a reserved cio-ring
+//!    slot, host-side in-place consume, and decapsulation through the
 //!    speer tunnel gateway onto its network segment. Wall-clock
-//!    records/sec plus the deterministic cio-sim cycle meter series.
+//!    records/sec plus the deterministic cio-sim cycle meter series;
+//!    steady state performs zero staging copies per record.
 //! 4. `multiqueue` — wall-clock cost of simulating the full multi-queue
 //!    world (8 RSS-steered flows through 1 vs 4 cio queues), alongside
 //!    the virtual-time speedup the lane scheduler reports.
@@ -24,7 +25,7 @@ use cio::world::{BoundaryKind, WorldOptions};
 use cio_bench::micro::{json_array, measure, JsonObj, Measurement};
 use cio_bench::{bench_opts, multi_stream_download};
 use cio_crypto::ChaCha20Poly1305;
-use cio_ctls::{Channel, RecordScratch, SimHooks};
+use cio_ctls::{Channel, RecordScratch, SimHooks, RECORD_OVERHEAD};
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_netstack::{MacAddr, NetDevice, PairDevice};
 use cio_sim::{Clock, CostModel, Meter, SimRng};
@@ -98,7 +99,8 @@ fn bench_record_scratch(target_ms: u64, payload_len: usize) -> Measurement {
     })
 }
 
-/// End-to-end: cTLS seal -> cio ring -> consume_into -> tunnel gateway.
+/// End-to-end: cTLS seal in slot -> cio ring -> in-place consume ->
+/// tunnel gateway. Zero payload copies in steady state.
 fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, Meter) {
     let clock = Clock::new();
     let cost = CostModel::default();
@@ -131,17 +133,20 @@ fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, M
     let mut gw = TunnelGateway::new(gw_chan, gw_side);
 
     let payload = vec![0x42u8; payload_len];
-    let mut rec = RecordScratch::new();
-    let mut blob: Vec<u8> = Vec::new();
+    let record_len = payload_len + RECORD_OVERHEAD;
     let t0 = clock.now();
     let m = measure(target_ms, payload_len as u64, || {
-        guest.seal_into(&payload, &mut rec).expect("seal");
-        producer.produce(rec.as_slice()).expect("produce");
-        consumer
-            .consume_into(&mut blob)
+        let grant = producer.reserve(record_len).expect("slot reservation");
+        let n = producer
+            .with_slot_mut(&grant, |slot| guest.seal_into_slot(&payload, slot))
+            .expect("slot access")
+            .expect("seal in slot");
+        producer.commit(grant, n).expect("commit");
+        let accepted = consumer
+            .consume_in_place(|record| gw.ingress(record))
             .expect("consume")
             .expect("record available");
-        assert!(gw.ingress(&blob), "gateway must accept the record");
+        assert!(accepted, "gateway must accept the record");
         let frame = peer_side.receive().expect("frame on segment");
         black_box(&frame);
     });
@@ -223,14 +228,15 @@ fn main() {
     let (ring, sim_cycles, meter) = bench_record_ring(target_ms, 1024);
     let snap = meter.snapshot();
     println!(
-        "ctls -> ring -> gateway end-to-end (1 KiB payloads): {:.0} records/s, \
-         {:.0} sim cycles/record",
+        "ctls -> ring -> gateway end-to-end, seal-in-slot (1 KiB payloads): \
+         {:.0} records/s, {:.0} sim cycles/record",
         ring.per_sec(),
         sim_cycles as f64 / ring.iters as f64
     );
     println!(
-        "  sim meter: {} aead ops, {} copies, {} bytes copied",
-        snap.aead_ops, snap.copies, snap.bytes_copied
+        "  sim meter: {} aead ops, {} copies ({} bytes copied), {} bytes zero-copy, \
+         {} ring records",
+        snap.aead_ops, snap.copies, snap.bytes_copied, snap.bytes_zero_copy, snap.ring_records
     );
 
     let (mq1, mq1_cycles) = bench_multiqueue_world(target_ms, 1);
@@ -278,6 +284,8 @@ fn main() {
                 .int("aead_ops", snap.aead_ops)
                 .int("copies", snap.copies)
                 .int("bytes_copied", snap.bytes_copied)
+                .int("bytes_zero_copy", snap.bytes_zero_copy)
+                .int("ring_records", snap.ring_records)
                 .finish(),
         )
         .raw(

@@ -232,6 +232,31 @@ pub fn run_scenario_with(
     attack: AttackKind,
     queues: usize,
 ) -> Result<AttackReport, CioError> {
+    run_scenario_inner(boundary, attack, queues, cio_mem::CopyPolicy::default())
+}
+
+/// [`run_scenario`] with an explicit data-positioning policy: proves the
+/// seal-in-slot dataplane ([`cio_mem::CopyPolicy::InPlace`]) and the
+/// staged fallback ([`cio_mem::CopyPolicy::CopyEarly`]) leave every
+/// attack outcome unchanged.
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn run_scenario_with_policy(
+    boundary: BoundaryKind,
+    attack: AttackKind,
+    policy: cio_mem::CopyPolicy,
+) -> Result<AttackReport, CioError> {
+    run_scenario_inner(boundary, attack, 1, policy)
+}
+
+fn run_scenario_inner(
+    boundary: BoundaryKind,
+    attack: AttackKind,
+    queues: usize,
+    copy_policy: cio_mem::CopyPolicy,
+) -> Result<AttackReport, CioError> {
     if !has_surface(boundary, attack) {
         return Ok(AttackReport {
             boundary,
@@ -251,6 +276,7 @@ pub fn run_scenario_with(
     };
     let opts = WorldOptions {
         queues,
+        copy_policy,
         ..attack_opts()
     };
     let mut world = World::new(boundary, opts)?;
@@ -423,6 +449,51 @@ pub fn payload_toctou() -> Result<(Outcome, Outcome, Outcome), CioError> {
     };
 
     Ok((unhardened, cio_copy, cio_revoke))
+}
+
+/// The payload-TOCTOU micro-scenario for the seal-in-slot path: the
+/// guest consumes the record *in place* (no early copy), but the single
+/// fetch happens under the memory lock and anything the guest keeps is
+/// copied into private memory before the closure returns — the host's
+/// post-consume flip lands on already-consumed slot bytes.
+///
+/// This is the data-positioning argument for why the zero-copy dataplane
+/// does not reopen the double-fetch window the early copy closed.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn payload_toctou_in_slot() -> Result<Outcome, CioError> {
+    use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+    use cio_sim::{Clock, CostModel, Meter};
+    use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
+
+    let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+    let cfg = RingConfig {
+        slots: 8,
+        slot_size: 16,
+        mode: DataMode::SharedArea,
+        mtu: 2048,
+        area_size: 1 << 14,
+        ..RingConfig::default()
+    };
+    let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64))?;
+    mem.share_range(GuestAddr(0), ring.ring_bytes())?;
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())?;
+    let mut host_p = Producer::new(ring.clone(), mem.host())?;
+    let mut guest_c = Consumer::new(ring.clone(), mem.guest())?;
+    host_p.produce(b"AMOUNT=00100")?;
+    // Single fetch: validate and extract in one in-place pass.
+    let private = guest_c
+        .consume_in_place(|payload| (payload == b"AMOUNT=00100").then(|| payload.to_vec()))?
+        .expect("payload");
+    // The host flips the slot after consumption; the guest never
+    // re-fetches it.
+    mem.host().write(ring.payload_addr(0), b"AMOUNT=99999")?;
+    Ok(match private {
+        Some(used) if used == b"AMOUNT=00100" => Outcome::Prevented,
+        _ => Outcome::Undetected,
+    })
 }
 
 /// The NetVSC offset-forgery micro-scenario (the Figure 3 driver family's

@@ -10,7 +10,7 @@
 //! passes on the tunneled/DDA paths.
 
 use crate::CioError;
-use cio_mem::{GuestAddr, GuestMemory, GuestView};
+use cio_mem::{CopyPolicy, GuestAddr, GuestMemory, GuestView};
 use cio_netstack::{MacAddr, NetDevice, NetError};
 use cio_sim::Cycles;
 use cio_tee::dda::IdeChannel;
@@ -562,6 +562,10 @@ pub struct TunnelDevice {
     chan: cio_ctls::Channel,
     mac: MacAddr,
     mtu: usize,
+    /// Data-positioning discipline for the carrier ring (§3.2): in-place
+    /// seals records straight into reserved slots; copy-early stages
+    /// through the scratch and pays the explicit interface copy.
+    policy: CopyPolicy,
     /// Reusable receive buffer for blobs consumed off the carrier ring.
     blob: Vec<u8>,
     /// Reusable scratches for the fused seal/open passes.
@@ -584,10 +588,24 @@ impl TunnelDevice {
             chan,
             mac,
             mtu,
+            policy: CopyPolicy::default(),
             blob: Vec::new(),
             seal_scratch: cio_ctls::RecordScratch::new(),
             open_scratch: cio_ctls::RecordScratch::new(),
         }
+    }
+
+    /// Selects the carrier's data-positioning policy. [`CopyPolicy::CopyEarly`]
+    /// forces the staged path even on in-slot-capable rings (the
+    /// discipline adversarial double-fetch configurations demand).
+    pub fn set_copy_policy(&mut self, policy: CopyPolicy) {
+        self.policy = policy;
+    }
+
+    /// Whether transmit will seal records in slot (policy allows it and
+    /// the ring layout supports it).
+    pub fn seals_in_slot(&self) -> bool {
+        self.policy.allows_in_place() && self.inner_tx.in_slot_capable()
     }
 }
 
@@ -596,8 +614,31 @@ impl NetDevice for TunnelDevice {
         if frame.len() > self.mtu + cio_netstack::wire::ETH_HDR_LEN {
             return Err(NetError::TooLarge);
         }
-        // One-pass seal into the reused scratch, then straight onto the
-        // ring — no per-frame allocation.
+        if self.seals_in_slot() {
+            // Seal-in-slot: reserve the slot, run the fused AEAD directly
+            // over slot memory (plaintext never touches the shared area),
+            // and publish. Zero staging copies.
+            let record_len = frame.len() + cio_ctls::RECORD_OVERHEAD;
+            let grant = match self.inner_tx.reserve(record_len) {
+                Ok(g) => g,
+                Err(cio_vring::RingError::TooLarge) => return Err(NetError::TooLarge),
+                Err(_) => return Err(NetError::DeviceFull),
+            };
+            let chan = &mut self.chan;
+            let sealed = self
+                .inner_tx
+                .with_slot_mut(&grant, |slot| chan.seal_into_slot(frame, slot))
+                .map_err(|_| NetError::DeviceFull)?
+                .map_err(|_| NetError::Malformed)?;
+            return match self.inner_tx.commit(grant, sealed) {
+                Ok(()) => Ok(()),
+                Err(cio_vring::RingError::TooLarge) => Err(NetError::TooLarge),
+                Err(_) => Err(NetError::DeviceFull),
+            };
+        }
+        // Staged path (copy-early policy or non-shared-area layout): seal
+        // into the reused scratch, then the explicit, metered copy onto
+        // the ring — no per-frame allocation.
         self.chan
             .seal_into(frame, &mut self.seal_scratch)
             .map_err(|_| NetError::Malformed)?;
@@ -611,6 +652,22 @@ impl NetDevice for TunnelDevice {
     fn receive(&mut self) -> Option<Vec<u8>> {
         // Host-injected garbage fails to open and is dropped — the tunnel
         // boundary is exactly one AEAD check wide.
+        if self.policy.allows_in_place() {
+            // Open-in-slot: the record is fetched exactly once from slot
+            // memory and decrypted straight into the private scratch.
+            loop {
+                let chan = &mut self.chan;
+                let scratch = &mut self.open_scratch;
+                let opened = self
+                    .inner_rx
+                    .consume_in_place(|rec| chan.open_in_slot(rec, scratch).is_ok())
+                    .ok()
+                    .flatten()?;
+                if opened {
+                    return Some(self.open_scratch.as_slice().to_vec());
+                }
+            }
+        }
         loop {
             self.inner_rx.consume_into(&mut self.blob).ok().flatten()?;
             if self

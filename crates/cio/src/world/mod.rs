@@ -19,7 +19,7 @@ use cio_host::backend::{Backend, CioNetBackend, NullBackend, VirtioNetBackend};
 use cio_host::fabric::{Fabric, FabricPort, LinkParams};
 use cio_host::l5::L5Service;
 use cio_host::observe::Recorder;
-use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+use cio_mem::{CopyPolicy, GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{rss, Ipv4Addr, MacAddr, NetDevice, PairDevice};
 use cio_sim::{Clock, CostModel, Cycles, Lanes, Meter, SimRng, Stage, Telemetry};
@@ -102,6 +102,14 @@ pub struct WorldOptions {
     /// Dual boundary: charge an app→stack payload copy instead of
     /// trusted-component-allocates zero-copy (E9's contrast arm).
     pub l5_app_copy: bool,
+    /// Data-positioning discipline for the record/ring dataplane
+    /// ([`CopyPolicy::InPlace`] by default: records are sealed into and
+    /// consumed out of slot memory with no staging copies). Set
+    /// [`CopyPolicy::CopyEarly`] to force the staged copy path everywhere
+    /// — the defensive arm for adversarial double-fetch configurations.
+    /// Ring layouts that cannot support in-place positioning (inline
+    /// slots) fall back to the staged path automatically regardless.
+    pub copy_policy: CopyPolicy,
     /// Deterministic seed.
     pub seed: u64,
     /// DDA: the attested device misbehaves after attestation.
@@ -133,6 +141,7 @@ impl Default for WorldOptions {
             recv_mode: RecvMode::Copy,
             notify: NotifyMode::Polling,
             l5_app_copy: false,
+            copy_policy: CopyPolicy::default(),
             seed: 0xC10,
             dda_tamper: false,
             step_quantum: Cycles(5_000),
@@ -310,6 +319,12 @@ impl WorldBuilder {
         self
     }
 
+    /// Data-positioning discipline for the record/ring dataplane.
+    pub fn copy_policy(mut self, policy: CopyPolicy) -> Self {
+        self.opts.copy_policy = policy;
+        self
+    }
+
     /// Adversary mode: the DDA device misbehaves after attestation.
     pub fn dda_tamper(mut self, on: bool) -> Self {
         self.opts.dda_tamper = on;
@@ -348,7 +363,9 @@ impl WorldBuilder {
         let mem = tee.memory().clone();
         let recorder = Recorder::new();
         let telemetry = if opts.telemetry {
-            Telemetry::new(clock.clone(), opts.queues)
+            let t = Telemetry::new(clock.clone(), opts.queues);
+            t.attach_meter(&meter);
+            t
         } else {
             Telemetry::disabled()
         };
@@ -595,9 +612,10 @@ impl WorldBuilder {
                 let guest_chan = Channel::from_secrets(c_secret, s_secret, true, Some(hooks));
                 let gw_chan = Channel::from_secrets(c_secret, s_secret, false, None);
 
-                let device: Box<dyn NetDevice> = Box::new(TunnelDevice::new(
-                    guest_tx, guest_rx, guest_chan, GUEST_MAC, 1500,
-                ));
+                let mut tunnel_dev =
+                    TunnelDevice::new(guest_tx, guest_rx, guest_chan, GUEST_MAC, 1500);
+                tunnel_dev.set_copy_policy(opts.copy_policy);
+                let device: Box<dyn NetDevice> = Box::new(tunnel_dev);
                 let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
                 let mut backend = CioNetBackend::single(
                     host_tx,
@@ -607,6 +625,7 @@ impl WorldBuilder {
                     clock.clone(),
                 );
                 backend.opaque = true;
+                backend.set_copy_policy(opts.copy_policy);
                 backend.set_telemetry(telemetry.clone());
 
                 let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
@@ -827,6 +846,7 @@ impl World {
             opts.recv_mode,
         )?) as Box<dyn NetDevice>;
         let mut backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
+        backend.set_copy_policy(opts.copy_policy);
         backend.set_telemetry(telemetry.clone());
         Ok((device, backend, rings))
     }
@@ -1133,11 +1153,16 @@ impl World {
                 iface.tcp_send(handle, bytes)?;
             }
             Guest::Dual { iface, gate, .. } => {
-                if self.opts.l5_app_copy {
+                // Trusted-component-allocates zero-copy send (E9) needs
+                // both the zero-copy option and an in-place copy policy;
+                // otherwise the app→stack payload copy is charged.
+                if self.opts.l5_app_copy || !self.opts.copy_policy.allows_in_place() {
                     let cost = self.opts.cost.copy(bytes.len());
                     self.clock.advance(cost);
                     self.meter.copies(1);
                     self.meter.bytes_copied(bytes.len() as u64);
+                } else {
+                    self.meter.bytes_zero_copy(bytes.len() as u64);
                 }
                 gate.call(|| iface.tcp_send(handle, bytes))?;
             }
@@ -1593,6 +1618,35 @@ mod tests {
         let _ = w.recv_exact(c, 1000, 3_000).unwrap();
         let d = w.meter().snapshot().delta(&before);
         assert!(d.copies >= 2, "bounce copies on both directions: {d:?}");
+    }
+
+    #[test]
+    fn tunneled_in_place_policy_eliminates_dataplane_copies() {
+        let run = |policy: CopyPolicy| {
+            let mut w = World::builder(BoundaryKind::Tunneled)
+                .options(quick_opts())
+                .copy_policy(policy)
+                .build()
+                .unwrap();
+            let c = w.connect(ECHO_PORT).unwrap();
+            w.establish(c, 3_000).unwrap();
+            let before = w.meter().snapshot();
+            w.send(c, &[0x7A; 512]).unwrap();
+            let _ = w.recv_exact(c, 512, 3_000).unwrap();
+            w.meter().snapshot().delta(&before)
+        };
+        let in_place = run(CopyPolicy::InPlace);
+        let staged = run(CopyPolicy::CopyEarly);
+        assert!(
+            in_place.copies < staged.copies,
+            "in-place {} vs staged {} copies",
+            in_place.copies,
+            staged.copies
+        );
+        assert!(
+            in_place.bytes_zero_copy > staged.bytes_zero_copy,
+            "records positioned in place must be metered as zero-copy bytes"
+        );
     }
 
     #[test]

@@ -241,11 +241,28 @@ impl<D: NetDevice> SecurePeer<D> {
                         match chan.open_into(&conn.inbuf[..n], &mut self.plain) {
                             Ok(()) => {
                                 conn.inbuf.drain(..n);
-                                Self::serve_into(conn.port, self.plain.as_slice(), &mut self.resp);
-                                if !self.resp.is_empty()
-                                    && chan.seal_into(&self.resp, &mut self.rec).is_ok()
-                                {
-                                    self.txbuf.extend_from_slice(self.rec.as_slice());
+                                if conn.port == ECHO_PORT {
+                                    // Echo seals the reply straight from
+                                    // the opened request scratch — no
+                                    // response-buffer copy per record.
+                                    if !self.plain.as_slice().is_empty()
+                                        && chan
+                                            .seal_into(self.plain.as_slice(), &mut self.rec)
+                                            .is_ok()
+                                    {
+                                        self.txbuf.extend_from_slice(self.rec.as_slice());
+                                    }
+                                } else {
+                                    Self::serve_into(
+                                        conn.port,
+                                        self.plain.as_slice(),
+                                        &mut self.resp,
+                                    );
+                                    if !self.resp.is_empty()
+                                        && chan.seal_into(&self.resp, &mut self.rec).is_ok()
+                                    {
+                                        self.txbuf.extend_from_slice(self.rec.as_slice());
+                                    }
                                 }
                             }
                             Err(_) => {

@@ -10,6 +10,14 @@ use crate::CryptoError;
 /// to stage bytes until the final partial chunk.
 const FUSE_CHUNK: usize = WIDE_BLOCKS * BLOCK_LEN;
 
+/// Size-threshold for the small-record path. At or below this length
+/// the Poly1305 key block (counter 0) and the whole payload keystream
+/// (counters 1..) fit in one wide run, so the fused seal/open computes
+/// them together instead of paying a separate key block plus per-block
+/// scalar keystream — the shape that made small records slower than the
+/// two-pass reference.
+const SMALL_CUTOFF: usize = FUSE_CHUNK - BLOCK_LEN;
+
 /// An RFC 8439 ChaCha20-Poly1305 AEAD key.
 ///
 /// # Examples
@@ -142,15 +150,60 @@ impl ChaCha20Poly1305 {
         mac.finalize()
     }
 
+    /// Generates the keystream a small record needs — the Poly1305 key
+    /// block plus every payload block — in one shot. When the wide
+    /// kernel is hardware-backed, a full run is cheaper than counting
+    /// blocks; otherwise only the blocks actually needed are computed.
+    fn small_keystream(session: &ChaCha20, ct_len: usize, ks: &mut [u8; FUSE_CHUNK]) {
+        debug_assert!(ct_len <= SMALL_CUTOFF);
+        let blocks = 1 + ct_len.div_ceil(BLOCK_LEN);
+        // One hardware wide run beats counted generation from roughly
+        // four blocks up; two- and three-block requests round up to one
+        // four-block SSE2 run; hosts without SIMD kernels always count.
+        let take = if chacha20::wide_is_accelerated() && blocks >= 4 {
+            FUSE_CHUNK
+        } else if blocks >= 2 && chacha20::quad_is_accelerated() {
+            BLOCK_LEN * blocks.max(4)
+        } else {
+            BLOCK_LEN * blocks
+        };
+        session.xor_at(0, &mut ks[..take]);
+    }
+
+    /// Builds the MAC for the small path from an already-generated
+    /// keystream (key block = the first 32 bytes), AAD absorbed and
+    /// padded exactly as [`fused_start`] does.
+    fn small_mac(ks: &[u8; FUSE_CHUNK], aad: &[u8]) -> Poly1305 {
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&ks[..32]);
+        let mut mac = Poly1305::new(&pk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac
+    }
+
     /// One-pass in-place seal: each 256-byte run is encrypted by the
     /// wide keystream path and immediately absorbed by the MAC while
-    /// still hot in cache. Output is bit-identical to [`seal_in_place`].
+    /// still hot in cache. Records at or below [`SMALL_CUTOFF`] take a
+    /// single-run small path instead. Output is bit-identical to
+    /// [`seal_in_place`].
     pub fn seal_fused_in_place(
         &self,
         nonce: &[u8; NONCE_LEN],
         aad: &[u8],
         buf: &mut [u8],
     ) -> [u8; TAG_LEN] {
+        if buf.len() <= SMALL_CUTOFF {
+            let session = ChaCha20::new(&self.key, nonce);
+            let mut ks = [0u8; FUSE_CHUNK];
+            Self::small_keystream(&session, buf.len(), &mut ks);
+            let mut mac = Self::small_mac(&ks, aad);
+            for (b, k) in buf.iter_mut().zip(&ks[BLOCK_LEN..]) {
+                *b ^= k;
+            }
+            mac.update(buf);
+            return Self::fused_finish(mac, aad.len(), buf.len());
+        }
         let (session, mut mac) = self.fused_start(nonce, aad);
         let mut counter = 1u32;
         let aad_len = aad.len();
@@ -159,6 +212,57 @@ impl ChaCha20Poly1305 {
             session.xor_at(counter, chunk);
             counter = counter.wrapping_add(chunk.len().div_ceil(BLOCK_LEN) as u32);
             mac.update(chunk);
+        }
+        Self::fused_finish(mac, aad_len, ct_len)
+    }
+
+    /// One-pass scatter seal: reads `plaintext`, writes ciphertext of the
+    /// same length into `ct`, and returns the detached tag.
+    ///
+    /// The plaintext never touches the output buffer — each byte is
+    /// combined with the keystream on the way in, so only ciphertext is
+    /// ever written there. That makes `ct` safe to point at
+    /// adversary-observable shared memory: the in-slot dataplane seals
+    /// records directly into ring slots with this. Output is bit-identical
+    /// to [`ChaCha20Poly1305::seal_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// If `ct.len() != plaintext.len()`.
+    pub fn seal_fused_scatter(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        ct: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        assert_eq!(plaintext.len(), ct.len(), "scatter seal length mismatch");
+        if plaintext.len() <= SMALL_CUTOFF {
+            let session = ChaCha20::new(&self.key, nonce);
+            let mut ks = [0u8; FUSE_CHUNK];
+            Self::small_keystream(&session, plaintext.len(), &mut ks);
+            let mut mac = Self::small_mac(&ks, aad);
+            for ((c, p), k) in ct.iter_mut().zip(plaintext).zip(&ks[BLOCK_LEN..]) {
+                *c = p ^ k;
+            }
+            mac.update(ct);
+            return Self::fused_finish(mac, aad.len(), ct.len());
+        }
+        let (session, mut mac) = self.fused_start(nonce, aad);
+        let mut counter = 1u32;
+        let aad_len = aad.len();
+        let ct_len = ct.len();
+        let mut ks = [0u8; FUSE_CHUNK];
+        for (pt_chunk, ct_chunk) in plaintext.chunks(FUSE_CHUNK).zip(ct.chunks_mut(FUSE_CHUNK)) {
+            let n = pt_chunk.len();
+            // XOR over zeros yields the raw keystream for this chunk.
+            ks[..n].fill(0);
+            session.xor_at(counter, &mut ks[..n]);
+            counter = counter.wrapping_add(n.div_ceil(BLOCK_LEN) as u32);
+            for ((c, p), k) in ct_chunk.iter_mut().zip(pt_chunk).zip(&ks[..n]) {
+                *c = p ^ k;
+            }
+            mac.update(ct_chunk);
         }
         Self::fused_finish(mac, aad_len, ct_len)
     }
@@ -177,6 +281,25 @@ impl ChaCha20Poly1305 {
         buf: &mut [u8],
         tag: &[u8; TAG_LEN],
     ) -> Result<(), CryptoError> {
+        if buf.len() <= SMALL_CUTOFF {
+            let session = ChaCha20::new(&self.key, nonce);
+            let mut ks = [0u8; FUSE_CHUNK];
+            Self::small_keystream(&session, buf.len(), &mut ks);
+            let mut mac = Self::small_mac(&ks, aad);
+            mac.update(buf);
+            for (b, k) in buf.iter_mut().zip(&ks[BLOCK_LEN..]) {
+                *b ^= k;
+            }
+            let expected = Self::fused_finish(mac, aad.len(), buf.len());
+            if !ct_eq(&expected, tag) {
+                // XOR with the same keystream restores the ciphertext.
+                for (b, k) in buf.iter_mut().zip(&ks[BLOCK_LEN..]) {
+                    *b ^= k;
+                }
+                return Err(CryptoError::BadTag);
+            }
+            return Ok(());
+        }
         let (session, mut mac) = self.fused_start(nonce, aad);
         let mut counter = 1u32;
         let aad_len = aad.len();
@@ -370,6 +493,64 @@ mod tests {
             .open_in_place(&nonce, b"hdr", &mut buf2, &bad_tag)
             .is_err());
         assert_eq!(&buf2[..], &sealed[..msg.len()]);
+    }
+
+    // The fused path (small-record single-run path included) must be
+    // bit-identical to the two-pass reference at every size around the
+    // dispatch thresholds, and a failed fused open must restore the
+    // ciphertext on both sides of the cutoff.
+    #[test]
+    fn fused_matches_two_pass_across_cutoff() {
+        let aead = ChaCha20Poly1305::new([0x21u8; 32]);
+        let nonce = [6u8; 12];
+        let aad = b"hdr";
+        for len in [
+            0usize,
+            1,
+            15,
+            63,
+            64,
+            65,
+            255,
+            256,
+            SMALL_CUTOFF - 1,
+            SMALL_CUTOFF,
+            SMALL_CUTOFF + 1,
+            FUSE_CHUNK,
+            FUSE_CHUNK + 1,
+            1024,
+            4096,
+        ] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 11) as u8).collect();
+
+            let mut reference = msg.clone();
+            let ref_tag = aead.seal_in_place(&nonce, aad, &mut reference);
+            let mut fused = msg.clone();
+            let fused_tag = aead.seal_fused_in_place(&nonce, aad, &mut fused);
+            assert_eq!(fused, reference, "ciphertext len {len}");
+            assert_eq!(fused_tag, ref_tag, "tag len {len}");
+
+            // Scatter seal: same bytes, and the output buffer (poisoned
+            // beforehand) never holds plaintext at any observable point.
+            let mut scattered = vec![0xEEu8; len];
+            let scatter_tag = aead.seal_fused_scatter(&nonce, aad, &msg, &mut scattered);
+            assert_eq!(scattered, reference, "scatter ciphertext len {len}");
+            assert_eq!(scatter_tag, ref_tag, "scatter tag len {len}");
+
+            aead.open_fused_in_place(&nonce, aad, &mut fused, &fused_tag)
+                .expect("round trip");
+            assert_eq!(fused, msg, "plaintext len {len}");
+
+            // Failed open leaves the ciphertext intact.
+            let mut tampered = reference.clone();
+            let bad_tag = [0xFFu8; TAG_LEN];
+            assert_eq!(
+                aead.open_fused_in_place(&nonce, aad, &mut tampered, &bad_tag),
+                Err(CryptoError::BadTag),
+                "len {len}"
+            );
+            assert_eq!(tampered, reference, "rollback len {len}");
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod handshake;
 pub mod record;
 
 pub use handshake::{ClientHandshake, ServerHandshake, ServerIdentity};
-pub use record::{Channel, RecordScratch};
+pub use record::{Channel, RecordScratch, RECORD_OVERHEAD};
 
 use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
 

@@ -139,6 +139,28 @@ impl Direction {
         self.seq += 1;
     }
 
+    /// Seals one record directly into `slot` (the in-slot zero-copy
+    /// path): header at `[0..4]`, ciphertext at `[4..4+n]`, tag after —
+    /// scatter-gather segments laid out in place. The plaintext is
+    /// combined with the keystream on the way in, so it never touches the
+    /// slot; the slot may live in host-observable shared memory. Returns
+    /// the record length. Byte-identical to [`Direction::seal_into`].
+    fn seal_into_slot(&mut self, plaintext: &[u8], slot: &mut [u8]) -> Result<usize, CtlsError> {
+        let record_len = 4 + plaintext.len() + TAG_LEN;
+        if slot.len() < record_len {
+            return Err(CtlsError::Crypto(CryptoError::BadLength));
+        }
+        self.maybe_rekey();
+        let aad = self.seq.to_be_bytes();
+        let nonce = Self::nonce(self.seq);
+        slot[..4].copy_from_slice(&((plaintext.len() + TAG_LEN) as u32).to_le_bytes());
+        let (ct, rest) = slot[4..].split_at_mut(plaintext.len());
+        let tag = self.aead.seal_fused_scatter(&nonce, &aad, plaintext, ct);
+        rest[..TAG_LEN].copy_from_slice(&tag);
+        self.seq += 1;
+        Ok(record_len)
+    }
+
     /// Verifies and decrypts one record into `out` (cleared first; left
     /// empty on failure).
     fn open_into(&mut self, record: &[u8], out: &mut Vec<u8>) -> Result<(), CtlsError> {
@@ -256,6 +278,47 @@ impl Channel {
         }
         self.tx.seal_into(plaintext, out);
         Ok(())
+    }
+
+    /// Encrypts one application message directly into a transport slot
+    /// (e.g. a reserved cio-ring slot): the `[len][ciphertext][tag]`
+    /// record is laid out in place with the fused AEAD running over the
+    /// slot bytes, and plaintext never touches the slot memory. Returns
+    /// the number of slot bytes written.
+    ///
+    /// Byte-identical output to [`Channel::seal_into`]; a record sealed
+    /// in slot opens with [`Channel::open_into`] and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// [`CtlsError::Crypto`] with `BadLength` if the slot is smaller than
+    /// `plaintext.len()` plus [`RECORD_OVERHEAD`] (the channel state does
+    /// not advance, so the caller can fall back to the staged path).
+    pub fn seal_into_slot(
+        &mut self,
+        plaintext: &[u8],
+        slot: &mut [u8],
+    ) -> Result<usize, CtlsError> {
+        if let Some(h) = &self.hooks {
+            h.charge_aead(plaintext.len());
+        }
+        self.tx.seal_into_slot(plaintext, slot)
+    }
+
+    /// Verifies and decrypts one record fetched in place from transport
+    /// memory (e.g. a ring slot seen through `consume_in_place`): the
+    /// ciphertext is read exactly once from `record` and the plaintext is
+    /// written to the private scratch, never back to the slot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Channel::open`].
+    pub fn open_in_slot(
+        &mut self,
+        record: &[u8],
+        out: &mut RecordScratch,
+    ) -> Result<(), CtlsError> {
+        self.open_into_vec(record, &mut out.buf)
     }
 
     /// Verifies and decrypts one record.
@@ -488,6 +551,45 @@ mod tests {
         // The channel did not advance: the genuine record still opens.
         s.open_into(rec.as_slice(), &mut plain).unwrap();
         assert_eq!(plain.as_slice(), b"target");
+    }
+
+    #[test]
+    fn seal_into_slot_matches_staged_seal() {
+        // The in-slot record must be byte-identical to the staged one,
+        // interoperate with both open paths, and never write plaintext
+        // into the slot (the slot starts poisoned; after sealing it holds
+        // exactly header+ciphertext+tag).
+        let (mut c1, mut s1) = pair();
+        let (mut c2, mut s2) = pair();
+        let mut staged = RecordScratch::new();
+        let mut slot = vec![0xEEu8; 4096 + RECORD_OVERHEAD];
+        let mut plain = RecordScratch::new();
+        for len in [0usize, 1, 64, 447, 448, 449, 1024, 4096] {
+            let msg: Vec<u8> = (0..len).map(|b| (b * 13) as u8).collect();
+            c1.seal_into(&msg, &mut staged).unwrap();
+            let written = c2.seal_into_slot(&msg, &mut slot).unwrap();
+            assert_eq!(written, len + RECORD_OVERHEAD);
+            assert_eq!(&slot[..written], staged.as_slice(), "record len {len}");
+
+            // Staged record opens via the in-slot path and vice versa.
+            s1.open_in_slot(staged.as_slice(), &mut plain).unwrap();
+            assert_eq!(plain.as_slice(), &msg[..], "in-slot open len {len}");
+            s2.open_into(&slot[..written], &mut plain).unwrap();
+            assert_eq!(plain.as_slice(), &msg[..], "staged open len {len}");
+        }
+    }
+
+    #[test]
+    fn seal_into_slot_too_small_does_not_advance() {
+        let (mut c, mut s) = pair();
+        let mut slot = vec![0u8; 10];
+        assert!(matches!(
+            c.seal_into_slot(b"does not fit here", &mut slot),
+            Err(CtlsError::Crypto(_))
+        ));
+        // Sequence did not advance: the staged fallback still lines up.
+        let r = c.seal(b"does not fit here").unwrap();
+        assert_eq!(s.open(&r).unwrap(), b"does not fit here");
     }
 
     #[test]

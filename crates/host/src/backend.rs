@@ -18,7 +18,7 @@
 use crate::fabric::FabricPort;
 use crate::observe::{bits, Recorder};
 use crate::HostError;
-use cio_mem::HostView;
+use cio_mem::{CopyPolicy, HostView};
 use cio_netstack::{rss, NetDevice};
 use cio_sim::{Clock, Stage, Telemetry};
 use cio_vring::cioring::{Consumer, MultiQueue, Producer};
@@ -303,6 +303,13 @@ pub struct CioNetBackend {
     /// When set, frames are treated as opaque blobs (tunnel carrier): the
     /// recorder only sees length and timing, never headers.
     pub opaque: bool,
+    /// Data-positioning discipline for ring servicing. Under the default
+    /// [`CopyPolicy::InPlace`], guest->net records are consumed straight
+    /// out of slot memory and net->guest frames are placed with a single
+    /// positioning write; [`CopyPolicy::CopyEarly`] forces the staged
+    /// copy path (the defensive arm for adversarial double-fetch
+    /// configurations).
+    policy: CopyPolicy,
     /// Reusable scratch for batched consumes (buffers come from the
     /// serviced queue's own pool).
     scratch: Vec<Vec<u8>>,
@@ -339,9 +346,20 @@ impl CioNetBackend {
             recorder,
             clock,
             opaque: false,
+            policy: CopyPolicy::default(),
             scratch: Vec::new(),
             telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Sets the data-positioning discipline for ring servicing.
+    pub fn set_copy_policy(&mut self, policy: CopyPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active data-positioning discipline.
+    pub fn copy_policy(&self) -> CopyPolicy {
+        self.policy
     }
 
     /// Arms telemetry: queue servicing is recorded as
@@ -434,37 +452,67 @@ impl Backend for CioNetBackend {
         let mut moved = 0;
         let lane = self.queues.lane_mut(q);
 
-        // Guest -> network: batched consume, one shared-index read per
-        // TX_BATCH frames, buffers reused from the queue's pool.
-        self.scratch.clear();
-        while self.scratch.len() < TX_BATCH {
-            self.scratch.push(lane.pool.get());
-        }
-        loop {
-            let n = lane.end.tx.consume_batch(&mut self.scratch)?;
-            if n > 0 {
-                self.telemetry.record_batch(q, n as u64);
-            }
-            for frame in &self.scratch[..n] {
-                self.recorder.record(self.clock.now(), "frame.tx", fbits);
-                lane.note_frame(frame.len());
-                let _ = self.port.transmit(frame);
+        // Guest -> network: under the in-place policy each record is read
+        // straight out of slot memory and handed to the fabric — no
+        // staging copy ever happens on the host side. Otherwise the
+        // batched staged path: one shared-index read per TX_BATCH frames,
+        // buffers reused from the queue's pool.
+        if self.policy.allows_in_place() {
+            let port = &mut self.port;
+            let recorder = &self.recorder;
+            let clock = &self.clock;
+            let mut sent = 0u64;
+            while let Some(len) = lane.end.tx.consume_in_place(|frame| {
+                recorder.record(clock.now(), "frame.tx", fbits);
+                let _ = port.transmit(frame);
+                frame.len()
+            })? {
+                lane.note_frame(len);
                 moved += 1;
+                sent += 1;
             }
-            if n < TX_BATCH {
-                break;
+            if sent > 0 {
+                self.telemetry.record_batch(q, sent);
             }
-        }
-        for buf in self.scratch.drain(..) {
-            lane.pool.put(buf);
+        } else {
+            self.scratch.clear();
+            while self.scratch.len() < TX_BATCH {
+                self.scratch.push(lane.pool.get());
+            }
+            loop {
+                let n = lane.end.tx.consume_batch(&mut self.scratch)?;
+                if n > 0 {
+                    self.telemetry.record_batch(q, n as u64);
+                }
+                for frame in &self.scratch[..n] {
+                    self.recorder.record(self.clock.now(), "frame.tx", fbits);
+                    lane.note_frame(frame.len());
+                    let _ = self.port.transmit(frame);
+                    moved += 1;
+                }
+                if n < TX_BATCH {
+                    break;
+                }
+            }
+            for buf in self.scratch.drain(..) {
+                lane.pool.put(buf);
+            }
         }
 
         // Network -> guest: stage every deliverable frame, then one index
-        // publish (and at most one kick) for the whole batch.
+        // publish (and at most one kick) for the whole batch. Under the
+        // in-place policy the single write into the slot IS the data
+        // positioning, so it is not metered as a copy.
+        let zc = self.policy.allows_in_place() && lane.end.rx.zero_copy_capable();
         let mut staged = 0;
         while let Some(frame) = lane.end.pending.pop_front() {
             self.recorder.record(self.clock.now(), "frame.rx", fbits);
-            match lane.end.rx.stage(&frame) {
+            let res = if zc {
+                lane.end.rx.stage_zero_copy(&frame)
+            } else {
+                lane.end.rx.stage(&frame)
+            };
+            match res {
                 Ok(()) => {
                     lane.note_frame(frame.len());
                     lane.pool.put(frame);
@@ -653,6 +701,46 @@ mod tests {
 
         assert_eq!(recorder.summary().events, 2);
         assert_eq!(backend.queue_meter(0).copies, 2);
+    }
+
+    #[test]
+    fn cio_backend_in_place_policy_avoids_staging_copies() {
+        let clock = Clock::new();
+        let meter = Meter::new();
+        let mem = GuestMemory::new(600, clock.clone(), CostModel::default(), meter.clone());
+        let (tx_ring, rx_ring) = cio_ring_pair(&mem, 0, 16);
+
+        let mut guest_tx = Producer::new(tx_ring.clone(), mem.guest()).unwrap();
+        let host_tx = Consumer::new(tx_ring, mem.host()).unwrap();
+        let host_rx = Producer::new(rx_ring.clone(), mem.host()).unwrap();
+        let mut guest_rx = Consumer::new(rx_ring, mem.guest()).unwrap();
+
+        let (dev_port, mut peer_port) = fabric_pair(&clock);
+        let mut backend = CioNetBackend::single(host_tx, host_rx, dev_port, Recorder::new(), clock);
+        assert!(backend.copy_policy().allows_in_place());
+
+        // Guest positions the payload once; the backend reads it in place.
+        guest_tx.produce_zero_copy(b"out with no copies").unwrap();
+        let before = meter.snapshot().copies;
+        backend.process().unwrap();
+        assert_eq!(peer_port.receive().unwrap(), b"out with no copies");
+
+        // Inbound: the backend positions once, the guest reads in place.
+        peer_port.transmit(b"in with no copies!").unwrap();
+        backend.process().unwrap();
+        let got = guest_rx.consume_in_place(|f| f.to_vec()).unwrap().unwrap();
+        assert_eq!(got, b"in with no copies!");
+        assert_eq!(
+            meter.snapshot().copies,
+            before,
+            "steady-state ring servicing performs zero metered copies"
+        );
+
+        // The defensive policy restores the staged-copy discipline.
+        backend.set_copy_policy(CopyPolicy::CopyEarly);
+        peer_port.transmit(b"copied early").unwrap();
+        backend.process().unwrap();
+        assert!(meter.snapshot().copies > before);
     }
 
     #[test]

@@ -21,6 +21,37 @@ pub enum PageState {
     Shared,
 }
 
+/// Data-positioning policy for a trust boundary (§3.2).
+///
+/// The paper frames copies as a first-class design decision: a boundary
+/// either *positions* data directly where the other side will read it, or
+/// it *copies early* into private memory so that nothing the host mutates
+/// afterwards can influence the guest. The in-slot dataplane consults this
+/// policy before sealing or parsing records in shared ring slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CopyPolicy {
+    /// Data may be produced and consumed directly in shared slot memory.
+    /// Safe when every datum is read exactly once (single-fetch) and
+    /// authenticated before use, which is what the hardened ring and the
+    /// fused AEAD guarantee.
+    #[default]
+    InPlace,
+    /// Every payload must be staged through a private buffer before the
+    /// boundary is crossed. This is the SWIOTLB-style "copy always"
+    /// discipline; adversarial double-fetch configurations select it so
+    /// the in-slot fast path falls back to the staged path automatically.
+    CopyEarly,
+}
+
+impl CopyPolicy {
+    /// Whether this policy permits operating on shared slot memory in
+    /// place (no staging copy).
+    #[inline]
+    pub fn allows_in_place(self) -> bool {
+        matches!(self, CopyPolicy::InPlace)
+    }
+}
+
 struct MemInner {
     data: Vec<u8>,
     states: Vec<PageState>,
@@ -189,6 +220,44 @@ impl GuestMemory {
         }
         Ok(())
     }
+
+    /// Runs `f` over the bytes `[addr, addr + len)` in place, with the
+    /// same bounds and page-state checks as a read or write from the given
+    /// side (`host = true` requires every touched page to be shared).
+    ///
+    /// This is the *data positioning* primitive: the closure sees the real
+    /// backing bytes, so a producer can seal a record directly into a ring
+    /// slot and a consumer can parse it where it lies — no staging copy.
+    ///
+    /// The closure runs under the memory lock, so it must not call back
+    /// into this [`GuestMemory`] (doing so would deadlock, exactly like
+    /// touching guest memory from an SMI handler would wedge real
+    /// hardware). Pure computation over the slice — AEAD, header parsing,
+    /// checksums — is the intended use.
+    pub fn with_range<R>(
+        &self,
+        addr: GuestAddr,
+        len: usize,
+        host: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, MemError> {
+        let start = addr.0 as usize;
+        let end = start.checked_add(len).ok_or(MemError::OutOfBounds)?;
+        let mut inner = self.inner.lock().expect("memory lock poisoned");
+        if end > inner.data.len() {
+            return Err(MemError::OutOfBounds);
+        }
+        if host && len > 0 {
+            let first = addr.page_index();
+            let last = (end - 1) / PAGE_SIZE;
+            for s in &inner.states[first..=last] {
+                if *s != PageState::Shared {
+                    return Err(MemError::Protected);
+                }
+            }
+        }
+        Ok(f(&mut inner.data[start..end]))
+    }
 }
 
 /// Uniform access interface over [`GuestView`] and [`HostView`].
@@ -218,6 +287,20 @@ pub trait MemView {
     /// Writes a little-endian `u32`.
     fn write_u32(&self, addr: GuestAddr, v: u32) -> Result<(), MemError> {
         self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Runs `f` directly over `[addr, addr + len)` with this view's
+    /// permission checks (the host side still faults on private pages).
+    ///
+    /// See [`GuestMemory::with_range`] for the locking contract: the
+    /// closure must not touch the memory handle again.
+    fn with_range_mut<R>(
+        &self,
+        addr: GuestAddr,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, MemError> {
+        self.memory().with_range(addr, len, self.is_host(), f)
     }
 }
 
@@ -561,6 +644,53 @@ mod tests {
         let second_fetch = g.read_u32(GuestAddr(0)).unwrap();
         assert_eq!(first_fetch, 100);
         assert_eq!(second_fetch, 4096); // TOCTOU is representable
+    }
+
+    #[test]
+    fn with_range_sees_and_mutates_backing_bytes() {
+        let m = mem(2);
+        m.guest().write(GuestAddr(64), b"abcd").unwrap();
+        let got = m
+            .guest()
+            .with_range_mut(GuestAddr(64), 4, |bytes| {
+                let copy = bytes.to_vec();
+                bytes.copy_from_slice(b"WXYZ");
+                copy
+            })
+            .unwrap();
+        assert_eq!(got, b"abcd");
+        let mut back = [0u8; 4];
+        m.guest().read(GuestAddr(64), &mut back).unwrap();
+        assert_eq!(&back, b"WXYZ");
+    }
+
+    #[test]
+    fn with_range_enforces_host_page_state() {
+        let m = mem(2);
+        assert_eq!(
+            m.host().with_range_mut(GuestAddr(0), 8, |_| ()),
+            Err(MemError::Protected)
+        );
+        m.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        m.host()
+            .with_range_mut(GuestAddr(0), 8, |b| b.fill(7))
+            .unwrap();
+        // Straddling into the private second page still faults.
+        assert_eq!(
+            m.host()
+                .with_range_mut(GuestAddr(PAGE_SIZE as u64 - 4), 8, |_| ()),
+            Err(MemError::Protected)
+        );
+        assert_eq!(
+            m.guest().with_range_mut(GuestAddr(0), usize::MAX, |_| ()),
+            Err(MemError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn copy_policy_defaults_in_place() {
+        assert!(CopyPolicy::default().allows_in_place());
+        assert!(!CopyPolicy::CopyEarly.allows_in_place());
     }
 
     #[test]

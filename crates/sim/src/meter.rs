@@ -73,6 +73,9 @@ meter_fields! {
     bytes_copied,
     /// Bytes that crossed the boundary with zero copies.
     bytes_zero_copy,
+    /// Records published onto cio rings (the denominator for
+    /// copies-per-record: `copies / ring_records`).
+    ring_records,
     /// Pages shared with the host.
     pages_shared,
     /// Pages revoked (un-shared) from the host.

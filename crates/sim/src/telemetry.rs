@@ -31,7 +31,7 @@
 //! costs one branch per call site; components hold one unconditionally
 //! and worlds only arm it when asked.
 
-use crate::{Clock, Cycles};
+use crate::{Clock, Cycles, Meter};
 use std::sync::{Arc, Mutex};
 
 /// Maximum span nesting depth. Deeper spans are counted as overflows and
@@ -266,6 +266,11 @@ struct State {
     residency: Vec<Histogram>,
     rtt: Vec<Histogram>,
     batch: Vec<Histogram>,
+    /// Attached operation meter ([`Telemetry::attach_meter`]): lets the
+    /// exporters derive dataplane copy-discipline gauges
+    /// (`copies_per_record`, `bytes_copied`) from the ring
+    /// producer/consumer counters.
+    meter: Option<Meter>,
 }
 
 impl State {
@@ -281,6 +286,7 @@ impl State {
             residency: vec![Histogram::new(); Stage::COUNT],
             rtt: vec![Histogram::new(); queues],
             batch: vec![Histogram::new(); queues],
+            meter: None,
         }
     }
 
@@ -465,6 +471,17 @@ impl Telemetry {
         }
     }
 
+    /// Attaches the simulation's operation [`Meter`], so the exporters can
+    /// derive copy-discipline gauges (`copies_per_record`, `bytes_copied`,
+    /// `bytes_zero_copy`) from the counters the ring producer/consumer
+    /// charge. A no-op on a disabled handle; without an attached meter the
+    /// exporters simply omit the dataplane section.
+    pub fn attach_meter(&self, meter: &Meter) {
+        if let Some(inner) = &self.inner {
+            inner.lock().meter = Some(meter.clone());
+        }
+    }
+
     /// Records one batch size (frames per servicing batch) for `queue`.
     pub fn record_batch(&self, queue: usize, frames: u64) {
         if let Some(inner) = &self.inner {
@@ -616,6 +633,35 @@ impl Telemetry {
         for (q, h) in s.batch.iter().enumerate() {
             emit_hist(&mut out, "cio_batch_frames", "queue", &q.to_string(), h);
         }
+        if let Some(m) = &s.meter {
+            let snap = m.snapshot();
+            out.push_str(
+                "# HELP cio_ring_records_total Records published onto cio rings.\n\
+                 # TYPE cio_ring_records_total counter\n",
+            );
+            out.push_str(&format!("cio_ring_records_total {}\n", snap.ring_records));
+            out.push_str(
+                "# HELP cio_bytes_copied_total Payload bytes moved by staging copies.\n\
+                 # TYPE cio_bytes_copied_total counter\n",
+            );
+            out.push_str(&format!("cio_bytes_copied_total {}\n", snap.bytes_copied));
+            out.push_str(
+                "# HELP cio_bytes_zero_copy_total Payload bytes positioned without a copy.\n\
+                 # TYPE cio_bytes_zero_copy_total counter\n",
+            );
+            out.push_str(&format!(
+                "cio_bytes_zero_copy_total {}\n",
+                snap.bytes_zero_copy
+            ));
+            out.push_str(
+                "# HELP cio_copies_per_record Staging copies per published ring record.\n\
+                 # TYPE cio_copies_per_record gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_copies_per_record {:.6}\n",
+                copies_per_record(&snap)
+            ));
+        }
         out
     }
 
@@ -695,8 +741,31 @@ impl Telemetry {
                 if q + 1 < s.queues { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if let Some(m) = &s.meter {
+            let snap = m.snapshot();
+            out.push_str(&format!(
+                ",\n  \"dataplane\": {{\"ring_records\": {}, \"copies\": {}, \
+                 \"bytes_copied\": {}, \"bytes_zero_copy\": {}, \
+                 \"copies_per_record\": {:.6}}}",
+                snap.ring_records,
+                snap.copies,
+                snap.bytes_copied,
+                snap.bytes_zero_copy,
+                copies_per_record(&snap)
+            ));
+        }
+        out.push_str("\n}\n");
         out
+    }
+}
+
+/// Staging copies per published ring record (0 before any record moved).
+fn copies_per_record(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.ring_records == 0 {
+        0.0
+    } else {
+        snap.copies as f64 / snap.ring_records as f64
     }
 }
 
@@ -977,6 +1046,45 @@ mod tests {
         assert!(pa.contains("cio_stage_cycles_total{queue=\"0\",stage=\"host.service\"} 100"));
         assert!(pa.contains("cio_rtt_cycles_count{queue=\"0\"} 1"));
         assert!(ja.contains("\"covered_cycles\": 201"));
+    }
+
+    #[test]
+    fn dataplane_gauges_ride_the_attached_meter() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 1);
+        // Without a meter the dataplane section is absent.
+        assert!(!t.prometheus_text().contains("cio_copies_per_record"));
+        assert!(!t.json_snapshot().contains("\"dataplane\""));
+
+        let m = Meter::new();
+        m.ring_records(8);
+        m.copies(2);
+        m.bytes_copied(1024);
+        m.bytes_zero_copy(4096);
+        t.attach_meter(&m);
+
+        let run = || (t.prometheus_text(), t.json_snapshot());
+        let (pa, ja) = run();
+        let (pb, jb) = run();
+        assert_eq!(pa, pb, "prometheus export must be byte-deterministic");
+        assert_eq!(ja, jb, "json export must be byte-deterministic");
+        assert!(pa.contains("cio_ring_records_total 8"));
+        assert!(pa.contains("cio_bytes_copied_total 1024"));
+        assert!(pa.contains("cio_bytes_zero_copy_total 4096"));
+        assert!(pa.contains("cio_copies_per_record 0.250000"));
+        assert!(ja.contains(
+            "\"dataplane\": {\"ring_records\": 8, \"copies\": 2, \
+             \"bytes_copied\": 1024, \"bytes_zero_copy\": 4096, \
+             \"copies_per_record\": 0.250000}"
+        ));
+
+        // A zero-copy steady state reads exactly 0.
+        let zc = Meter::new();
+        zc.ring_records(100);
+        t.attach_meter(&zc);
+        assert!(t
+            .prometheus_text()
+            .contains("cio_copies_per_record 0.000000"));
     }
 
     #[test]

@@ -247,6 +247,35 @@ fn charge_copy<V: MemView>(view: &V, bytes: usize) {
     mem.meter().bytes_copied(bytes as u64);
 }
 
+/// A reserved ring slot awaiting in-place record construction.
+///
+/// Returned by [`Producer::reserve`]; consumed by [`Producer::commit`].
+/// The grant is plain geometry (slot index, payload address, writable
+/// capacity) — it holds no borrow, so the producer stays usable while the
+/// grant is outstanding, and dropping a grant without committing simply
+/// leaves the slot unpublished.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotGrant {
+    masked: u32,
+    addr: GuestAddr,
+    capacity: u32,
+}
+
+impl SlotGrant {
+    /// Writable bytes granted in the slot's payload stride.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Guest address of the writable region (adversary harnesses aim
+    /// here; the dataplane itself goes through [`Producer::with_slot_mut`]).
+    #[inline]
+    pub fn addr(&self) -> GuestAddr {
+        self.addr
+    }
+}
+
 /// The producing endpoint (either side of the trust boundary).
 pub struct Producer<V: MemView> {
     ring: CioRing,
@@ -333,6 +362,30 @@ impl<V: MemView> Producer<V> {
         self.produce_impl_inner(payload, true, false)
     }
 
+    /// Stages a payload with zero-copy placement (the
+    /// [`Producer::produce_zero_copy`] discipline) and deferred
+    /// publication (the [`Producer::stage`] discipline): the single write
+    /// into the slot's payload region is the data positioning itself, not
+    /// a staging copy.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] in inline mode (layout requires the copy);
+    /// otherwise as [`Producer::produce`].
+    pub fn stage_zero_copy(&mut self, payload: &[u8]) -> Result<(), RingError> {
+        if self.ring.cfg.mode == DataMode::Inline {
+            return Err(RingError::Fatal("inline mode requires the slot copy"));
+        }
+        self.produce_impl_inner(payload, false, false)
+    }
+
+    /// Whether this ring layout permits zero-copy placement at all
+    /// (any non-inline mode; inline slots share a cache line with ring
+    /// metadata and demand the copy by layout).
+    pub fn zero_copy_capable(&self) -> bool {
+        self.ring.cfg.mode != DataMode::Inline
+    }
+
     /// Publishes all staged payloads with a single shared-index write.
     ///
     /// # Errors
@@ -409,6 +462,7 @@ impl<V: MemView> Producer<V> {
             }
         }
 
+        self.view.memory().meter().ring_records(1);
         self.next = self.next.wrapping_add(1);
         if publish {
             self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
@@ -446,6 +500,103 @@ impl<V: MemView> Producer<V> {
             self.kick();
         }
         Ok(sent)
+    }
+
+    /// Whether this ring layout supports in-slot record construction
+    /// ([`Producer::reserve`] / [`Producer::commit`]).
+    ///
+    /// Only [`DataMode::SharedArea`] qualifies: the payload region is a
+    /// private-stride area the producer owns until commit, so a record can
+    /// be sealed directly where the consumer will fetch it. Inline slots
+    /// demand the copy by layout (payload shares a cache line with ring
+    /// metadata); the indirect mode's extra descriptor fetch makes staged
+    /// production the honest cost model.
+    pub fn in_slot_capable(&self) -> bool {
+        self.ring.cfg.mode == DataMode::SharedArea
+    }
+
+    /// Reserves the next free slot for in-place record construction.
+    ///
+    /// The grant covers `len` writable bytes of the slot's payload stride.
+    /// Nothing is visible to the consumer until [`Producer::commit`];
+    /// re-reserving before committing simply returns the same slot. Fill
+    /// the bytes with [`Producer::with_slot_mut`], then commit the final
+    /// length. This is the zero-copy arm of the copy policy: the record is
+    /// *positioned* in the interface rather than staged and copied.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] if the layout is not in-slot capable;
+    /// [`RingError::TooLarge`] over the fixed MTU; [`RingError::Full`] when
+    /// no slot is free.
+    pub fn reserve(&mut self, len: usize) -> Result<SlotGrant, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
+        if !self.in_slot_capable() {
+            return Err(RingError::Fatal(
+                "in-slot reservation requires the shared-area layout",
+            ));
+        }
+        if len > self.ring.cfg.mtu as usize {
+            return Err(RingError::TooLarge);
+        }
+        if self.in_flight()? >= self.ring.cfg.slots {
+            return Err(RingError::Full);
+        }
+        let masked = self.next & self.ring.slot_mask();
+        Ok(SlotGrant {
+            masked,
+            addr: self.ring.payload_addr(masked),
+            capacity: len as u32,
+        })
+    }
+
+    /// Runs `f` over the reserved slot's writable bytes in place.
+    ///
+    /// The closure sees the real slot memory (the shared area), so sealing
+    /// a record here positions ciphertext exactly where the consumer will
+    /// read it. The closure runs under the memory lock and must not touch
+    /// guest memory again (see `GuestMemory::with_range`).
+    ///
+    /// # Errors
+    ///
+    /// Memory errors if the slot region is not accessible to this view.
+    pub fn with_slot_mut<R>(
+        &self,
+        grant: &SlotGrant,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, RingError> {
+        Ok(self
+            .view
+            .with_range_mut(grant.addr, grant.capacity as usize, f)?)
+    }
+
+    /// Publishes a reserved slot with its final record length.
+    ///
+    /// Writes the slot's `{offset, len}` metadata, advances the private
+    /// produce counter, and publishes the shared index — the same
+    /// visibility semantics as [`Producer::produce`], minus the copy. The
+    /// payload bytes are metered as zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::TooLarge`] if `len` exceeds the granted capacity;
+    /// memory errors.
+    pub fn commit(&mut self, grant: SlotGrant, len: usize) -> Result<(), RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
+        if len > grant.capacity as usize {
+            return Err(RingError::TooLarge);
+        }
+        let slot = self.ring.slot_addr(grant.masked);
+        let offset = (grant.addr.0 - self.ring.area.0) as u32;
+        self.view.write_u32(slot, offset)?;
+        self.view.write_u32(slot.add(4), len as u32)?;
+        charge_ring_ops(&self.view, 2);
+        self.view.memory().meter().bytes_zero_copy(len as u64);
+        self.view.memory().meter().ring_records(1);
+        self.next = self.next.wrapping_add(1);
+        self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        Ok(())
     }
 
     /// Posts a doorbell (only meaningful in [`NotifyMode::Doorbell`]).
@@ -661,6 +812,44 @@ impl<V: MemView> Consumer<V> {
         charge_copy(&self.view, len);
         self.commit()?;
         Ok(len)
+    }
+
+    /// Consumes one payload *in place*: runs `f` directly over the slot's
+    /// validated payload bytes, then commits the slot. No copy is staged
+    /// or metered — the bytes are counted as zero-copy.
+    ///
+    /// The offset and length are fetched exactly once, masked, and
+    /// clamped by the same `read_slot_meta` discipline as the copying
+    /// path, so the closure can never be handed an out-of-area range. The
+    /// closure receives mutable access because in-place consumers
+    /// transform the record where it lies (the host backend parses it and
+    /// hands it to the port; a trusted-side consumer may decrypt into
+    /// private memory). It runs under the memory lock and must not touch
+    /// guest memory again (see `GuestMemory::with_range`).
+    ///
+    /// The slot is committed whether or not the closure judged the record
+    /// valid — a corrupt record is consumed and dropped, exactly like the
+    /// copying path followed by a failed open.
+    ///
+    /// Returns `None` when the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn consume_in_place<R>(
+        &mut self,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<Option<R>, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
+        if self.available()? == 0 {
+            return Ok(None);
+        }
+        let masked = self.next & self.ring.slot_mask();
+        let (addr, len) = self.read_slot_meta(masked)?;
+        let out = self.view.with_range_mut(addr, len as usize, f)?;
+        self.view.memory().meter().bytes_zero_copy(u64::from(len));
+        self.commit()?;
+        Ok(Some(out))
     }
 
     /// One poll iteration: consume if available, else charge idle-poll.
@@ -1206,6 +1395,107 @@ mod tests {
             p2.produce_zero_copy(b"x"),
             Err(RingError::Fatal(_))
         ));
+    }
+
+    #[test]
+    fn reserve_commit_roundtrips_in_slot() {
+        let (m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        assert!(p.in_slot_capable());
+        let before = m.meter().snapshot();
+        let grant = p.reserve(64).unwrap();
+        assert_eq!(grant.capacity(), 64);
+        // Invisible until commit.
+        assert_eq!(c.consume().unwrap(), None);
+        p.with_slot_mut(&grant, |slot| {
+            slot[..5].copy_from_slice(b"hello");
+        })
+        .unwrap();
+        p.commit(grant, 5).unwrap();
+        assert_eq!(c.consume().unwrap().unwrap(), b"hello");
+        let d = m.meter().snapshot().delta(&before);
+        assert_eq!(d.copies, 1, "only the consumer's copy remains");
+        assert_eq!(d.bytes_zero_copy, 5);
+    }
+
+    #[test]
+    fn reserve_matches_produce_error_semantics() {
+        let (_m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        assert!(matches!(p.reserve(1025), Err(RingError::TooLarge)));
+        for _ in 0..8 {
+            let g = p.reserve(4).unwrap();
+            p.commit(g, 4).unwrap();
+        }
+        assert!(matches!(p.reserve(4), Err(RingError::Full)));
+        // Committing more than granted is refused.
+        let (_m2, mut p2, _c2) = tx_pair(small_cfg(DataMode::SharedArea));
+        let g = p2.reserve(8).unwrap();
+        assert!(matches!(p2.commit(g, 9), Err(RingError::TooLarge)));
+        // Non-shared-area layouts are not in-slot capable.
+        for mode in [DataMode::Inline, DataMode::Indirect] {
+            let (_m3, mut p3, _c3) = tx_pair(small_cfg(mode));
+            assert!(!p3.in_slot_capable());
+            assert!(matches!(p3.reserve(4), Err(RingError::Fatal(_))));
+        }
+    }
+
+    #[test]
+    fn consume_in_place_sees_slot_bytes_without_copy() {
+        for mode in [DataMode::Inline, DataMode::SharedArea, DataMode::Indirect] {
+            let (m, mut p, mut c) = tx_pair(small_cfg(mode));
+            p.produce_batch([&b"first"[..], &b"second!"[..]]).unwrap();
+            let before = m.meter().snapshot();
+            let got = c
+                .consume_in_place(|bytes| bytes.to_vec())
+                .unwrap()
+                .expect("payload");
+            assert_eq!(got, b"first", "mode {mode:?}");
+            let got = c
+                .consume_in_place(|bytes| bytes.to_vec())
+                .unwrap()
+                .expect("payload");
+            assert_eq!(got, b"second!", "mode {mode:?}");
+            assert_eq!(c.consume_in_place(|b| b.len()).unwrap(), None);
+            let d = m.meter().snapshot().delta(&before);
+            assert_eq!(d.copies, 0, "mode {mode:?}");
+            assert_eq!(d.bytes_zero_copy, 12, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn consume_in_place_clamps_hostile_meta() {
+        let (m, mut p, mut c) = rx_pair(small_cfg(DataMode::SharedArea));
+        p.produce(b"legit").unwrap();
+        let ring = c.ring().clone();
+        let slot0 = ring.slot_addr(0);
+        m.host().write_u32(slot0, 0xFFFF_FFF0).unwrap();
+        m.host().write_u32(slot0.add(4), 0xFFFF_FFFF).unwrap();
+        let seen = c
+            .consume_in_place(|bytes| bytes.len())
+            .unwrap()
+            .expect("clamped payload");
+        assert!(seen <= ring.config().stride() as usize);
+    }
+
+    #[test]
+    fn in_slot_path_bytes_identical_to_staged() {
+        // The staged and in-slot producers must put byte-identical data on
+        // the wire for the same inputs.
+        let (_m1, mut p1, mut c1) = tx_pair(small_cfg(DataMode::SharedArea));
+        let (_m2, mut p2, mut c2) = tx_pair(small_cfg(DataMode::SharedArea));
+        for len in [0usize, 1, 16, 100, 1024] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            p1.produce(&payload).unwrap();
+            let g = p2.reserve(len).unwrap();
+            p2.with_slot_mut(&g, |slot| slot.copy_from_slice(&payload))
+                .unwrap();
+            p2.commit(g, len).unwrap();
+            let staged = c1.consume().unwrap().unwrap();
+            let in_slot = c2
+                .consume_in_place(|bytes| bytes.to_vec())
+                .unwrap()
+                .unwrap();
+            assert_eq!(staged, in_slot, "len {len}");
+        }
     }
 
     // --- Adversarial safety: the §3.2 masking guarantees. ---

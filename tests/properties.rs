@@ -84,6 +84,81 @@ fn ring_consumer_is_total_under_host_corruption() {
     }
 }
 
+/// Seal-in-slot is byte-identical to the staged path: for every payload
+/// size and every data-positioning mode, the record a consumer sees is
+/// exactly the record the staged `seal_into` would have produced, and it
+/// opens back to the payload. Modes whose layout cannot host in-place
+/// sealing (inline, indirect) exercise the automatic staged fallback.
+#[test]
+fn seal_in_slot_byte_identical_to_staged_across_modes() {
+    use cio_ctls::{Channel, RecordScratch, RECORD_OVERHEAD};
+
+    let mut rng = SimRng::seed_from(0x5ea1);
+    for mode in [DataMode::SharedArea, DataMode::Inline, DataMode::Indirect] {
+        let mem = GuestMemory::new(400, Clock::new(), CostModel::default(), Meter::new());
+        let inline = mode == DataMode::Inline;
+        let cfg = RingConfig {
+            slots: 2,
+            slot_size: if inline { 2048 } else { 16 },
+            mode,
+            mtu: if inline { 1514 } else { 1 << 17 },
+            area_size: 1 << 18,
+            ..RingConfig::default()
+        };
+        let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(96 * PAGE_SIZE as u64)).unwrap();
+        mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
+        if ring.area_bytes() > 0 {
+            mem.share_range(GuestAddr(96 * PAGE_SIZE as u64), ring.area_bytes())
+                .unwrap();
+        }
+        let mut p = Producer::new(ring.clone(), mem.guest()).unwrap();
+        let mut c = Consumer::new(ring, mem.host()).unwrap();
+
+        // Two channels with identical secrets: one seals staged (the
+        // reference), the twin seals in slot (or falls back staged when
+        // the layout demands it). An opener checks the roundtrip.
+        let mut reference = Channel::from_secrets([9; 32], [8; 32], true, None);
+        let mut twin = Channel::from_secrets([9; 32], [8; 32], true, None);
+        let mut opener = Channel::from_secrets([9; 32], [8; 32], false, None);
+        let mut ref_rec = RecordScratch::new();
+        let mut fallback_rec = RecordScratch::new();
+
+        let full_range: &[usize] = &[0, 1, 64, 447, 448, 449, 1024, 4096, 16384, 65536];
+        let frame_range: &[usize] = &[0, 1, 64, 447, 448, 449, 1024, 1400];
+        let sizes = if mode == DataMode::SharedArea {
+            full_range
+        } else {
+            frame_range
+        };
+        for &size in sizes {
+            let mut payload = vec![0u8; size];
+            rng.fill_bytes(&mut payload);
+            reference.seal_into(&payload, &mut ref_rec).unwrap();
+
+            if p.in_slot_capable() {
+                let grant = p.reserve(size + RECORD_OVERHEAD).unwrap();
+                let sealed = p
+                    .with_slot_mut(&grant, |slot| twin.seal_into_slot(&payload, slot))
+                    .unwrap()
+                    .unwrap();
+                p.commit(grant, sealed).unwrap();
+            } else {
+                twin.seal_into(&payload, &mut fallback_rec).unwrap();
+                p.produce(fallback_rec.as_slice()).unwrap();
+            }
+
+            let seen = c
+                .consume_in_place(|rec| rec.to_vec())
+                .unwrap()
+                .expect("one record available");
+            assert_eq!(seen, ref_rec.as_slice(), "{mode:?} size {size}");
+            let mut plain = RecordScratch::new();
+            opener.open_in_slot(&seen, &mut plain).unwrap();
+            assert_eq!(plain.as_slice(), payload, "{mode:?} size {size}");
+        }
+    }
+}
+
 /// AEAD: any bit flip anywhere in any sealed message is rejected.
 #[test]
 fn aead_rejects_every_single_bitflip() {

@@ -140,6 +140,45 @@ fn wrong_measurement_peer_is_rejected() {
     assert!(r.is_err());
 }
 
+/// The seal-in-slot dataplane changes where bytes live, not what the
+/// adversary can do: every ring-targeted attack (index jumps, slot
+/// forgery with hostile offset/length pairs, notification storms) ends
+/// with the same outcome whether records are positioned in place or
+/// through the staged copy path, and the in-slot consume keeps the
+/// double-fetch window closed.
+#[test]
+fn attack_outcomes_unchanged_under_in_slot_dataplane() {
+    use cio::attacks::{payload_toctou_in_slot, run_scenario_with_policy};
+    use cio_mem::CopyPolicy;
+
+    for b in [
+        BoundaryKind::L2CioRing,
+        BoundaryKind::DualBoundary,
+        BoundaryKind::Tunneled,
+    ] {
+        for a in [
+            AttackKind::IndexJump,
+            AttackKind::SlotForgery,
+            AttackKind::NotificationStorm,
+        ] {
+            let in_place = run_scenario_with_policy(b, a, CopyPolicy::InPlace).unwrap();
+            let staged = run_scenario_with_policy(b, a, CopyPolicy::CopyEarly).unwrap();
+            assert_eq!(
+                in_place.outcome, staged.outcome,
+                "{b} vs {a}: in-place and staged outcomes diverged"
+            );
+            assert_eq!(
+                in_place.workload_survived, staged.workload_survived,
+                "{b} vs {a}: survival diverged"
+            );
+            assert_ne!(in_place.outcome, Outcome::Undetected, "{b} vs {a}");
+        }
+    }
+    // Host flips the slot after the in-place consume: single fetch under
+    // the memory lock leaves nothing to re-fetch.
+    assert_eq!(payload_toctou_in_slot().unwrap(), Outcome::Prevented);
+}
+
 /// E10 regression pins: the matrix outcomes the docs quote.
 #[test]
 fn attack_matrix_pinned_outcomes() {

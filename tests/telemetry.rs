@@ -137,18 +137,29 @@ fn prometheus_text_round_trips_through_a_parser() {
     assert!(!text.is_empty());
 
     // Grammar: every line is HELP, TYPE, or a well-formed sample whose
-    // value is a base-10 integer (the exporter only emits integers).
+    // value is a base-10 integer — except gauges, which are emitted with
+    // a fixed six-decimal fraction so the export stays byte-stable.
     let mut types: HashMap<String, String> = HashMap::new();
     for line in text.lines().filter(|l| !l.is_empty()) {
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut it = rest.split(' ');
             let name = it.next().expect("TYPE names a metric");
             let ty = it.next().expect("TYPE has a kind");
-            assert!(ty == "counter" || ty == "histogram", "unknown type {ty}");
+            assert!(
+                ty == "counter" || ty == "histogram" || ty == "gauge",
+                "unknown type {ty}"
+            );
             types.insert(name.to_string(), ty.to_string());
         } else if !line.starts_with("# HELP") {
-            let (_, _, value) = parse_sample(line);
-            value.parse::<u64>().expect("integer sample value");
+            let (name, _, value) = parse_sample(line);
+            if types.get(&name).is_some_and(|t| t == "gauge") {
+                let (int, frac) = value.split_once('.').expect("fixed-point gauge");
+                int.parse::<u64>().expect("gauge integer part");
+                assert_eq!(frac.len(), 6, "gauge fraction is six digits: {value}");
+                frac.parse::<u64>().expect("gauge fractional part");
+            } else {
+                value.parse::<u64>().expect("integer sample value");
+            }
         }
     }
 
@@ -219,10 +230,15 @@ fn prometheus_text_round_trips_through_a_parser() {
 #[test]
 fn counters_are_monotone_across_exports() {
     let w = run_world();
-    let before: HashMap<_, _> = samples_of(&w.telemetry().prometheus_text())
-        .into_iter()
-        .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
-        .collect();
+    // The copies-per-record gauge is a ratio, not a counter — exempt.
+    let counters = |text: &str| -> HashMap<(String, String), u64> {
+        samples_of(text)
+            .into_iter()
+            .filter(|(n, _, _)| n != "cio_copies_per_record")
+            .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
+            .collect()
+    };
+    let before = counters(&w.telemetry().prometheus_text());
     // More activity between two scrapes of the same domain: every sample
     // (counters, sums, cumulative buckets) may only grow.
     for q in 0..QUEUES {
@@ -230,10 +246,7 @@ fn counters_are_monotone_across_exports() {
         w.telemetry().record_batch(q, 3);
     }
     w.telemetry().attribute(0, Stage::Idle, cio_sim::Cycles(17));
-    for ((name, labels), after) in samples_of(&w.telemetry().prometheus_text())
-        .into_iter()
-        .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
-    {
+    for ((name, labels), after) in counters(&w.telemetry().prometheus_text()) {
         let prev = before
             .get(&(name.clone(), labels.clone()))
             .copied()
