@@ -16,7 +16,15 @@
 //!    steady state performs zero staging copies per record.
 //! 4. `multiqueue` — wall-clock cost of simulating the full multi-queue
 //!    world (8 RSS-steered flows through 1 vs 4 cio queues), alongside
-//!    the virtual-time speedup the lane scheduler reports.
+//!    the virtual-time speedup the lane scheduler reports. This is a
+//!    deliberately small smoke workload (8 flows x 8 KiB): its speedup is
+//!    lower than E16's headline, which runs 32 flows x 128 KiB and has
+//!    enough in-flight chunks to keep all four lanes busy. The JSON
+//!    labels the workload so the two numbers are never conflated.
+//! 5. `batch` — the amortized-boundary dataplane: records pushed through
+//!    the ring in runs of 8 (one lock, one index publish, one doorbell,
+//!    one batched AEAD pass per run) vs the per-record path, reporting
+//!    locks/record, records/commit, and virtual cycles/record.
 //!
 //! `--quick` shrinks the timing windows for CI smoke runs.
 
@@ -154,6 +162,93 @@ fn bench_record_ring(target_ms: u64, payload_len: usize) -> (Measurement, u64, M
     (m, sim_cycles, meter)
 }
 
+/// The batched dataplane: `batch` records per run through reserve-batch /
+/// seal-batch / commit-batch / consume-batch / open-batch (batch 1 runs
+/// the exact per-record path). Returns the wall measurement, virtual
+/// cycles, and the meter for lock/commit ratios.
+fn bench_batch_ring(target_ms: u64, payload_len: usize, batch: usize) -> (Measurement, u64, Meter) {
+    use cio_vring::cioring::MAX_BATCH;
+    assert!(batch >= 1 && batch <= MAX_BATCH);
+    let clock = Clock::new();
+    let cost = CostModel::default();
+    let meter = Meter::new();
+    let cfg = RingConfig {
+        slots: 32,
+        mtu: 2048,
+        mode: DataMode::SharedArea,
+        area_size: 32 * 2048,
+        ..RingConfig::default()
+    };
+    let area_pages = cfg.area_size as usize / PAGE_SIZE;
+    let mem = GuestMemory::new(32 + area_pages, clock.clone(), cost.clone(), meter.clone());
+    let ring =
+        CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).expect("ring config");
+    mem.share_range(GuestAddr(0), ring.ring_bytes())
+        .expect("share ring");
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
+        .expect("share area");
+    let mut producer = Producer::new(ring.clone(), mem.guest()).expect("producer");
+    let mut consumer = Consumer::new(ring, mem.host()).expect("consumer");
+
+    let hooks = SimHooks {
+        clock: clock.clone(),
+        cost,
+        meter: meter.clone(),
+        telemetry: cio_sim::Telemetry::disabled(),
+    };
+    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, Some(hooks.clone()));
+    let mut host = Channel::from_secrets([3; 32], [4; 32], false, Some(hooks));
+
+    let payload = vec![0x42u8; payload_len];
+    let record_len = payload_len + RECORD_OVERHEAD;
+    let mut outs: Vec<RecordScratch> = std::iter::repeat_with(RecordScratch::new)
+        .take(batch)
+        .collect();
+    let t0 = clock.now();
+    let m = measure(target_ms, (batch * payload_len) as u64, || {
+        if batch == 1 {
+            let grant = producer.reserve(record_len).expect("slot reservation");
+            let n = producer
+                .with_slot_mut(&grant, |slot| guest.seal_into_slot(&payload, slot))
+                .expect("slot access")
+                .expect("seal in slot");
+            producer.commit(grant, n).expect("commit");
+            producer.kick();
+            let ok = consumer
+                .consume_in_place(|record| host.open_in_slot(record, &mut outs[0]).is_ok())
+                .expect("consume")
+                .expect("record available");
+            assert!(ok, "open failed");
+        } else {
+            let grant = producer
+                .reserve_batch(record_len, batch)
+                .expect("batch reservation");
+            let pts: Vec<&[u8]> = vec![&payload; batch];
+            let mut lens = vec![0usize; batch];
+            producer
+                .with_batch_mut(&grant, |slots| {
+                    guest.seal_batch_into_slots(&pts, slots, &mut lens)
+                })
+                .expect("batch access")
+                .expect("batch seal");
+            producer.commit_batch(grant, &lens).expect("batch commit");
+            producer.kick();
+            let mut results = vec![Ok(()); batch];
+            let consumed = consumer
+                .consume_batch_in_place(batch, |slots| {
+                    let recs: Vec<&[u8]> = slots.iter().map(|s| &**s).collect();
+                    host.open_batch_in_slots(&recs, &mut outs, &mut results);
+                })
+                .expect("batch consume");
+            assert_eq!(consumed, batch);
+            assert!(results.iter().all(Result::is_ok), "batched open failed");
+        }
+        black_box(outs[0].as_slice());
+    });
+    let sim_cycles = clock.since(t0).get();
+    (m, sim_cycles, meter)
+}
+
 /// Wall-clock cost of the whole multi-queue world: world build + 8 flows
 /// moving `MQ_PER_FLOW` bytes each. Returns the measurement plus the
 /// virtual cycles one run consumed.
@@ -244,11 +339,30 @@ fn main() {
     let vt_speedup = mq1_cycles as f64 / mq4_cycles.max(1) as f64;
     println!();
     println!(
-        "multi-queue world wall cost (8 flows x 8 KiB, 4 KiB chunks): \
-         1q {:.1} ms/run, 4q {:.1} ms/run; virtual-time speedup {:.2}x",
+        "multi-queue world wall cost (smoke workload: 8 flows x 8 KiB, 4 KiB chunks): \
+         1q {:.1} ms/run, 4q {:.1} ms/run; virtual-time speedup {:.2}x \
+         (E16's headline runs 32 flows x 128 KiB and scales higher)",
         mq1.ns_per_iter() / 1e6,
         mq4.ns_per_iter() / 1e6,
         vt_speedup
+    );
+
+    let (b1, b1_cycles, _) = bench_batch_ring(target_ms, 1024, 1);
+    let (b8, b8_cycles, b8_meter) = bench_batch_ring(target_ms, 1024, 8);
+    let b1_cpr = b1_cycles as f64 / b1.iters as f64;
+    let b8_cpr = b8_cycles as f64 / (b8.iters * 8) as f64;
+    let b8_snap = b8_meter.snapshot();
+    let locks_per_record = b8_snap.lock_acquisitions as f64 / b8_snap.ring_records.max(1) as f64;
+    let records_per_commit = b8_snap.ring_records as f64 / b8_snap.ring_commits.max(1) as f64;
+    println!();
+    println!(
+        "batched dataplane (1 KiB payloads): batch 1 {:.0} cyc/record, batch 8 \
+         {:.0} cyc/record ({:.2}x); {:.2} locks/record, {:.2} records/commit",
+        b1_cpr,
+        b8_cpr,
+        b1_cpr / b8_cpr,
+        locks_per_record,
+        records_per_commit
     );
 
     let verdict_met = key_ratio >= 1.5;
@@ -291,6 +405,12 @@ fn main() {
         .raw(
             "multiqueue",
             JsonObj::new()
+                .str("workload", "smoke_8flows_8KiB")
+                .str(
+                    "note",
+                    "small smoke sweep; E16 (exp_multiqueue) is the headline \
+                     scaling number at 32 flows x 128 KiB",
+                )
                 .int("flows", 8)
                 .int("per_flow_bytes", 8 * 1024)
                 .f64("wall_ms_per_run_1q", mq1.ns_per_iter() / 1e6)
@@ -298,6 +418,18 @@ fn main() {
                 .int("sim_cycles_1q", mq1_cycles)
                 .int("sim_cycles_4q", mq4_cycles)
                 .f64("virtual_speedup_4q", vt_speedup)
+                .finish(),
+        )
+        .raw(
+            "batch",
+            JsonObj::new()
+                .int("payload", 1024)
+                .int("batch", 8)
+                .f64("sim_cycles_per_record_batch1", b1_cpr)
+                .f64("sim_cycles_per_record_batch8", b8_cpr)
+                .f64("speedup", b1_cpr / b8_cpr)
+                .f64("locks_per_record", locks_per_record)
+                .f64("records_per_commit", records_per_commit)
                 .finish(),
         )
         .f64("ratio_4k", key_ratio)

@@ -1,0 +1,250 @@
+//! E19 — batched amortized-boundary dataplane (§3.2): cycles per record,
+//! lock acquisitions per record, and records per index publish for the
+//! per-record path (batch 1) vs multi-record commit/consume with
+//! shared-keystream AEAD batching, swept over batch size x payload size.
+//!
+//! Batch 1 runs the exact serial path (reserve/seal-in-slot/commit per
+//! record, consume-in-place/open per record) so the baseline is the
+//! pre-batching dataplane, not a degenerate batch. Batched rows reserve a
+//! run of slots under one lock, seal with ChaCha20 lanes packed across
+//! record boundaries, publish one producer index, ring one doorbell, and
+//! drain the run with one consumer lock and one batched open.
+//!
+//! The CI bar: batch 8 at 1 KiB must be at least 1.25x cheaper per record
+//! than batch 1 — the binary exits non-zero otherwise. `--quick` shrinks
+//! the sweep for smoke runs.
+
+use cio::world::{BatchPolicy, BoundaryKind, WorldOptions};
+use cio_bench::{bench_opts, echo_latency, fmt_cycles, print_table};
+use cio_ctls::{Channel, RecordScratch, SimHooks, RECORD_OVERHEAD};
+use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+use cio_sim::{Clock, CostModel, Cycles, Meter, MeterSnapshot};
+use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig, MAX_BATCH};
+
+struct Row {
+    size: usize,
+    batch: usize,
+    cycles_per_rec: u64,
+    gbps: f64,
+    locks_per_rec: f64,
+    recs_per_commit: f64,
+}
+
+/// Pushes `records` sealed records of `size` bytes through the ring in
+/// runs of `batch` and returns the virtual-time cost and meter ratios.
+fn run_batched(size: usize, batch: usize, records: u32) -> Row {
+    assert!(batch <= MAX_BATCH && records as usize % batch == 0);
+    let clock = Clock::new();
+    let cost = CostModel::default();
+    let meter = Meter::new();
+    let cfg = RingConfig {
+        slots: 32,
+        mtu: 32 * 1024,
+        mode: DataMode::SharedArea,
+        area_size: 1 << 20, // 32 KiB stride at 32 slots
+        ..RingConfig::default()
+    };
+    let area_pages = cfg.area_size as usize / PAGE_SIZE;
+    let mem = GuestMemory::new(32 + area_pages, clock.clone(), cost.clone(), meter.clone());
+    let ring =
+        CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64)).expect("ring config");
+    mem.share_range(GuestAddr(0), ring.ring_bytes())
+        .expect("share ring");
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())
+        .expect("share area");
+    let mut producer = Producer::new(ring.clone(), mem.guest()).expect("producer");
+    let mut consumer = Consumer::new(ring, mem.host()).expect("consumer");
+
+    let hooks = SimHooks {
+        clock: clock.clone(),
+        cost: cost.clone(),
+        meter: meter.clone(),
+        telemetry: cio_sim::Telemetry::disabled(),
+    };
+    let mut guest = Channel::from_secrets([3; 32], [4; 32], true, Some(hooks.clone()));
+    let mut host = Channel::from_secrets([3; 32], [4; 32], false, Some(hooks));
+
+    let payload = vec![0x42u8; size];
+    let mut outs: Vec<RecordScratch> = std::iter::repeat_with(RecordScratch::new)
+        .take(batch)
+        .collect();
+    let m0 = meter.snapshot();
+    let t0 = clock.now();
+    for _ in 0..records / batch as u32 {
+        if batch == 1 {
+            // The exact pre-batching serial path.
+            let grant = producer.reserve(size + RECORD_OVERHEAD).expect("reserve");
+            let n = producer
+                .with_slot_mut(&grant, |slot| guest.seal_into_slot(&payload, slot))
+                .expect("slot access")
+                .expect("seal in slot");
+            producer.commit(grant, n).expect("commit");
+            producer.kick();
+            let ok = consumer
+                .consume_in_place(|record| host.open_in_slot(record, &mut outs[0]).is_ok())
+                .expect("consume")
+                .expect("record available");
+            assert!(ok, "open failed");
+        } else {
+            let grant = producer
+                .reserve_batch(size + RECORD_OVERHEAD, batch)
+                .expect("batch reservation");
+            assert_eq!(grant.len(), batch, "steady state grants the full run");
+            let pts: Vec<&[u8]> = vec![&payload; batch];
+            let mut lens = vec![0usize; batch];
+            producer
+                .with_batch_mut(&grant, |slots| {
+                    guest.seal_batch_into_slots(&pts, slots, &mut lens)
+                })
+                .expect("batch access")
+                .expect("batch seal");
+            producer.commit_batch(grant, &lens).expect("batch commit");
+            producer.kick();
+            let mut results = vec![Ok(()); batch];
+            let consumed = consumer
+                .consume_batch_in_place(batch, |slots| {
+                    let recs: Vec<&[u8]> = slots.iter().map(|s| &**s).collect();
+                    host.open_batch_in_slots(&recs, &mut outs, &mut results);
+                })
+                .expect("batch consume");
+            assert_eq!(consumed, batch);
+            assert!(results.iter().all(Result::is_ok), "batched open failed");
+        }
+        for out in &mut outs {
+            std::hint::black_box(out.as_slice());
+        }
+    }
+    let elapsed = clock.since(t0);
+    let d = meter.snapshot().delta(&m0);
+    Row {
+        size,
+        batch,
+        cycles_per_rec: elapsed.get() / u64::from(records),
+        gbps: cio_sim::gbps(u64::from(records) * size as u64, elapsed, cost.ghz),
+        locks_per_rec: locks_per_record(&d),
+        recs_per_commit: records_per_commit(&d),
+    }
+}
+
+fn locks_per_record(d: &MeterSnapshot) -> f64 {
+    if d.ring_records == 0 {
+        0.0
+    } else {
+        d.lock_acquisitions as f64 / d.ring_records as f64
+    }
+}
+
+fn records_per_commit(d: &MeterSnapshot) -> f64 {
+    if d.ring_commits == 0 {
+        0.0
+    } else {
+        d.ring_records as f64 / d.ring_commits as f64
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let records: u32 = if quick { 64 } else { 480 };
+    let batches: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8, 16] };
+    let sizes: &[usize] = if quick {
+        &[1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+
+    let mut rows = Vec::new();
+    for &size in sizes {
+        for &batch in batches {
+            rows.push(run_batched(size, batch, records));
+        }
+    }
+
+    print_table(
+        "E19 — batched dataplane: per-record cost vs batch size",
+        &[
+            "payload B",
+            "batch",
+            "cyc/record",
+            "Gbit/s",
+            "locks/rec",
+            "recs/commit",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    r.batch.to_string(),
+                    fmt_cycles(Cycles(r.cycles_per_rec)),
+                    format!("{:.2}", r.gbps),
+                    format!("{:.2}", r.locks_per_rec),
+                    format!("{:.2}", r.recs_per_commit),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // End-to-end control: the full Tunneled world under each batch policy.
+    // A request/response echo has shallow queues, so batched policies can
+    // only amortize the few records that are genuinely in flight together
+    // (the adaptive policy batches the backlog it finds and never waits
+    // past its latency cap for records that may not arrive); the serial
+    // row pins the default world to the pre-batching dataplane.
+    let echo_rounds: u32 = if quick { 8 } else { 32 };
+    let mut world_rows = Vec::new();
+    for (policy, name) in [
+        (BatchPolicy::Serial, "serial (default)"),
+        (BatchPolicy::Fixed(8), "fixed(8)"),
+        (
+            BatchPolicy::Adaptive {
+                max: 8,
+                latency_cap: Cycles(50_000),
+            },
+            "adaptive(8, 50k)",
+        ),
+    ] {
+        let opts = WorldOptions {
+            batch: policy,
+            ..bench_opts()
+        };
+        let (rt, r) =
+            echo_latency(BoundaryKind::Tunneled, opts, 1024, echo_rounds).expect("tunneled echo");
+        world_rows.push(vec![
+            name.to_string(),
+            fmt_cycles(rt),
+            format!("{:.2}", locks_per_record(&r.meter)),
+            format!("{:.2}", records_per_commit(&r.meter)),
+        ]);
+    }
+    print_table(
+        "E19 — tunneled world echo (1 KiB), batch policy sweep",
+        &["policy", "cyc/round-trip", "locks/rec", "recs/commit"],
+        &world_rows,
+    );
+
+    println!(
+        "\nReading: batch 1 is the unmodified per-record dataplane — one lock, one index \
+         publish, one doorbell, and one AEAD key schedule per record. Batched runs \
+         amortize all four across the run and pack the ChaCha20 keystream lanes across \
+         record boundaries, so small records stop wasting lane width; per-record \
+         validation (nonce, tag, length, slot bounds) is never amortized. Locks/record \
+         and records/commit fall as 1/batch while the outputs stay byte-identical to \
+         the serial path."
+    );
+
+    // The CI bar: batch 8 at 1 KiB must beat batch 1 by >= 1.25x.
+    let per_rec = |batch: usize| {
+        rows.iter()
+            .find(|r| r.size == 1024 && r.batch == batch)
+            .expect("swept row")
+            .cycles_per_rec
+    };
+    let (serial, batched) = (per_rec(1), per_rec(8));
+    let speedup = serial as f64 / batched as f64;
+    println!("\nbatch 8 @ 1 KiB: {serial} -> {batched} cyc/record ({speedup:.2}x, bar 1.25x)");
+    if speedup < 1.25 {
+        eprintln!("FAIL: batched dataplane speedup {speedup:.2}x below the 1.25x bar");
+        std::process::exit(1);
+    }
+    println!("PASS: batched dataplane clears the 1.25x amortization bar");
+}

@@ -28,6 +28,7 @@ use cio_host::adversary::AttackKind;
 use cio_host::fabric::LinkParams;
 use cio_host::VirtioNetBackend;
 use cio_sim::Cycles;
+use cio_vring::cioring::BatchPolicy;
 
 pub use cio_host::adversary::ALL_ATTACKS;
 
@@ -232,7 +233,13 @@ pub fn run_scenario_with(
     attack: AttackKind,
     queues: usize,
 ) -> Result<AttackReport, CioError> {
-    run_scenario_inner(boundary, attack, queues, cio_mem::CopyPolicy::default())
+    run_scenario_inner(
+        boundary,
+        attack,
+        queues,
+        cio_mem::CopyPolicy::default(),
+        BatchPolicy::Serial,
+    )
 }
 
 /// [`run_scenario`] with an explicit data-positioning policy: proves the
@@ -248,7 +255,23 @@ pub fn run_scenario_with_policy(
     attack: AttackKind,
     policy: cio_mem::CopyPolicy,
 ) -> Result<AttackReport, CioError> {
-    run_scenario_inner(boundary, attack, 1, policy)
+    run_scenario_inner(boundary, attack, 1, policy, BatchPolicy::Serial)
+}
+
+/// [`run_scenario`] with an explicit record-batch discipline: proves the
+/// batched dataplane (multi-record commit/consume, shared-keystream
+/// AEAD) leaves every attack outcome unchanged — amortizing boundary
+/// crossings must never amortize validation.
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn run_scenario_with_batch(
+    boundary: BoundaryKind,
+    attack: AttackKind,
+    batch: BatchPolicy,
+) -> Result<AttackReport, CioError> {
+    run_scenario_inner(boundary, attack, 1, cio_mem::CopyPolicy::default(), batch)
 }
 
 fn run_scenario_inner(
@@ -256,6 +279,7 @@ fn run_scenario_inner(
     attack: AttackKind,
     queues: usize,
     copy_policy: cio_mem::CopyPolicy,
+    batch: BatchPolicy,
 ) -> Result<AttackReport, CioError> {
     if !has_surface(boundary, attack) {
         return Ok(AttackReport {
@@ -277,6 +301,7 @@ fn run_scenario_inner(
     let opts = WorldOptions {
         queues,
         copy_policy,
+        batch,
         ..attack_opts()
     };
     let mut world = World::new(boundary, opts)?;
@@ -493,6 +518,85 @@ pub fn payload_toctou_in_slot() -> Result<Outcome, CioError> {
     Ok(match private {
         Some(used) if used == b"AMOUNT=00100" => Outcome::Prevented,
         _ => Outcome::Undetected,
+    })
+}
+
+/// The mid-batch poisoning micro-scenario for the batched dataplane: the
+/// host corrupts one slot of a committed multi-record run before the
+/// guest's batched consume. The batch open must fail closed for exactly
+/// the poisoned record — every other record in the run decrypts to the
+/// right plaintext, in the original order. Amortizing the lock, index
+/// publish, and AEAD setup across the run must not widen the blast
+/// radius of a single hostile slot.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn batch_partial_poison() -> Result<Outcome, CioError> {
+    use cio_ctls::{Channel, RecordScratch};
+    use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+    use cio_sim::{Clock, CostModel, Meter};
+    use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
+
+    const N: usize = 5;
+    const POISONED: usize = 2;
+
+    let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+    let cfg = RingConfig {
+        slots: 8,
+        slot_size: 16,
+        mode: DataMode::SharedArea,
+        mtu: 2048,
+        area_size: 1 << 14,
+        ..RingConfig::default()
+    };
+    let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64))?;
+    mem.share_range(GuestAddr(0), ring.ring_bytes())?;
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), ring.area_bytes())?;
+    let mut host_p = Producer::new(ring.clone(), mem.host())?;
+    let mut guest_c = Consumer::new(ring.clone(), mem.guest())?;
+    let mut sealer = Channel::from_secrets([3; 32], [4; 32], false, None);
+    let mut opener = Channel::from_secrets([3; 32], [4; 32], true, None);
+
+    // The host (gateway role) seals an N-record run into the slots and
+    // commits it as one batch.
+    let payloads: Vec<Vec<u8>> = (0..N)
+        .map(|i| format!("AMOUNT=0010{i}").into_bytes())
+        .collect();
+    let pts: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    let cap = payloads[0].len() + cio_ctls::RECORD_OVERHEAD;
+    let grant = host_p.reserve_batch(cap, N)?;
+    debug_assert_eq!(grant.len(), N);
+    let mut lens = [0usize; N];
+    host_p.with_batch_mut(&grant, |slots| {
+        sealer.seal_batch_into_slots(&pts, slots, &mut lens)
+    })??;
+    host_p.commit_batch(grant, &lens)?;
+    host_p.kick();
+
+    // Mid-batch corruption: flip one ciphertext byte of the third record
+    // after the commit, before the guest drains the run.
+    let poison_at = GuestAddr(ring.payload_addr(POISONED as u32).0 + 6);
+    let mut byte = [0u8; 1];
+    mem.host().read(poison_at, &mut byte)?;
+    mem.host().write(poison_at, &[byte[0] ^ 0xA5])?;
+
+    // Batched single-fetch drain + batched open.
+    let mut outs: Vec<RecordScratch> = std::iter::repeat_with(RecordScratch::new).take(N).collect();
+    let mut results = [Ok(()); N];
+    let consumed = guest_c.consume_batch_in_place(N, |slots| {
+        let recs: Vec<&[u8]> = slots.iter().map(|s| &**s).collect();
+        opener.open_batch_in_slots(&recs, &mut outs, &mut results);
+    })?;
+
+    let poisoned_rejected = results[POISONED].is_err() && outs[POISONED].as_slice().is_empty();
+    let rest_intact = (0..N)
+        .filter(|&i| i != POISONED)
+        .all(|i| results[i].is_ok() && outs[i].as_slice() == payloads[i].as_slice());
+    Ok(if consumed == N && poisoned_rejected && rest_intact {
+        Outcome::Detected
+    } else {
+        Outcome::Undetected
     })
 }
 

@@ -12,11 +12,12 @@
 use crate::CioError;
 use cio_mem::{CopyPolicy, GuestAddr, GuestMemory, GuestView};
 use cio_netstack::{MacAddr, NetDevice, NetError};
-use cio_sim::Cycles;
+use cio_sim::{Clock, Cycles};
 use cio_tee::dda::IdeChannel;
-use cio_vring::cioring::{Consumer, Producer, RevokedPayload};
+use cio_vring::cioring::{BatchPolicy, BufPool, Consumer, Producer, RevokedPayload, MAX_BATCH};
 use cio_vring::hardened::HardenedDriver;
 use cio_vring::virtqueue::{ConfigSpace, DescSeg, Driver};
+use std::collections::VecDeque;
 
 /// How the guest takes delivery of received payloads on the cio-ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +38,12 @@ pub enum SendMode {
     ZeroCopy,
 }
 
-/// One queue's guest-side ring pair.
+/// One queue's guest-side ring pair, plus the frames a batched receive
+/// pass drained ahead of the caller.
 struct GuestQueue {
     tx: Producer<GuestView>,
     rx: Consumer<GuestView>,
+    rx_pending: VecDeque<Vec<u8>>,
 }
 
 /// The cio-ring as a (multi-queue) network device.
@@ -60,6 +63,12 @@ pub struct CioRingDevice {
     mtu: usize,
     send_mode: SendMode,
     recv_mode: RecvMode,
+    /// Record-batching discipline for receive draining. Serial (default)
+    /// routes through the historical per-record consume paths; non-serial
+    /// policies drain runs of slots with one shared-index read, one
+    /// memory-lock acquisition, and one consumer-index write per run —
+    /// the guest-side mirror of the host backend's batched servicing.
+    batch: BatchPolicy,
     mem: GuestMemory,
 }
 
@@ -101,15 +110,27 @@ impl CioRingDevice {
             mtu: cfg.mtu as usize - cio_netstack::wire::ETH_HDR_LEN,
             queues: queues
                 .into_iter()
-                .map(|(tx, rx)| GuestQueue { tx, rx })
+                .map(|(tx, rx)| GuestQueue {
+                    tx,
+                    rx,
+                    rx_pending: VecDeque::new(),
+                })
                 .collect(),
             mask,
             active_rx: None,
             rx_cursor: 0,
             send_mode,
             recv_mode,
+            batch: BatchPolicy::default(),
             mem,
         })
+    }
+
+    /// Sets the record-batching discipline for receive draining. Only the
+    /// copy receive mode batches (revocation is inherently per-slot: each
+    /// payload's pages are un-shared and handed out individually).
+    pub fn set_batch_policy(&mut self, batch: BatchPolicy) {
+        self.batch = batch;
     }
 
     /// Single-queue convenience constructor.
@@ -130,6 +151,22 @@ impl CioRingDevice {
     fn recv_from(&mut self, q: usize) -> Option<Vec<u8>> {
         let queue = &mut self.queues[q];
         match self.recv_mode {
+            RecvMode::Copy if !self.batch.is_serial() => {
+                // Batched drain: one pass pulls a run of frames under a
+                // single lock and a single consumer-index write, then the
+                // caller pops them one at a time. Each frame still pays
+                // the same metered copy as the serial `consume` path.
+                if let Some(frame) = queue.rx_pending.pop_front() {
+                    return Some(frame);
+                }
+                let want = self.batch.max_batch().min(MAX_BATCH);
+                let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); want];
+                let n = queue.rx.consume_batch_into(&mut bufs).ok()?;
+                for buf in bufs.drain(..n) {
+                    queue.rx_pending.push_back(buf);
+                }
+                queue.rx_pending.pop_front()
+            }
             RecvMode::Copy => queue.rx.consume().ok().flatten(),
             RecvMode::Revoke => {
                 let payload: RevokedPayload = queue.rx.consume_revoking().ok().flatten()?;
@@ -571,6 +608,25 @@ pub struct TunnelDevice {
     /// Reusable scratches for the fused seal/open passes.
     seal_scratch: cio_ctls::RecordScratch,
     open_scratch: cio_ctls::RecordScratch,
+    /// Batch discipline for the carrier ring. Serial (the default) keeps
+    /// the historical one-record-per-crossing paths bit-identical.
+    batch: BatchPolicy,
+    /// The carrier memory domain's virtual clock, read to enforce the
+    /// adaptive policy's latency cap on partially filled batches.
+    clock: Clock,
+    /// Frames accepted by `transmit` but not yet sealed onto the carrier
+    /// (batched transmit only). Bounded by the policy's batch size.
+    tx_pending: VecDeque<Vec<u8>>,
+    /// Virtual time the oldest pending frame was accepted.
+    tx_pending_since: Option<Cycles>,
+    /// Pool backing `tx_pending`, so steady-state batching allocates
+    /// nothing once the pool has warmed up.
+    pool: BufPool,
+    /// Plaintexts opened by one batched receive pass, handed out one per
+    /// `receive` call.
+    rx_pending: VecDeque<Vec<u8>>,
+    /// Per-record scratches for the batched open pass.
+    batch_outs: Vec<cio_ctls::RecordScratch>,
 }
 
 impl TunnelDevice {
@@ -582,6 +638,7 @@ impl TunnelDevice {
         mac: MacAddr,
         mtu: usize,
     ) -> Self {
+        let clock = inner_tx.clock();
         TunnelDevice {
             inner_tx,
             inner_rx,
@@ -592,6 +649,13 @@ impl TunnelDevice {
             blob: Vec::new(),
             seal_scratch: cio_ctls::RecordScratch::new(),
             open_scratch: cio_ctls::RecordScratch::new(),
+            batch: BatchPolicy::default(),
+            clock,
+            tx_pending: VecDeque::new(),
+            tx_pending_since: None,
+            pool: BufPool::new(MAX_BATCH),
+            rx_pending: VecDeque::new(),
+            batch_outs: Vec::new(),
         }
     }
 
@@ -607,12 +671,134 @@ impl TunnelDevice {
     pub fn seals_in_slot(&self) -> bool {
         self.policy.allows_in_place() && self.inner_tx.in_slot_capable()
     }
+
+    /// Selects the carrier's batch discipline. Non-serial policies gather
+    /// transmits and seal them with one shared-keystream AEAD pass into
+    /// one reserved run (one lock, one index publish), and drain receives
+    /// a run at a time. Batched transmit requires the in-slot layout;
+    /// where in-slot sealing is unavailable the device falls back to the
+    /// staged per-record path, exactly as serial does.
+    pub fn set_batch_policy(&mut self, batch: BatchPolicy) {
+        self.batch = batch;
+        let want = if batch.is_serial() { 0 } else { MAX_BATCH };
+        self.batch_outs
+            .resize_with(want, cio_ctls::RecordScratch::new);
+    }
+
+    /// Whether transmit gathers frames for batched seal-in-slot.
+    fn batched_tx(&self) -> bool {
+        !self.batch.is_serial() && self.policy.allows_in_place() && self.inner_tx.in_slot_capable()
+    }
+
+    /// Seals as many pending frames as the carrier grants, in reserved
+    /// runs of up to the policy's batch size. Returns whether the queue
+    /// fully drained; a partial grant seals the granted prefix and leaves
+    /// the rest pending (transient backpressure, retried next flush).
+    fn flush_tx_batch(&mut self) -> bool {
+        while !self.tx_pending.is_empty() {
+            let n = self
+                .tx_pending
+                .len()
+                .min(self.batch.max_batch())
+                .min(MAX_BATCH);
+            let cap = self
+                .tx_pending
+                .iter()
+                .take(n)
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0)
+                + cio_ctls::RECORD_OVERHEAD;
+            let grant = match self.inner_tx.reserve_batch(cap, n) {
+                Ok(g) => g,
+                Err(_) => return false,
+            };
+            let g = grant.len().min(n);
+            let mut pts: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+            for (i, f) in self.tx_pending.iter().take(g).enumerate() {
+                pts[i] = f.as_slice();
+            }
+            let mut lens = [0usize; MAX_BATCH];
+            let chan = &mut self.chan;
+            let sealed = self.inner_tx.with_batch_mut(&grant, |slots| {
+                chan.seal_batch_into_slots(&pts[..g], &mut slots[..g], &mut lens[..g])
+            });
+            if !matches!(sealed, Ok(Ok(()))) {
+                return false;
+            }
+            if self.inner_tx.commit_batch(grant, &lens[..g]).is_err() {
+                return false;
+            }
+            self.inner_tx.kick();
+            for _ in 0..g {
+                if let Some(buf) = self.tx_pending.pop_front() {
+                    self.pool.put(buf);
+                }
+            }
+        }
+        self.tx_pending_since = None;
+        true
+    }
+
+    /// Drains one batched run off the carrier: a single locked pass
+    /// fetches the run, one batched AEAD pass opens it, and the opened
+    /// plaintexts queue for per-call hand-out. Host-injected garbage
+    /// fails its own open and is dropped without touching the rest of
+    /// the run. Returns how many records were consumed.
+    fn drain_rx_batch(&mut self) -> usize {
+        let want = self.batch.max_batch().min(MAX_BATCH);
+        let chan = &mut self.chan;
+        let outs = &mut self.batch_outs;
+        let rx_pending = &mut self.rx_pending;
+        self.inner_rx
+            .consume_batch_in_place(want, |slots| {
+                let k = slots.len();
+                let mut recs: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                for (i, s) in slots.iter().enumerate() {
+                    recs[i] = s;
+                }
+                let mut results: [Result<(), cio_ctls::CtlsError>; MAX_BATCH] = [Ok(()); MAX_BATCH];
+                chan.open_batch_in_slots(&recs[..k], &mut outs[..k], &mut results[..k]);
+                for (out, res) in outs[..k].iter().zip(&results[..k]) {
+                    if res.is_ok() {
+                        rx_pending.push_back(out.as_slice().to_vec());
+                    }
+                }
+            })
+            .unwrap_or(0)
+    }
 }
 
 impl NetDevice for TunnelDevice {
     fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
         if frame.len() > self.mtu + cio_netstack::wire::ETH_HDR_LEN {
             return Err(NetError::TooLarge);
+        }
+        if self.batched_tx() {
+            // Gather-then-flush: frames queue until the policy's batch
+            // fills or the adaptive latency cap expires, then one
+            // reserved run takes the whole batch. A full queue that will
+            // not flush (carrier backpressure) refuses the frame, which
+            // is the same transient signal the serial path's failed
+            // reserve produces.
+            if self.tx_pending.len() >= self.batch.max_batch() && !self.flush_tx_batch() {
+                return Err(NetError::DeviceFull);
+            }
+            let now = self.clock.now();
+            let mut buf = self.pool.get();
+            buf.extend_from_slice(frame);
+            self.tx_pending.push_back(buf);
+            if self.tx_pending_since.is_none() {
+                self.tx_pending_since = Some(now);
+            }
+            let due = match (self.batch.latency_cap(), self.tx_pending_since) {
+                (Some(cap), Some(t0)) => now.get().saturating_sub(t0.get()) >= cap.get(),
+                _ => false,
+            };
+            if self.tx_pending.len() >= self.batch.max_batch() || due {
+                self.flush_tx_batch();
+            }
+            return Ok(());
         }
         if self.seals_in_slot() {
             // Seal-in-slot: reserve the slot, run the fused AEAD directly
@@ -650,6 +836,22 @@ impl NetDevice for TunnelDevice {
     }
 
     fn receive(&mut self) -> Option<Vec<u8>> {
+        // A receive pass is the tunnel's progress point: flush any
+        // gathered transmit batch first so partially filled batches never
+        // outlive the pump iteration that could have sent them.
+        if !self.tx_pending.is_empty() {
+            self.flush_tx_batch();
+        }
+        if !self.batch.is_serial() && self.policy.allows_in_place() {
+            loop {
+                if let Some(frame) = self.rx_pending.pop_front() {
+                    return Some(frame);
+                }
+                if self.drain_rx_batch() == 0 {
+                    return None;
+                }
+            }
+        }
         // Host-injected garbage fails to open and is dropped — the tunnel
         // boundary is exactly one AEAD check wide.
         if self.policy.allows_in_place() {

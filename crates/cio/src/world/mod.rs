@@ -33,6 +33,7 @@ use cio_vring::virtqueue::{
 };
 use speer::{FeedResult, SecurePeer, SecureStream, TunnelGateway};
 
+pub use cio_vring::cioring::BatchPolicy;
 pub use speer::{ECHO_PORT, RPC_PORT};
 
 /// The boundary designs under comparison (see crate docs for the table).
@@ -110,6 +111,15 @@ pub struct WorldOptions {
     /// Ring layouts that cannot support in-place positioning (inline
     /// slots) fall back to the staged path automatically regardless.
     pub copy_policy: CopyPolicy,
+    /// Record-batch discipline for the whole dataplane
+    /// ([`BatchPolicy::Serial`] by default: every boundary crossing
+    /// covers exactly one record, bit-identical to the pre-batching
+    /// paths). Non-serial policies amortize the memory lock, index
+    /// publish, doorbell, and AEAD setup over runs of records at every
+    /// endpoint — guest device, host backend, tunnel carrier, secure
+    /// peer, and client stream — with per-record validation, nonces, and
+    /// tags untouched.
+    pub batch: BatchPolicy,
     /// Deterministic seed.
     pub seed: u64,
     /// DDA: the attested device misbehaves after attestation.
@@ -142,6 +152,7 @@ impl Default for WorldOptions {
             notify: NotifyMode::Polling,
             l5_app_copy: false,
             copy_policy: CopyPolicy::default(),
+            batch: BatchPolicy::default(),
             seed: 0xC10,
             dda_tamper: false,
             step_quantum: Cycles(5_000),
@@ -322,6 +333,12 @@ impl WorldBuilder {
     /// Data-positioning discipline for the record/ring dataplane.
     pub fn copy_policy(mut self, policy: CopyPolicy) -> Self {
         self.opts.copy_policy = policy;
+        self
+    }
+
+    /// Record-batch discipline for the dataplane (serial by default).
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.opts.batch = batch;
         self
     }
 
@@ -615,6 +632,7 @@ impl WorldBuilder {
                 let mut tunnel_dev =
                     TunnelDevice::new(guest_tx, guest_rx, guest_chan, GUEST_MAC, 1500);
                 tunnel_dev.set_copy_policy(opts.copy_policy);
+                tunnel_dev.set_batch_policy(opts.batch);
                 let device: Box<dyn NetDevice> = Box::new(tunnel_dev);
                 let iface = Interface::new(device, InterfaceConfig::new(GUEST_IP), clock.clone());
                 let mut backend = CioNetBackend::single(
@@ -626,6 +644,7 @@ impl WorldBuilder {
                 );
                 backend.opaque = true;
                 backend.set_copy_policy(opts.copy_policy);
+                backend.set_batch_policy(opts.batch);
                 backend.set_telemetry(telemetry.clone());
 
                 let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
@@ -718,8 +737,14 @@ impl WorldBuilder {
         };
 
         match &mut peer {
-            PeerNode::Direct(p) => p.set_telemetry(telemetry.clone()),
-            PeerNode::Tunnel { peer, .. } => peer.set_telemetry(telemetry.clone()),
+            PeerNode::Direct(p) => {
+                p.set_telemetry(telemetry.clone());
+                p.set_batch_policy(opts.batch);
+            }
+            PeerNode::Tunnel { peer, .. } => {
+                peer.set_telemetry(telemetry.clone());
+                peer.set_batch_policy(opts.batch);
+            }
         }
         let lanes = Lanes::new(clock.clone(), opts.queues);
         Ok(World {
@@ -839,14 +864,12 @@ impl World {
             ));
             rings.push((tx_ring, rx_ring));
         }
-        let device = Box::new(CioRingDevice::new(
-            guest_pairs,
-            mem.clone(),
-            opts.send_mode,
-            opts.recv_mode,
-        )?) as Box<dyn NetDevice>;
+        let mut dev = CioRingDevice::new(guest_pairs, mem.clone(), opts.send_mode, opts.recv_mode)?;
+        dev.set_batch_policy(opts.batch);
+        let device = Box::new(dev) as Box<dyn NetDevice>;
         let mut backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
         backend.set_copy_policy(opts.copy_policy);
+        backend.set_batch_policy(opts.batch);
         backend.set_telemetry(telemetry.clone());
         Ok((device, backend, rings))
     }
@@ -1237,10 +1260,13 @@ impl World {
                 meter: self.meter.clone(),
                 telemetry: self.telemetry.clone(),
             };
-            let (hello, stream) = SecureStream::client(entropy, Some(hooks));
+            let (hello, mut stream) = SecureStream::client(entropy, Some(hooks));
+            stream.set_batch_policy(self.opts.batch);
             (hello, stream)
         } else {
-            (Vec::new(), SecureStream::plain())
+            let mut stream = SecureStream::plain();
+            stream.set_batch_policy(self.opts.batch);
+            (Vec::new(), stream)
         };
         // The connection's lane is its RSS queue: the same symmetric hash
         // the device and backend steer with, so all of this flow's work
@@ -1501,6 +1527,56 @@ mod tests {
                 assert_eq!(got, want.as_bytes(), "{kind} conn {i}");
             }
         }
+    }
+
+    #[test]
+    fn batched_echo_roundtrips_on_ring_boundaries() {
+        for kind in [
+            BoundaryKind::L2CioRing,
+            BoundaryKind::DualBoundary,
+            BoundaryKind::Tunneled,
+        ] {
+            for batch in [
+                BatchPolicy::Fixed(8),
+                BatchPolicy::Adaptive {
+                    max: 8,
+                    latency_cap: Cycles(50_000),
+                },
+            ] {
+                let mut w = World::builder(kind)
+                    .options(quick_opts())
+                    .batch(batch)
+                    .build()
+                    .unwrap();
+                let c = w.connect(ECHO_PORT).unwrap();
+                w.establish(c, 5_000).unwrap();
+                for round in 0..3u8 {
+                    let msg = vec![round.wrapping_mul(37); 700];
+                    w.send(c, &msg).unwrap();
+                    let got = w.recv_exact(c, msg.len(), 5_000).unwrap();
+                    assert_eq!(got, msg, "{kind} {batch:?} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_batch_policy_is_bit_identical_to_default() {
+        // The default-constructed world never touches a batched path: a
+        // world explicitly configured Serial must meter identically.
+        let run = |batch: BatchPolicy| {
+            let mut w = World::builder(BoundaryKind::L2CioRing)
+                .options(quick_opts())
+                .batch(batch)
+                .build()
+                .unwrap();
+            let c = w.connect(ECHO_PORT).unwrap();
+            w.establish(c, 3_000).unwrap();
+            w.send(c, &[0x3C; 900]).unwrap();
+            let _ = w.recv_exact(c, 900, 3_000).unwrap();
+            (w.meter().snapshot(), w.clock().now())
+        };
+        assert_eq!(run(BatchPolicy::Serial), run(BatchPolicy::default()));
     }
 
     #[test]

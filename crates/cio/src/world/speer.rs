@@ -16,7 +16,7 @@ use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{Ipv4Addr, NetDevice};
 use cio_sim::{Clock, SimRng, Stage, Telemetry};
 use cio_tee::attest::Measurement;
-use cio_vring::cioring::BufPool;
+use cio_vring::cioring::{BatchPolicy, BufPool, MAX_BATCH};
 
 /// Echo service port.
 pub const ECHO_PORT: u16 = 7;
@@ -89,6 +89,14 @@ pub struct SecurePeer<D: NetDevice> {
     rec: RecordScratch,
     txbuf: Vec<u8>,
     telemetry: Telemetry,
+    /// Record-batch discipline: non-serial policies open runs of buffered
+    /// records with one shared-keystream AEAD pass and batch-seal the
+    /// responses. Serial (default) is the historical per-record loop.
+    batch: BatchPolicy,
+    /// Per-record scratches for the batched open pass.
+    batch_outs: Vec<RecordScratch>,
+    /// Per-record response staging for the batched serve pass.
+    batch_resps: Vec<Vec<u8>>,
 }
 
 impl<D: NetDevice> SecurePeer<D> {
@@ -108,12 +116,23 @@ impl<D: NetDevice> SecurePeer<D> {
             rec: RecordScratch::new(),
             txbuf: Vec::new(),
             telemetry: Telemetry::disabled(),
+            batch: BatchPolicy::default(),
+            batch_outs: Vec::new(),
+            batch_resps: Vec::new(),
         }
     }
 
     /// Attaches a telemetry domain; peer work is booked to [`Stage::Peer`].
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Selects the record-batch discipline for open connections.
+    pub fn set_batch_policy(&mut self, batch: BatchPolicy) {
+        self.batch = batch;
+        let want = if batch.is_serial() { 0 } else { MAX_BATCH };
+        self.batch_outs.resize_with(want, RecordScratch::new);
+        self.batch_resps.resize_with(want, Vec::new);
     }
 
     fn identity() -> ServerIdentity {
@@ -231,41 +250,135 @@ impl<D: NetDevice> SecurePeer<D> {
                         }
                     }
                     PeerTls::Open(chan) => {
-                        // Open in place out of the receive buffer: the
-                        // record is only drained once it verified, and
-                        // request, response, and sealed reply all live in
-                        // reusable scratches.
-                        let Some(n) = record_len(&conn.inbuf) else {
-                            break;
+                        // Gather the run of complete records buffered at
+                        // the head of the receive buffer. The serial
+                        // policy gathers exactly one, which reduces to
+                        // the historical per-record loop.
+                        let maxb = if self.batch.is_serial() {
+                            1
+                        } else {
+                            self.batch.max_batch().min(MAX_BATCH)
                         };
-                        match chan.open_into(&conn.inbuf[..n], &mut self.plain) {
-                            Ok(()) => {
-                                conn.inbuf.drain(..n);
-                                if conn.port == ECHO_PORT {
-                                    // Echo seals the reply straight from
-                                    // the opened request scratch — no
-                                    // response-buffer copy per record.
-                                    if !self.plain.as_slice().is_empty()
-                                        && chan
-                                            .seal_into(self.plain.as_slice(), &mut self.rec)
-                                            .is_ok()
-                                    {
-                                        self.txbuf.extend_from_slice(self.rec.as_slice());
-                                    }
-                                } else {
-                                    Self::serve_into(
-                                        conn.port,
-                                        self.plain.as_slice(),
-                                        &mut self.resp,
-                                    );
-                                    if !self.resp.is_empty()
-                                        && chan.seal_into(&self.resp, &mut self.rec).is_ok()
-                                    {
-                                        self.txbuf.extend_from_slice(self.rec.as_slice());
+                        let mut ends = [0usize; MAX_BATCH];
+                        let mut cnt = 0usize;
+                        let mut off = 0usize;
+                        while cnt < maxb {
+                            let Some(n) = record_len(&conn.inbuf[off..]) else {
+                                break;
+                            };
+                            off += n;
+                            ends[cnt] = off;
+                            cnt += 1;
+                        }
+                        if cnt == 0 {
+                            break;
+                        }
+                        if cnt == 1 {
+                            // Open in place out of the receive buffer: the
+                            // record is only drained once it verified, and
+                            // request, response, and sealed reply all live
+                            // in reusable scratches.
+                            let n = ends[0];
+                            match chan.open_into(&conn.inbuf[..n], &mut self.plain) {
+                                Ok(()) => {
+                                    conn.inbuf.drain(..n);
+                                    if conn.port == ECHO_PORT {
+                                        // Echo seals the reply straight from
+                                        // the opened request scratch — no
+                                        // response-buffer copy per record.
+                                        if !self.plain.as_slice().is_empty()
+                                            && chan
+                                                .seal_into(self.plain.as_slice(), &mut self.rec)
+                                                .is_ok()
+                                        {
+                                            self.txbuf.extend_from_slice(self.rec.as_slice());
+                                        }
+                                    } else {
+                                        Self::serve_into(
+                                            conn.port,
+                                            self.plain.as_slice(),
+                                            &mut self.resp,
+                                        );
+                                        if !self.resp.is_empty()
+                                            && chan.seal_into(&self.resp, &mut self.rec).is_ok()
+                                        {
+                                            self.txbuf.extend_from_slice(self.rec.as_slice());
+                                        }
                                     }
                                 }
+                                Err(_) => {
+                                    dead.push(i);
+                                    break;
+                                }
                             }
-                            Err(_) => {
+                        } else {
+                            // Batched open: one shared-keystream AEAD pass
+                            // over the whole run. A failed record ends the
+                            // connection exactly as the serial path does —
+                            // records before the failure are served,
+                            // records after it are discarded.
+                            let mut recs: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                            let mut start = 0usize;
+                            for (k, &end) in ends[..cnt].iter().enumerate() {
+                                recs[k] = &conn.inbuf[start..end];
+                                start = end;
+                            }
+                            let mut results: [Result<(), CtlsError>; MAX_BATCH] =
+                                [Ok(()); MAX_BATCH];
+                            chan.open_batch_in_slots(
+                                &recs[..cnt],
+                                &mut self.batch_outs[..cnt],
+                                &mut results[..cnt],
+                            );
+                            let good = results[..cnt].iter().take_while(|r| r.is_ok()).count();
+                            for k in 0..good {
+                                let (outs, resps) = (&self.batch_outs[k], &mut self.batch_resps[k]);
+                                Self::serve_into(conn.port, outs.as_slice(), resps);
+                            }
+                            // One batched seal covers every non-empty
+                            // response, written straight into the send
+                            // buffer (no per-record scratch bounce).
+                            let mut pts: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                            let mut m = 0usize;
+                            for resp in self.batch_resps[..good].iter() {
+                                if !resp.is_empty() {
+                                    pts[m] = resp;
+                                    m += 1;
+                                }
+                            }
+                            if m > 0 {
+                                let base = self.txbuf.len();
+                                let total: usize = pts[..m]
+                                    .iter()
+                                    .map(|p| p.len() + cio_ctls::RECORD_OVERHEAD)
+                                    .sum();
+                                self.txbuf.resize(base + total, 0);
+                                let mut slots: [&mut [u8]; MAX_BATCH] =
+                                    std::array::from_fn(|_| &mut [][..]);
+                                let mut rest = &mut self.txbuf[base..];
+                                for (j, pt) in pts[..m].iter().enumerate() {
+                                    let take = pt.len() + cio_ctls::RECORD_OVERHEAD;
+                                    let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                                    slots[j] = head;
+                                    rest = tail;
+                                }
+                                let mut lens = [0usize; MAX_BATCH];
+                                if chan
+                                    .seal_batch_into_slots(
+                                        &pts[..m],
+                                        &mut slots[..m],
+                                        &mut lens[..m],
+                                    )
+                                    .is_err()
+                                {
+                                    dead.push(i);
+                                    break;
+                                }
+                            }
+                            if good > 0 {
+                                conn.inbuf.drain(..ends[good - 1]);
+                            }
+                            if good < cnt {
                                 dead.push(i);
                                 break;
                             }
@@ -323,6 +436,12 @@ enum StreamState {
 /// Client-side stream protection: plaintext pass-through or cTLS.
 pub struct SecureStream {
     state: StreamState,
+    /// Record-batch discipline for draining buffered records: non-serial
+    /// policies open runs with one shared-keystream AEAD pass. Serial
+    /// (default) is the historical per-record loop, bit for bit.
+    batch: BatchPolicy,
+    /// Per-record scratches for the batched open pass.
+    batch_outs: Vec<RecordScratch>,
 }
 
 impl SecureStream {
@@ -330,6 +449,8 @@ impl SecureStream {
     pub fn plain() -> Self {
         SecureStream {
             state: StreamState::Plain,
+            batch: BatchPolicy::default(),
+            batch_outs: Vec::new(),
         }
     }
 
@@ -343,8 +464,17 @@ impl SecureStream {
                     hs: Some(hs),
                     inbuf: Vec::new(),
                 },
+                batch: BatchPolicy::default(),
+                batch_outs: Vec::new(),
             },
         )
+    }
+
+    /// Selects the record-batch discipline for inbound records.
+    pub fn set_batch_policy(&mut self, batch: BatchPolicy) {
+        self.batch = batch;
+        let want = if batch.is_serial() { 0 } else { MAX_BATCH };
+        self.batch_outs.resize_with(want, RecordScratch::new);
     }
 
     /// Whether application data can flow.
@@ -429,10 +559,61 @@ impl SecureStream {
             }
             StreamState::Open { chan, inbuf, plain } => {
                 inbuf.extend_from_slice(bytes);
-                while let Some(n) = record_len(inbuf) {
-                    chan.open_into(&inbuf[..n], plain)?;
-                    inbuf.drain(..n);
-                    result.app_data.extend_from_slice(plain.as_slice());
+                let maxb = if self.batch.is_serial() {
+                    1
+                } else {
+                    self.batch.max_batch().min(MAX_BATCH)
+                };
+                loop {
+                    // Gather the run of complete records (one under the
+                    // serial policy — the historical per-record loop).
+                    let mut ends = [0usize; MAX_BATCH];
+                    let mut cnt = 0usize;
+                    let mut off = 0usize;
+                    while cnt < maxb {
+                        let Some(n) = record_len(&inbuf[off..]) else {
+                            break;
+                        };
+                        off += n;
+                        ends[cnt] = off;
+                        cnt += 1;
+                    }
+                    if cnt == 0 {
+                        break;
+                    }
+                    if cnt == 1 {
+                        chan.open_into(&inbuf[..ends[0]], plain)?;
+                        inbuf.drain(..ends[0]);
+                        result.app_data.extend_from_slice(plain.as_slice());
+                    } else {
+                        // One shared-keystream AEAD pass over the run. A
+                        // failed record kills the stream exactly where the
+                        // serial loop would: plaintexts before it are
+                        // delivered, the error propagates, and the stream
+                        // is dead to the caller.
+                        let mut recs: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                        let mut start = 0usize;
+                        for (k, &end) in ends[..cnt].iter().enumerate() {
+                            recs[k] = &inbuf[start..end];
+                            start = end;
+                        }
+                        let mut results: [Result<(), CtlsError>; MAX_BATCH] = [Ok(()); MAX_BATCH];
+                        chan.open_batch_in_slots(
+                            &recs[..cnt],
+                            &mut self.batch_outs[..cnt],
+                            &mut results[..cnt],
+                        );
+                        let good = results[..cnt].iter().take_while(|r| r.is_ok()).count();
+                        for out in self.batch_outs[..good].iter() {
+                            result.app_data.extend_from_slice(out.as_slice());
+                        }
+                        if good > 0 {
+                            inbuf.drain(..ends[good - 1]);
+                        }
+                        if good < cnt {
+                            results[good]?;
+                        }
+                    }
                 }
             }
         }

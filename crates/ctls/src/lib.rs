@@ -26,6 +26,7 @@
 pub mod handshake;
 pub mod record;
 
+pub use cio_crypto::aead::MAX_BATCH_RECORDS;
 pub use handshake::{ClientHandshake, ServerHandshake, ServerIdentity};
 pub use record::{Channel, RecordScratch, RECORD_OVERHEAD};
 
@@ -87,6 +88,18 @@ impl SimHooks {
         let spent = self.cost.aead(bytes);
         self.clock.advance(spent);
         self.meter.aead_ops(1);
+        self.meter.aead_bytes(bytes as u64);
+        self.telemetry.attribute_here(Stage::Crypto, spent);
+    }
+
+    /// Charges one batched AEAD pass over `records` records totalling
+    /// `bytes` bytes. A batch of one charges exactly what
+    /// [`SimHooks::charge_aead`] would, so the serial path's virtual
+    /// time is unchanged by the batch model's existence.
+    pub(crate) fn charge_aead_batch(&self, records: usize, bytes: usize) {
+        let spent = self.cost.aead_batch(records, bytes);
+        self.clock.advance(spent);
+        self.meter.aead_ops(records as u64);
         self.meter.aead_bytes(bytes as u64);
         self.telemetry.attribute_here(Stage::Crypto, spent);
     }

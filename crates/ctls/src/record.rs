@@ -8,7 +8,7 @@
 //! with only "increased observability" (§3.1).
 
 use crate::{CtlsError, SimHooks};
-use cio_crypto::aead::ChaCha20Poly1305;
+use cio_crypto::aead::{self, ChaCha20Poly1305, MAX_BATCH_RECORDS};
 use cio_crypto::poly1305::TAG_LEN;
 use cio_crypto::{hkdf, CryptoError};
 
@@ -161,6 +161,203 @@ impl Direction {
         Ok(record_len)
     }
 
+    /// Seals a run of records into their slots with one batched AEAD
+    /// pass per key generation: nonces, AADs, and sequence numbers are
+    /// assigned positionally (`seq`, `seq+1`, ...), the wide keystream
+    /// lanes are packed across record boundaries, and each record is
+    /// byte-identical to what [`Direction::seal_into_slot`] would have
+    /// produced at the same sequence number. A deterministic rekey point
+    /// inside the run splits it into per-generation crypto batches.
+    ///
+    /// All slot capacities are validated before any state advances; on
+    /// `BadLength` nothing is written and `seq` is unchanged, so the
+    /// caller can fall back to the serial path.
+    fn seal_batch_into_slots(
+        &mut self,
+        plaintexts: &[&[u8]],
+        slots: &mut [&mut [u8]],
+        lens: &mut [usize],
+    ) -> Result<(), CtlsError> {
+        let n = plaintexts.len();
+        assert!(n <= MAX_BATCH_RECORDS, "batch exceeds MAX_BATCH_RECORDS");
+        debug_assert!(slots.len() == n && lens.len() >= n);
+        for (pt, slot) in plaintexts.iter().zip(slots.iter()) {
+            if slot.len() < pt.len() + RECORD_OVERHEAD {
+                return Err(CtlsError::Crypto(CryptoError::BadLength));
+            }
+        }
+        let mut i = 0;
+        while i < n {
+            self.maybe_rekey();
+            // Records sharing the current key generation form one crypto
+            // batch; the run ends where the next deterministic rekey
+            // point falls.
+            let mut j = i + 1;
+            while j < n {
+                let s = self.seq + (j - i) as u64;
+                if let Some(iv) = self.rekey_interval {
+                    if s > 0 && s.is_multiple_of(iv) {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let run = j - i;
+            let aead = self.aead.clone();
+            let aeads: [&ChaCha20Poly1305; MAX_BATCH_RECORDS] = [&aead; MAX_BATCH_RECORDS];
+            let mut nonces = [[0u8; 12]; MAX_BATCH_RECORDS];
+            let mut aad_store = [[0u8; 8]; MAX_BATCH_RECORDS];
+            for k in 0..run {
+                let s = self.seq + k as u64;
+                nonces[k] = Self::nonce(s);
+                aad_store[k] = s.to_be_bytes();
+            }
+            let aads: [&[u8]; MAX_BATCH_RECORDS] = std::array::from_fn(|k| &aad_store[k][..]);
+
+            // Headers first, then carve disjoint ciphertext and tag
+            // regions out of each slot.
+            let mut cts: [&mut [u8]; MAX_BATCH_RECORDS] = std::array::from_fn(|_| &mut [][..]);
+            let mut tag_slots: [&mut [u8]; MAX_BATCH_RECORDS] =
+                std::array::from_fn(|_| &mut [][..]);
+            let mut rest: &mut [&mut [u8]] = &mut slots[i..j];
+            let mut k = 0;
+            while !rest.is_empty() {
+                let (slot, tail) = std::mem::take(&mut rest)
+                    .split_first_mut()
+                    .expect("non-empty");
+                let pt_len = plaintexts[i + k].len();
+                slot[..4].copy_from_slice(&((pt_len + TAG_LEN) as u32).to_le_bytes());
+                let (head, after) = slot.split_at_mut(4 + pt_len);
+                cts[k] = &mut head[4..];
+                tag_slots[k] = &mut after[..TAG_LEN];
+                lens[i + k] = pt_len + RECORD_OVERHEAD;
+                rest = tail;
+                k += 1;
+            }
+
+            let mut tags = [[0u8; TAG_LEN]; MAX_BATCH_RECORDS];
+            aead::seal_batch_scatter(
+                &aeads[..run],
+                &nonces[..run],
+                &aads[..run],
+                &plaintexts[i..j],
+                &mut cts[..run],
+                &mut tags,
+            );
+            for (tag_slot, tag) in tag_slots[..run].iter_mut().zip(&tags) {
+                tag_slot.copy_from_slice(tag);
+            }
+            self.seq += run as u64;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Opens a run of records fetched from transport slots with one
+    /// batched AEAD pass per key generation. Sequence numbers are
+    /// assigned *positionally*: record `k` authenticates against
+    /// `seq + k`, and — unlike the serial path, where a failed open does
+    /// not advance — a failed record *consumes* its sequence number so
+    /// the rest of the batch still opens. That is the batch fail-closed
+    /// contract: a corrupted slot yields exactly one per-record error
+    /// (its scratch left empty) without poisoning or reordering its
+    /// neighbours.
+    fn open_batch_in_slots(
+        &mut self,
+        records: &[&[u8]],
+        outs: &mut [RecordScratch],
+        results: &mut [Result<(), CtlsError>],
+    ) {
+        let n = records.len();
+        assert!(n <= MAX_BATCH_RECORDS, "batch exceeds MAX_BATCH_RECORDS");
+        debug_assert!(outs.len() >= n && results.len() >= n);
+        let mut i = 0;
+        while i < n {
+            self.maybe_rekey();
+            let mut j = i + 1;
+            while j < n {
+                let s = self.seq + (j - i) as u64;
+                if let Some(iv) = self.rekey_interval {
+                    if s > 0 && s.is_multiple_of(iv) {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let run = j - i;
+            let aead = self.aead.clone();
+            let aeads: [&ChaCha20Poly1305; MAX_BATCH_RECORDS] = [&aead; MAX_BATCH_RECORDS];
+            let mut nonces = [[0u8; 12]; MAX_BATCH_RECORDS];
+            let mut aad_store = [[0u8; 8]; MAX_BATCH_RECORDS];
+            let mut tags = [[0u8; TAG_LEN]; MAX_BATCH_RECORDS];
+            let mut pre_err: [Option<CtlsError>; MAX_BATCH_RECORDS] = [None; MAX_BATCH_RECORDS];
+            for k in 0..run {
+                let s = self.seq + k as u64;
+                nonces[k] = Self::nonce(s);
+                aad_store[k] = s.to_be_bytes();
+                let rec = records[i + k];
+                let out = &mut outs[i + k];
+                out.buf.clear();
+                // Framing checks mirror the serial open; a bad frame
+                // simply sits the crypto batch out (empty buffer).
+                if rec.len() < 4 {
+                    pre_err[k] = Some(CtlsError::Malformed);
+                    continue;
+                }
+                let len = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]) as usize;
+                if rec.len() != 4 + len {
+                    pre_err[k] = Some(CtlsError::Malformed);
+                    continue;
+                }
+                if len < TAG_LEN {
+                    pre_err[k] = Some(CtlsError::Crypto(CryptoError::BadLength));
+                    continue;
+                }
+                out.buf.extend_from_slice(&rec[4..rec.len() - TAG_LEN]);
+                tags[k].copy_from_slice(&rec[rec.len() - TAG_LEN..]);
+            }
+            let aads: [&[u8]; MAX_BATCH_RECORDS] = std::array::from_fn(|k| &aad_store[k][..]);
+
+            let mut bufs: [&mut [u8]; MAX_BATCH_RECORDS] = std::array::from_fn(|_| &mut [][..]);
+            let mut rest: &mut [RecordScratch] = &mut outs[i..j];
+            let mut k = 0;
+            while !rest.is_empty() {
+                let (out, tail) = std::mem::take(&mut rest)
+                    .split_first_mut()
+                    .expect("non-empty");
+                bufs[k] = &mut out.buf[..];
+                rest = tail;
+                k += 1;
+            }
+
+            let mut crypto_results = [Ok(()); MAX_BATCH_RECORDS];
+            aead::open_batch_in_place(
+                &aeads[..run],
+                &nonces[..run],
+                &aads[..run],
+                &mut bufs[..run],
+                &tags[..run],
+                &mut crypto_results[..run],
+            );
+            for k in 0..run {
+                let res = if let Some(e) = pre_err[k] {
+                    Err(e)
+                } else {
+                    crypto_results[k].map_err(|e| match e {
+                        CryptoError::BadTag => CtlsError::BadSequence,
+                        other => CtlsError::Crypto(other),
+                    })
+                };
+                if res.is_err() {
+                    outs[i + k].buf.clear();
+                }
+                results[i + k] = res;
+            }
+            self.seq += run as u64;
+            i = j;
+        }
+    }
+
     /// Verifies and decrypts one record into `out` (cleared first; left
     /// empty on failure).
     fn open_into(&mut self, record: &[u8], out: &mut Vec<u8>) -> Result<(), CtlsError> {
@@ -303,6 +500,64 @@ impl Channel {
             h.charge_aead(plaintext.len());
         }
         self.tx.seal_into_slot(plaintext, slot)
+    }
+
+    /// Encrypts a run of application messages directly into transport
+    /// slots (e.g. a batch of reserved cio-ring slots) with one batched
+    /// AEAD pass: the wide keystream lanes are scheduled across record
+    /// boundaries, amortizing per-record setup, while every record keeps
+    /// its own sequence number, nonce, and tag. `lens[i]` receives the
+    /// slot bytes written for record `i`. Each record is byte-identical
+    /// to sealing the same messages one at a time with
+    /// [`Channel::seal_into_slot`], and opens with any open path.
+    ///
+    /// # Errors
+    ///
+    /// [`CtlsError::Crypto`] with `BadLength` if *any* slot is smaller
+    /// than its message plus [`RECORD_OVERHEAD`] — nothing is written
+    /// and the channel state does not advance, so the caller can fall
+    /// back to the per-record path.
+    ///
+    /// # Panics
+    ///
+    /// If the batch exceeds [`MAX_BATCH_RECORDS`] records.
+    pub fn seal_batch_into_slots(
+        &mut self,
+        plaintexts: &[&[u8]],
+        slots: &mut [&mut [u8]],
+        lens: &mut [usize],
+    ) -> Result<(), CtlsError> {
+        if let Some(h) = &self.hooks {
+            h.charge_aead_batch(plaintexts.len(), plaintexts.iter().map(|p| p.len()).sum());
+        }
+        self.tx.seal_batch_into_slots(plaintexts, slots, lens)
+    }
+
+    /// Verifies and decrypts a run of records fetched in place from
+    /// transport memory with one batched AEAD pass. Sequence numbers are
+    /// positional (`records[k]` must be the record sealed at
+    /// `rx.seq + k`), and a record that fails *consumes* its sequence
+    /// number — fail-closed per record: `results[k]` reports the error,
+    /// `outs[k]` is left empty, and the rest of the batch opens
+    /// normally. Plaintext is written only to the private scratches,
+    /// never back to the slots.
+    ///
+    /// # Panics
+    ///
+    /// If the batch exceeds [`MAX_BATCH_RECORDS`] records.
+    pub fn open_batch_in_slots(
+        &mut self,
+        records: &[&[u8]],
+        outs: &mut [RecordScratch],
+        results: &mut [Result<(), CtlsError>],
+    ) {
+        if let Some(h) = &self.hooks {
+            h.charge_aead_batch(
+                records.len(),
+                records.iter().map(|r| r.len().saturating_sub(4)).sum(),
+            );
+        }
+        self.rx.open_batch_in_slots(records, outs, results)
     }
 
     /// Verifies and decrypts one record fetched in place from transport
@@ -590,6 +845,153 @@ mod tests {
         // Sequence did not advance: the staged fallback still lines up.
         let r = c.seal(b"does not fit here").unwrap();
         assert_eq!(s.open(&r).unwrap(), b"does not fit here");
+    }
+
+    #[test]
+    fn seal_batch_matches_serial_across_rekey() {
+        // Twin channels with small rekey intervals: one seals a 10-record
+        // batch (spanning two rekey points), the other seals the same
+        // messages one at a time. Records must be byte-identical, and
+        // each side's records must open on the other's path.
+        let (mut batch_tx, mut serial_rx) = pair();
+        let (mut serial_tx, mut batch_rx) = pair();
+        batch_tx.set_rekey_interval(Some(4));
+        serial_rx.set_rekey_interval(Some(4));
+        serial_tx.set_rekey_interval(Some(4));
+        batch_rx.set_rekey_interval(Some(4));
+
+        let lens = [0usize, 1, 64, 447, 448, 449, 1024, 4096, 3, 512];
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (0..l).map(|b| (b * 13 + i) as u8).collect())
+            .collect();
+        let pts: Vec<&[u8]> = msgs.iter().map(|m| &m[..]).collect();
+
+        let mut slot_store: Vec<Vec<u8>> = lens
+            .iter()
+            .map(|&l| vec![0xEEu8; l + RECORD_OVERHEAD])
+            .collect();
+        let mut slots: Vec<&mut [u8]> = slot_store.iter_mut().map(|s| &mut s[..]).collect();
+        let mut out_lens = [0usize; MAX_BATCH_RECORDS];
+        batch_tx
+            .seal_batch_into_slots(&pts, &mut slots, &mut out_lens)
+            .unwrap();
+        assert_eq!(batch_tx.records_sent(), 10);
+        assert_eq!(
+            batch_tx.tx_generation(),
+            2,
+            "rekeyed twice inside the batch"
+        );
+
+        let mut plain = RecordScratch::new();
+        for (i, msg) in msgs.iter().enumerate() {
+            assert_eq!(out_lens[i], msg.len() + RECORD_OVERHEAD, "len {i}");
+            let serial = serial_tx.seal(msg).unwrap();
+            assert_eq!(&slot_store[i][..out_lens[i]], &serial[..], "record {i}");
+            // Batch-sealed record opens serially.
+            serial_rx
+                .open_into(&slot_store[i][..out_lens[i]], &mut plain)
+                .unwrap();
+            assert_eq!(plain.as_slice(), &msg[..], "serial open {i}");
+        }
+
+        // Serially sealed records open through the batched path.
+        let serial_records: Vec<Vec<u8>> =
+            msgs.iter().map(|m| serial_tx.seal(m).unwrap()).collect();
+        let recs: Vec<&[u8]> = serial_records.iter().map(|r| &r[..]).collect();
+        let mut outs: Vec<RecordScratch> = (0..recs.len()).map(|_| RecordScratch::new()).collect();
+        let mut results = [Ok(()); MAX_BATCH_RECORDS];
+        // Advance batch_rx past the first 10 records it never saw: open
+        // the batch-sealed slots first.
+        let first: Vec<&[u8]> = slot_store
+            .iter()
+            .zip(out_lens)
+            .map(|(s, l)| &s[..l])
+            .collect();
+        batch_rx.open_batch_in_slots(&first, &mut outs, &mut results);
+        for (i, r) in results[..first.len()].iter().enumerate() {
+            assert_eq!(*r, Ok(()), "first batch record {i}");
+            assert_eq!(
+                outs[i].as_slice(),
+                &msgs[i][..],
+                "first batch plaintext {i}"
+            );
+        }
+        batch_rx.open_batch_in_slots(&recs, &mut outs, &mut results);
+        for (i, r) in results[..recs.len()].iter().enumerate() {
+            assert_eq!(*r, Ok(()), "second batch record {i}");
+            assert_eq!(
+                outs[i].as_slice(),
+                &msgs[i][..],
+                "second batch plaintext {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_open_partial_poison_fails_closed_per_record() {
+        // Host corrupts one slot mid-batch: that record reports
+        // BadSequence with an empty scratch; every other record opens
+        // with the right bytes in the right order, and the stream
+        // continues past the batch (positional sequence consumption).
+        let (mut c, mut s) = pair();
+        let msgs: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8 + 1; 200 + i * 31]).collect();
+        let mut records: Vec<Vec<u8>> = msgs.iter().map(|m| c.seal(m).unwrap()).collect();
+        records[3][10] ^= 0x80; // corrupt ciphertext of record 3
+        let recs: Vec<&[u8]> = records.iter().map(|r| &r[..]).collect();
+        let mut outs: Vec<RecordScratch> = (0..6).map(|_| RecordScratch::new()).collect();
+        let mut results = [Ok(()); MAX_BATCH_RECORDS];
+        s.open_batch_in_slots(&recs, &mut outs, &mut results);
+        for i in 0..6 {
+            if i == 3 {
+                assert_eq!(results[i], Err(CtlsError::BadSequence));
+                assert!(outs[i].is_empty(), "poisoned record leaks no plaintext");
+            } else {
+                assert_eq!(results[i], Ok(()), "record {i}");
+                assert_eq!(outs[i].as_slice(), &msgs[i][..], "record {i}");
+            }
+        }
+        // The failed record consumed its sequence number: the very next
+        // serial record still lines up.
+        assert_eq!(s.records_received(), 6);
+        let next = c.seal(b"after the batch").unwrap();
+        assert_eq!(s.open(&next).unwrap(), b"after the batch");
+    }
+
+    #[test]
+    fn batch_open_malformed_frame_is_isolated() {
+        let (mut c, mut s) = pair();
+        let msgs: Vec<Vec<u8>> = (0..3).map(|i| vec![0x30 + i as u8; 64]).collect();
+        let records: Vec<Vec<u8>> = msgs.iter().map(|m| c.seal(m).unwrap()).collect();
+        let truncated = &records[1][..3];
+        let recs: Vec<&[u8]> = vec![&records[0], truncated, &records[2]];
+        let mut outs: Vec<RecordScratch> = (0..3).map(|_| RecordScratch::new()).collect();
+        let mut results = [Ok(()); MAX_BATCH_RECORDS];
+        s.open_batch_in_slots(&recs, &mut outs, &mut results);
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(results[1], Err(CtlsError::Malformed));
+        assert!(outs[1].is_empty());
+        assert_eq!(results[2], Ok(()));
+        assert_eq!(outs[2].as_slice(), &msgs[2][..]);
+    }
+
+    #[test]
+    fn seal_batch_too_small_slot_does_not_advance() {
+        let (mut c, mut s) = pair();
+        let msgs: [&[u8]; 2] = [b"fits", b"does not fit in ten bytes"];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 10];
+        let mut slots: Vec<&mut [u8]> = vec![&mut a[..], &mut b[..]];
+        let mut lens = [0usize; 2];
+        assert!(matches!(
+            c.seal_batch_into_slots(&msgs, &mut slots, &mut lens),
+            Err(CtlsError::Crypto(_))
+        ));
+        // Nothing advanced: the serial fallback still lines up.
+        assert_eq!(c.records_sent(), 0);
+        let r = c.seal(msgs[1]).unwrap();
+        assert_eq!(s.open(&r).unwrap(), msgs[1]);
     }
 
     #[test]

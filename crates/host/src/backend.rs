@@ -21,7 +21,7 @@ use crate::HostError;
 use cio_mem::{CopyPolicy, HostView};
 use cio_netstack::{rss, NetDevice};
 use cio_sim::{Clock, Stage, Telemetry};
-use cio_vring::cioring::{Consumer, MultiQueue, Producer};
+use cio_vring::cioring::{BatchPolicy, Consumer, MultiQueue, Producer, MAX_BATCH};
 use cio_vring::virtqueue::{Chain, DeviceSide};
 use cio_vring::RingError;
 use std::any::Any;
@@ -310,6 +310,12 @@ pub struct CioNetBackend {
     /// copy path (the defensive arm for adversarial double-fetch
     /// configurations).
     policy: CopyPolicy,
+    /// Record-batching discipline for guest->net servicing. Under the
+    /// default [`BatchPolicy::Serial`] every record is consumed on the
+    /// historical per-record path; non-serial policies drain runs of
+    /// records with one shared-index read, one memory-lock acquisition,
+    /// and one consumer-index write per run.
+    batch: BatchPolicy,
     /// Reusable scratch for batched consumes (buffers come from the
     /// serviced queue's own pool).
     scratch: Vec<Vec<u8>>,
@@ -347,6 +353,7 @@ impl CioNetBackend {
             clock,
             opaque: false,
             policy: CopyPolicy::default(),
+            batch: BatchPolicy::default(),
             scratch: Vec::new(),
             telemetry: Telemetry::disabled(),
         })
@@ -355,6 +362,16 @@ impl CioNetBackend {
     /// Sets the data-positioning discipline for ring servicing.
     pub fn set_copy_policy(&mut self, policy: CopyPolicy) {
         self.policy = policy;
+    }
+
+    /// Sets the record-batching discipline for guest->net servicing.
+    pub fn set_batch_policy(&mut self, batch: BatchPolicy) {
+        self.batch = batch;
+    }
+
+    /// The active record-batching discipline.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch
     }
 
     /// The active data-positioning discipline.
@@ -457,7 +474,7 @@ impl Backend for CioNetBackend {
         // staging copy ever happens on the host side. Otherwise the
         // batched staged path: one shared-index read per TX_BATCH frames,
         // buffers reused from the queue's pool.
-        if self.policy.allows_in_place() {
+        if self.policy.allows_in_place() && self.batch.is_serial() {
             let port = &mut self.port;
             let recorder = &self.recorder;
             let clock = &self.clock;
@@ -470,6 +487,39 @@ impl Backend for CioNetBackend {
                 lane.note_frame(len);
                 moved += 1;
                 sent += 1;
+            }
+            if sent > 0 {
+                self.telemetry.record_batch(q, sent);
+            }
+        } else if self.policy.allows_in_place() {
+            // Batched in-place guest->net: each pass drains a run of
+            // records with one shared-index read, one memory-lock
+            // acquisition, and one consumer-index write. Every record is
+            // still fetched exactly once and transmitted in ring order.
+            let port = &mut self.port;
+            let recorder = &self.recorder;
+            let clock = &self.clock;
+            let want = self.batch.max_batch();
+            let mut sent = 0u64;
+            loop {
+                let mut lens = [0usize; MAX_BATCH];
+                let mut k = 0usize;
+                let n = lane.end.tx.consume_batch_in_place(want, |frames| {
+                    for frame in frames.iter() {
+                        recorder.record(clock.now(), "frame.tx", fbits);
+                        let _ = port.transmit(frame);
+                        lens[k] = frame.len();
+                        k += 1;
+                    }
+                })?;
+                if n == 0 {
+                    break;
+                }
+                for &len in &lens[..n] {
+                    lane.note_frame(len);
+                }
+                moved += n;
+                sent += n as u64;
             }
             if sent > 0 {
                 self.telemetry.record_batch(q, sent);

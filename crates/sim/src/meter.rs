@@ -76,6 +76,15 @@ meter_fields! {
     /// Records published onto cio rings (the denominator for
     /// copies-per-record: `copies / ring_records`).
     ring_records,
+    /// Producer-index publishes on cio rings (one per commit, whether the
+    /// commit carried one record or a whole batch — the denominator for
+    /// records-per-commit: `ring_records / ring_commits`).
+    ring_commits,
+    /// Guest-memory lock acquisitions on the cio dataplane (slot payload
+    /// accesses: each copy, staged write, or in-place region open). The
+    /// batched paths acquire the lock once per run of slots, so
+    /// `lock_acquisitions / ring_records` drops below 1 under batching.
+    lock_acquisitions,
     /// Pages shared with the host.
     pages_shared,
     /// Pages revoked (un-shared) from the host.

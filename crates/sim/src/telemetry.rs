@@ -661,6 +661,22 @@ impl Telemetry {
                 "cio_copies_per_record {:.6}\n",
                 copies_per_record(&snap)
             ));
+            out.push_str(
+                "# HELP cio_records_per_commit Ring records published per producer index write.\n\
+                 # TYPE cio_records_per_commit gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_records_per_commit {:.6}\n",
+                records_per_commit(&snap)
+            ));
+            out.push_str(
+                "# HELP cio_lock_acquisitions_per_record Memory-lock acquisitions per ring record.\n\
+                 # TYPE cio_lock_acquisitions_per_record gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_lock_acquisitions_per_record {:.6}\n",
+                locks_per_record(&snap)
+            ));
         }
         out
     }
@@ -747,12 +763,15 @@ impl Telemetry {
             out.push_str(&format!(
                 ",\n  \"dataplane\": {{\"ring_records\": {}, \"copies\": {}, \
                  \"bytes_copied\": {}, \"bytes_zero_copy\": {}, \
-                 \"copies_per_record\": {:.6}}}",
+                 \"copies_per_record\": {:.6}, \"records_per_commit\": {:.6}, \
+                 \"lock_acquisitions_per_record\": {:.6}}}",
                 snap.ring_records,
                 snap.copies,
                 snap.bytes_copied,
                 snap.bytes_zero_copy,
-                copies_per_record(&snap)
+                copies_per_record(&snap),
+                records_per_commit(&snap),
+                locks_per_record(&snap)
             ));
         }
         out.push_str("\n}\n");
@@ -766,6 +785,26 @@ fn copies_per_record(snap: &crate::MeterSnapshot) -> f64 {
         0.0
     } else {
         snap.copies as f64 / snap.ring_records as f64
+    }
+}
+
+/// Records published per producer-index write: 1.0 under the serial
+/// policy, approaching the batch size as commits amortize.
+fn records_per_commit(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.ring_commits == 0 {
+        0.0
+    } else {
+        snap.ring_records as f64 / snap.ring_commits as f64
+    }
+}
+
+/// Memory-lock acquisitions per ring record: below 1.0 once batched
+/// paths cover runs of records with single locked regions.
+fn locks_per_record(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.ring_records == 0 {
+        0.0
+    } else {
+        snap.lock_acquisitions as f64 / snap.ring_records as f64
     }
 }
 
@@ -1061,6 +1100,8 @@ mod tests {
         m.copies(2);
         m.bytes_copied(1024);
         m.bytes_zero_copy(4096);
+        m.ring_commits(2);
+        m.lock_acquisitions(4);
         t.attach_meter(&m);
 
         let run = || (t.prometheus_text(), t.json_snapshot());
@@ -1072,19 +1113,24 @@ mod tests {
         assert!(pa.contains("cio_bytes_copied_total 1024"));
         assert!(pa.contains("cio_bytes_zero_copy_total 4096"));
         assert!(pa.contains("cio_copies_per_record 0.250000"));
+        assert!(pa.contains("cio_records_per_commit 4.000000"));
+        assert!(pa.contains("cio_lock_acquisitions_per_record 0.500000"));
         assert!(ja.contains(
             "\"dataplane\": {\"ring_records\": 8, \"copies\": 2, \
              \"bytes_copied\": 1024, \"bytes_zero_copy\": 4096, \
-             \"copies_per_record\": 0.250000}"
+             \"copies_per_record\": 0.250000, \"records_per_commit\": 4.000000, \
+             \"lock_acquisitions_per_record\": 0.500000}"
         ));
 
-        // A zero-copy steady state reads exactly 0.
+        // A zero-copy steady state reads exactly 0; no commits reads 0
+        // rather than dividing by zero.
         let zc = Meter::new();
         zc.ring_records(100);
         t.attach_meter(&zc);
-        assert!(t
-            .prometheus_text()
-            .contains("cio_copies_per_record 0.000000"));
+        let p = t.prometheus_text();
+        assert!(p.contains("cio_copies_per_record 0.000000"));
+        assert!(p.contains("cio_records_per_commit 0.000000"));
+        assert!(p.contains("cio_lock_acquisitions_per_record 0.000000"));
     }
 
     #[test]

@@ -247,6 +247,78 @@ fn charge_copy<V: MemView>(view: &V, bytes: usize) {
     mem.meter().bytes_copied(bytes as u64);
 }
 
+/// Upper bound on the records one batched reserve/commit/consume call can
+/// cover. Small enough that per-batch bookkeeping lives in stack arrays
+/// (the zero-allocation discipline of the steady-state loops), large
+/// enough to amortize the per-batch costs to noise.
+pub const MAX_BATCH: usize = 16;
+
+/// How a dataplane endpoint sizes its record batches.
+///
+/// The batch — not the record — is the unit of boundary crossing under
+/// any non-serial policy: one memory-lock acquisition, one index publish,
+/// and (in doorbell mode) one kick cover the whole run. `Serial` is the
+/// default and routes through the exact per-record code paths that
+/// predate batching, so its charge sequence is bit-identical to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// One record per boundary crossing (the historical path, unchanged).
+    #[default]
+    Serial,
+    /// Always attempt batches of exactly `n` records (clamped to
+    /// [`MAX_BATCH`]).
+    Fixed(usize),
+    /// Load-adaptive: batch up to `max` records when the backlog offers
+    /// them, but never hold a partially filled batch longer than
+    /// `latency_cap` virtual cycles — idle links must not queue.
+    Adaptive {
+        /// Largest batch to attempt (clamped to [`MAX_BATCH`]).
+        max: usize,
+        /// Bound on how long a partial batch may wait before flushing.
+        latency_cap: Cycles,
+    },
+}
+
+impl BatchPolicy {
+    /// Whether this policy is the per-record serial path.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        matches!(self, BatchPolicy::Serial)
+    }
+
+    /// The largest batch this policy will ever attempt.
+    #[inline]
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::Serial => 1,
+            BatchPolicy::Fixed(n) => n.clamp(1, MAX_BATCH),
+            BatchPolicy::Adaptive { max, .. } => max.clamp(1, MAX_BATCH),
+        }
+    }
+
+    /// The batch size to attempt given `backlog` records ready right now.
+    ///
+    /// `Fixed` ignores the backlog; `Adaptive` takes what the load offers
+    /// (never waiting for stragglers beyond its latency cap).
+    #[inline]
+    pub fn effective(&self, backlog: usize) -> usize {
+        match *self {
+            BatchPolicy::Serial => 1,
+            BatchPolicy::Fixed(n) => n.clamp(1, MAX_BATCH),
+            BatchPolicy::Adaptive { max, .. } => backlog.clamp(1, max.clamp(1, MAX_BATCH)),
+        }
+    }
+
+    /// The virtual-cycle bound on holding a partial batch, when one exists.
+    #[inline]
+    pub fn latency_cap(&self) -> Option<Cycles> {
+        match *self {
+            BatchPolicy::Adaptive { latency_cap, .. } => Some(latency_cap),
+            _ => None,
+        }
+    }
+}
+
 /// A reserved ring slot awaiting in-place record construction.
 ///
 /// Returned by [`Producer::reserve`]; consumed by [`Producer::commit`].
@@ -273,6 +345,42 @@ impl SlotGrant {
     #[inline]
     pub fn addr(&self) -> GuestAddr {
         self.addr
+    }
+}
+
+/// A reserved *run* of ring slots awaiting in-place batch construction.
+///
+/// Returned by [`Producer::reserve_batch`]; consumed by
+/// [`Producer::commit_batch`]. Like [`SlotGrant`] it is plain geometry:
+/// the run is always contiguous in the shared area (the reservation is
+/// clamped at the ring wrap), so one memory-lock acquisition covers every
+/// slot in the batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchGrant {
+    first_masked: u32,
+    base: GuestAddr,
+    n: u32,
+    capacity: u32,
+}
+
+impl BatchGrant {
+    /// Number of slots in the granted run (1 ..= [`MAX_BATCH`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the grant covers no slots (never true for a grant returned
+    /// by [`Producer::reserve_batch`], which errs instead).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Writable bytes granted in each slot's payload stride.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
     }
 }
 
@@ -395,6 +503,7 @@ impl<V: MemView> Producer<V> {
         let _span = self.telemetry.span(self.tq, Stage::RingProduce);
         self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
+        self.view.memory().meter().ring_commits(1);
         Ok(())
     }
 
@@ -462,11 +571,13 @@ impl<V: MemView> Producer<V> {
             }
         }
 
+        self.view.memory().meter().lock_acquisitions(1);
         self.view.memory().meter().ring_records(1);
         self.next = self.next.wrapping_add(1);
         if publish {
             self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
             charge_ring_ops(&self.view, 1);
+            self.view.memory().meter().ring_commits(1);
         }
         Ok(())
     }
@@ -513,6 +624,13 @@ impl<V: MemView> Producer<V> {
     /// production the honest cost model.
     pub fn in_slot_capable(&self) -> bool {
         self.ring.cfg.mode == DataMode::SharedArea
+    }
+
+    /// The virtual clock of this endpoint's memory domain. Batching
+    /// callers use it to enforce an [`BatchPolicy::Adaptive`] latency cap
+    /// without threading a separate clock handle.
+    pub fn clock(&self) -> cio_sim::Clock {
+        self.view.memory().clock().clone()
     }
 
     /// Reserves the next free slot for in-place record construction.
@@ -565,9 +683,11 @@ impl<V: MemView> Producer<V> {
         grant: &SlotGrant,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, RingError> {
-        Ok(self
+        let out = self
             .view
-            .with_range_mut(grant.addr, grant.capacity as usize, f)?)
+            .with_range_mut(grant.addr, grant.capacity as usize, f)?;
+        self.view.memory().meter().lock_acquisitions(1);
+        Ok(out)
     }
 
     /// Publishes a reserved slot with its final record length.
@@ -596,6 +716,130 @@ impl<V: MemView> Producer<V> {
         self.next = self.next.wrapping_add(1);
         self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
+        self.view.memory().meter().ring_commits(1);
+        Ok(())
+    }
+
+    /// Reserves a contiguous run of up to `want` free slots for in-place
+    /// batch construction, each granting `len` writable bytes.
+    ///
+    /// The run is clamped to the free-slot count, to the ring wrap (so it
+    /// is one contiguous region of the shared area — one memory-lock
+    /// acquisition in [`Producer::with_batch_mut`] covers it all), and to
+    /// [`MAX_BATCH`]. Nothing is visible to the consumer until
+    /// [`Producer::commit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::Fatal`] if the layout is not in-slot capable;
+    /// [`RingError::TooLarge`] over the fixed MTU; [`RingError::Full`] when
+    /// no slot at all is free (a *partial* grant is not an error — callers
+    /// treat `grant.len() < want` as transient backpressure and retry the
+    /// remainder later).
+    pub fn reserve_batch(&mut self, len: usize, want: usize) -> Result<BatchGrant, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
+        if !self.in_slot_capable() {
+            return Err(RingError::Fatal(
+                "in-slot reservation requires the shared-area layout",
+            ));
+        }
+        if len > self.ring.cfg.mtu as usize {
+            return Err(RingError::TooLarge);
+        }
+        let free = self.ring.cfg.slots - self.in_flight()?;
+        if free == 0 {
+            return Err(RingError::Full);
+        }
+        let first_masked = self.next & self.ring.slot_mask();
+        // Clamp to the wrap so the run's payload strides are contiguous.
+        let until_wrap = self.ring.cfg.slots - first_masked;
+        let n = (want.max(1) as u32)
+            .min(free)
+            .min(until_wrap)
+            .min(MAX_BATCH as u32);
+        Ok(BatchGrant {
+            first_masked,
+            base: self.ring.payload_addr(first_masked),
+            n,
+            capacity: len as u32,
+        })
+    }
+
+    /// Runs `f` over every reserved slot's writable bytes under a *single*
+    /// memory-lock acquisition.
+    ///
+    /// The closure receives one mutable slice per granted slot, in ring
+    /// order, each `grant.capacity()` bytes long. Like
+    /// [`Producer::with_slot_mut`], the closure sees real slot memory and
+    /// must not touch guest memory again while it runs.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors if the run is not accessible to this view.
+    pub fn with_batch_mut<R>(
+        &self,
+        grant: &BatchGrant,
+        f: impl FnOnce(&mut [&mut [u8]]) -> R,
+    ) -> Result<R, RingError> {
+        let stride = self.ring.cfg.stride() as usize;
+        let n = grant.n as usize;
+        let cap = grant.capacity as usize;
+        let span = (n - 1) * stride + cap;
+        let out = self.view.with_range_mut(grant.base, span, |region| {
+            let mut slots: [&mut [u8]; MAX_BATCH] = std::array::from_fn(|_| &mut [][..]);
+            let mut rest = region;
+            for slot in slots.iter_mut().take(n) {
+                let take = stride.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                *slot = &mut head[..cap];
+                rest = tail;
+            }
+            f(&mut slots[..n])
+        })?;
+        self.view.memory().meter().lock_acquisitions(1);
+        Ok(out)
+    }
+
+    /// Publishes the first `lens.len()` slots of a reserved run with their
+    /// final record lengths, in ring order, with a *single* shared-index
+    /// write.
+    ///
+    /// Committing fewer slots than granted is the partial-batch path: the
+    /// uncommitted tail is simply never published (the next reservation
+    /// hands it out again). Per-slot metadata is still written per record
+    /// — the single-fetch validation discipline on the consumer side is
+    /// untouched — but the index publish (and, per the caller's kick, the
+    /// doorbell) is amortized over the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`RingError::TooLarge`] if `lens` outnumbers the granted slots or
+    /// any length exceeds the granted capacity; memory errors.
+    pub fn commit_batch(&mut self, grant: BatchGrant, lens: &[usize]) -> Result<(), RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingProduce);
+        if lens.len() > grant.n as usize || lens.iter().any(|&l| l > grant.capacity as usize) {
+            return Err(RingError::TooLarge);
+        }
+        if lens.is_empty() {
+            return Ok(());
+        }
+        let stride = u64::from(self.ring.cfg.stride());
+        let meter = self.view.memory().meter().clone();
+        for (i, &len) in lens.iter().enumerate() {
+            let masked = grant.first_masked + i as u32;
+            let slot = self.ring.slot_addr(masked);
+            let offset = (grant.base.0 + i as u64 * stride - self.ring.area.0) as u32;
+            self.view.write_u32(slot, offset)?;
+            self.view.write_u32(slot.add(4), len as u32)?;
+            charge_ring_ops(&self.view, 2);
+            meter.bytes_zero_copy(len as u64);
+            meter.ring_records(1);
+        }
+        self.next = self.next.wrapping_add(lens.len() as u32);
+        self.view.write_u32(self.ring.prod_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        meter.ring_commits(1);
+        self.telemetry.record_batch(self.tq, lens.len() as u64);
         Ok(())
     }
 
@@ -810,6 +1054,7 @@ impl<V: MemView> Consumer<V> {
         }
         self.view.read(addr, buf)?;
         charge_copy(&self.view, len);
+        self.view.memory().meter().lock_acquisitions(1);
         self.commit()?;
         Ok(len)
     }
@@ -847,9 +1092,169 @@ impl<V: MemView> Consumer<V> {
         let masked = self.next & self.ring.slot_mask();
         let (addr, len) = self.read_slot_meta(masked)?;
         let out = self.view.with_range_mut(addr, len as usize, f)?;
+        self.view.memory().meter().lock_acquisitions(1);
         self.view.memory().meter().bytes_zero_copy(u64::from(len));
         self.commit()?;
         Ok(Some(out))
+    }
+
+    /// Consumes up to `max` payloads *in place* under (in the honest
+    /// layout) a single memory-lock acquisition, then commits the whole
+    /// run with a single consumer-index write.
+    ///
+    /// Every slot's metadata is still fetched exactly once, masked, and
+    /// clamped by `read_slot_meta` — batching amortizes the lock and the
+    /// index write, never the validation. When the validated payload
+    /// windows form an ascending, non-overlapping run (which the honest
+    /// producer's stride layout always yields), the closure receives all
+    /// of them carved out of one locked region; a hostile layout that
+    /// aliases or reorders windows silently degrades to per-record lock
+    /// acquisitions, with the closure invoked once per record on a
+    /// one-element batch. Either way `f` observes the same records in the
+    /// same order, and all `max ≤` [`MAX_BATCH`] bookkeeping lives on the
+    /// stack.
+    ///
+    /// Like [`Consumer::consume_in_place`], slots are committed whether or
+    /// not the closure judged the records valid, and the closure must not
+    /// touch guest memory while it runs. Returns how many records were
+    /// consumed (0 when the ring is empty).
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn consume_batch_in_place(
+        &mut self,
+        max: usize,
+        mut f: impl FnMut(&mut [&mut [u8]]),
+    ) -> Result<usize, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
+        let avail = self.available()? as usize;
+        let until_wrap = (self.ring.cfg.slots - (self.next & self.ring.slot_mask())) as usize;
+        let n = avail.min(max).min(until_wrap).min(MAX_BATCH);
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut metas: [(GuestAddr, u32); MAX_BATCH] = [(GuestAddr(0), 0); MAX_BATCH];
+        for (i, meta) in metas.iter_mut().enumerate().take(n) {
+            *meta =
+                self.read_slot_meta(self.next.wrapping_add(i as u32) & self.ring.slot_mask())?;
+        }
+        let metas = &metas[..n];
+        // Honest producers place window i strictly before window i+1 (one
+        // stride each); only then can one locked region cover the run.
+        let disjoint_ascending = metas
+            .windows(2)
+            .all(|w| w[0].0 .0 + u64::from(w[0].1) <= w[1].0 .0);
+        let meter = self.view.memory().meter().clone();
+        let total: u64 = metas.iter().map(|&(_, len)| u64::from(len)).sum();
+        if disjoint_ascending {
+            let base = metas[0].0;
+            let end = metas[n - 1].0 .0 + u64::from(metas[n - 1].1);
+            let span = (end - base.0) as usize;
+            self.view.with_range_mut(base, span, |region| {
+                let mut slots: [&mut [u8]; MAX_BATCH] = std::array::from_fn(|_| &mut [][..]);
+                let mut rest = region;
+                let mut consumed = 0u64;
+                for (i, &(addr, len)) in metas.iter().enumerate() {
+                    let gap = (addr.0 - base.0 - consumed) as usize;
+                    let (_, after) = rest.split_at_mut(gap);
+                    let (head, tail) = after.split_at_mut(len as usize);
+                    slots[i] = head;
+                    rest = tail;
+                    consumed = addr.0 - base.0 + u64::from(len);
+                }
+                f(&mut slots[..n]);
+            })?;
+            meter.lock_acquisitions(1);
+        } else {
+            // Hostile aliasing: fall back to one lock per record. The
+            // closure still sees every record, one at a time.
+            for &(addr, len) in metas {
+                self.view.with_range_mut(addr, len as usize, |bytes| {
+                    let mut one: [&mut [u8]; 1] = [bytes];
+                    f(&mut one[..]);
+                })?;
+                meter.lock_acquisitions(1);
+            }
+        }
+        meter.bytes_zero_copy(total);
+        self.next = self.next.wrapping_add(n as u32);
+        self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        Ok(n)
+    }
+
+    /// Consumes up to `bufs.len()` payloads by early copy — the batched
+    /// mirror of [`Consumer::consume_into`] — committing the whole run
+    /// with a single consumer-index write.
+    ///
+    /// Copy-as-first-class is a per-record discipline: each record still
+    /// pays its own metered copy, exactly as the serial path does. Only
+    /// the memory-lock acquisition (one per honest run) and the index
+    /// publish are amortized; validation stays single-fetch per slot, and
+    /// a hostile aliasing layout degrades to per-record locks just like
+    /// [`Consumer::consume_batch_in_place`]. Returns how many buffers
+    /// were filled (0 when the ring is empty).
+    ///
+    /// # Errors
+    ///
+    /// As [`Consumer::consume`].
+    pub fn consume_batch_into(&mut self, bufs: &mut [Vec<u8>]) -> Result<usize, RingError> {
+        let _span = self.telemetry.span(self.tq, Stage::RingConsume);
+        let avail = self.available()? as usize;
+        let until_wrap = (self.ring.cfg.slots - (self.next & self.ring.slot_mask())) as usize;
+        let n = avail.min(bufs.len()).min(until_wrap).min(MAX_BATCH);
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut metas: [(GuestAddr, u32); MAX_BATCH] = [(GuestAddr(0), 0); MAX_BATCH];
+        for (i, meta) in metas.iter_mut().enumerate().take(n) {
+            *meta =
+                self.read_slot_meta(self.next.wrapping_add(i as u32) & self.ring.slot_mask())?;
+        }
+        let metas = &metas[..n];
+        let disjoint_ascending = metas
+            .windows(2)
+            .all(|w| w[0].0 .0 + u64::from(w[0].1) <= w[1].0 .0);
+        let meter = self.view.memory().meter().clone();
+        if disjoint_ascending {
+            let base = metas[0].0;
+            let end = metas[n - 1].0 .0 + u64::from(metas[n - 1].1);
+            let span = (end - base.0) as usize;
+            self.view.with_range_mut(base, span, |region| {
+                let mut rest = &*region;
+                let mut consumed = 0u64;
+                for (i, &(addr, len)) in metas.iter().enumerate() {
+                    let gap = (addr.0 - base.0 - consumed) as usize;
+                    let (_, after) = rest.split_at(gap);
+                    let (head, tail) = after.split_at(len as usize);
+                    let buf = &mut bufs[i];
+                    buf.clear();
+                    buf.extend_from_slice(head);
+                    rest = tail;
+                    consumed = addr.0 - base.0 + u64::from(len);
+                }
+            })?;
+            meter.lock_acquisitions(1);
+        } else {
+            // Hostile aliasing: one lock per record, like the in-place
+            // batch's fallback.
+            for (i, &(addr, len)) in metas.iter().enumerate() {
+                self.view.with_range_mut(addr, len as usize, |bytes| {
+                    let buf = &mut bufs[i];
+                    buf.clear();
+                    buf.extend_from_slice(bytes);
+                })?;
+                meter.lock_acquisitions(1);
+            }
+        }
+        for &(_, len) in metas {
+            charge_copy(&self.view, len as usize);
+        }
+        self.next = self.next.wrapping_add(n as u32);
+        self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
+        charge_ring_ops(&self.view, 1);
+        Ok(n)
     }
 
     /// One poll iteration: consume if available, else charge idle-poll.
@@ -1496,6 +1901,218 @@ mod tests {
                 .unwrap();
             assert_eq!(staged, in_slot, "len {len}");
         }
+    }
+
+    #[test]
+    fn batch_reserve_commit_consume_roundtrips() {
+        let (m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let before = m.meter().snapshot();
+        let grant = p.reserve_batch(64, 4).unwrap();
+        assert_eq!(grant.len(), 4);
+        assert_eq!(grant.capacity(), 64);
+        p.with_batch_mut(&grant, |slots| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot[..4].copy_from_slice(&[i as u8; 4]);
+            }
+        })
+        .unwrap();
+        // Invisible until commit.
+        assert_eq!(c.consume().unwrap(), None);
+        p.commit_batch(grant, &[4, 4, 4, 4]).unwrap();
+        let mut seen = Vec::new();
+        let consumed = c
+            .consume_batch_in_place(MAX_BATCH, |slots| {
+                for s in slots.iter() {
+                    seen.push(s.to_vec());
+                }
+            })
+            .unwrap();
+        assert_eq!(consumed, 4);
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s, &vec![i as u8; 4]);
+        }
+        let d = m.meter().snapshot().delta(&before);
+        assert_eq!(d.ring_records, 4);
+        assert_eq!(d.ring_commits, 1, "one index publish for the batch");
+        assert_eq!(d.lock_acquisitions, 2, "one lock per side for the run");
+        assert_eq!(d.copies, 0);
+        assert_eq!(d.bytes_zero_copy, 2 * 16);
+    }
+
+    #[test]
+    fn batch_reserve_clamps_to_wrap_free_and_max() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        // 8 slots, MAX_BATCH 16: a greedy grant clamps to the ring size.
+        let g = p.reserve_batch(8, 32).unwrap();
+        assert_eq!(g.len(), 8);
+        // Park the producer cursor at slot 5.
+        p.commit_batch(g, &[1; 5]).unwrap();
+        assert_eq!(c.consume_batch_in_place(8, |_| {}).unwrap(), 5);
+        // All 8 slots are free but only 3 remain before the wrap: the run
+        // must stay contiguous in the shared area.
+        let g = p.reserve_batch(8, 8).unwrap();
+        assert_eq!(g.len(), 3, "clamped to the contiguous pre-wrap run");
+        p.commit_batch(g, &[2, 2, 2]).unwrap();
+        // After the wrap the run restarts at slot 0 with 5 slots free.
+        let g = p.reserve_batch(8, 8).unwrap();
+        assert_eq!(g.len(), 5);
+        p.commit_batch(g, &[3; 5]).unwrap();
+        // A full ring errs rather than granting an empty run.
+        assert!(matches!(p.reserve_batch(8, 1), Err(RingError::Full)));
+    }
+
+    #[test]
+    fn batch_partial_commit_republishes_tail_later() {
+        let (_m, mut p, mut c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let grant = p.reserve_batch(16, 6).unwrap();
+        assert_eq!(grant.len(), 6);
+        p.with_batch_mut(&grant, |slots| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot[..2].copy_from_slice(&[i as u8; 2]);
+            }
+        })
+        .unwrap();
+        // Commit only the first two records; the tail stays unpublished.
+        p.commit_batch(grant, &[2, 2]).unwrap();
+        assert_eq!(c.available().unwrap(), 2);
+        // The next reservation hands the tail out again.
+        let g2 = p.reserve_batch(16, 6).unwrap();
+        p.with_batch_mut(&g2, |slots| {
+            slots[0][..2].copy_from_slice(b"zz");
+        })
+        .unwrap();
+        p.commit_batch(g2, &[2]).unwrap();
+        let mut seen = Vec::new();
+        c.consume_batch_in_place(MAX_BATCH, |slots| {
+            for s in slots.iter() {
+                seen.push(s.to_vec());
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![b"\x00\x00".to_vec(), b"\x01\x01".to_vec(), b"zz".to_vec()]
+        );
+    }
+
+    #[test]
+    fn batch_commit_enforces_grant_bounds() {
+        let (_m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        let g = p.reserve_batch(8, 2).unwrap();
+        assert!(matches!(
+            p.commit_batch(g, &[1, 2, 3]),
+            Err(RingError::TooLarge)
+        ));
+        let g = p.reserve_batch(8, 2).unwrap();
+        assert!(matches!(p.commit_batch(g, &[9]), Err(RingError::TooLarge)));
+        // Inline layouts cannot reserve runs at all.
+        let (_m2, mut p2, _c2) = tx_pair(small_cfg(DataMode::Inline));
+        assert!(matches!(p2.reserve_batch(8, 2), Err(RingError::Fatal(_))));
+    }
+
+    #[test]
+    fn batch_consume_matches_serial_order_and_bytes() {
+        let (_m1, mut p1, mut c1) = tx_pair(small_cfg(DataMode::SharedArea));
+        let (_m2, mut p2, mut c2) = tx_pair(small_cfg(DataMode::SharedArea));
+        let lens = [100usize, 0, 1024, 3, 512];
+        for (i, &len) in lens.iter().enumerate() {
+            let payload = vec![(i as u8).wrapping_mul(17); len];
+            p1.produce(&payload).unwrap();
+            p2.produce(&payload).unwrap();
+        }
+        let mut serial = Vec::new();
+        while let Some(v) = c1.consume_in_place(|bytes| bytes.to_vec()).unwrap() {
+            serial.push(v);
+        }
+        let mut batched = Vec::new();
+        while c2
+            .consume_batch_in_place(MAX_BATCH, |slots| {
+                for s in slots.iter() {
+                    batched.push(s.to_vec());
+                }
+            })
+            .unwrap()
+            > 0
+        {}
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn batch_consume_into_matches_serial_copy_metering() {
+        let (m1, mut p1, mut c1) = tx_pair(small_cfg(DataMode::SharedArea));
+        let (m2, mut p2, mut c2) = tx_pair(small_cfg(DataMode::SharedArea));
+        let lens = [100usize, 0, 1024, 3, 512];
+        for (i, &len) in lens.iter().enumerate() {
+            let payload = vec![(i as u8).wrapping_mul(31); len];
+            p1.produce(&payload).unwrap();
+            p2.produce(&payload).unwrap();
+        }
+        let before1 = m1.meter().snapshot();
+        let mut serial = Vec::new();
+        while let Some(v) = c1.consume().unwrap() {
+            serial.push(v);
+        }
+        let d1 = m1.meter().snapshot().delta(&before1);
+        let before2 = m2.meter().snapshot();
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); MAX_BATCH];
+        let mut batched = Vec::new();
+        loop {
+            let n = c2.consume_batch_into(&mut bufs).unwrap();
+            if n == 0 {
+                break;
+            }
+            batched.extend(bufs[..n].iter().cloned());
+        }
+        let d2 = m2.meter().snapshot().delta(&before2);
+        assert_eq!(serial, batched);
+        assert_eq!(d2.copies, d1.copies, "batch keeps per-record copy meter");
+        assert_eq!(d2.bytes_copied, d1.bytes_copied);
+        assert_eq!(d2.bytes_zero_copy, 0, "copying batch is not zero-copy");
+        assert_eq!(d1.lock_acquisitions, lens.len() as u64);
+        assert_eq!(d2.lock_acquisitions, 1, "one lock for the honest run");
+    }
+
+    #[test]
+    fn batch_consume_falls_back_on_hostile_aliasing() {
+        // Host producer aims two slots at the *same* window: the batched
+        // consumer must degrade to per-record locks, not alias slices.
+        let (m, mut p, mut c) = rx_pair(small_cfg(DataMode::SharedArea));
+        p.produce(b"aaaa").unwrap();
+        p.produce(b"bbbb").unwrap();
+        let ring = c.ring().clone();
+        // Point slot 1 at slot 0's window.
+        m.host().write_u32(ring.slot_addr(1), 0).unwrap();
+        let before = m.meter().snapshot();
+        let mut seen = Vec::new();
+        let n = c
+            .consume_batch_in_place(MAX_BATCH, |slots| {
+                for s in slots.iter() {
+                    seen.push(s.to_vec());
+                }
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(seen[0], b"aaaa");
+        assert_eq!(seen[1], b"aaaa", "slot 1 was aimed at slot 0's bytes");
+        let d = m.meter().snapshot().delta(&before);
+        assert_eq!(d.lock_acquisitions, 2, "one lock per record in fallback");
+    }
+
+    #[test]
+    fn batch_policy_sizing() {
+        assert!(BatchPolicy::default().is_serial());
+        assert_eq!(BatchPolicy::Serial.effective(100), 1);
+        assert_eq!(BatchPolicy::Fixed(8).effective(1), 8);
+        assert_eq!(BatchPolicy::Fixed(64).max_batch(), MAX_BATCH);
+        let adaptive = BatchPolicy::Adaptive {
+            max: 8,
+            latency_cap: Cycles(10_000),
+        };
+        assert_eq!(adaptive.effective(0), 1);
+        assert_eq!(adaptive.effective(3), 3);
+        assert_eq!(adaptive.effective(100), 8);
+        assert_eq!(adaptive.latency_cap(), Some(Cycles(10_000)));
+        assert_eq!(BatchPolicy::Serial.latency_cap(), None);
     }
 
     // --- Adversarial safety: the §3.2 masking guarantees. ---

@@ -159,6 +159,220 @@ fn seal_in_slot_byte_identical_to_staged_across_modes() {
     }
 }
 
+/// The batched dataplane is observationally identical to the per-record
+/// path: for every payload size, batch size, data-positioning mode, and
+/// copy policy, the batched seal/commit/consume/open pipeline yields the
+/// same record bytes in the same ring order, the same opened plaintexts,
+/// and the same metered copy counts as the serial twin. Modes and
+/// policies that cannot host in-slot sealing exercise the batched path's
+/// staged per-record fallback — in exactly the cases serial falls back.
+#[test]
+fn batched_dataplane_byte_identical_to_serial() {
+    use cio_ctls::{Channel, CtlsError, RecordScratch, RECORD_OVERHEAD};
+    use cio_mem::CopyPolicy;
+    use cio_vring::cioring::MAX_BATCH;
+
+    fn batch_ring(
+        mode: DataMode,
+    ) -> (
+        GuestMemory,
+        Producer<cio_mem::GuestView>,
+        Consumer<cio_mem::HostView>,
+    ) {
+        let inline = mode == DataMode::Inline;
+        let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+        let cfg = RingConfig {
+            slots: 16,
+            slot_size: if inline { 2048 } else { 16 },
+            mode,
+            mtu: if inline { 1514 } else { 1 << 17 },
+            area_size: 1 << 21,
+            ..RingConfig::default()
+        };
+        let ring = CioRing::new(cfg, GuestAddr(0), GuestAddr(32 * PAGE_SIZE as u64)).unwrap();
+        mem.share_range(GuestAddr(0), ring.ring_bytes()).unwrap();
+        if ring.area_bytes() > 0 {
+            mem.share_range(GuestAddr(32 * PAGE_SIZE as u64), ring.area_bytes())
+                .unwrap();
+        }
+        let p = Producer::new(ring.clone(), mem.guest()).unwrap();
+        let c = Consumer::new(ring, mem.host()).unwrap();
+        (mem, p, c)
+    }
+
+    let mut rng = SimRng::seed_from(0xba7c4);
+    for mode in [DataMode::SharedArea, DataMode::Inline, DataMode::Indirect] {
+        for policy in [CopyPolicy::InPlace, CopyPolicy::CopyEarly] {
+            for bs in [1usize, 2, 3, 8, 16] {
+                // Sixteen payloads (the ring's capacity): the edge sizes
+                // plus random fill, truncated to what the mode can carry.
+                let base: &[usize] = if mode == DataMode::SharedArea {
+                    &[0, 1, 64, 447, 448, 449, 1024, 4096, 16384, 65536]
+                } else {
+                    &[0, 1, 64, 447, 448, 449, 1024, 1400]
+                };
+                let hi = if mode == DataMode::SharedArea {
+                    65536
+                } else {
+                    1400
+                };
+                let mut payloads: Vec<Vec<u8>> = base
+                    .iter()
+                    .map(|&s| {
+                        let mut v = vec![0u8; s];
+                        rng.fill_bytes(&mut v);
+                        v
+                    })
+                    .collect();
+                while payloads.len() < 16 {
+                    payloads.push(rand_vec(&mut rng, 0, hi));
+                }
+
+                // Serial twin: one record per boundary crossing.
+                let (mem_s, mut ps, mut cs) = batch_ring(mode);
+                let mut seal_s = Channel::from_secrets([9; 32], [8; 32], true, None);
+                let mut open_s = Channel::from_secrets([9; 32], [8; 32], false, None);
+                let mut rec = RecordScratch::new();
+                let mut plain = RecordScratch::new();
+                let in_slot = policy.allows_in_place() && ps.in_slot_capable();
+                for payload in &payloads {
+                    if in_slot {
+                        let grant = ps.reserve(payload.len() + RECORD_OVERHEAD).unwrap();
+                        let n = ps
+                            .with_slot_mut(&grant, |slot| seal_s.seal_into_slot(payload, slot))
+                            .unwrap()
+                            .unwrap();
+                        ps.commit(grant, n).unwrap();
+                    } else {
+                        seal_s.seal_into(payload, &mut rec).unwrap();
+                        ps.produce(rec.as_slice()).unwrap();
+                    }
+                }
+                let mut serial_records: Vec<Vec<u8>> = Vec::new();
+                let mut serial_plains: Vec<Vec<u8>> = Vec::new();
+                if policy.allows_in_place() {
+                    while let Some(record) = cs.consume_in_place(|r| r.to_vec()).unwrap() {
+                        open_s.open_in_slot(&record, &mut plain).unwrap();
+                        serial_records.push(record);
+                        serial_plains.push(plain.as_slice().to_vec());
+                    }
+                } else {
+                    let mut buf = Vec::new();
+                    while cs.consume_into(&mut buf).unwrap().is_some() {
+                        open_s.open_into(&buf, &mut plain).unwrap();
+                        serial_records.push(buf.clone());
+                        serial_plains.push(plain.as_slice().to_vec());
+                    }
+                }
+
+                // Batched twin: runs of up to `bs` records per crossing.
+                let (mem_b, mut pb, mut cb) = batch_ring(mode);
+                let mut seal_b = Channel::from_secrets([9; 32], [8; 32], true, None);
+                let mut open_b = Channel::from_secrets([9; 32], [8; 32], false, None);
+                if policy.allows_in_place() && pb.in_slot_capable() {
+                    let mut done = 0usize;
+                    while done < payloads.len() {
+                        let want = (payloads.len() - done).min(bs);
+                        let cap = payloads[done..done + want]
+                            .iter()
+                            .map(Vec::len)
+                            .max()
+                            .unwrap()
+                            + RECORD_OVERHEAD;
+                        let grant = pb.reserve_batch(cap, want).unwrap();
+                        let g = grant.len().min(want);
+                        let mut pts: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                        for (i, p) in payloads[done..done + g].iter().enumerate() {
+                            pts[i] = p;
+                        }
+                        let mut lens = [0usize; MAX_BATCH];
+                        pb.with_batch_mut(&grant, |slots| {
+                            seal_b.seal_batch_into_slots(&pts[..g], &mut slots[..g], &mut lens[..g])
+                        })
+                        .unwrap()
+                        .unwrap();
+                        pb.commit_batch(grant, &lens[..g]).unwrap();
+                        done += g;
+                    }
+                } else {
+                    // Exactly where serial stages, batched stages.
+                    for payload in &payloads {
+                        seal_b.seal_into(payload, &mut rec).unwrap();
+                        pb.produce(rec.as_slice()).unwrap();
+                    }
+                }
+                let mut batch_records: Vec<Vec<u8>> = Vec::new();
+                let mut batch_plains: Vec<Vec<u8>> = Vec::new();
+                if policy.allows_in_place() {
+                    let mut outs: Vec<RecordScratch> =
+                        (0..MAX_BATCH).map(|_| RecordScratch::new()).collect();
+                    loop {
+                        let mut raw: Vec<Vec<u8>> = Vec::new();
+                        let chan = &mut open_b;
+                        let outs_ref = &mut outs;
+                        let n = cb
+                            .consume_batch_in_place(bs, |slots| {
+                                let k = slots.len();
+                                let mut recs: [&[u8]; MAX_BATCH] = [&[]; MAX_BATCH];
+                                for (i, s) in slots.iter().enumerate() {
+                                    recs[i] = s;
+                                    raw.push(s.to_vec());
+                                }
+                                let mut results: [Result<(), CtlsError>; MAX_BATCH] =
+                                    [Ok(()); MAX_BATCH];
+                                chan.open_batch_in_slots(
+                                    &recs[..k],
+                                    &mut outs_ref[..k],
+                                    &mut results[..k],
+                                );
+                                for r in &results[..k] {
+                                    assert!(r.is_ok(), "{mode:?} {policy:?} bs {bs}: {r:?}");
+                                }
+                            })
+                            .unwrap();
+                        if n == 0 {
+                            break;
+                        }
+                        for (i, r) in raw.into_iter().enumerate() {
+                            batch_records.push(r);
+                            batch_plains.push(outs[i].as_slice().to_vec());
+                        }
+                    }
+                } else {
+                    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); bs.min(MAX_BATCH)];
+                    let mut plain_b = RecordScratch::new();
+                    loop {
+                        let n = cb.consume_batch_into(&mut bufs).unwrap();
+                        if n == 0 {
+                            break;
+                        }
+                        for b in &bufs[..n] {
+                            open_b.open_into(b, &mut plain_b).unwrap();
+                            batch_records.push(b.clone());
+                            batch_plains.push(plain_b.as_slice().to_vec());
+                        }
+                    }
+                }
+
+                let tag = format!("{mode:?} {policy:?} bs {bs}");
+                assert_eq!(batch_records, serial_records, "{tag}: record bytes/order");
+                assert_eq!(batch_plains, serial_plains, "{tag}: opened plaintexts");
+                let expect: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+                let got: Vec<&[u8]> = batch_plains.iter().map(Vec::as_slice).collect();
+                assert_eq!(got, expect, "{tag}: roundtrip");
+                let (ds, db) = (mem_s.meter().snapshot(), mem_b.meter().snapshot());
+                assert_eq!(db.copies, ds.copies, "{tag}: metered copies");
+                assert_eq!(db.bytes_copied, ds.bytes_copied, "{tag}: copied bytes");
+                assert_eq!(db.ring_records, ds.ring_records, "{tag}: ring records");
+                assert!(
+                    db.lock_acquisitions <= ds.lock_acquisitions,
+                    "{tag}: batching may only reduce lock acquisitions"
+                );
+            }
+        }
+    }
+}
+
 /// AEAD: any bit flip anywhere in any sealed message is rejected.
 #[test]
 fn aead_rejects_every_single_bitflip() {

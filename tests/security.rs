@@ -179,6 +179,41 @@ fn attack_outcomes_unchanged_under_in_slot_dataplane() {
     assert_eq!(payload_toctou_in_slot().unwrap(), Outcome::Prevented);
 }
 
+/// The batched dataplane amortizes boundary crossings, not validation:
+/// every attack in the E10 suite ends with the same outcome whether the
+/// world runs the per-record path or multi-record commit/consume with
+/// shared-keystream AEAD batching, and a host that corrupts one slot of
+/// a committed run poisons exactly that record — the rest of the batch
+/// opens byte-correct and in order.
+#[test]
+fn attack_outcomes_unchanged_under_batched_dataplane() {
+    use cio::attacks::{batch_partial_poison, run_scenario_with_batch};
+    use cio::world::BatchPolicy;
+
+    for b in [
+        BoundaryKind::L2CioRing,
+        BoundaryKind::DualBoundary,
+        BoundaryKind::Tunneled,
+    ] {
+        for a in ALL_ATTACKS {
+            let serial = run_scenario_with_batch(b, a, BatchPolicy::Serial).unwrap();
+            let batched = run_scenario_with_batch(b, a, BatchPolicy::Fixed(8)).unwrap();
+            assert_eq!(
+                serial.outcome, batched.outcome,
+                "{b} vs {a}: serial and batched outcomes diverged"
+            );
+            assert_eq!(
+                serial.workload_survived, batched.workload_survived,
+                "{b} vs {a}: survival diverged"
+            );
+            assert_ne!(batched.outcome, Outcome::Undetected, "{b} vs {a}");
+        }
+    }
+    // One hostile slot mid-batch fails closed alone; no poisoning or
+    // reordering of its neighbours.
+    assert_eq!(batch_partial_poison().unwrap(), Outcome::Detected);
+}
+
 /// E10 regression pins: the matrix outcomes the docs quote.
 #[test]
 fn attack_matrix_pinned_outcomes() {

@@ -230,11 +230,15 @@ fn prometheus_text_round_trips_through_a_parser() {
 #[test]
 fn counters_are_monotone_across_exports() {
     let w = run_world();
-    // The copies-per-record gauge is a ratio, not a counter — exempt.
+    // The per-record ratio gauges are not counters — exempt.
     let counters = |text: &str| -> HashMap<(String, String), u64> {
         samples_of(text)
             .into_iter()
-            .filter(|(n, _, _)| n != "cio_copies_per_record")
+            .filter(|(n, _, _)| {
+                n != "cio_copies_per_record"
+                    && n != "cio_records_per_commit"
+                    && n != "cio_lock_acquisitions_per_record"
+            })
             .map(|(n, l, v)| ((n, format!("{l:?}")), v.parse::<u64>().unwrap()))
             .collect()
     };

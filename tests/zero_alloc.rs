@@ -250,4 +250,62 @@ fn steady_state_record_path_does_not_allocate() {
         "4-queue steady-state record path must not touch the heap \
          ({during} allocations over 2000 steered records)"
     );
+
+    // Phase 4: the batched steady state, telemetry still armed. Eight
+    // records per boundary crossing: one reserved run sealed by one
+    // shared-keystream AEAD pass, one index publish, one locked consume
+    // pass, one batched open. All per-batch bookkeeping lives in stack
+    // arrays; the per-record scratches are grown during warm-up.
+    const BATCH: usize = 8;
+    let mut outs: Vec<RecordScratch> = (0..BATCH).map(|_| RecordScratch::new()).collect();
+    let mut batch_cycle = |outs: &mut [RecordScratch]| {
+        let _span = telemetry.span(0, Stage::GuestSend);
+        let grant = producer
+            .reserve_batch(payload.len() + RECORD_OVERHEAD, BATCH)
+            .expect("batch reservation");
+        let g = grant.len().min(BATCH);
+        let pts: [&[u8]; BATCH] = [&payload; BATCH];
+        let mut lens = [0usize; BATCH];
+        producer
+            .with_batch_mut(&grant, |slots| {
+                guest.seal_batch_into_slots(&pts[..g], &mut slots[..g], &mut lens[..g])
+            })
+            .expect("batch slot access")
+            .expect("batch seal");
+        producer
+            .commit_batch(grant, &lens[..g])
+            .expect("batch commit");
+        let consumed = consumer
+            .consume_batch_in_place(BATCH, |slots| {
+                let k = slots.len();
+                let mut recs: [&[u8]; BATCH] = [&[]; BATCH];
+                for (i, s) in slots.iter().enumerate() {
+                    recs[i] = s;
+                }
+                let mut results: [Result<(), cio_ctls::CtlsError>; BATCH] = [Ok(()); BATCH];
+                host.open_batch_in_slots(&recs[..k], &mut outs[..k], &mut results[..k]);
+                for r in &results[..k] {
+                    assert!(r.is_ok(), "batch open");
+                }
+            })
+            .expect("batch consume");
+        assert_eq!(consumed, g, "committed run must drain in one pass");
+        for out in outs[..g].iter() {
+            assert_eq!(out.as_slice(), &payload[..]);
+        }
+    };
+    for _ in 0..32 {
+        batch_cycle(&mut outs);
+    }
+
+    let before = allocations();
+    for _ in 0..250 {
+        batch_cycle(&mut outs);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "batched steady-state send/recv must not touch the heap \
+         ({during} allocations over 2000 batched records)"
+    );
 }
