@@ -267,6 +267,22 @@ pub fn telemetry_echo_world(
         telemetry,
         ..bench_opts()
     };
+    telemetry_echo_world_with(opts, flows, rounds, size)
+}
+
+/// [`telemetry_echo_world`] with full [`WorldOptions`] control — used by
+/// the telemetry-under-threads determinism suite to run the identical
+/// workload with `parallel` worker threads.
+///
+/// # Errors
+///
+/// World construction or timeout failures.
+pub fn telemetry_echo_world_with(
+    opts: WorldOptions,
+    flows: usize,
+    rounds: u32,
+    size: usize,
+) -> Result<World, CioError> {
     let mut w = World::new(BoundaryKind::L2CioRing, opts)?;
     let conns: Vec<_> = (0..flows)
         .map(|_| w.connect(ECHO_PORT))

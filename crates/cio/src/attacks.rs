@@ -237,6 +237,32 @@ pub fn run_scenario_with(
         boundary,
         attack,
         queues,
+        0,
+        cio_mem::CopyPolicy::default(),
+        BatchPolicy::Serial,
+    )
+}
+
+/// [`run_scenario_with`] on a world whose host runs thread-per-queue
+/// (`threads` worker threads): the same hostile mutations now land on
+/// state that live OS threads are servicing. Every outcome must match
+/// the serial matrix — parallel execution widens no attack surface. Only
+/// meaningful for the cio-ring designs (others ignore `threads`).
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn run_scenario_parallel(
+    boundary: BoundaryKind,
+    attack: AttackKind,
+    queues: usize,
+    threads: usize,
+) -> Result<AttackReport, CioError> {
+    run_scenario_inner(
+        boundary,
+        attack,
+        queues,
+        threads,
         cio_mem::CopyPolicy::default(),
         BatchPolicy::Serial,
     )
@@ -255,7 +281,7 @@ pub fn run_scenario_with_policy(
     attack: AttackKind,
     policy: cio_mem::CopyPolicy,
 ) -> Result<AttackReport, CioError> {
-    run_scenario_inner(boundary, attack, 1, policy, BatchPolicy::Serial)
+    run_scenario_inner(boundary, attack, 1, 0, policy, BatchPolicy::Serial)
 }
 
 /// [`run_scenario`] with an explicit record-batch discipline: proves the
@@ -271,13 +297,21 @@ pub fn run_scenario_with_batch(
     attack: AttackKind,
     batch: BatchPolicy,
 ) -> Result<AttackReport, CioError> {
-    run_scenario_inner(boundary, attack, 1, cio_mem::CopyPolicy::default(), batch)
+    run_scenario_inner(
+        boundary,
+        attack,
+        1,
+        0,
+        cio_mem::CopyPolicy::default(),
+        batch,
+    )
 }
 
 fn run_scenario_inner(
     boundary: BoundaryKind,
     attack: AttackKind,
     queues: usize,
+    parallel: usize,
     copy_policy: cio_mem::CopyPolicy,
     batch: BatchPolicy,
 ) -> Result<AttackReport, CioError> {
@@ -290,16 +324,15 @@ fn run_scenario_inner(
         });
     }
 
-    let queues = if matches!(
+    let multiqueue_capable = matches!(
         boundary,
         BoundaryKind::L2CioRing | BoundaryKind::DualBoundary
-    ) {
-        queues
-    } else {
-        1
-    };
+    );
+    let queues = if multiqueue_capable { queues } else { 1 };
+    let parallel = if multiqueue_capable { parallel } else { 0 };
     let opts = WorldOptions {
         queues,
+        parallel,
         copy_policy,
         batch,
         ..attack_opts()
@@ -598,6 +631,116 @@ pub fn batch_partial_poison() -> Result<Outcome, CioError> {
     } else {
         Outcome::Undetected
     })
+}
+
+/// The live-race scenario for the thread-per-queue host: a hostile OS
+/// thread hammers the last queue's RX ring — producer-index forgery and
+/// slot offset/len scribbles — *concurrently* with the guest committing
+/// batched records and the parallel host's worker threads servicing the
+/// queues. Every serial attack in the matrix lands between steps; this
+/// one lands mid-round, interleaved with worker execution at the memory
+/// layer's actual lock granularity.
+///
+/// The safety argument is the paper's: the hardened consumer re-validates
+/// indices and masks slot fields on every fetch, and all shared-memory
+/// access goes through the striped [`cio_mem::GuestMemory`] locks, so a
+/// racing writer can only produce the same hostile values a sequential
+/// writer could — there is no interleaving that bypasses validation.
+/// Returns the classified report plus how many mutation sweeps landed;
+/// the workload-survival flag is probed on a flow steered *away* from
+/// the attacked queue (the blast radius must stay per-queue).
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn parallel_hostile_mutation(threads: usize) -> Result<(AttackReport, u64), CioError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const QUEUES: usize = 4;
+    let opts = WorldOptions {
+        queues: QUEUES,
+        parallel: threads,
+        batch: BatchPolicy::Fixed(8),
+        ..attack_opts()
+    };
+    let mut world = World::new(BoundaryKind::L2CioRing, opts)?;
+    // Enough flows that some steer to the attacked queue and some away.
+    let conns: Vec<_> = (0..6)
+        .map(|_| world.connect(ECHO_PORT))
+        .collect::<Result<_, _>>()?;
+    for &c in &conns {
+        world.establish(c, 20_000)?;
+        world.send(c, b"before attack")?;
+        let warm = world.recv_exact(c, 13, 20_000)?;
+        debug_assert_eq!(&warm, b"before attack");
+    }
+
+    let before = world.meter().snapshot();
+    let attacked = QUEUES - 1;
+    let (_, rx_ring) = world
+        .anatomy()
+        .cio_queues
+        .last()
+        .cloned()
+        .expect("cio queues");
+    let mem = world.guest_memory().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let attacker = std::thread::spawn(move || {
+        let host = mem.host();
+        let mut sweeps = 0u64;
+        while !stop_flag.load(Ordering::Relaxed) {
+            // Forge the producer index, then scribble hostile offset/len
+            // pairs over every slot — racing whichever worker owns this
+            // queue through the striped memory locks.
+            let _ = host.write(rx_ring.prod_idx_addr(), &1_000_000u32.to_le_bytes());
+            for i in 0..rx_ring.config().slots {
+                let slot = rx_ring.slot_addr(i);
+                let _ = host.write(slot, &0xFFFF_FFF0u32.to_le_bytes());
+                let _ = host.write(slot.add(4), &0xFFFF_FFFFu32.to_le_bytes());
+            }
+            sweeps += 1;
+            std::thread::yield_now();
+        }
+        sweeps
+    });
+    // Keep the whole dataplane running while the attacker races it.
+    let _ = world.run(200);
+    stop.store(true, Ordering::Relaxed);
+    let sweeps = attacker.join().expect("attacker thread");
+
+    // Recovery window, then prove liveness on a flow the RSS hash steers
+    // away from the attacked queue.
+    let _ = world.run(50);
+    let mut survived = false;
+    if let Some(&probe) = conns
+        .iter()
+        .find(|&&c| world.conn_lane(c).is_some_and(|l| l != attacked))
+    {
+        if world.send(probe, b"after attack").is_ok() {
+            if let Ok(got) = world.recv_exact(probe, 12, 40_000) {
+                survived = got == b"after attack";
+            }
+        }
+    }
+    let delta = world.meter().snapshot().delta(&before);
+    let outcome = if delta.violations_undetected > 0 {
+        Outcome::Undetected
+    } else if delta.violations_detected > 0 {
+        Outcome::Detected
+    } else {
+        Outcome::Prevented
+    };
+    Ok((
+        AttackReport {
+            boundary: BoundaryKind::L2CioRing,
+            attack: AttackKind::IndexJump,
+            outcome,
+            workload_survived: survived,
+        },
+        sweeps,
+    ))
 }
 
 /// The NetVSC offset-forgery micro-scenario (the Figure 3 driver family's

@@ -7,6 +7,7 @@
 //! streams), so experiments E4/E9/E10/E11 run identical workloads across
 //! designs and differences are attributable to the boundary alone.
 
+mod parallel;
 pub mod speer;
 
 use crate::dev::{
@@ -31,6 +32,7 @@ use cio_vring::hardened::HardenedDriver;
 use cio_vring::virtqueue::{
     driver_negotiate, ConfigSpace, DeviceSide, Driver, Layout, F_NET_MAC, F_NET_MTU, F_VERSION_1,
 };
+use parallel::ParallelHost;
 use speer::{FeedResult, SecurePeer, SecureStream, TunnelGateway};
 
 pub use cio_vring::cioring::BatchPolicy;
@@ -133,6 +135,14 @@ pub struct WorldOptions {
     /// flows are RSS-steered and each queue is serviced on its own
     /// virtual core (see [`cio_sim::Lanes`]).
     pub queues: usize,
+    /// Host worker threads (cio-ring designs only). `0` (default) keeps
+    /// host servicing on the stepping thread. With `n > 0`, the host
+    /// backend is split thread-per-queue: `n` persistent OS threads each
+    /// own `queues / n` queue pairs end-to-end (rings, backlog, pool,
+    /// lane clock, telemetry fork) and service them concurrently in wall
+    /// clock, while the virtual-time schedule stays record-for-record
+    /// identical to the serial multiqueue sweep. Must divide `queues`.
+    pub parallel: usize,
     /// Arm the deterministic telemetry layer (spans, histograms, cycle
     /// attribution — see [`cio_sim::telemetry`]). Off by default: a
     /// disabled handle costs one branch per instrumentation site and
@@ -158,6 +168,7 @@ impl Default for WorldOptions {
             step_quantum: Cycles(5_000),
             tee_kind: TeeKind::ConfidentialVm,
             queues: 1,
+            parallel: 0,
             telemetry: false,
         }
     }
@@ -265,6 +276,10 @@ pub struct World {
     /// Telemetry domain (a disabled no-op handle unless
     /// [`WorldOptions::telemetry`] armed it).
     telemetry: Telemetry,
+    /// Thread-per-queue host execution (replaces `backend` when
+    /// [`WorldOptions::parallel`] is non-zero; `backend` then holds a
+    /// [`NullBackend`]).
+    parallel: Option<ParallelHost>,
 }
 
 /// Step-by-step construction of a [`World`].
@@ -303,6 +318,13 @@ impl WorldBuilder {
     /// [`MAX_QUEUES`]).
     pub fn queues(mut self, queues: usize) -> Self {
         self.opts.queues = queues;
+        self
+    }
+
+    /// Host worker threads (cio-ring designs; must divide the queue
+    /// count). `0` keeps host servicing on the stepping thread.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.opts.parallel = threads;
         self
     }
 
@@ -373,6 +395,18 @@ impl WorldBuilder {
             return Err(CioError::Fatal(
                 "multi-queue is implemented for the cio-ring designs",
             ));
+        }
+        if opts.parallel > 0 {
+            if !matches!(kind, BoundaryKind::L2CioRing | BoundaryKind::DualBoundary) {
+                return Err(CioError::Fatal(
+                    "parallel host execution is implemented for the cio-ring designs",
+                ));
+            }
+            if opts.queues % opts.parallel != 0 {
+                return Err(CioError::Fatal(
+                    "parallel worker count must divide the queue count",
+                ));
+            }
         }
         let tee = Tee::new(opts.tee_kind, GUEST_PAGES, opts.cost.clone());
         let clock = tee.clock().clone();
@@ -747,6 +781,20 @@ impl WorldBuilder {
             }
         }
         let lanes = Lanes::new(clock.clone(), opts.queues);
+        // Thread-per-queue mode: carve the cio backend into a steering
+        // coordinator plus per-queue workers on persistent OS threads.
+        let mut backend = backend;
+        let parallel = if opts.parallel > 0 {
+            let taken = std::mem::replace(&mut backend, Box::new(NullBackend) as Box<dyn Backend>);
+            let Ok(cio) = taken.into_any().downcast::<CioNetBackend>() else {
+                return Err(CioError::Fatal(
+                    "parallel host execution needs a cio-ring backend",
+                ));
+            };
+            Some(ParallelHost::new(*cio, opts.parallel, &mem, &telemetry)?)
+        } else {
+            None
+        };
         Ok(World {
             kind,
             opts,
@@ -764,6 +812,7 @@ impl WorldBuilder {
             lanes,
             seal_scratch: RecordScratch::new(),
             telemetry,
+            parallel,
         })
     }
 }
@@ -928,6 +977,21 @@ impl World {
         self.opts.queues
     }
 
+    /// Host worker threads (`0` when host servicing runs on the stepping
+    /// thread).
+    pub fn parallel_threads(&self) -> usize {
+        self.parallel.as_ref().map_or(0, ParallelHost::threads)
+    }
+
+    /// Per-queue traffic meter snapshots when the parallel host runs
+    /// (index = queue id; empty in serial mode, where the backend's
+    /// [`cio_host::CioNetBackend::queue_meter`] serves the same role).
+    pub fn parallel_queue_meters(&self) -> Vec<cio_sim::MeterSnapshot> {
+        self.parallel
+            .as_ref()
+            .map_or_else(Vec::new, ParallelHost::queue_meters)
+    }
+
     /// The telemetry domain. Disabled (inert) unless the world was built
     /// with [`WorldBuilder::telemetry`]; use it to pull
     /// [`cio_sim::Profile`] tables, histograms, and exporter snapshots.
@@ -970,6 +1034,14 @@ impl World {
         ) {
             return Err(CioError::Unsupported(
                 "hot swap is implemented for the cio-ring designs",
+            ));
+        }
+        if self.parallel.is_some() {
+            // Live worker threads hold the old rings; swapping under them
+            // would strand a round mid-flight. Quiesce-and-swap is future
+            // work; for now the two features are mutually exclusive.
+            return Err(CioError::Unsupported(
+                "hot swap is not available while the parallel host runs",
             ));
         }
         let old = std::mem::replace(&mut self.backend, Box::new(NullBackend));
@@ -1034,7 +1106,9 @@ impl World {
     /// as detected violations, not errors, unless the design cannot
     /// contain it).
     pub fn step(&mut self) -> Result<(), CioError> {
-        if self.opts.queues > 1 {
+        if self.parallel.is_some() {
+            self.step_parallel()
+        } else if self.opts.queues > 1 {
             self.step_multiqueue()
         } else {
             self.step_serial()
@@ -1087,8 +1161,43 @@ impl World {
     /// runs between barriers.
     fn step_multiqueue(&mut self) -> Result<(), CioError> {
         let t0 = self.clock.now();
+        self.poll_guest_queues()?;
+        // Fabric ingress steers frames to queues without charging guest
+        // cycles; per-queue servicing then runs on the queue's lane.
+        self.backend.ingress();
         let nq = self.opts.queues;
-        for q in 0..nq {
+        for q in 0..self.backend.queue_count() {
+            let base = self.lanes.begin(q % nq);
+            let serviced = self.backend.service_queue(q);
+            self.lanes.end(q % nq, base);
+            // Multi-queue is cio-ring only: a wedged ring surfaces on the
+            // meter and the world keeps stepping.
+            let _ = serviced;
+        }
+        self.finish_lane_round(t0)
+    }
+
+    /// The thread-per-queue schedule: the guest side and round epilogue
+    /// are exactly [`World::step_multiqueue`]'s; host ingress and
+    /// per-queue servicing are one [`ParallelHost::round`] — every queue
+    /// dispatched to its owning worker thread, then folded back (lane
+    /// time, stamped transmissions, telemetry) in ascending queue order,
+    /// so the round is record-for-record identical to the serial sweep
+    /// while the servicing itself overlaps in wall clock.
+    fn step_parallel(&mut self) -> Result<(), CioError> {
+        let t0 = self.clock.now();
+        self.poll_guest_queues()?;
+        let mut host = self.parallel.take().expect("parallel mode");
+        let round = host.round(&mut self.lanes, &self.telemetry, &self.clock);
+        self.parallel = Some(host);
+        round?;
+        self.finish_lane_round(t0)
+    }
+
+    /// The per-queue guest-poll sweep shared by the lane-based schedules:
+    /// each queue's receive path runs on that queue's lane.
+    fn poll_guest_queues(&mut self) -> Result<(), CioError> {
+        for q in 0..self.opts.queues {
             let base = self.lanes.begin(q);
             // The span lives strictly inside the lane region, where the
             // clock is positioned at this lane's local frontier.
@@ -1107,17 +1216,13 @@ impl World {
             self.lanes.end(q, base);
             polled?;
         }
-        // Fabric ingress steers frames to queues without charging guest
-        // cycles; per-queue servicing then runs on the queue's lane.
-        self.backend.ingress();
-        for q in 0..self.backend.queue_count() {
-            let base = self.lanes.begin(q % nq);
-            let serviced = self.backend.service_queue(q);
-            self.lanes.end(q % nq, base);
-            // Multi-queue is cio-ring only: a wedged ring surfaces on the
-            // meter and the world keeps stepping.
-            let _ = serviced;
-        }
+        Ok(())
+    }
+
+    /// The lane-based round epilogue: peer servicing, per-connection
+    /// flushing on each connection's lane, the lane barrier, and the
+    /// idle quantum.
+    fn finish_lane_round(&mut self, t0: Cycles) -> Result<(), CioError> {
         {
             let _peer = self.telemetry.span(0, Stage::Peer);
             self.poll_peer();
@@ -1527,6 +1632,68 @@ mod tests {
                 assert_eq!(got, want.as_bytes(), "{kind} conn {i}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_host_echoes_and_matches_the_serial_schedule() {
+        // The same workload on the serial multiqueue sweep and on live
+        // worker threads must meter and clock identically: the parallel
+        // host is a wall-clock optimization, not a semantic change.
+        let run = |threads: usize| {
+            let mut w = World::builder(BoundaryKind::L2CioRing)
+                .queues(4)
+                .parallel(threads)
+                .options(WorldOptions {
+                    queues: 4,
+                    parallel: threads,
+                    ..quick_opts()
+                })
+                .build()
+                .unwrap();
+            let conns: Vec<Conn> = (0..6).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
+            for &c in &conns {
+                w.establish(c, 5_000).unwrap();
+            }
+            for (i, &c) in conns.iter().enumerate() {
+                w.send(c, format!("flow {i} payload").as_bytes()).unwrap();
+            }
+            for (i, &c) in conns.iter().enumerate() {
+                let want = format!("flow {i} payload");
+                let got = w.recv_exact(c, want.len(), 5_000).unwrap();
+                assert_eq!(got, want.as_bytes(), "threads={threads} conn {i}");
+            }
+            (w.meter().snapshot(), w.clock().now())
+        };
+        let serial = run(0);
+        assert_eq!(serial, run(1), "1 worker thread vs serial sweep");
+        assert_eq!(serial, run(4), "4 worker threads vs serial sweep");
+    }
+
+    #[test]
+    fn parallel_builder_validates() {
+        // Worker count must divide the queue count.
+        assert!(matches!(
+            World::builder(BoundaryKind::L2CioRing)
+                .queues(4)
+                .parallel(3)
+                .build(),
+            Err(CioError::Fatal(_))
+        ));
+        // Parallel execution is a cio-ring feature.
+        assert!(matches!(
+            World::builder(BoundaryKind::L2VirtioHardened)
+                .parallel(1)
+                .build(),
+            Err(CioError::Fatal(_))
+        ));
+        // Hot swap and live workers are mutually exclusive.
+        let mut w = World::builder(BoundaryKind::L2CioRing)
+            .queues(2)
+            .parallel(2)
+            .build()
+            .unwrap();
+        assert_eq!(w.parallel_threads(), 2);
+        assert!(matches!(w.hot_swap_device(), Err(CioError::Unsupported(_))));
     }
 
     #[test]

@@ -20,8 +20,8 @@ use crate::observe::{bits, Recorder};
 use crate::HostError;
 use cio_mem::{CopyPolicy, HostView};
 use cio_netstack::{rss, NetDevice};
-use cio_sim::{Clock, Stage, Telemetry};
-use cio_vring::cioring::{BatchPolicy, Consumer, MultiQueue, Producer, MAX_BATCH};
+use cio_sim::{Clock, Cycles, Stage, Telemetry};
+use cio_vring::cioring::{BatchPolicy, Consumer, MultiQueue, Producer, QueueLane, MAX_BATCH};
 use cio_vring::virtqueue::{Chain, DeviceSide};
 use cio_vring::RingError;
 use std::any::Any;
@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 
 /// Frames a backend retains per queue while the guest is slow; beyond
 /// this the queue tail-drops like a full NIC ring.
-const PENDING_CAP: usize = 256;
+pub(crate) const PENDING_CAP: usize = 256;
 
 /// How many guest->host frames one batched consume pass pulls per queue
 /// (one shared-index read per batch).
@@ -287,10 +287,181 @@ impl Backend for VirtioNetBackend {
 
 /// One host-side cio queue: consumer of the guest->host ring, producer of
 /// the host->guest ring, plus the inbound frames steered to this queue.
-struct HostQueue {
-    tx: Consumer<HostView>,
-    rx: Producer<HostView>,
-    pending: VecDeque<Vec<u8>>,
+pub(crate) struct HostQueue {
+    pub(crate) tx: Consumer<HostView>,
+    pub(crate) rx: Producer<HostView>,
+    pub(crate) pending: VecDeque<Vec<u8>>,
+}
+
+/// Where serviced guest->net frames go.
+///
+/// The serial backend hands them straight to its [`FabricPort`]; the
+/// thread-per-queue worker defers them to a per-queue outbox that the
+/// coordinator flushes in queue order (keeping the fabric's shared PRNG
+/// draw order deterministic). Factoring the sink out lets the serial and
+/// parallel paths share one servicing routine, so they cannot drift.
+pub(crate) trait FrameSink {
+    /// Ships one frame stamped with the servicing clock's current time.
+    fn send(&mut self, now: Cycles, frame: &[u8]);
+}
+
+/// Serial sink: transmit directly on the fabric (the port reads the
+/// shared clock itself, which equals `now` on the serial path).
+pub(crate) struct PortSink<'a> {
+    pub(crate) port: &'a mut FabricPort,
+}
+
+impl FrameSink for PortSink<'_> {
+    fn send(&mut self, _now: Cycles, frame: &[u8]) {
+        // Device-side MTU errors are the guest's problem; drop silently
+        // like hardware would.
+        let _ = self.port.transmit(frame);
+    }
+}
+
+/// Everything one cio lane-servicing pass needs besides the lane itself
+/// and the frame sink. The serial backend borrows these from its own
+/// fields; a worker owns per-thread instances (lane clock, telemetry
+/// fork).
+pub(crate) struct CioLaneCtx<'a> {
+    pub(crate) policy: CopyPolicy,
+    pub(crate) batch: BatchPolicy,
+    pub(crate) fbits: u32,
+    pub(crate) recorder: &'a Recorder,
+    pub(crate) clock: &'a Clock,
+    pub(crate) telemetry: &'a Telemetry,
+}
+
+/// Services one cio queue: drains guest->net records into `sink` and
+/// delivers this queue's staged net->guest frames, with batched index
+/// publication. Shared verbatim by [`CioNetBackend::service_queue`] and
+/// the parallel [`CioQueueWorker`](crate::worker::CioQueueWorker).
+pub(crate) fn service_cio_lane(
+    lane: &mut QueueLane<HostQueue>,
+    q: usize,
+    ctx: &CioLaneCtx<'_>,
+    scratch: &mut Vec<Vec<u8>>,
+    sink: &mut dyn FrameSink,
+) -> Result<usize, HostError> {
+    let _svc = ctx.telemetry.span(q, Stage::HostService);
+    let fbits = ctx.fbits;
+    let mut moved = 0;
+
+    // Guest -> network: under the in-place policy each record is read
+    // straight out of slot memory and handed to the sink — no staging
+    // copy ever happens on the host side. Otherwise the batched staged
+    // path: one shared-index read per TX_BATCH frames, buffers reused
+    // from the queue's pool.
+    if ctx.policy.allows_in_place() && ctx.batch.is_serial() {
+        let recorder = ctx.recorder;
+        let clock = ctx.clock;
+        let mut sent = 0u64;
+        while let Some(len) = lane.end.tx.consume_in_place(|frame| {
+            let now = clock.now();
+            recorder.record(now, "frame.tx", fbits);
+            sink.send(now, frame);
+            frame.len()
+        })? {
+            lane.note_frame(len);
+            moved += 1;
+            sent += 1;
+        }
+        if sent > 0 {
+            ctx.telemetry.record_batch(q, sent);
+        }
+    } else if ctx.policy.allows_in_place() {
+        // Batched in-place guest->net: each pass drains a run of
+        // records with one shared-index read, one memory-lock
+        // acquisition, and one consumer-index write. Every record is
+        // still fetched exactly once and transmitted in ring order.
+        let recorder = ctx.recorder;
+        let clock = ctx.clock;
+        let want = ctx.batch.max_batch();
+        let mut sent = 0u64;
+        loop {
+            let mut lens = [0usize; MAX_BATCH];
+            let mut k = 0usize;
+            let n = lane.end.tx.consume_batch_in_place(want, |frames| {
+                for frame in frames.iter() {
+                    let now = clock.now();
+                    recorder.record(now, "frame.tx", fbits);
+                    sink.send(now, frame);
+                    lens[k] = frame.len();
+                    k += 1;
+                }
+            })?;
+            if n == 0 {
+                break;
+            }
+            for &len in &lens[..n] {
+                lane.note_frame(len);
+            }
+            moved += n;
+            sent += n as u64;
+        }
+        if sent > 0 {
+            ctx.telemetry.record_batch(q, sent);
+        }
+    } else {
+        scratch.clear();
+        while scratch.len() < TX_BATCH {
+            scratch.push(lane.pool.get());
+        }
+        loop {
+            let n = lane.end.tx.consume_batch(scratch)?;
+            if n > 0 {
+                ctx.telemetry.record_batch(q, n as u64);
+            }
+            for frame in &scratch[..n] {
+                let now = ctx.clock.now();
+                ctx.recorder.record(now, "frame.tx", fbits);
+                lane.note_frame(frame.len());
+                sink.send(now, frame);
+                moved += 1;
+            }
+            if n < TX_BATCH {
+                break;
+            }
+        }
+        for buf in scratch.drain(..) {
+            lane.pool.put(buf);
+        }
+    }
+
+    // Network -> guest: stage every deliverable frame, then one index
+    // publish (and at most one kick) for the whole batch. Under the
+    // in-place policy the single write into the slot IS the data
+    // positioning, so it is not metered as a copy.
+    let zc = ctx.policy.allows_in_place() && lane.end.rx.zero_copy_capable();
+    let mut staged = 0;
+    while let Some(frame) = lane.end.pending.pop_front() {
+        ctx.recorder.record(ctx.clock.now(), "frame.rx", fbits);
+        let res = if zc {
+            lane.end.rx.stage_zero_copy(&frame)
+        } else {
+            lane.end.rx.stage(&frame)
+        };
+        match res {
+            Ok(()) => {
+                lane.note_frame(frame.len());
+                lane.pool.put(frame);
+                staged += 1;
+                moved += 1;
+            }
+            Err(RingError::Full) => {
+                // Guest slow: keep the frame for a later pass.
+                lane.end.pending.push_front(frame);
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if staged > 0 {
+        ctx.telemetry.record_batch(q, staged);
+        lane.end.rx.publish()?;
+        lane.end.rx.kick();
+    }
+    Ok(moved)
 }
 
 /// Host backend for the cio-ring interface: N independent ring pairs
@@ -442,6 +613,113 @@ impl CioNetBackend {
     pub fn rx_ring(&mut self) -> &mut Producer<HostView> {
         self.rx_ring_of(0)
     }
+
+    /// Splits the backend for thread-per-queue execution: the fabric port
+    /// and steering arithmetic stay with the coordinator (as a
+    /// [`CioSteer`]), and each queue lane becomes a self-contained
+    /// [`CioQueueWorker`](crate::worker::CioQueueWorker) that can be moved
+    /// to its own OS thread.
+    ///
+    /// `ctx_for(q)` supplies queue `q`'s execution context: its private
+    /// lane clock, a telemetry fork bound to that clock, and a host view
+    /// whose memory handle charges it. Ring endpoints are rebound
+    /// mid-stream onto that view ([`Consumer::rebind`]) — indices,
+    /// pending frames, pools, and per-queue meters all carry over, so
+    /// splitting is transparent to the guest.
+    pub fn split_parallel(
+        self,
+        mut ctx_for: impl FnMut(usize) -> WorkerCtx,
+    ) -> (CioSteer, Vec<crate::worker::CioQueueWorker>) {
+        let fbits = self.frame_bits();
+        let mask = self.queues.mask();
+        let mut workers = Vec::new();
+        for (q, lane) in self.queues.into_lanes().into_iter().enumerate() {
+            let ctx = ctx_for(q);
+            let HostQueue { tx, rx, pending } = lane.end;
+            let mut tx = tx.rebind(ctx.view.clone());
+            let mut rx = rx.rebind(ctx.view);
+            tx.set_telemetry(ctx.telemetry.clone(), q);
+            rx.set_telemetry(ctx.telemetry.clone(), q);
+            workers.push(crate::worker::CioQueueWorker::new(
+                q,
+                QueueLane {
+                    end: HostQueue { tx, rx, pending },
+                    pool: lane.pool,
+                    meter: lane.meter,
+                },
+                self.policy,
+                self.batch,
+                fbits,
+                self.recorder.clone(),
+                ctx.clock,
+                ctx.telemetry,
+            ));
+        }
+        (
+            CioSteer {
+                port: self.port,
+                mask,
+            },
+            workers,
+        )
+    }
+}
+
+/// Per-worker execution context supplied to
+/// [`CioNetBackend::split_parallel`].
+pub struct WorkerCtx {
+    /// The worker's private lane clock (repositioned by the coordinator
+    /// at the lane's virtual-time frontier each round).
+    pub clock: Clock,
+    /// Telemetry fork bound to the lane clock (absorbed by the
+    /// coordinator after each round).
+    pub telemetry: Telemetry,
+    /// Host view of the shared guest memory whose handle charges the
+    /// lane clock.
+    pub view: HostView,
+}
+
+/// The coordinator's share of a split [`CioNetBackend`]: the fabric port
+/// plus the RSS steering arithmetic. Workers never touch the fabric (its
+/// shared PRNG would make draw order schedule-dependent); the
+/// coordinator drains inbound frames here and flushes worker outboxes
+/// through [`CioSteer::port_mut`] with
+/// [`FabricPort::transmit_at`].
+pub struct CioSteer {
+    port: FabricPort,
+    mask: u32,
+}
+
+impl CioSteer {
+    /// Number of queues being steered to.
+    pub fn queues(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Pulls every delivered frame off the fabric and steers it into
+    /// `staged[q]` by the symmetric RSS hash — the same masked-index
+    /// discipline as the serial backend's ingress. Tail-dropping against
+    /// the per-queue pending cap happens at the owning worker (which
+    /// sees the queue's true backlog).
+    pub fn drain_into(&mut self, staged: &mut [Vec<Vec<u8>>]) -> usize {
+        debug_assert_eq!(staged.len(), self.queues());
+        let mut n = 0;
+        while let Some(frame) = self.port.receive() {
+            staged[rss::steer(&frame, self.mask)].push(frame);
+            n += 1;
+        }
+        n
+    }
+
+    /// The fabric port (deferred-transmit flushing).
+    pub fn port_mut(&mut self) -> &mut FabricPort {
+        &mut self.port
+    }
+
+    /// Dismantles the coordinator, returning the fabric port.
+    pub fn into_port(self) -> FabricPort {
+        self.port
+    }
 }
 
 impl Backend for CioNetBackend {
@@ -464,125 +742,24 @@ impl Backend for CioNetBackend {
     }
 
     fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
-        let _svc = self.telemetry.span(q, Stage::HostService);
-        let fbits = self.frame_bits();
-        let mut moved = 0;
-        let lane = self.queues.lane_mut(q);
-
-        // Guest -> network: under the in-place policy each record is read
-        // straight out of slot memory and handed to the fabric — no
-        // staging copy ever happens on the host side. Otherwise the
-        // batched staged path: one shared-index read per TX_BATCH frames,
-        // buffers reused from the queue's pool.
-        if self.policy.allows_in_place() && self.batch.is_serial() {
-            let port = &mut self.port;
-            let recorder = &self.recorder;
-            let clock = &self.clock;
-            let mut sent = 0u64;
-            while let Some(len) = lane.end.tx.consume_in_place(|frame| {
-                recorder.record(clock.now(), "frame.tx", fbits);
-                let _ = port.transmit(frame);
-                frame.len()
-            })? {
-                lane.note_frame(len);
-                moved += 1;
-                sent += 1;
-            }
-            if sent > 0 {
-                self.telemetry.record_batch(q, sent);
-            }
-        } else if self.policy.allows_in_place() {
-            // Batched in-place guest->net: each pass drains a run of
-            // records with one shared-index read, one memory-lock
-            // acquisition, and one consumer-index write. Every record is
-            // still fetched exactly once and transmitted in ring order.
-            let port = &mut self.port;
-            let recorder = &self.recorder;
-            let clock = &self.clock;
-            let want = self.batch.max_batch();
-            let mut sent = 0u64;
-            loop {
-                let mut lens = [0usize; MAX_BATCH];
-                let mut k = 0usize;
-                let n = lane.end.tx.consume_batch_in_place(want, |frames| {
-                    for frame in frames.iter() {
-                        recorder.record(clock.now(), "frame.tx", fbits);
-                        let _ = port.transmit(frame);
-                        lens[k] = frame.len();
-                        k += 1;
-                    }
-                })?;
-                if n == 0 {
-                    break;
-                }
-                for &len in &lens[..n] {
-                    lane.note_frame(len);
-                }
-                moved += n;
-                sent += n as u64;
-            }
-            if sent > 0 {
-                self.telemetry.record_batch(q, sent);
-            }
-        } else {
-            self.scratch.clear();
-            while self.scratch.len() < TX_BATCH {
-                self.scratch.push(lane.pool.get());
-            }
-            loop {
-                let n = lane.end.tx.consume_batch(&mut self.scratch)?;
-                if n > 0 {
-                    self.telemetry.record_batch(q, n as u64);
-                }
-                for frame in &self.scratch[..n] {
-                    self.recorder.record(self.clock.now(), "frame.tx", fbits);
-                    lane.note_frame(frame.len());
-                    let _ = self.port.transmit(frame);
-                    moved += 1;
-                }
-                if n < TX_BATCH {
-                    break;
-                }
-            }
-            for buf in self.scratch.drain(..) {
-                lane.pool.put(buf);
-            }
-        }
-
-        // Network -> guest: stage every deliverable frame, then one index
-        // publish (and at most one kick) for the whole batch. Under the
-        // in-place policy the single write into the slot IS the data
-        // positioning, so it is not metered as a copy.
-        let zc = self.policy.allows_in_place() && lane.end.rx.zero_copy_capable();
-        let mut staged = 0;
-        while let Some(frame) = lane.end.pending.pop_front() {
-            self.recorder.record(self.clock.now(), "frame.rx", fbits);
-            let res = if zc {
-                lane.end.rx.stage_zero_copy(&frame)
-            } else {
-                lane.end.rx.stage(&frame)
-            };
-            match res {
-                Ok(()) => {
-                    lane.note_frame(frame.len());
-                    lane.pool.put(frame);
-                    staged += 1;
-                    moved += 1;
-                }
-                Err(RingError::Full) => {
-                    // Guest slow: keep the frame for a later pass.
-                    lane.end.pending.push_front(frame);
-                    break;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-        if staged > 0 {
-            self.telemetry.record_batch(q, staged);
-            lane.end.rx.publish()?;
-            lane.end.rx.kick();
-        }
-        Ok(moved)
+        let ctx = CioLaneCtx {
+            policy: self.policy,
+            batch: self.batch,
+            fbits: self.frame_bits(),
+            recorder: &self.recorder,
+            clock: &self.clock,
+            telemetry: &self.telemetry,
+        };
+        let mut sink = PortSink {
+            port: &mut self.port,
+        };
+        service_cio_lane(
+            self.queues.lane_mut(q),
+            q,
+            &ctx,
+            &mut self.scratch,
+            &mut sink,
+        )
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

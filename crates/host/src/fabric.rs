@@ -107,6 +107,11 @@ impl Fabric {
 }
 
 /// One attachment point on the fabric; implements [`NetDevice`].
+///
+/// Cloning yields another handle to the *same* attachment point (same
+/// port id, same inbox) — useful when a coordinator keeps a handle for
+/// flushing deferred transmissions while a backend owns the original.
+#[derive(Clone)]
 pub struct FabricPort {
     fabric: Fabric,
     id: usize,
@@ -118,10 +123,23 @@ impl FabricPort {
         let g = self.fabric.inner.lock().expect("fabric lock");
         g.ports[self.id].inbox.len()
     }
-}
 
-impl NetDevice for FabricPort {
-    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+    /// Transmits a frame *as of* virtual time `sent_at` instead of the
+    /// fabric clock's current reading: delivery is scheduled for
+    /// `sent_at + latency` and the loss draw is taken now, in call
+    /// order.
+    ///
+    /// The thread-per-queue parallel host uses this to keep the fabric
+    /// deterministic: worker threads never touch the fabric (its shared
+    /// PRNG draw order would then depend on scheduling); they buffer
+    /// `(lane_time, frame)` pairs and the coordinator flushes them in
+    /// ascending queue order — the exact order and timestamps the serial
+    /// schedule produces.
+    pub fn transmit_at(&mut self, frame: &[u8], sent_at: Cycles) -> Result<(), NetError> {
+        self.transmit_inner(frame, sent_at)
+    }
+
+    fn transmit_inner(&mut self, frame: &[u8], sent_at: Cycles) -> Result<(), NetError> {
         let mut g = self.fabric.inner.lock().expect("fabric lock");
         let port = &g.ports[self.id];
         if frame.len() > port.mtu + 14 {
@@ -134,9 +152,15 @@ impl NetDevice for FabricPort {
         if params.loss > 0.0 && g.rng.chance(params.loss) {
             return Ok(()); // silently dropped, like a real wire
         }
-        let ready = Cycles(self.fabric.clock.now().get() + params.latency.get());
+        let ready = Cycles(sent_at.get() + params.latency.get());
         g.ports[peer].inbox.push_back((ready, frame.to_vec()));
         Ok(())
+    }
+}
+
+impl NetDevice for FabricPort {
+    fn transmit(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.transmit_inner(frame, self.fabric.clock.now())
     }
 
     fn receive(&mut self) -> Option<Vec<u8>> {
@@ -212,6 +236,24 @@ mod tests {
             }
         }
         assert!((300..700).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn stamped_transmit_schedules_from_sent_at() {
+        let (clock, mut a, mut b) = setup(LinkParams {
+            latency: Cycles(1000),
+            loss: 0.0,
+        });
+        clock.advance(Cycles(5000));
+        // Stamped in the past: 100 + 1000 <= now, deliverable immediately.
+        a.transmit_at(b"late", Cycles(100)).unwrap();
+        assert_eq!(b.receive().unwrap(), b"late");
+        // A clone addresses the same attachment point.
+        let mut a2 = a.clone();
+        a2.transmit_at(b"future", clock.now()).unwrap();
+        assert!(b.receive().is_none());
+        clock.advance(Cycles(1000));
+        assert_eq!(b.receive().unwrap(), b"future");
     }
 
     #[test]

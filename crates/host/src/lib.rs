@@ -21,6 +21,10 @@
 //!   completions, index storms) used by experiment E10.
 //! * [`peers`] — remote endpoints (echo / request-response servers) that
 //!   workloads talk to across the fabric.
+//! * [`worker`] — thread-per-queue execution: a [`CioNetBackend`] splits
+//!   into per-queue [`worker::CioQueueWorker`]s that run the same
+//!   servicing routine as the serial backend on their own OS threads,
+//!   while a [`backend::CioSteer`] keeps fabric I/O on the coordinator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +35,12 @@ pub mod fabric;
 pub mod l5;
 pub mod observe;
 pub mod peers;
+pub mod worker;
 
-pub use backend::{Backend, CioNetBackend, NullBackend, VirtioNetBackend};
+pub use backend::{Backend, CioNetBackend, CioSteer, NullBackend, VirtioNetBackend, WorkerCtx};
 pub use fabric::{Fabric, FabricPort, LinkParams};
 pub use observe::{ObsEvent, Recorder};
+pub use worker::CioQueueWorker;
 
 /// Errors raised by host components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

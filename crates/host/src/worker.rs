@@ -1,0 +1,195 @@
+//! Thread-per-queue host workers.
+//!
+//! A [`CioQueueWorker`] owns one cio queue end-to-end: the host-side ring
+//! endpoints (rebound onto a view that charges the worker's private lane
+//! clock), the queue's pending backlog, buffer pool, per-queue meter, a
+//! telemetry fork, and a deferred-transmit outbox. Everything it needs on
+//! the hot path is thread-private or striped per queue, so two workers
+//! never contend: guest memory is lock-striped with ring arenas on
+//! distinct stripes, the global [`cio_sim::Meter`] is atomic adds, and
+//! the fabric is never touched from a worker at all.
+//!
+//! The servicing routine is [`service_cio_lane`] — the *same* function
+//! the serial [`CioNetBackend`](crate::backend::CioNetBackend) runs — so
+//! the parallel path cannot drift from the deterministic serial oracle.
+//! The only difference is the [`FrameSink`]: instead of transmitting on
+//! the fabric (whose shared loss PRNG would make draw order depend on
+//! thread scheduling), a worker stamps each outbound frame with its lane
+//! clock and parks it in the outbox; the coordinator flushes outboxes in
+//! ascending queue order with [`FabricPort::transmit_at`], reproducing
+//! the serial order and timestamps exactly.
+//!
+//! [`FabricPort::transmit_at`]: crate::fabric::FabricPort::transmit_at
+
+use crate::backend::{service_cio_lane, CioLaneCtx, FrameSink, HostQueue, PENDING_CAP};
+use crate::observe::Recorder;
+use crate::HostError;
+use cio_mem::CopyPolicy;
+use cio_sim::{Clock, Cycles, Meter, MeterSnapshot, Telemetry};
+use cio_vring::cioring::{BatchPolicy, QueueLane};
+
+/// Deferred sink: outbound frames are stamped with the lane clock and
+/// buffered for the coordinator to flush in queue order.
+struct OutboxSink<'a> {
+    outbox: &'a mut Vec<(Cycles, Vec<u8>)>,
+    outpool: &'a mut Vec<Vec<u8>>,
+}
+
+impl FrameSink for OutboxSink<'_> {
+    fn send(&mut self, now: Cycles, frame: &[u8]) {
+        let mut buf = self.outpool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(frame);
+        self.outbox.push((now, buf));
+    }
+}
+
+/// One queue of a split [`CioNetBackend`](crate::backend::CioNetBackend),
+/// packaged to run on its own OS thread.
+///
+/// Obtained from
+/// [`CioNetBackend::split_parallel`](crate::backend::CioNetBackend::split_parallel).
+/// Per round, the embedding loop: repositions the worker's lane clock at
+/// the lane frontier, [`enqueue`](Self::enqueue)s the frames the
+/// coordinator steered to this queue, calls [`service`](Self::service),
+/// and afterwards drains [`take_outbox`](Self::take_outbox) (returning
+/// the flushed container via [`recycle_outbox`](Self::recycle_outbox) so
+/// steady state allocates nothing).
+pub struct CioQueueWorker {
+    q: usize,
+    lane: QueueLane<HostQueue>,
+    policy: CopyPolicy,
+    batch: BatchPolicy,
+    fbits: u32,
+    recorder: Recorder,
+    clock: Clock,
+    telemetry: Telemetry,
+    scratch: Vec<Vec<u8>>,
+    outbox: Vec<(Cycles, Vec<u8>)>,
+    outpool: Vec<Vec<u8>>,
+}
+
+impl CioQueueWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        q: usize,
+        lane: QueueLane<HostQueue>,
+        policy: CopyPolicy,
+        batch: BatchPolicy,
+        fbits: u32,
+        recorder: Recorder,
+        clock: Clock,
+        telemetry: Telemetry,
+    ) -> Self {
+        CioQueueWorker {
+            q,
+            lane,
+            policy,
+            batch,
+            fbits,
+            recorder,
+            clock,
+            telemetry,
+            scratch: Vec::new(),
+            outbox: Vec::new(),
+            outpool: Vec::new(),
+        }
+    }
+
+    /// The queue index this worker owns.
+    pub fn queue(&self) -> usize {
+        self.q
+    }
+
+    /// The worker's private lane clock (shared handle; the coordinator
+    /// repositions it at the lane frontier before dispatch and reads the
+    /// elapsed lane time after the barrier).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The worker's telemetry fork (the coordinator absorbs it after the
+    /// barrier).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Per-queue traffic snapshot (frames in `copies`, bytes in
+    /// `bytes_copied`).
+    pub fn queue_meter(&self) -> MeterSnapshot {
+        self.lane.meter.snapshot()
+    }
+
+    /// Shared handle to this queue's traffic meter, so a coordinator can
+    /// keep reading per-queue counters after the worker moved to its
+    /// thread.
+    pub fn meter_handle(&self) -> Meter {
+        self.lane.meter.clone()
+    }
+
+    /// Accepts the frames the coordinator steered to this queue,
+    /// tail-dropping against the same per-queue cap as the serial
+    /// backend's ingress (the worker sees the queue's true backlog, so
+    /// drop decisions match the serial schedule exactly). Returns frames
+    /// kept; the input vector is drained but keeps its capacity.
+    pub fn enqueue(&mut self, frames: &mut Vec<Vec<u8>>) -> usize {
+        let mut kept = 0;
+        for frame in frames.drain(..) {
+            if self.lane.end.pending.len() >= PENDING_CAP {
+                continue; // tail-drop, like a full NIC queue
+            }
+            self.lane.end.pending.push_back(frame);
+            kept += 1;
+        }
+        kept
+    }
+
+    /// Services this queue once (guest->net drain into the outbox,
+    /// net->guest delivery of the pending backlog), charging all virtual
+    /// time to the worker's lane clock.
+    ///
+    /// # Errors
+    ///
+    /// As the serial
+    /// [`Backend::service_queue`](crate::backend::Backend::service_queue):
+    /// transport errors a malicious guest can provoke on its own queue.
+    pub fn service(&mut self) -> Result<usize, HostError> {
+        let ctx = CioLaneCtx {
+            policy: self.policy,
+            batch: self.batch,
+            fbits: self.fbits,
+            recorder: &self.recorder,
+            clock: &self.clock,
+            telemetry: &self.telemetry,
+        };
+        let mut sink = OutboxSink {
+            outbox: &mut self.outbox,
+            outpool: &mut self.outpool,
+        };
+        service_cio_lane(&mut self.lane, self.q, &ctx, &mut self.scratch, &mut sink)
+    }
+
+    /// Takes the stamped outbound frames accumulated by
+    /// [`service`](Self::service), leaving an empty outbox behind.
+    pub fn take_outbox(&mut self) -> Vec<(Cycles, Vec<u8>)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Returns a flushed outbox container so its frame buffers (and the
+    /// container itself) are reused next round.
+    pub fn recycle_outbox(&mut self, mut flushed: Vec<(Cycles, Vec<u8>)>) {
+        for (_, buf) in flushed.drain(..) {
+            self.outpool.push(buf);
+        }
+        if self.outbox.capacity() < flushed.capacity() {
+            self.outbox = flushed;
+        }
+    }
+}
+
+// Compile-time audit: a worker (rings, pools, recorder handle, clock,
+// telemetry fork) must be movable to its OS thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CioQueueWorker>();
+};

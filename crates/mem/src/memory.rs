@@ -10,7 +10,9 @@
 
 use crate::{GuestAddr, MemError, PAGE_SIZE};
 use cio_sim::{Clock, CostModel, Meter};
-use std::sync::{Arc, Mutex};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Protection state of one guest page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +54,56 @@ impl CopyPolicy {
     }
 }
 
-struct MemInner {
-    data: Vec<u8>,
-    states: Vec<PageState>,
+/// Pages per lock stripe. One stripe covers 256 KiB, so a 2 KiB ring
+/// slot virtually always lives inside a single stripe and the in-place
+/// hot path takes exactly one uncontended lock — while distinct queues'
+/// ring arenas land on distinct stripes and never serialize against each
+/// other in the thread-per-queue parallel host.
+const STRIPE_PAGES: usize = 64;
+const STRIPE_BYTES: usize = STRIPE_PAGES * PAGE_SIZE;
+
+impl PageState {
+    #[inline]
+    fn to_u8(self) -> u8 {
+        match self {
+            PageState::Private => 0,
+            PageState::Shared => 1,
+        }
+    }
+
+    #[inline]
+    fn from_u8(v: u8) -> PageState {
+        if v == 0 {
+            PageState::Private
+        } else {
+            PageState::Shared
+        }
+    }
+}
+
+/// The backing store, shared by every handle/view of one address space.
+///
+/// The byte array is sharded into independently locked stripes and the
+/// page-state table is lock-free atomics, so accesses to disjoint
+/// stripes — per-queue ring arenas, in particular — proceed in parallel.
+/// Cross-stripe accesses lock stripes one at a time in address order;
+/// like real memory, a multi-cache-line access is not atomic against a
+/// concurrent writer (that tearing window is exactly what the TOCTOU
+/// adversaries probe).
+struct MemShared {
+    stripes: Vec<Mutex<Vec<u8>>>,
+    states: Vec<AtomicU8>,
+    /// Serializes share/unshare so check-then-flip transitions stay
+    /// atomic; data accesses never take it.
+    transitions: Mutex<()>,
+    len: usize,
+}
+
+thread_local! {
+    /// Reusable staging buffer for the rare `with_range` that straddles a
+    /// stripe boundary: grown once per thread, then steady-state
+    /// allocation-free.
+    static STRADDLE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A simulated guest-physical address space.
@@ -77,7 +126,7 @@ struct MemInner {
 /// ```
 #[derive(Clone)]
 pub struct GuestMemory {
-    inner: Arc<Mutex<MemInner>>,
+    shared: Arc<MemShared>,
     clock: Clock,
     cost: Arc<CostModel>,
     meter: Meter,
@@ -86,20 +135,50 @@ pub struct GuestMemory {
 impl GuestMemory {
     /// Creates `pages` pages of private guest memory.
     pub fn new(pages: usize, clock: Clock, cost: CostModel, meter: Meter) -> Self {
+        let len = pages * PAGE_SIZE;
+        let mut stripes = Vec::with_capacity(len.div_ceil(STRIPE_BYTES));
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(STRIPE_BYTES);
+            stripes.push(Mutex::new(vec![0u8; n]));
+            remaining -= n;
+        }
         GuestMemory {
-            inner: Arc::new(Mutex::new(MemInner {
-                data: vec![0u8; pages * PAGE_SIZE],
-                states: vec![PageState::Private; pages],
-            })),
+            shared: Arc::new(MemShared {
+                stripes,
+                states: (0..pages)
+                    .map(|_| AtomicU8::new(PageState::Private.to_u8()))
+                    .collect(),
+                transitions: Mutex::new(()),
+                len,
+            }),
             clock,
             cost: Arc::new(cost),
             meter,
         }
     }
 
+    /// Returns a handle to the same address space whose *time charges* go
+    /// to `clock` instead of this handle's clock. The backing bytes,
+    /// page states, cost model, and meter stay shared (the meter's
+    /// counters are atomic sums, so totals remain order-independent).
+    ///
+    /// The parallel host gives each worker thread a handle bound to its
+    /// private lane clock: the worker charges virtual time at its lane
+    /// frontier while the shared world clock stays untouched until the
+    /// coordinator folds the lanes back at the barrier.
+    pub fn with_clock(&self, clock: Clock) -> GuestMemory {
+        GuestMemory {
+            shared: Arc::clone(&self.shared),
+            clock,
+            cost: Arc::clone(&self.cost),
+            meter: self.meter.clone(),
+        }
+    }
+
     /// Total size in bytes.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("memory lock poisoned").data.len()
+        self.shared.len
     }
 
     /// Whether the memory has zero pages.
@@ -124,11 +203,10 @@ impl GuestMemory {
 
     /// Returns the state of the page containing `addr`.
     pub fn page_state(&self, addr: GuestAddr) -> Result<PageState, MemError> {
-        let inner = self.inner.lock().expect("memory lock poisoned");
-        inner
+        self.shared
             .states
             .get(addr.page_index())
-            .copied()
+            .map(|s| PageState::from_u8(s.load(Ordering::Acquire)))
             .ok_or(MemError::OutOfBounds)
     }
 
@@ -138,19 +216,57 @@ impl GuestMemory {
         }
         let pages = len.div_ceil(PAGE_SIZE);
         let first = addr.page_index();
-        let mut inner = self.inner.lock().expect("memory lock poisoned");
-        if first + pages > inner.states.len() {
+        let _serialize = self
+            .shared
+            .transitions
+            .lock()
+            .expect("transition lock poisoned");
+        if first + pages > self.shared.states.len() {
             return Err(MemError::OutOfBounds);
         }
-        for s in &inner.states[first..first + pages] {
-            if *s == to {
+        let range = &self.shared.states[first..first + pages];
+        for s in range {
+            if PageState::from_u8(s.load(Ordering::Acquire)) == to {
                 return Err(MemError::BadTransition);
             }
         }
-        for s in &mut inner.states[first..first + pages] {
-            *s = to;
+        for s in range {
+            s.store(to.to_u8(), Ordering::Release);
         }
         Ok(pages)
+    }
+
+    /// Checks that every page in `[start, end)` is host-visible.
+    fn check_host_pages(&self, start: usize, end: usize) -> Result<(), MemError> {
+        let first = start / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        for s in &self.shared.states[first..=last] {
+            if PageState::from_u8(s.load(Ordering::Acquire)) != PageState::Shared {
+                return Err(MemError::Protected);
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn lock_stripe(&self, i: usize) -> MutexGuard<'_, Vec<u8>> {
+        self.shared.stripes[i].lock().expect("memory lock poisoned")
+    }
+
+    /// Walks the stripes spanned by `[start, start + len)` in address
+    /// order, handing `f` each stripe's overlapping subslice plus the
+    /// request-relative offset it maps to.
+    fn for_stripes(&self, start: usize, len: usize, mut f: impl FnMut(&mut [u8], usize)) {
+        let mut off = 0;
+        while off < len {
+            let pos = start + off;
+            let si = pos / STRIPE_BYTES;
+            let so = pos % STRIPE_BYTES;
+            let n = (STRIPE_BYTES - so).min(len - off);
+            let mut stripe = self.lock_stripe(si);
+            f(&mut stripe[so..so + n], off);
+            off += n;
+        }
     }
 
     /// Makes `len` bytes of pages starting at page-aligned `addr` visible
@@ -199,24 +315,21 @@ impl GuestMemory {
     ) -> Result<(), MemError> {
         let start = addr.0 as usize;
         let end = start.checked_add(len).ok_or(MemError::OutOfBounds)?;
-        let mut inner = self.inner.lock().expect("memory lock poisoned");
-        if end > inner.data.len() {
+        if end > self.shared.len {
             return Err(MemError::OutOfBounds);
         }
         if host && len > 0 {
-            let first = addr.page_index();
-            let last = (end - 1) / PAGE_SIZE;
-            for s in &inner.states[first..=last] {
-                if *s != PageState::Shared {
-                    return Err(MemError::Protected);
-                }
-            }
+            self.check_host_pages(start, end)?;
         }
         if let Some(src) = write {
-            inner.data[start..end].copy_from_slice(src);
+            self.for_stripes(start, len, |seg, off| {
+                seg.copy_from_slice(&src[off..off + seg.len()]);
+            });
         }
         if let Some(dst) = read {
-            dst.copy_from_slice(&inner.data[start..end]);
+            self.for_stripes(start, len, |seg, off| {
+                dst[off..off + seg.len()].copy_from_slice(seg);
+            });
         }
         Ok(())
     }
@@ -229,11 +342,20 @@ impl GuestMemory {
     /// backing bytes, so a producer can seal a record directly into a ring
     /// slot and a consumer can parse it where it lies — no staging copy.
     ///
-    /// The closure runs under the memory lock, so it must not call back
-    /// into this [`GuestMemory`] (doing so would deadlock, exactly like
-    /// touching guest memory from an SMI handler would wedge real
-    /// hardware). Pure computation over the slice — AEAD, header parsing,
-    /// checksums — is the intended use.
+    /// The closure runs under a memory lock (the single stripe holding
+    /// the range on the fast path), so it must not call back into this
+    /// [`GuestMemory`] (doing so could deadlock, exactly like touching
+    /// guest memory from an SMI handler would wedge real hardware). Pure
+    /// computation over the slice — AEAD, header parsing, checksums — is
+    /// the intended use.
+    ///
+    /// The backing store is striped (one lock per [`STRIPE_PAGES`] pages),
+    /// so ranges within one stripe — every well-formed ring slot — take
+    /// exactly one lock and distinct queues never contend. A range that
+    /// straddles a stripe boundary is staged through a per-thread scratch
+    /// buffer (copy out, run `f`, copy back), which preserves the
+    /// in-place semantics at a copy cost only adversarially mis-aligned
+    /// ranges pay.
     pub fn with_range<R>(
         &self,
         addr: GuestAddr,
@@ -243,22 +365,45 @@ impl GuestMemory {
     ) -> Result<R, MemError> {
         let start = addr.0 as usize;
         let end = start.checked_add(len).ok_or(MemError::OutOfBounds)?;
-        let mut inner = self.inner.lock().expect("memory lock poisoned");
-        if end > inner.data.len() {
+        if end > self.shared.len {
             return Err(MemError::OutOfBounds);
         }
-        if host && len > 0 {
-            let first = addr.page_index();
-            let last = (end - 1) / PAGE_SIZE;
-            for s in &inner.states[first..=last] {
-                if *s != PageState::Shared {
-                    return Err(MemError::Protected);
-                }
-            }
+        if len == 0 {
+            return Ok(f(&mut []));
         }
-        Ok(f(&mut inner.data[start..end]))
+        if host {
+            self.check_host_pages(start, end)?;
+        }
+        let first_stripe = start / STRIPE_BYTES;
+        if (end - 1) / STRIPE_BYTES == first_stripe {
+            let mut stripe = self.lock_stripe(first_stripe);
+            let so = start % STRIPE_BYTES;
+            return Ok(f(&mut stripe[so..so + len]));
+        }
+        STRADDLE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.resize(len, 0);
+            self.for_stripes(start, len, |seg, off| {
+                scratch[off..off + seg.len()].copy_from_slice(seg);
+            });
+            let out = f(&mut scratch);
+            self.for_stripes(start, len, |seg, off| {
+                seg.copy_from_slice(&scratch[off..off + seg.len()]);
+            });
+            Ok(out)
+        })
     }
 }
+
+// The parallel host hands worker threads views over the same address
+// space; keep that audited at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GuestMemory>();
+    assert_send_sync::<GuestView>();
+    assert_send_sync::<HostView>();
+};
 
 /// Uniform access interface over [`GuestView`] and [`HostView`].
 ///
@@ -685,6 +830,87 @@ mod tests {
             m.guest().with_range_mut(GuestAddr(0), usize::MAX, |_| ()),
             Err(MemError::OutOfBounds)
         );
+    }
+
+    #[test]
+    fn with_range_straddling_a_stripe_boundary_round_trips() {
+        // Enough pages for two stripes; pick a range crossing the seam.
+        let m = mem(STRIPE_PAGES + 4);
+        let seam = STRIPE_BYTES as u64;
+        let addr = GuestAddr(seam - 8);
+        m.guest().write(addr, &[0xAAu8; 16]).unwrap();
+        let seen = m
+            .guest()
+            .with_range_mut(addr, 16, |bytes| {
+                let copy = bytes.to_vec();
+                for b in bytes.iter_mut() {
+                    *b ^= 0xFF;
+                }
+                copy
+            })
+            .unwrap();
+        assert_eq!(seen, vec![0xAA; 16], "closure sees the backing bytes");
+        let mut back = [0u8; 16];
+        m.guest().read(addr, &mut back).unwrap();
+        assert_eq!(back, [0x55; 16], "mutations land across the seam");
+    }
+
+    #[test]
+    fn reads_and_writes_span_many_stripes() {
+        let m = mem(3 * STRIPE_PAGES);
+        let len = 2 * STRIPE_BYTES + 123;
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        m.guest().write(GuestAddr(17), &data).unwrap();
+        let mut back = vec![0u8; len];
+        m.guest().read(GuestAddr(17), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn with_clock_shares_bytes_but_charges_its_own_clock() {
+        let m = mem(1);
+        let lane = Clock::new();
+        let lane_view = m.with_clock(lane.clone());
+        lane_view.guest().copy_in(GuestAddr(0), &[9u8; 64]).unwrap();
+        // The copy charged the lane clock, not the world clock.
+        assert!(lane.now() > Cycles::ZERO);
+        assert_eq!(m.clock().now(), Cycles::ZERO);
+        // ... but the bytes and the meter are the same underneath.
+        let mut out = [0u8; 64];
+        m.guest().read(GuestAddr(0), &mut out).unwrap();
+        assert_eq!(out, [9u8; 64]);
+        assert_eq!(m.meter().snapshot().copies, 1);
+        // Page-state transitions are visible through both handles.
+        lane_view.share_range(GuestAddr(0), PAGE_SIZE).unwrap();
+        assert_eq!(m.page_state(GuestAddr(0)).unwrap(), PageState::Shared);
+    }
+
+    #[test]
+    fn disjoint_stripes_are_accessible_from_concurrent_threads() {
+        let m = mem(2 * STRIPE_PAGES);
+        let other = m.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..500u64 {
+                other
+                    .guest()
+                    .with_range_mut(GuestAddr(STRIPE_BYTES as u64), 512, |b| b.fill(i as u8))
+                    .unwrap();
+            }
+        });
+        for i in 0..500u64 {
+            m.guest()
+                .with_range_mut(GuestAddr(0), 512, |b| b.fill(i as u8))
+                .unwrap();
+        }
+        t.join().unwrap();
+        let mut a = [0u8; 1];
+        let mut b = [0u8; 1];
+        m.guest().read(GuestAddr(0), &mut a).unwrap();
+        m.guest()
+            .read(GuestAddr(STRIPE_BYTES as u64), &mut b)
+            .unwrap();
+        assert_eq!(a[0], 243); // 499 % 256
+        assert_eq!(b[0], 243);
     }
 
     #[test]

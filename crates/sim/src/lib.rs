@@ -174,6 +174,20 @@ impl Clock {
     pub(crate) fn store(&self, t: Cycles) {
         self.now.store(t.0, Ordering::Relaxed);
     }
+
+    /// Positions the clock at an absolute time, possibly rewinding it.
+    ///
+    /// This exists for the thread-per-queue parallel host: each worker
+    /// thread owns a *private* lane clock that the coordinator repositions
+    /// at the lane's virtual-time frontier (`shared.now() + pending`)
+    /// before dispatching a service round, so timestamps taken inside the
+    /// worker match what the serial [`Lanes`] schedule would have produced.
+    /// The *shared* world clock must never be repositioned from outside
+    /// `Lanes`; only move it through [`Clock::advance`].
+    #[inline]
+    pub fn reposition(&self, t: Cycles) {
+        self.store(t);
+    }
 }
 
 /// Computes throughput in Gbit/s for `bytes` transferred in `elapsed`

@@ -216,6 +216,20 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other` into `self` bucket-by-bucket (counts and sums add,
+    /// maxima combine). Merging is associative and commutative, so a set
+    /// of per-worker histograms merged in any order yields the same
+    /// result; the parallel host still merges in ascending queue order
+    /// for uniformity. Allocation-free.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (d, s) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *d += *s;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Median.
     pub fn p50(&self) -> u64 {
         self.percentile(50)
@@ -489,6 +503,69 @@ impl Telemetry {
             let q = queue.min(s.queues - 1);
             s.batch[q].record(frames);
         }
+    }
+
+    /// Creates a worker-private fork of this domain: a fresh armed
+    /// domain with the same queue count, bound to `clock` (a worker's
+    /// lane clock in the parallel host). Forking a disabled handle
+    /// yields a disabled handle. The fork has its own span stack, so a
+    /// worker thread can open spans without racing the shared domain;
+    /// the coordinator folds it back with [`Telemetry::absorb`].
+    pub fn fork(&self, clock: Clock) -> Telemetry {
+        match &self.inner {
+            Some(inner) => Telemetry::new(clock, inner.lock().queues),
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Drains `worker`'s closed-span state into this domain: attribution
+    /// cells, residency/RTT/batch histograms, covered cycles, and span
+    /// overflows all add, and the worker's tallies reset to zero so the
+    /// next round is not double-counted. Merging is order-insensitive
+    /// cell-wise, but the parallel host absorbs forks in ascending queue
+    /// order after every barrier so exports stay byte-identical
+    /// regardless of worker scheduling. A no-op when either handle is
+    /// disabled or both are the same domain. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the worker has no open spans and that queue
+    /// counts match (forks always satisfy both).
+    pub fn absorb(&self, worker: &Telemetry) {
+        let (Some(inner), Some(wi)) = (&self.inner, &worker.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, wi) {
+            return;
+        }
+        let mut ws = wi.lock();
+        let mut s = inner.lock();
+        debug_assert_eq!(ws.depth, 0, "absorb with open worker spans");
+        debug_assert_eq!(ws.queues, s.queues, "absorb across queue counts");
+        for (d, src) in s.attr_cycles.iter_mut().zip(ws.attr_cycles.iter_mut()) {
+            *d += *src;
+            *src = 0;
+        }
+        for (d, src) in s.attr_counts.iter_mut().zip(ws.attr_counts.iter_mut()) {
+            *d += *src;
+            *src = 0;
+        }
+        for (d, src) in s.residency.iter_mut().zip(ws.residency.iter_mut()) {
+            d.merge_from(src);
+            *src = Histogram::new();
+        }
+        for (d, src) in s.rtt.iter_mut().zip(ws.rtt.iter_mut()) {
+            d.merge_from(src);
+            *src = Histogram::new();
+        }
+        for (d, src) in s.batch.iter_mut().zip(ws.batch.iter_mut()) {
+            d.merge_from(src);
+            *src = Histogram::new();
+        }
+        s.covered = s.covered.saturating_add(ws.covered);
+        s.overflows += ws.overflows;
+        ws.covered = 0;
+        ws.overflows = 0;
     }
 
     /// Snapshot of the cycle-attribution table.
@@ -1131,6 +1208,94 @@ mod tests {
         assert!(p.contains("cio_copies_per_record 0.000000"));
         assert!(p.contains("cio_records_per_commit 0.000000"));
         assert!(p.contains("cio_lock_acquisitions_per_record 0.000000"));
+    }
+
+    #[test]
+    fn histogram_merge_adds_and_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        a.record(100);
+        b.record(0);
+        b.record(1 << 20);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 4 + 100 + (1 << 20));
+        assert_eq!(a.max(), 1 << 20);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[3], 1);
+    }
+
+    #[test]
+    fn fork_and_absorb_reproduce_direct_attribution() {
+        // Direct: everything recorded on one domain.
+        let run_direct = || {
+            let clock = Clock::new();
+            let t = Telemetry::new(clock.clone(), 2);
+            for q in 0..2 {
+                let _g = t.span(q, Stage::HostService);
+                clock.advance(Cycles(50 + 10 * q as u64));
+                t.record_batch(q, 4);
+            }
+            t.record_rtt(0, Cycles(777));
+            (t.prometheus_text(), t.json_snapshot())
+        };
+        // Forked: each queue's spans recorded on a worker fork over a
+        // private clock positioned where the shared clock would have
+        // been, then absorbed in queue order.
+        let run_forked = || {
+            let clock = Clock::new();
+            let t = Telemetry::new(clock.clone(), 2);
+            let mut forks = Vec::new();
+            for q in 0..2 {
+                let wclock = Clock::new();
+                wclock.reposition(clock.now());
+                let f = t.fork(wclock.clone());
+                {
+                    let _g = f.span(q, Stage::HostService);
+                    wclock.advance(Cycles(50 + 10 * q as u64));
+                }
+                f.record_batch(q, 4);
+                forks.push(f);
+            }
+            for f in &forks {
+                t.absorb(f);
+            }
+            t.record_rtt(0, Cycles(777));
+            (t.prometheus_text(), t.json_snapshot())
+        };
+        let (pd, jd) = run_direct();
+        let (pf, jf) = run_forked();
+        assert_eq!(pd, pf, "forked exports must match direct exports");
+        assert_eq!(jd, jf);
+    }
+
+    #[test]
+    fn absorb_drains_the_worker() {
+        let clock = Clock::new();
+        let t = Telemetry::new(clock.clone(), 1);
+        let f = t.fork(clock.clone());
+        {
+            let _g = f.span(0, Stage::RingConsume);
+            clock.advance(Cycles(9));
+        }
+        t.absorb(&f);
+        assert_eq!(t.profile().cycles(0, Stage::RingConsume), 9);
+        assert_eq!(f.profile().covered(), Cycles::ZERO, "worker reset");
+        // Absorbing again adds nothing.
+        t.absorb(&f);
+        assert_eq!(t.profile().cycles(0, Stage::RingConsume), 9);
+    }
+
+    #[test]
+    fn fork_and_absorb_of_disabled_handles_are_inert() {
+        let d = Telemetry::disabled();
+        assert!(!d.fork(Clock::new()).enabled());
+        let t = Telemetry::new(Clock::new(), 1);
+        t.absorb(&d); // no-op, no panic
+        d.absorb(&t); // no-op, no panic
+        t.absorb(&t); // self-absorb is a no-op
+        assert_eq!(t.profile().covered(), Cycles::ZERO);
     }
 
     #[test]

@@ -420,6 +420,25 @@ impl<V: MemView> Producer<V> {
         self.tq = queue;
     }
 
+    /// Moves this endpoint onto a different view of the same memory,
+    /// preserving the private produce counter and telemetry binding.
+    ///
+    /// Unlike [`Producer::new`], nothing in the shared region is
+    /// touched, so an in-flight ring keeps its state mid-stream. This is
+    /// the thread-safe handoff of the thread-per-queue parallel host: an
+    /// endpoint built on the coordinator is rebound to a view whose
+    /// memory handle charges the owning worker's lane clock, then moved
+    /// to that worker (`Producer` is `Send` whenever the view is).
+    pub fn rebind<W: MemView>(self, view: W) -> Producer<W> {
+        Producer {
+            ring: self.ring,
+            view,
+            next: self.next,
+            telemetry: self.telemetry,
+            tq: self.tq,
+        }
+    }
+
     /// The ring geometry.
     pub fn ring(&self) -> &CioRing {
         &self.ring
@@ -913,6 +932,21 @@ impl<V: MemView> Consumer<V> {
     pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
         self.telemetry = telemetry;
         self.tq = queue;
+    }
+
+    /// Moves this endpoint onto a different view of the same memory,
+    /// preserving the private consume counter and telemetry binding.
+    ///
+    /// See [`Producer::rebind`]: the same mid-stream handoff for the
+    /// consuming side.
+    pub fn rebind<W: MemView>(self, view: W) -> Consumer<W> {
+        Consumer {
+            ring: self.ring,
+            view,
+            next: self.next,
+            telemetry: self.telemetry,
+            tq: self.tq,
+        }
     }
 
     /// The ring geometry.
@@ -1503,7 +1537,31 @@ impl<E> MultiQueue<E> {
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueueLane<E>> {
         self.lanes.iter_mut()
     }
+
+    /// Dissolves the steering wrapper into its per-queue lanes (index
+    /// order), each keeping its endpoint, buffer pool, and meter.
+    ///
+    /// The thread-per-queue parallel host calls this to pin one lane per
+    /// worker thread: each queue was already a complete independent ring
+    /// with zero cross-queue shared state, so handing the lanes to
+    /// different threads changes ownership, not semantics. Steering
+    /// (`hash & mask`) stays with the coordinator.
+    pub fn into_lanes(self) -> Vec<QueueLane<E>> {
+        self.lanes
+    }
 }
+
+// Compile-time `Send` audit: the parallel host moves rebound endpoints,
+// their per-queue pools/meters, and whole lanes onto worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Producer<cio_mem::GuestView>>();
+    assert_send::<Producer<cio_mem::HostView>>();
+    assert_send::<Consumer<cio_mem::GuestView>>();
+    assert_send::<Consumer<cio_mem::HostView>>();
+    assert_send::<BufPool>();
+    assert_send::<QueueLane<(Producer<cio_mem::HostView>, Consumer<cio_mem::HostView>)>>();
+};
 
 #[cfg(test)]
 mod tests {

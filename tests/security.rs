@@ -214,6 +214,55 @@ fn attack_outcomes_unchanged_under_batched_dataplane() {
     assert_eq!(batch_partial_poison().unwrap(), Outcome::Detected);
 }
 
+/// The thread-per-queue parallel host moves servicing onto live OS
+/// threads, but the attack surface is the shared ring state, and every
+/// defense is a per-queue state machine behind the striped memory locks:
+/// each attack in the E10 suite must classify exactly as it does against
+/// the serial multiqueue host, with the same workload survival.
+#[test]
+fn attack_outcomes_unchanged_under_parallel_host() {
+    use cio::attacks::{run_scenario_parallel, run_scenario_with};
+
+    for b in [BoundaryKind::L2CioRing, BoundaryKind::DualBoundary] {
+        for a in ALL_ATTACKS {
+            let serial = run_scenario_with(b, a, 4).unwrap();
+            let parallel = run_scenario_parallel(b, a, 4, 4).unwrap();
+            assert_eq!(
+                serial.outcome, parallel.outcome,
+                "{b} vs {a}: serial and parallel-host outcomes diverged"
+            );
+            assert_eq!(
+                serial.workload_survived, parallel.workload_survived,
+                "{b} vs {a}: survival diverged"
+            );
+            assert_ne!(parallel.outcome, Outcome::Undetected, "{b} vs {a}");
+        }
+    }
+}
+
+/// The scenario no serial matrix can express: a hostile OS thread
+/// mutates the last queue's RX ring (index forgery + slot scribbles)
+/// *while* worker threads service the queues and the guest commits
+/// batched records. Racing the validation must be no better than
+/// sequencing with it: the violations are detected, nothing lands
+/// undetected, and flows steered away from the attacked queue live on.
+#[test]
+fn hostile_mutation_races_live_worker_threads() {
+    use cio::attacks::parallel_hostile_mutation;
+
+    let (report, sweeps) = parallel_hostile_mutation(4).unwrap();
+    assert!(sweeps > 0, "the attacker thread never ran");
+    assert_ne!(
+        report.outcome,
+        Outcome::Undetected,
+        "a racing mutator slipped past validation: {report:?}"
+    );
+    assert!(
+        report.workload_survived,
+        "the blast radius escaped the attacked queue: {report:?}"
+    );
+}
+
 /// E10 regression pins: the matrix outcomes the docs quote.
 #[test]
 fn attack_matrix_pinned_outcomes() {

@@ -43,6 +43,54 @@ fn exports_are_byte_identical_across_same_seed_runs() {
     );
 }
 
+/// Telemetry under threads: with the host split over worker threads, the
+/// queues record into per-queue forks on their own lane clocks, and the
+/// coordinator absorbs the forks in ascending queue order after each
+/// round. The exports must therefore be byte-identical to the serial
+/// run's — and to every repeated parallel run, however the OS happens to
+/// schedule the workers.
+#[test]
+fn exports_are_byte_identical_under_worker_threads() {
+    use cio::world::WorldOptions;
+    use cio_bench::{bench_opts, telemetry_echo_world_with};
+
+    let run = |parallel: usize| {
+        let opts = WorldOptions {
+            queues: QUEUES,
+            parallel,
+            telemetry: true,
+            ..bench_opts()
+        };
+        telemetry_echo_world_with(opts, FLOWS, ROUNDS, SIZE).expect("parallel telemetry workload")
+    };
+    let serial = run(0);
+    for threads in [1usize, 2, 4] {
+        let par = run(threads);
+        assert_eq!(
+            serial.clock().now(),
+            par.clock().now(),
+            "{threads} threads: virtual clock diverged"
+        );
+        assert_eq!(
+            serial.telemetry().prometheus_text(),
+            par.telemetry().prometheus_text(),
+            "{threads} threads: Prometheus export diverged from serial"
+        );
+        assert_eq!(
+            serial.telemetry().json_snapshot(),
+            par.telemetry().json_snapshot(),
+            "{threads} threads: JSON snapshot diverged from serial"
+        );
+    }
+    // Scheduling noise across repeated parallel runs must not show.
+    let (a, b) = (run(4), run(4));
+    assert_eq!(
+        a.telemetry().prometheus_text(),
+        b.telemetry().prometheus_text(),
+        "repeated 4-thread runs diverged"
+    );
+}
+
 #[test]
 fn telemetry_off_does_not_perturb_the_simulation() {
     let on = run_world();

@@ -6,9 +6,12 @@
 //! into a scratch. After warm-up (buffers grown to their high-water
 //! marks), pushing records through that loop must hit the heap zero
 //! times. A counting `#[global_allocator]` enforces it, counting only
-//! the audited test thread (the harness main thread lazily allocates
-//! channel-parking state at a racy moment); this file holds only this
-//! test so no sibling test can arm the flag concurrently.
+//! threads that armed the audit flag (the harness main thread lazily
+//! allocates channel-parking state at a racy moment); this file holds
+//! only this test so no sibling test can arm the flag unexpectedly. The
+//! final phase arms the flag on multiple worker threads at once: the
+//! thread-per-queue dataplane must stay off the heap from every armed
+//! thread simultaneously.
 //!
 //! The telemetry layer rides the same audit: spans, AEAD cycle
 //! attribution, and histogram recording run inside the measured loop, so
@@ -308,4 +311,144 @@ fn steady_state_record_path_does_not_allocate() {
         "batched steady-state send/recv must not touch the heap \
          ({during} allocations over 2000 batched records)"
     );
+
+    // Phase 5: the thread-per-queue steady state. Worker threads arm the
+    // audit flag on their own thread-local, warm their queues, rendezvous
+    // on a pre-allocated [`Barrier`] (futex-backed mutex + condvar:
+    // waiting allocates nothing once faulted in by the warm-up round),
+    // then pump records concurrently through one shared lock-striped
+    // guest memory — each queue's ring and payload area on private
+    // stripes, per-queue lane clocks and telemetry forks, exactly the
+    // parallel host's memory discipline. Once warm, no armed worker may
+    // touch the heap.
+    const THREADS: usize = 2;
+    const PQUEUES: usize = 4;
+    const REGION_PAGES: usize = 256; // 4 stripes: ring on one, area on its own
+    struct LanePipe {
+        q: usize,
+        producer: Producer<cio_mem::GuestView>,
+        consumer: Consumer<cio_mem::HostView>,
+        guest: Channel,
+        host: Channel,
+        plain: RecordScratch,
+        fork: Telemetry,
+    }
+    fn pump(p: &mut LanePipe, payload: &[u8]) {
+        let LanePipe {
+            q,
+            producer,
+            consumer,
+            guest,
+            host,
+            plain,
+            fork,
+        } = p;
+        let _span = fork.span(*q, Stage::GuestSend);
+        let grant = producer
+            .reserve(payload.len() + RECORD_OVERHEAD)
+            .expect("slot reservation");
+        let n = producer
+            .with_slot_mut(&grant, |slot| guest.seal_into_slot(payload, slot))
+            .expect("slot access")
+            .expect("seal in slot");
+        producer.commit(grant, n).expect("commit");
+        consumer
+            .consume_in_place(|record| host.open_in_slot(record, plain).expect("open in slot"))
+            .expect("consume")
+            .expect("record available");
+        fork.record_batch(*q, 1);
+        assert_eq!(plain.as_slice(), payload);
+    }
+
+    let par_clock = Clock::new();
+    let par_telemetry = Telemetry::new(par_clock.clone(), PQUEUES);
+    let shared = GuestMemory::new(
+        PQUEUES * REGION_PAGES,
+        par_clock,
+        CostModel::default(),
+        Meter::new(),
+    );
+    let mut shards: Vec<Vec<LanePipe>> = (0..THREADS).map(|_| Vec::new()).collect();
+    for q in 0..PQUEUES {
+        let qclock = Clock::new();
+        let qmem = shared.with_clock(qclock.clone());
+        let ring_base = GuestAddr((q * REGION_PAGES * PAGE_SIZE) as u64);
+        let area_base = GuestAddr(((q * REGION_PAGES + 64) * PAGE_SIZE) as u64);
+        let cfg = RingConfig {
+            mtu: 2048,
+            mode: DataMode::SharedArea,
+            ..RingConfig::default()
+        };
+        let ring = CioRing::new(cfg, ring_base, area_base).unwrap();
+        shared.share_range(ring_base, ring.ring_bytes()).unwrap();
+        shared.share_range(area_base, ring.area_bytes()).unwrap();
+        let fork = par_telemetry.fork(qclock.clone());
+        let mut producer = Producer::new(ring.clone(), qmem.guest()).unwrap();
+        let mut consumer = Consumer::new(ring, qmem.host()).unwrap();
+        producer.set_telemetry(fork.clone(), q);
+        consumer.set_telemetry(fork.clone(), q);
+        let hooks = SimHooks {
+            clock: qclock,
+            cost: CostModel::default(),
+            meter: Meter::new(),
+            telemetry: fork.clone(),
+        };
+        let seed = (q as u8).wrapping_mul(29);
+        shards[q % THREADS].push(LanePipe {
+            q,
+            producer,
+            consumer,
+            guest: Channel::from_secrets(
+                [seed.wrapping_add(3); 32],
+                [seed.wrapping_add(4); 32],
+                true,
+                Some(hooks.clone()),
+            ),
+            host: Channel::from_secrets(
+                [seed.wrapping_add(3); 32],
+                [seed.wrapping_add(4); 32],
+                false,
+                Some(hooks),
+            ),
+            plain: RecordScratch::new(),
+            fork,
+        });
+    }
+
+    let barrier = std::sync::Barrier::new(THREADS + 1);
+    std::thread::scope(|s| {
+        let barrier = &barrier;
+        let payload = &payload;
+        for mut shard in shards {
+            s.spawn(move || {
+                // Warm-up: high-water marks, thread-local and sync state
+                // all faulted in before the audit arms.
+                for _ in 0..32 {
+                    for p in &mut shard {
+                        pump(p, payload);
+                    }
+                }
+                barrier.wait();
+                AUDITED.with(|a| a.set(true));
+                barrier.wait();
+                for _ in 0..250 {
+                    for p in &mut shard {
+                        pump(p, payload);
+                    }
+                }
+                AUDITED.with(|a| a.set(false));
+                barrier.wait();
+            });
+        }
+        barrier.wait(); // workers warm
+        let before = allocations();
+        barrier.wait(); // workers armed, measured loops start
+        barrier.wait(); // measured loops done
+        let during = allocations() - before;
+        assert_eq!(
+            during, 0,
+            "thread-per-queue steady state must not touch the heap \
+             ({during} allocations over 2000 records across {THREADS} armed workers)"
+        );
+    });
 }
