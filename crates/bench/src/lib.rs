@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use cio::dev::{RecvMode, SendMode};
-use cio::world::{BoundaryKind, World, WorldOptions, ECHO_PORT, RPC_PORT};
+use cio::world::{BoundaryKind, SessionScratch, World, WorldOptions, ECHO_PORT, RPC_PORT};
 use cio::CioError;
 use cio_host::fabric::LinkParams;
 use cio_sim::{Cycles, MeterSnapshot};
@@ -145,6 +145,9 @@ pub fn multi_stream_download(
     let mut moved = 0u64;
     let total = per_flow_bytes * flows as u64;
     let mut idle_steps = 0u32;
+    // One reusable receive scratch across all flows: the polling loop
+    // stays allocation-free via the `recv_into` hot path.
+    let mut rx = SessionScratch::new();
     while moved < total {
         for (i, &c) in conns.iter().enumerate() {
             if remaining[i] > 0 && inflight[i] == 0 {
@@ -162,12 +165,12 @@ pub fn multi_stream_download(
             if inflight[i] == 0 {
                 continue;
             }
-            let data = w.recv(c)?;
-            if data.is_empty() {
+            let got = w.recv_into(c, &mut rx)?;
+            if got == 0 {
                 continue;
             }
             progressed = true;
-            acc[i] += data.len() as u64;
+            acc[i] += got as u64;
             if acc[i] >= inflight[i] {
                 let payload = inflight[i] - 4;
                 remaining[i] -= payload;
@@ -297,6 +300,9 @@ pub fn telemetry_echo_world_with(
     let mut sent_at = vec![Cycles(0); flows];
     let mut done = 0usize;
     let mut idle_steps = 0u32;
+    // One reusable receive scratch across all flows (`recv_into` hot
+    // path): the RTT loop allocates nothing per round.
+    let mut rx = SessionScratch::new();
     while done < flows {
         for (i, &c) in conns.iter().enumerate() {
             if left[i] > 0 && pending[i] == 0 {
@@ -316,12 +322,12 @@ pub fn telemetry_echo_world_with(
             if pending[i] == 0 {
                 continue;
             }
-            let data = w.recv(c)?;
-            if data.is_empty() {
+            let got = w.recv_into(c, &mut rx)?;
+            if got == 0 {
                 continue;
             }
             progressed = true;
-            pending[i] = pending[i].saturating_sub(data.len());
+            pending[i] = pending[i].saturating_sub(got);
             if pending[i] == 0 {
                 let q = w.conn_lane(c).unwrap_or(0);
                 w.telemetry().record_rtt(q, w.clock().since(sent_at[i]));

@@ -22,13 +22,13 @@
 //! designs mostly answer `NoSurface`/`Prevented` — safety *by
 //! construction* rather than by vigilance.
 
-use crate::world::{BoundaryKind, World, WorldOptions, ECHO_PORT};
+use crate::world::{BoundaryKind, SessionId, World, WorldOptions, ECHO_PORT};
 use crate::CioError;
 use cio_host::adversary::AttackKind;
 use cio_host::fabric::LinkParams;
 use cio_host::VirtioNetBackend;
 use cio_sim::Cycles;
-use cio_vring::cioring::BatchPolicy;
+use cio_vring::cioring::{BatchPolicy, CioRing};
 
 pub use cio_host::adversary::ALL_ATTACKS;
 
@@ -743,6 +743,321 @@ pub fn parallel_hostile_mutation(threads: usize) -> Result<(AttackReport, u64), 
     ))
 }
 
+/// Scans a guest-bound RX ring for a pending (produced, not yet consumed)
+/// TCP data frame from `from_port` and flips one byte of its TCP payload,
+/// patching the TCP checksum afterwards. The patch is the point: a
+/// checksum-valid frame sails through the in-TEE netstack, so the
+/// corruption lands where a hostile host wants it — past the transport,
+/// on the cTLS record layer of one specific session. Returns `true` once
+/// a frame was poisoned.
+///
+/// The inter-step window this exploits is real and deterministic: the
+/// backend produces RX records during step `N`, the guest consumes them
+/// at the start of step `N+1`, and the host owns the shared area the
+/// whole time.
+fn poison_pending_rx_record(
+    world: &World,
+    ring: &CioRing,
+    from_port: u16,
+) -> Result<bool, CioError> {
+    use cio_netstack::wire::{
+        transport_checksum, IpProto, Ipv4Addr, ETH_HDR_LEN, IPV4_HDR_LEN, TCP_HDR_LEN,
+    };
+
+    let host = world.guest_memory().host();
+    let slots = ring.config().slots;
+    let prod = host.read_u32(ring.prod_idx_addr())?;
+    let cons = host.read_u32(ring.cons_idx_addr())?;
+    let pending = prod.wrapping_sub(cons).min(slots);
+    for i in 0..pending {
+        let masked = cons.wrapping_add(i) & (slots - 1);
+        let slot = ring.slot_addr(masked);
+        let offset = host.read_u32(slot)?;
+        let len = host.read_u32(slot.add(4))? as usize;
+        if len < ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN || len > ring.config().mtu as usize {
+            continue;
+        }
+        let frame_addr = ring.payload_addr(0).add(u64::from(offset));
+        let mut frame = vec![0u8; len];
+        host.read(frame_addr, &mut frame)?;
+        // Ethernet II / IPv4 / TCP, no IP options (the stack's fixed wire
+        // format) — anything else is not the record we are hunting.
+        if frame[12..14] != [0x08, 0x00] || frame[ETH_HDR_LEN] != 0x45 {
+            continue;
+        }
+        if frame[ETH_HDR_LEN + 9] != 6 {
+            continue;
+        }
+        let total_len = usize::from(u16::from_be_bytes([
+            frame[ETH_HDR_LEN + 2],
+            frame[ETH_HDR_LEN + 3],
+        ]));
+        if total_len < IPV4_HDR_LEN + TCP_HDR_LEN || ETH_HDR_LEN + total_len > len {
+            continue;
+        }
+        let src = Ipv4Addr([
+            frame[ETH_HDR_LEN + 12],
+            frame[ETH_HDR_LEN + 13],
+            frame[ETH_HDR_LEN + 14],
+            frame[ETH_HDR_LEN + 15],
+        ]);
+        let dst = Ipv4Addr([
+            frame[ETH_HDR_LEN + 16],
+            frame[ETH_HDR_LEN + 17],
+            frame[ETH_HDR_LEN + 18],
+            frame[ETH_HDR_LEN + 19],
+        ]);
+        let seg_start = ETH_HDR_LEN + IPV4_HDR_LEN;
+        let segment = &mut frame[seg_start..ETH_HDR_LEN + total_len];
+        let src_port = u16::from_be_bytes([segment[0], segment[1]]);
+        let data_off = usize::from(segment[12] >> 4) * 4;
+        if src_port != from_port || data_off < TCP_HDR_LEN || data_off >= segment.len() {
+            continue;
+        }
+        // Flip the last payload byte (inside the AEAD tag or ciphertext —
+        // either way the record layer must reject it), then forge a valid
+        // checksum so the transport does not.
+        let last = segment.len() - 1;
+        segment[last] ^= 0xA5;
+        segment[16] = 0;
+        segment[17] = 0;
+        let csum = transport_checksum(src, dst, IpProto::Tcp, segment);
+        segment[16..18].copy_from_slice(&csum.to_be_bytes());
+        host.write(frame_addr, &frame)?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Steps the world until [`poison_pending_rx_record`] lands on the given
+/// queue's RX ring (or the step budget runs out). Returns whether a
+/// record was poisoned.
+fn step_until_poisoned(
+    world: &mut World,
+    queue: usize,
+    from_port: u16,
+    max_steps: usize,
+) -> Result<bool, CioError> {
+    let (_, rx_ring) = world.anatomy().cio_queues[queue].clone();
+    for _ in 0..max_steps {
+        world.step()?;
+        if poison_pending_rx_record(world, &rx_ring, from_port)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Outcome of one session-poisoning scenario (the session-scale additions
+/// to the adversary suite).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionAttackReport {
+    /// Classification: `Detected` when the hostile record was rejected at
+    /// the record layer and the victim failed closed; `Undetected` if
+    /// corrupted plaintext reached the application or the blast radius
+    /// spread beyond the victim.
+    pub outcome: Outcome,
+    /// The victim's handle answers [`CioError::Session`] afterwards (the
+    /// slot was quarantined, never left half-open).
+    pub victim_failed_closed: bool,
+    /// A session on the *same shard* still echoes correctly afterwards.
+    pub neighbor_survived: bool,
+    /// `session_failures` metered by the quarantine.
+    pub session_failures: u64,
+}
+
+/// Mid-handshake poisoning: the hostile host corrupts the ServerHello
+/// while it sits in the RX ring during connection establishment. The
+/// half-open session must fail closed — [`World::establish`] answers
+/// [`CioError::Session`], the slot is reclaimed — and the world must
+/// remain fully usable for subsequent sessions.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn session_mid_handshake() -> Result<SessionAttackReport, CioError> {
+    let mut world = World::new(BoundaryKind::L2CioRing, attack_opts())?;
+    let before = world.meter().snapshot();
+    let victim = world.connect(ECHO_PORT)?;
+    let poisoned = step_until_poisoned(&mut world, 0, ECHO_PORT, 3_000)?;
+    debug_assert!(poisoned, "no ServerHello frame appeared to poison");
+
+    let est = world.establish(victim, 3_000);
+    let victim_failed_closed = matches!(est, Err(CioError::Session(_)))
+        && matches!(world.send(victim, b"probe"), Err(CioError::Session(_)));
+
+    // The failure is contained to the one session: a fresh handshake on
+    // the same world (same rings, same shard) completes and echoes.
+    let fresh = world.connect(ECHO_PORT)?;
+    world.establish(fresh, 3_000)?;
+    world.send(fresh, b"after attack")?;
+    let neighbor_survived = world
+        .recv_exact(fresh, 12, 4_000)
+        .is_ok_and(|got| got == b"after attack");
+
+    let delta = world.meter().snapshot().delta(&before);
+    let outcome = classify_session_poison(
+        &delta,
+        poisoned && victim_failed_closed && neighbor_survived,
+    );
+    Ok(SessionAttackReport {
+        outcome,
+        victim_failed_closed,
+        neighbor_survived,
+        session_failures: delta.session_failures,
+    })
+}
+
+/// Mid-rekey poisoning: with an aggressively short key-rotation interval,
+/// the hostile host corrupts the record that crosses an epoch boundary.
+/// Epoch bookkeeping must not soften fail-closed behavior: the victim is
+/// quarantined exactly as in steady state, and a fresh session keeps
+/// rotating keys on the same world afterwards.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn session_mid_rekey() -> Result<SessionAttackReport, CioError> {
+    const REKEY_EVERY: u64 = 4;
+    let opts = WorldOptions {
+        rekey_interval: Some(REKEY_EVERY),
+        ..attack_opts()
+    };
+    let mut world = World::new(BoundaryKind::L2CioRing, opts)?;
+    let victim = world.connect(ECHO_PORT)?;
+    world.establish(victim, 3_000)?;
+
+    // Drive the victim across at least one epoch boundary first: the
+    // attack must land on a session whose channels have already rotated.
+    for i in 0..REKEY_EVERY + 1 {
+        let msg = format!("rekey round {i}");
+        world.send(victim, msg.as_bytes())?;
+        let got = world.recv_exact(victim, msg.len(), 4_000)?;
+        debug_assert_eq!(got, msg.as_bytes());
+    }
+    let epoch = world.session_epoch(victim).unwrap_or(0);
+    debug_assert!(epoch >= 1, "victim never rotated (epoch {epoch})");
+
+    let before = world.meter().snapshot();
+    // Next echo crosses the boundary again; poison its response in the
+    // ring, mid-epoch-switch.
+    world.send(victim, b"poisoned round")?;
+    let poisoned = step_until_poisoned(&mut world, 0, ECHO_PORT, 3_000)?;
+    debug_assert!(poisoned, "no rekey-window frame appeared to poison");
+    let _ = world.run(200);
+
+    let victim_failed_closed = matches!(world.send(victim, b"probe"), Err(CioError::Session(_)));
+
+    // A fresh session on the same world still rotates keys and echoes.
+    let fresh = world.connect(ECHO_PORT)?;
+    world.establish(fresh, 3_000)?;
+    let mut fresh_ok = true;
+    for i in 0..REKEY_EVERY + 1 {
+        let msg = format!("fresh round {i}");
+        world.send(fresh, msg.as_bytes())?;
+        fresh_ok &= world
+            .recv_exact(fresh, msg.len(), 4_000)
+            .is_ok_and(|got| got == msg.as_bytes());
+    }
+    let neighbor_survived = fresh_ok && world.session_epoch(fresh).unwrap_or(0) >= 1;
+
+    let delta = world.meter().snapshot().delta(&before);
+    let outcome = classify_session_poison(
+        &delta,
+        poisoned && victim_failed_closed && neighbor_survived,
+    );
+    Ok(SessionAttackReport {
+        outcome,
+        victim_failed_closed,
+        neighbor_survived,
+        session_failures: delta.session_failures,
+    })
+}
+
+/// Steady-state churn poisoning on a multiqueue world: many live
+/// sessions, one victim's echo response corrupted in its shard's RX ring.
+/// Exactly one session must die (fail closed, metered), and the same
+/// shard's other sessions must keep echoing — per-session blast radius,
+/// not per-shard, not per-world.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn session_churn_poison() -> Result<SessionAttackReport, CioError> {
+    const QUEUES: usize = 4;
+    let opts = WorldOptions {
+        queues: QUEUES,
+        ..attack_opts()
+    };
+    let mut world = World::new(BoundaryKind::L2CioRing, opts)?;
+    // Open sessions until some shard holds two (deterministic RSS makes
+    // this a fixed, small number).
+    let mut sessions: Vec<SessionId> = Vec::new();
+    let (mut victim, mut neighbor) = (None, None);
+    for _ in 0..16 {
+        let c = world.connect(ECHO_PORT)?;
+        world.establish(c, 20_000)?;
+        if let Some(&twin) = sessions
+            .iter()
+            .find(|&&s| world.conn_lane(s) == world.conn_lane(c))
+        {
+            victim = Some(c);
+            neighbor = Some(twin);
+            break;
+        }
+        sessions.push(c);
+    }
+    let victim = victim.expect("no shard collision in 16 sessions");
+    let neighbor = neighbor.expect("victim implies neighbor");
+    let lane = world.conn_lane(victim).expect("victim is live");
+
+    // Warm both flows.
+    for &c in &[victim, neighbor] {
+        world.send(c, b"before attack")?;
+        let warm = world.recv_exact(c, 13, 20_000)?;
+        debug_assert_eq!(&warm, b"before attack");
+    }
+
+    let before = world.meter().snapshot();
+    // Only the victim has traffic in flight; poison its echo response on
+    // the shard's RX ring.
+    world.send(victim, b"poison target")?;
+    let poisoned = step_until_poisoned(&mut world, lane, ECHO_PORT, 20_000)?;
+    debug_assert!(poisoned, "no victim frame appeared to poison");
+    let _ = world.run(200);
+
+    let victim_failed_closed = matches!(world.send(victim, b"probe"), Err(CioError::Session(_)));
+    let mut neighbor_survived = false;
+    if world.send(neighbor, b"after attack").is_ok() {
+        if let Ok(got) = world.recv_exact(neighbor, 12, 40_000) {
+            neighbor_survived = got == b"after attack";
+        }
+    }
+
+    let delta = world.meter().snapshot().delta(&before);
+    let contained =
+        poisoned && victim_failed_closed && neighbor_survived && delta.session_failures == 1;
+    let outcome = classify_session_poison(&delta, contained);
+    Ok(SessionAttackReport {
+        outcome,
+        victim_failed_closed,
+        neighbor_survived,
+        session_failures: delta.session_failures,
+    })
+}
+
+/// Shared classification for the session-poisoning scenarios: the oracle
+/// must show no undetected violations, and containment (victim failed
+/// closed, neighbors healthy) upgrades the verdict to `Detected` — the
+/// record layer caught the corruption and the session layer contained it.
+fn classify_session_poison(delta: &cio_sim::MeterSnapshot, contained: bool) -> Outcome {
+    if delta.violations_undetected > 0 || !contained {
+        Outcome::Undetected
+    } else {
+        Outcome::Detected
+    }
+}
+
 /// The NetVSC offset-forgery micro-scenario (the Figure 3 driver family's
 /// signature attack): the host aims a receive descriptor at private guest
 /// memory. Returns `(unhardened, hardened)` outcomes.
@@ -905,6 +1220,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mid_handshake_poison_fails_closed() {
+        let r = session_mid_handshake().unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.victim_failed_closed, "{r:?}");
+        assert!(r.neighbor_survived, "{r:?}");
+        assert!(r.session_failures >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn mid_rekey_poison_fails_closed() {
+        let r = session_mid_rekey().unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.victim_failed_closed, "{r:?}");
+        assert!(r.neighbor_survived, "{r:?}");
+    }
+
+    #[test]
+    fn churn_poison_kills_exactly_one_session() {
+        let r = session_churn_poison().unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.victim_failed_closed, "{r:?}");
+        assert!(r.neighbor_survived, "{r:?}");
+        assert_eq!(r.session_failures, 1, "{r:?}");
     }
 
     #[test]

@@ -39,9 +39,11 @@
 pub mod attacks;
 pub mod dev;
 pub mod policy;
+pub mod session;
 pub mod storage;
 pub mod world;
 
+pub use session::{SessionError, SessionId, SessionScratch, SessionTable};
 pub use world::{BoundaryKind, World, WorldBuilder, WorldOptions};
 
 /// Recoverable conditions: retrying the same call later is expected to
@@ -88,6 +90,10 @@ pub enum CioError {
     Block(cio_block::BlockError),
     /// Host-simulator failure.
     Host(cio_host::HostError),
+    /// Session-handle failure: stale, forged, or not-yet-established
+    /// handles are typed errors, never aliased state (see
+    /// [`session::SessionId`]).
+    Session(session::SessionError),
     /// The operation is not supported by this boundary configuration.
     Unsupported(&'static str),
     /// The workload did not make progress within its step budget.
@@ -126,6 +132,7 @@ from_err!(Tee, cio_tee::TeeError);
 from_err!(Ctls, cio_ctls::CtlsError);
 from_err!(Block, cio_block::BlockError);
 from_err!(Host, cio_host::HostError);
+from_err!(Session, session::SessionError);
 
 impl std::fmt::Display for CioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -137,6 +144,7 @@ impl std::fmt::Display for CioError {
             CioError::Ctls(e) => write!(f, "ctls: {e}"),
             CioError::Block(e) => write!(f, "block: {e}"),
             CioError::Host(e) => write!(f, "host: {e}"),
+            CioError::Session(e) => write!(f, "session: {e}"),
             CioError::Unsupported(s) => write!(f, "unsupported by this boundary: {s}"),
             CioError::Timeout(s) => write!(f, "no progress: {s}"),
             CioError::Fatal(s) => write!(f, "fatal configuration error: {s}"),

@@ -14,6 +14,7 @@ use crate::dev::{
     CioRingDevice, GuestLayoutAlloc, HardenedVirtioNetDevice, IdeNetDevice, RecvMode, SendMode,
     TunnelDevice, VirtqueueNetDevice, VqArena,
 };
+use crate::session::SessionTable;
 use crate::{CioError, Transient};
 use cio_ctls::{Channel, RecordScratch, SimHooks};
 use cio_host::backend::{Backend, CioNetBackend, NullBackend, VirtioNetBackend};
@@ -37,6 +38,11 @@ use speer::{FeedResult, SecurePeer, SecureStream, TunnelGateway};
 
 pub use cio_vring::cioring::BatchPolicy;
 pub use speer::{ECHO_PORT, RPC_PORT};
+
+// The session-layer types are part of the world's public API surface:
+// `connect` issues [`SessionId`]s and the `_into` receive family fills
+// [`SessionScratch`]es.
+pub use crate::session::{SessionError, SessionId, SessionScratch};
 
 /// The boundary designs under comparison (see crate docs for the table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +130,12 @@ pub struct WorldOptions {
     pub batch: BatchPolicy,
     /// Deterministic seed.
     pub seed: u64,
+    /// Per-session key-rotation interval: every cTLS channel (client
+    /// stream and peer side alike) derives a fresh epoch key after this
+    /// many records in each direction. `None` disables rotation. The
+    /// default matches [`cio_ctls::REKEY_INTERVAL`], so rotation is on
+    /// everywhere unless explicitly tuned.
+    pub rekey_interval: Option<u64>,
     /// DDA: the attested device misbehaves after attestation.
     pub dda_tamper: bool,
     /// Minimum virtual-time progress per [`World::step`].
@@ -164,6 +176,7 @@ impl Default for WorldOptions {
             copy_policy: CopyPolicy::default(),
             batch: BatchPolicy::default(),
             seed: 0xC10,
+            rekey_interval: Some(cio_ctls::REKEY_INTERVAL),
             dda_tamper: false,
             step_quantum: Cycles(5_000),
             tee_kind: TeeKind::ConfidentialVm,
@@ -235,9 +248,26 @@ pub struct Anatomy {
     pub cio_queues: Vec<(CioRing, CioRing)>,
 }
 
-/// Handle to one application connection in a world.
+/// A snapshot of a world's session-table bookkeeping (see
+/// [`World::session_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Conn(usize);
+pub struct SessionStats {
+    /// Sessions currently open.
+    pub live: u64,
+    /// Peak concurrent sessions (sum of per-shard peaks).
+    pub peak_live: u64,
+    /// Table slots ever allocated — bounded by peak concurrency, not by
+    /// `created`, because closed slots are reclaimed.
+    pub capacity: usize,
+    /// Sessions ever opened.
+    pub created: u64,
+    /// Sessions closed and reclaimed.
+    pub reclaimed: u64,
+    /// Hot-path handle lookups performed.
+    pub lookups: u64,
+    /// Slot probes those lookups cost (`== lookups`: direct-mapped).
+    pub probes: u64,
+}
 
 struct ConnState {
     handle: SocketHandle,
@@ -265,7 +295,18 @@ pub struct World {
     guest: Guest,
     backend: Box<dyn Backend>,
     peer: PeerNode,
-    conns: Vec<ConnState>,
+    /// The session control plane: one shard per dataplane queue, O(1)
+    /// generational lookup, slots reclaimed on close. Handles issued by
+    /// [`World::connect`] are [`SessionId`]s into this table.
+    conns: SessionTable<ConnState>,
+    /// TCP handles of closed sessions awaiting full teardown; their
+    /// netstack slots (and ephemeral ports) are released once the
+    /// connection drains to `Closed`/`TimeWait`, so socket memory — like
+    /// session-table memory — is bounded by peak concurrency under churn.
+    draining: Vec<SocketHandle>,
+    /// Reusable id buffer for the per-step flush sweep (steady-state
+    /// stepping allocates nothing once warmed).
+    flush_ids: Vec<SessionId>,
     rng: SimRng,
     anatomy: Anatomy,
     layout: GuestLayoutAlloc,
@@ -361,6 +402,12 @@ impl WorldBuilder {
     /// Record-batch discipline for the dataplane (serial by default).
     pub fn batch(mut self, batch: BatchPolicy) -> Self {
         self.opts.batch = batch;
+        self
+    }
+
+    /// Per-session key-rotation interval (`None` disables rotation).
+    pub fn rekey_interval(mut self, interval: Option<u64>) -> Self {
+        self.opts.rekey_interval = interval;
         self
     }
 
@@ -774,10 +821,12 @@ impl WorldBuilder {
             PeerNode::Direct(p) => {
                 p.set_telemetry(telemetry.clone());
                 p.set_batch_policy(opts.batch);
+                p.set_rekey_interval(opts.rekey_interval);
             }
             PeerNode::Tunnel { peer, .. } => {
                 peer.set_telemetry(telemetry.clone());
                 peer.set_batch_policy(opts.batch);
+                peer.set_rekey_interval(opts.rekey_interval);
             }
         }
         let lanes = Lanes::new(clock.clone(), opts.queues);
@@ -795,6 +844,9 @@ impl WorldBuilder {
         } else {
             None
         };
+        // One session-table shard per dataplane queue: a session's shard
+        // IS its RSS lane, so steering and lookup agree by construction.
+        let session_shards = opts.queues;
         Ok(World {
             kind,
             opts,
@@ -805,7 +857,9 @@ impl WorldBuilder {
             guest,
             backend,
             peer,
-            conns: Vec::new(),
+            conns: SessionTable::new(session_shards),
+            draining: Vec::new(),
+            flush_ids: Vec::new(),
             rng,
             anatomy,
             layout,
@@ -999,10 +1053,40 @@ impl World {
         &self.telemetry
     }
 
-    /// The RSS lane / queue this connection's flow steers to (`None` for
-    /// a dead handle).
-    pub fn conn_lane(&self, c: Conn) -> Option<usize> {
-        self.conns.get(c.0).map(|s| s.lane)
+    /// The RSS lane / queue this session's flow steers to (`None` for a
+    /// stale or forged handle).
+    pub fn conn_lane(&self, c: SessionId) -> Option<usize> {
+        self.conns.get(c).ok().map(|s| s.lane)
+    }
+
+    /// A snapshot of the session-table's own bookkeeping. The
+    /// direct-mapped table satisfies `probes == lookups` by construction,
+    /// and `capacity` stays bounded by peak concurrency under churn —
+    /// both are assertable from here.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            live: self.conns.live(),
+            peak_live: self.conns.peak_live(),
+            capacity: self.conns.capacity(),
+            created: self.conns.created(),
+            reclaimed: self.conns.reclaimed(),
+            lookups: self.conns.lookups(),
+            probes: self.conns.probes(),
+        }
+    }
+
+    /// TCP socket slots still draining toward release (diagnostic: zero
+    /// once every closed session's connection has fully torn down).
+    pub fn draining_sockets(&self) -> usize {
+        self.draining.len()
+    }
+
+    /// The session's transmit-direction key epoch: `0` until the first
+    /// rotation, advancing at every [`WorldOptions::rekey_interval`]
+    /// boundary. `None` for stale handles, plaintext streams, and
+    /// handshakes still in flight.
+    pub fn session_epoch(&self, c: SessionId) -> Option<u64> {
+        self.conns.get(c).ok().and_then(|s| s.stream.tx_epoch())
     }
 
     /// Guest memory (adversary harness).
@@ -1106,12 +1190,49 @@ impl World {
     /// as detected violations, not errors, unless the design cannot
     /// contain it).
     pub fn step(&mut self) -> Result<(), CioError> {
-        if self.parallel.is_some() {
+        let result = if self.parallel.is_some() {
             self.step_parallel()
         } else if self.opts.queues > 1 {
             self.step_multiqueue()
         } else {
             self.step_serial()
+        };
+        // Session housekeeping runs every round regardless of schedule:
+        // fully-drained sockets release their slots, and the per-shard
+        // session gauges publish (a no-op on a disabled telemetry handle).
+        self.release_drained();
+        self.telemetry.publish_sessions(
+            self.conns.shard_live(),
+            self.conns.shard_peak(),
+            self.conns.created(),
+            self.conns.reclaimed(),
+            self.conns.capacity() as u64,
+        );
+        result
+    }
+
+    /// Releases the netstack slot (and ephemeral port) of every closed
+    /// session whose TCP connection has fully drained; handles that have
+    /// not quiesced yet stay queued for later rounds. For the in-TEE
+    /// stacks release is local socket bookkeeping (nothing charged); on
+    /// the L5 design the stack is host software, so even this freeing
+    /// call is an observable world switch.
+    fn release_drained(&mut self) {
+        let mut i = 0;
+        while i < self.draining.len() {
+            let h = self.draining[i];
+            let released = match &mut self.guest {
+                Guest::Stack { iface } | Guest::Dual { iface, .. } => iface.tcp_release(h).is_ok(),
+                Guest::L5 { svc } => {
+                    self.tee.exit_to_host();
+                    svc.release(h).is_ok()
+                }
+            };
+            if released {
+                self.draining.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -1227,13 +1348,26 @@ impl World {
             let _peer = self.telemetry.span(0, Stage::Peer);
             self.poll_peer();
         }
-        for i in 0..self.conns.len() {
-            let lane = self.conns[i].lane;
+        // Sweep live sessions in deterministic (shard, slot) order through
+        // a reusable id buffer — a quarantine mid-sweep removes the
+        // session, and later ids simply skip the vacated slot.
+        let mut ids = std::mem::take(&mut self.flush_ids);
+        ids.clear();
+        self.conns.collect_ids(&mut ids);
+        let mut result = Ok(());
+        for &id in &ids {
+            let Ok(s) = self.conns.get(id) else { continue };
+            let lane = s.lane;
             let base = self.lanes.begin(lane);
-            let flushed = self.flush_conn(i);
+            let flushed = self.flush_conn(id);
             self.lanes.end(lane, base);
-            flushed?;
+            if let Err(e) = flushed {
+                result = Err(e);
+                break;
+            }
         }
+        self.flush_ids = ids;
+        result?;
         self.lanes.sync();
         if self.clock.now() == t0 {
             self.clock.advance(self.opts.step_quantum);
@@ -1340,14 +1474,19 @@ impl World {
 
     // ---------- Application API ----------
 
-    /// Opens a connection to the peer service on `port` ([`ECHO_PORT`] or
+    /// Opens a session to the peer service on `port` ([`ECHO_PORT`] or
     /// [`RPC_PORT`]). With `app_tls` the cTLS handshake starts as soon as
     /// TCP establishes; use [`World::establish`] to drive it.
+    ///
+    /// The returned [`SessionId`] is generational: it stays valid until
+    /// [`World::close`] (or a fail-closed quarantine) reclaims the slot,
+    /// after which every use returns [`CioError::Session`] — a reissued
+    /// slot is unreachable through a stale handle.
     ///
     /// # Errors
     ///
     /// Stack/transport errors.
-    pub fn connect(&mut self, port: u16) -> Result<Conn, CioError> {
+    pub fn connect(&mut self, port: u16) -> Result<SessionId, CioError> {
         let handle = match &mut self.guest {
             Guest::Stack { iface } => iface.tcp_connect(PEER_IP, port)?,
             Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_connect(PEER_IP, port))?,
@@ -1367,6 +1506,7 @@ impl World {
             };
             let (hello, mut stream) = SecureStream::client(entropy, Some(hooks));
             stream.set_batch_policy(self.opts.batch);
+            stream.set_rekey_interval(self.opts.rekey_interval);
             (hello, stream)
         } else {
             let mut stream = SecureStream::plain();
@@ -1388,67 +1528,122 @@ impl World {
         } else {
             0
         };
-        self.conns.push(ConnState {
-            handle,
-            stream,
-            outbox,
-            app_in: Vec::new(),
-            feed_scratch: FeedResult::default(),
+        // The session's shard is its lane: insert issues the generational
+        // handle and the lane is recoverable from the handle's low bits.
+        let id = self.conns.insert(
             lane,
-        });
-        Ok(Conn(self.conns.len() - 1))
+            ConnState {
+                handle,
+                stream,
+                outbox,
+                app_in: Vec::new(),
+                feed_scratch: FeedResult::default(),
+                lane,
+            },
+        );
+        self.meter.sessions_opened(1);
+        Ok(id)
     }
 
-    fn conn_mut(&mut self, c: Conn) -> Result<&mut ConnState, CioError> {
-        if c.0 >= self.conns.len() {
-            return Err(CioError::Unsupported("dead connection handle"));
+    fn conn_mut(&mut self, c: SessionId) -> Result<&mut ConnState, CioError> {
+        Ok(self.conns.get_mut(c)?)
+    }
+
+    /// Fail-closed per-session teardown: a hostile or corrupt record on
+    /// one stream kills *that session* — the slot is reclaimed, the TCP
+    /// connection begins draining, and the failure is metered — while
+    /// every other session on the shard keeps running. The stale handle
+    /// then answers [`SessionError::Closed`] instead of touching a
+    /// reissued slot.
+    fn quarantine(&mut self, id: SessionId) {
+        if let Ok(conn) = self.conns.remove(id) {
+            let _ = self.raw_close(conn.handle);
+            self.draining.push(conn.handle);
+            self.meter.session_failures(1);
         }
-        Ok(&mut self.conns[c.0])
     }
 
-    /// Pumps received bytes through one connection's stream and flushes
-    /// its pending protocol bytes.
-    fn flush_conn(&mut self, i: usize) -> Result<(), CioError> {
-        let _flush = self.telemetry.span(self.conns[i].lane, Stage::AppFlush);
-        let handle = self.conns[i].handle;
+    /// Pumps received bytes through one session's stream and flushes its
+    /// pending protocol bytes. A stream-layer failure (bad tag, broken
+    /// handshake) quarantines the session instead of failing the world's
+    /// step: per-session fail-closed, not fail-everything.
+    fn flush_conn(&mut self, id: SessionId) -> Result<(), CioError> {
+        let Ok(conn) = self.conns.get(id) else {
+            return Ok(()); // closed earlier in this same round
+        };
+        let (lane, handle) = (conn.lane, conn.handle);
+        let has_outbox = !conn.outbox.is_empty();
+        let _flush = self.telemetry.span(lane, Stage::AppFlush);
         // Only push protocol bytes once TCP is up.
-        if !self.conns[i].outbox.is_empty() && self.raw_established(handle)? {
-            let out = std::mem::take(&mut self.conns[i].outbox);
+        if has_outbox && self.raw_established(handle)? {
+            let mut out = match self.conns.get_mut(id) {
+                Ok(conn) => std::mem::take(&mut conn.outbox),
+                Err(_) => return Ok(()),
+            };
             self.raw_send(handle, &out)?;
+            // Hand the drained buffer back so steady-state flushing
+            // reuses its capacity instead of reallocating every round.
+            out.clear();
+            if let Ok(conn) = self.conns.get_mut(id) {
+                conn.outbox = out;
+            }
         }
         let data = self.raw_recv(handle)?;
         if !data.is_empty() {
-            let conn = &mut self.conns[i];
-            let _open = self.telemetry.span(conn.lane, Stage::RxOpen);
-            conn.stream.feed_into(&data, &mut conn.feed_scratch)?;
-            conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
-            conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
+            let healthy = {
+                let Ok(conn) = self.conns.get_mut(id) else {
+                    return Ok(());
+                };
+                let _open = self.telemetry.span(lane, Stage::RxOpen);
+                match conn.stream.feed_into(&data, &mut conn.feed_scratch) {
+                    Ok(()) => {
+                        conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
+                        conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            };
+            if !healthy {
+                self.quarantine(id);
+            }
         }
         Ok(())
     }
 
-    /// Serial flush over all connections (single-queue path).
+    /// Serial flush over all sessions (single-queue path), in the same
+    /// deterministic (shard, slot) order the lane-based sweep uses.
     fn flush_outboxes(&mut self) -> Result<(), CioError> {
-        for i in 0..self.conns.len() {
-            self.flush_conn(i)?;
+        let mut ids = std::mem::take(&mut self.flush_ids);
+        ids.clear();
+        self.conns.collect_ids(&mut ids);
+        let mut result = Ok(());
+        for &id in &ids {
+            if let Err(e) = self.flush_conn(id) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(())
+        self.flush_ids = ids;
+        result
     }
 
-    /// Drives the world until the connection is fully established (TCP +
+    /// Drives the world until the session is fully established (TCP +
     /// cTLS when enabled).
     ///
     /// # Errors
     ///
-    /// [`CioError::Timeout`] after `max_steps`.
-    pub fn establish(&mut self, c: Conn, max_steps: usize) -> Result<(), CioError> {
+    /// [`CioError::Timeout`] after `max_steps`;
+    /// [`CioError::Session`]`(`[`SessionError::Closed`]`)` if a hostile
+    /// host poisoned the handshake and the session was quarantined
+    /// mid-establishment (fail closed, never half-open).
+    pub fn establish(&mut self, c: SessionId, max_steps: usize) -> Result<(), CioError> {
         for _ in 0..max_steps {
             self.step()?;
-            let tcp_up = {
-                let handle = self.conns[c.0].handle;
-                self.raw_established(handle)?
-            };
-            if tcp_up && self.conns[c.0].stream.is_open() && self.conns[c.0].outbox.is_empty() {
+            let handle = self.conns.get(c)?.handle;
+            let tcp_up = self.raw_established(handle)?;
+            let s = self.conns.get(c)?;
+            if tcp_up && s.stream.is_open() && s.outbox.is_empty() {
                 return Ok(());
             }
         }
@@ -1466,10 +1661,19 @@ impl World {
     ///
     /// # Errors
     ///
-    /// [`CioError::Transient`] for backpressure; stream/transport errors
-    /// otherwise.
-    pub fn send(&mut self, c: Conn, data: &[u8]) -> Result<usize, CioError> {
-        let handle = self.conn_mut(c)?.handle;
+    /// [`CioError::Transient`] for backpressure;
+    /// [`CioError::Session`]`(`[`SessionError::Handshaking`]`)` before
+    /// the handshake completes; stale handles return the other
+    /// [`SessionError`] variants; stream/transport errors otherwise.
+    pub fn send(&mut self, c: SessionId, data: &[u8]) -> Result<usize, CioError> {
+        // One O(1) flow-table lookup opens every send: charged at the
+        // cost model's `flow_lookup` and counted by the table itself.
+        self.clock.advance(self.opts.cost.flow_lookup);
+        let s = self.conns.get_mut(c)?;
+        if s.stream.is_handshaking() {
+            return Err(CioError::Session(SessionError::Handshaking));
+        }
+        let (handle, lane) = (s.handle, s.lane);
         // The backlog probe is the app reading its own socket bookkeeping
         // — no boundary is crossed, so nothing is charged.
         let backlog = match &mut self.guest {
@@ -1480,7 +1684,6 @@ impl World {
             self.meter.backpressure_wouldblock(1);
             return Err(CioError::Transient(Transient::WouldBlock));
         }
-        let lane = self.conns[c.0].lane;
         let base = (self.opts.queues > 1).then(|| self.lanes.begin(lane));
         // Seal into the world's reusable scratch (taken for the duration
         // so the borrow checker sees a local) — steady-state sends
@@ -1494,7 +1697,6 @@ impl World {
                     let _seal = self.telemetry.span(lane, Stage::TxSeal);
                     self.conn_mut(c)?.stream.seal_into(data, &mut scratch)?;
                 }
-                let handle = self.conns[c.0].handle;
                 self.raw_send(handle, scratch.as_slice())
             })();
             result
@@ -1515,50 +1717,105 @@ impl World {
         }
     }
 
-    /// Takes decrypted application bytes received so far.
-    ///
-    /// # Errors
-    ///
-    /// Transport errors.
-    pub fn recv(&mut self, c: Conn) -> Result<Vec<u8>, CioError> {
+    /// Appends whatever application bytes have arrived on `c` to
+    /// `scratch` without clearing it (the accumulation primitive under
+    /// the receive family).
+    fn drain_into(&mut self, c: SessionId, scratch: &mut SessionScratch) -> Result<(), CioError> {
         // Data may have arrived during steps; outboxes were pumped there.
-        let s = self.conn_mut(c)?;
-        Ok(std::mem::take(&mut s.app_in))
+        // Like `send`, the receive side opens with one charged O(1)
+        // flow-table lookup.
+        self.clock.advance(self.opts.cost.flow_lookup);
+        let s = self.conns.get_mut(c)?;
+        scratch.buf.extend_from_slice(&s.app_in);
+        s.app_in.clear();
+        Ok(())
     }
 
-    /// Drives the world until `want` application bytes arrive on `c`.
+    /// Takes decrypted application bytes received so far into the
+    /// caller's reusable scratch (cleared first); returns the byte count.
+    ///
+    /// This is the hot-path receive: a steady-state consumer holds one
+    /// [`SessionScratch`] and neither side of the exchange allocates
+    /// after warmup.
     ///
     /// # Errors
     ///
-    /// [`CioError::Timeout`] after `max_steps`.
-    pub fn recv_exact(
+    /// [`CioError::Session`] for stale/forged handles.
+    pub fn recv_into(
         &mut self,
-        c: Conn,
+        c: SessionId,
+        scratch: &mut SessionScratch,
+    ) -> Result<usize, CioError> {
+        scratch.buf.clear();
+        self.drain_into(c, scratch)?;
+        Ok(scratch.buf.len())
+    }
+
+    /// Takes decrypted application bytes received so far.
+    ///
+    /// Allocating convenience over [`World::recv_into`]; hot paths should
+    /// hold a [`SessionScratch`] and use the `_into` form.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Session`] for stale/forged handles.
+    pub fn recv(&mut self, c: SessionId) -> Result<Vec<u8>, CioError> {
+        let mut scratch = SessionScratch::new();
+        self.recv_into(c, &mut scratch)?;
+        Ok(scratch.buf)
+    }
+
+    /// Drives the world until `want` application bytes arrive on `c`,
+    /// accumulating into the caller's reusable scratch (cleared first);
+    /// returns the byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Timeout`] after `max_steps`; [`CioError::Session`] if
+    /// the session closes (or is quarantined) before `want` bytes arrive.
+    pub fn recv_exact_into(
+        &mut self,
+        c: SessionId,
         want: usize,
         max_steps: usize,
-    ) -> Result<Vec<u8>, CioError> {
-        let mut got = Vec::new();
+        scratch: &mut SessionScratch,
+    ) -> Result<usize, CioError> {
+        scratch.buf.clear();
         for _ in 0..max_steps {
-            got.extend(self.recv(c)?);
-            if got.len() >= want {
-                return Ok(got);
+            self.drain_into(c, scratch)?;
+            if scratch.buf.len() >= want {
+                return Ok(scratch.buf.len());
             }
             self.step()?;
         }
-        got.extend(self.recv(c)?);
-        if got.len() >= want {
-            return Ok(got);
+        self.drain_into(c, scratch)?;
+        if scratch.buf.len() >= want {
+            return Ok(scratch.buf.len());
         }
         Err(CioError::Timeout("recv_exact"))
     }
 
-    /// Closes a connection (TCP FIN; the stream is dropped).
+    /// Drives the world until `want` application bytes arrive on `c`.
+    ///
+    /// Allocating convenience over [`World::recv_exact_into`].
     ///
     /// # Errors
     ///
-    /// Transport errors.
-    pub fn close(&mut self, c: Conn) -> Result<(), CioError> {
-        let handle = self.conn_mut(c)?.handle;
+    /// As [`World::recv_exact_into`].
+    pub fn recv_exact(
+        &mut self,
+        c: SessionId,
+        want: usize,
+        max_steps: usize,
+    ) -> Result<Vec<u8>, CioError> {
+        let mut scratch = SessionScratch::new();
+        self.recv_exact_into(c, want, max_steps, &mut scratch)?;
+        Ok(scratch.buf)
+    }
+
+    /// TCP close across the boundary designs (the charged call under
+    /// [`World::close`] and the quarantine path).
+    fn raw_close(&mut self, handle: SocketHandle) -> Result<(), CioError> {
         match &mut self.guest {
             Guest::Stack { iface } => iface.tcp_close(handle)?,
             Guest::Dual { iface, gate, .. } => gate.call(|| iface.tcp_close(handle))?,
@@ -1567,6 +1824,24 @@ impl World {
                 svc.close(handle)?;
             }
         }
+        Ok(())
+    }
+
+    /// Closes a session: TCP FIN goes out, the stream is dropped, and the
+    /// session slot is reclaimed immediately — any copy of the handle is
+    /// now stale and answers [`CioError::Session`]. The TCP handle joins
+    /// the drain queue and its socket slot is released once the
+    /// connection quiesces, so both table and socket memory stay bounded
+    /// by peak concurrency under churn.
+    ///
+    /// # Errors
+    ///
+    /// [`CioError::Session`] for stale/forged handles; transport errors.
+    pub fn close(&mut self, c: SessionId) -> Result<(), CioError> {
+        let conn = self.conns.remove(c).map_err(CioError::from)?;
+        self.meter.sessions_closed(1);
+        self.raw_close(conn.handle)?;
+        self.draining.push(conn.handle);
         Ok(())
     }
 }
@@ -1615,12 +1890,13 @@ mod tests {
                 })
                 .build()
                 .unwrap();
-            let conns: Vec<Conn> = (0..8).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
+            let conns: Vec<SessionId> = (0..8).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
             for &c in &conns {
                 w.establish(c, 5_000).unwrap();
             }
             // Flows must spread beyond lane 0 for the test to mean much.
-            let lanes: std::collections::HashSet<usize> = w.conns.iter().map(|c| c.lane).collect();
+            let lanes: std::collections::HashSet<usize> =
+                conns.iter().map(|&c| w.conn_lane(c).unwrap()).collect();
             assert!(lanes.len() > 1, "{kind}: all flows steered to one lane");
             for (i, &c) in conns.iter().enumerate() {
                 let msg = format!("hello from flow {i}");
@@ -1650,7 +1926,7 @@ mod tests {
                 })
                 .build()
                 .unwrap();
-            let conns: Vec<Conn> = (0..6).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
+            let conns: Vec<SessionId> = (0..6).map(|_| w.connect(ECHO_PORT).unwrap()).collect();
             for &c in &conns {
                 w.establish(c, 5_000).unwrap();
             }

@@ -97,6 +97,10 @@ pub struct SecurePeer<D: NetDevice> {
     batch_outs: Vec<RecordScratch>,
     /// Per-record response staging for the batched serve pass.
     batch_resps: Vec<Vec<u8>>,
+    /// Pending key-rotation override (`Some(interval)`): applied to every
+    /// channel already open and to every future handshake, so both ends
+    /// of each session rotate in lockstep.
+    rekey: Option<Option<u64>>,
 }
 
 impl<D: NetDevice> SecurePeer<D> {
@@ -119,6 +123,7 @@ impl<D: NetDevice> SecurePeer<D> {
             batch: BatchPolicy::default(),
             batch_outs: Vec::new(),
             batch_resps: Vec::new(),
+            rekey: None,
         }
     }
 
@@ -133,6 +138,19 @@ impl<D: NetDevice> SecurePeer<D> {
         let want = if batch.is_serial() { 0 } else { MAX_BATCH };
         self.batch_outs.resize_with(want, RecordScratch::new);
         self.batch_resps.resize_with(want, Vec::new);
+    }
+
+    /// Overrides the per-session key-rotation interval (`None` disables
+    /// rotation) for every open channel and every future handshake. The
+    /// world applies the same override to its client streams, so both
+    /// directions cross each epoch boundary on the same record.
+    pub fn set_rekey_interval(&mut self, interval: Option<u64>) {
+        self.rekey = Some(interval);
+        for conn in &mut self.conns {
+            if let PeerTls::Open(chan) = &mut conn.tls {
+                chan.set_rekey_interval(interval);
+            }
+        }
     }
 
     fn identity() -> ServerIdentity {
@@ -242,7 +260,12 @@ impl<D: NetDevice> SecurePeer<D> {
                             unreachable!("matched AwaitFinished above");
                         };
                         match cont.verify_finished(&fin) {
-                            Ok(chan) => conn.tls = PeerTls::Open(Box::new(chan)),
+                            Ok(mut chan) => {
+                                if let Some(interval) = self.rekey {
+                                    chan.set_rekey_interval(interval);
+                                }
+                                conn.tls = PeerTls::Open(Box::new(chan));
+                            }
                             Err(_) => {
                                 dead.push(i);
                                 break;
@@ -442,6 +465,9 @@ pub struct SecureStream {
     batch: BatchPolicy,
     /// Per-record scratches for the batched open pass.
     batch_outs: Vec<RecordScratch>,
+    /// Pending key-rotation override (`Some(interval)`): applied as soon
+    /// as the channel opens (and immediately when already open).
+    rekey: Option<Option<u64>>,
 }
 
 impl SecureStream {
@@ -451,6 +477,7 @@ impl SecureStream {
             state: StreamState::Plain,
             batch: BatchPolicy::default(),
             batch_outs: Vec::new(),
+            rekey: None,
         }
     }
 
@@ -466,6 +493,7 @@ impl SecureStream {
                 },
                 batch: BatchPolicy::default(),
                 batch_outs: Vec::new(),
+                rekey: None,
             },
         )
     }
@@ -477,9 +505,35 @@ impl SecureStream {
         self.batch_outs.resize_with(want, RecordScratch::new);
     }
 
+    /// Overrides the per-session key-rotation interval (`None` disables
+    /// rotation). Takes effect immediately on an open channel, or at the
+    /// moment the handshake completes otherwise.
+    pub fn set_rekey_interval(&mut self, interval: Option<u64>) {
+        self.rekey = Some(interval);
+        if let StreamState::Open { chan, .. } = &mut self.state {
+            chan.set_rekey_interval(interval);
+        }
+    }
+
     /// Whether application data can flow.
     pub fn is_open(&self) -> bool {
         matches!(self.state, StreamState::Plain | StreamState::Open { .. })
+    }
+
+    /// Whether the cTLS handshake is still in flight (application data
+    /// cannot flow yet; see [`crate::session::SessionError::Handshaking`]).
+    pub fn is_handshaking(&self) -> bool {
+        matches!(self.state, StreamState::AwaitServerHello { .. })
+    }
+
+    /// The transmit-direction key epoch, when the stream runs cTLS: `0`
+    /// until the first rotation, incrementing at every rekey boundary.
+    /// `None` for plaintext streams and unfinished handshakes.
+    pub fn tx_epoch(&self) -> Option<u64> {
+        match &self.state {
+            StreamState::Open { chan, .. } => Some(chan.tx_generation()),
+            _ => None,
+        }
     }
 
     /// Protects outgoing application bytes.
@@ -546,7 +600,10 @@ impl SecureStream {
                     let leftover: Vec<u8> = std::mem::take(inbuf);
                     let sh = ServerHello::from_bytes(&sh_bytes)?;
                     let hs = hs.take().expect("handshake consumed once");
-                    let (fin, chan) = hs.finish(&sh, &PLATFORM_KEY, &peer_measurement())?;
+                    let (fin, mut chan) = hs.finish(&sh, &PLATFORM_KEY, &peer_measurement())?;
+                    if let Some(interval) = self.rekey {
+                        chan.set_rekey_interval(interval);
+                    }
                     result.to_send.extend_from_slice(&fin);
                     self.state = StreamState::Open {
                         chan: Box::new(chan),

@@ -135,6 +135,9 @@ impl ClientHandshake {
         random.copy_from_slice(&entropy[..32]);
         let mut private = [0u8; 32];
         private.copy_from_slice(&entropy[32..]);
+        if let Some(h) = &hooks {
+            h.charge_x25519(1);
+        }
         let public = x25519::public_key(&private);
         let mut hello = Vec::with_capacity(CLIENT_HELLO_LEN);
         hello.extend_from_slice(&random);
@@ -177,6 +180,9 @@ impl ClientHandshake {
         }
 
         // 2. Key agreement and schedule.
+        if let Some(h) = &self.hooks {
+            h.charge_x25519(1);
+        }
         let shared = x25519::shared_secret(&self.private, &sh.public)?;
         let transcript = transcript_hash(&[&self.hello, &sh.random, &sh.public]);
         let sched = schedule(&shared, &transcript)?;
@@ -222,17 +228,71 @@ impl ServerHandshake {
         if client_hello.len() != CLIENT_HELLO_LEN {
             return Err(CtlsError::Malformed);
         }
-        let mut client_pub = [0u8; 32];
-        client_pub.copy_from_slice(&client_hello[32..]);
-
         let mut random = [0u8; 32];
         random.copy_from_slice(&entropy[..32]);
         let mut private = [0u8; 32];
         private.copy_from_slice(&entropy[32..]);
+        if let Some(h) = &hooks {
+            h.charge_x25519(1);
+        }
         let public = x25519::public_key(&private);
+        Self::respond_with_key(client_hello, identity, random, &private, &public, hooks)
+    }
 
-        let shared = x25519::shared_secret(&private, &client_pub)?;
-        let transcript = transcript_hash(&[client_hello, &random, &public]);
+    /// Responds to a run of ClientHellos with one shared server ephemeral
+    /// key: the X25519 key generation (one scalar multiplication) runs
+    /// once per batch instead of once per connection. Everything
+    /// connection-specific stays per hello — the shared secret, the
+    /// transcript-bound key schedule, the quote (its nonce hashes that
+    /// client's hello, so freshness binding is unweakened), and both
+    /// Finished MACs. The ephemeral remains ephemeral (it lives for one
+    /// accept batch), trading intra-batch key-share reuse for a
+    /// `2 → 1 + 1/n` scalar-multiplication churn cost per connection.
+    ///
+    /// Failures are per slot: a malformed or degenerate hello yields
+    /// `Err` in its position without poisoning its batchmates.
+    pub fn respond_batch(
+        client_hellos: &[&[u8]],
+        identity: &ServerIdentity,
+        entropy: [u8; 64],
+        hooks: Option<SimHooks>,
+    ) -> Vec<Result<(ServerHello, ServerHandshake), CtlsError>> {
+        let mut random = [0u8; 32];
+        random.copy_from_slice(&entropy[..32]);
+        let mut private = [0u8; 32];
+        private.copy_from_slice(&entropy[32..]);
+        if let Some(h) = &hooks {
+            h.charge_x25519(1);
+        }
+        let public = x25519::public_key(&private);
+        client_hellos
+            .iter()
+            .map(|hello| {
+                if hello.len() != CLIENT_HELLO_LEN {
+                    return Err(CtlsError::Malformed);
+                }
+                Self::respond_with_key(hello, identity, random, &private, &public, hooks.clone())
+            })
+            .collect()
+    }
+
+    /// The per-connection half of a server response: shared secret, key
+    /// schedule, quote, and Finished under an already-generated ephemeral.
+    fn respond_with_key(
+        client_hello: &[u8],
+        identity: &ServerIdentity,
+        random: [u8; 32],
+        private: &[u8; 32],
+        public: &[u8; 32],
+        hooks: Option<SimHooks>,
+    ) -> Result<(ServerHello, ServerHandshake), CtlsError> {
+        let mut client_pub = [0u8; 32];
+        client_pub.copy_from_slice(&client_hello[32..]);
+        if let Some(h) = &hooks {
+            h.charge_x25519(1);
+        }
+        let shared = x25519::shared_secret(private, &client_pub)?;
+        let transcript = transcript_hash(&[client_hello, &random, public]);
         let sched = schedule(&shared, &transcript)?;
 
         // Quote: nonce is the hash of the client hello (freshness), report
@@ -242,16 +302,16 @@ impl ServerHandshake {
             &identity.platform_key,
             identity.measurement,
             nonce,
-            Sha256::digest(&public),
+            Sha256::digest(public),
         );
 
         let finished = finished_mac(&sched.server_finished_key, &transcript);
-        let full_transcript = transcript_hash(&[client_hello, &random, &public, &finished]);
+        let full_transcript = transcript_hash(&[client_hello, &random, public, &finished]);
 
         Ok((
             ServerHello {
                 random,
-                public,
+                public: *public,
                 quote,
                 finished,
             },
@@ -398,5 +458,42 @@ mod tests {
         assert_eq!(s1.open(&rec).unwrap(), b"session one");
         let rec2 = c2.seal(b"session two").unwrap();
         assert_eq!(s2.open(&rec2).unwrap(), b"session two");
+    }
+
+    #[test]
+    fn batched_respond_completes_every_handshake() {
+        let clients: Vec<_> = (0..4u8)
+            .map(|i| ClientHandshake::start(entropy(10 + i), None))
+            .collect();
+        let hellos: Vec<&[u8]> = clients.iter().map(|(h, _)| h.as_slice()).collect();
+        let responses = ServerHandshake::respond_batch(&hellos, &identity(), entropy(99), None);
+        assert_eq!(responses.len(), 4);
+        let mut channels = Vec::new();
+        for ((_, client), resp) in clients.into_iter().zip(responses) {
+            let (sh, server) = resp.unwrap();
+            let (fin, c_chan) = client
+                .finish(&sh, &PLATFORM, &Measurement::of(b"server-workload-v1"))
+                .unwrap();
+            let s_chan = server.verify_finished(&fin).unwrap();
+            channels.push((c_chan, s_chan));
+        }
+        // Sessions sharing the batch ephemeral still have distinct keys:
+        // a record from one is garbage in another.
+        let rec = channels[0].0.seal(b"batchmate secret").unwrap();
+        assert!(channels[1].1.open(&rec).is_err());
+        assert_eq!(channels[0].1.open(&rec).unwrap(), b"batchmate secret");
+    }
+
+    #[test]
+    fn batched_respond_fails_per_slot() {
+        let (good, client) = ClientHandshake::start(entropy(21), None);
+        let bad = [0u8; 10];
+        let responses =
+            ServerHandshake::respond_batch(&[&bad, &good], &identity(), entropy(22), None);
+        assert!(matches!(responses[0], Err(CtlsError::Malformed)));
+        let (sh, _server) = responses[1].as_ref().unwrap();
+        assert!(client
+            .finish(sh, &PLATFORM, &Measurement::of(b"server-workload-v1"))
+            .is_ok());
     }
 }

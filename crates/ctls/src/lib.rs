@@ -28,7 +28,7 @@ pub mod record;
 
 pub use cio_crypto::aead::MAX_BATCH_RECORDS;
 pub use handshake::{ClientHandshake, ServerHandshake, ServerIdentity};
-pub use record::{Channel, RecordScratch, RECORD_OVERHEAD};
+pub use record::{Channel, RecordScratch, RECORD_OVERHEAD, REKEY_INTERVAL};
 
 use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
 
@@ -101,6 +101,18 @@ impl SimHooks {
         self.clock.advance(spent);
         self.meter.aead_ops(records as u64);
         self.meter.aead_bytes(bytes as u64);
+        self.telemetry.attribute_here(Stage::Crypto, spent);
+    }
+
+    /// Charges `mults` X25519 scalar multiplications (handshake key
+    /// generation and shared-secret derivation). The dominant cost of
+    /// connection churn; [`ServerHandshake::respond_batch`] amortizes the
+    /// server's ephemeral key generation across a batch to shave one mult
+    /// per connection.
+    pub(crate) fn charge_x25519(&self, mults: usize) {
+        let spent = self.cost.x25519_mult * mults as u64;
+        self.clock.advance(spent);
+        self.meter.x25519_ops(mults as u64);
         self.telemetry.attribute_here(Stage::Crypto, spent);
     }
 }

@@ -136,6 +136,18 @@ impl L5Service {
         self.iface.tcp_close(h)
     }
 
+    /// Guest call: release a fully-closed socket's slot (and its
+    /// ephemeral port) for reuse. Fails with `BadState` until the
+    /// connection has fully drained to `Closed`/`TimeWait`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack errors.
+    pub fn release(&mut self, h: SocketHandle) -> Result<(), NetError> {
+        self.observe("sock.close", 0);
+        self.iface.tcp_release(h)
+    }
+
     /// Guest call: connection established?
     ///
     /// # Errors

@@ -84,6 +84,14 @@ pub struct CostModel {
     pub spdm_round: Cycles,
     /// Per-byte IDE (PCIe link encryption) cost, bytes per cycle.
     pub ide_bytes_per_cycle: u64,
+    /// One X25519 scalar multiplication (key generation or shared-secret
+    /// derivation). ~40 µs at 3 GHz for a portable constant-time ladder;
+    /// the dominant cost of connection churn, which is why the session
+    /// plane batches server-side handshake responses.
+    pub x25519_mult: Cycles,
+    /// One flow-table lookup on the session hot path (hash + shard index
+    /// + generation check — a dependent load chain, no probing).
+    pub flow_lookup: Cycles,
 }
 
 impl Default for CostModel {
@@ -109,6 +117,8 @@ impl Default for CostModel {
             validate_field: Cycles(4),
             spdm_round: Cycles(50_000),
             ide_bytes_per_cycle: 4,
+            x25519_mult: Cycles(120_000),
+            flow_lookup: Cycles(12),
         }
     }
 }

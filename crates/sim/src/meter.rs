@@ -105,6 +105,18 @@ meter_fields! {
     /// `World::send` calls bounced with `Transient(AgainLater)` because the
     /// device ring was full mid-write.
     backpressure_again,
+    /// Sessions opened through the session control plane (flow-table
+    /// inserts; the churn numerator together with `sessions_closed`).
+    sessions_opened,
+    /// Sessions closed and their flow-table slots reclaimed.
+    sessions_closed,
+    /// Sessions quarantined fail-closed after a stream/channel failure
+    /// (hostile record, mid-rekey corruption). Distinct from
+    /// `violations_detected`: a poisoned session is an application-layer
+    /// casualty, not a boundary violation.
+    session_failures,
+    /// X25519 scalar multiplications performed by cTLS handshakes.
+    x25519_ops,
     /// Host-supplied fields validated.
     validations,
     /// Interface violations *detected* and rejected by a boundary.

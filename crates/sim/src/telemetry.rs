@@ -285,6 +285,27 @@ struct State {
     /// (`copies_per_record`, `bytes_copied`) from the ring
     /// producer/consumer counters.
     meter: Option<Meter>,
+    /// Session control-plane gauges ([`Telemetry::publish_sessions`]):
+    /// per-shard live/peak occupancy plus flow-table totals. `None` until
+    /// a session layer publishes; exporters omit the section then.
+    sessions: Option<SessionGauges>,
+}
+
+/// Point-in-time session control-plane gauges (per-RSS-shard occupancy
+/// plus flow-table totals), published by the session layer each tick.
+#[derive(Debug, Clone, Default)]
+struct SessionGauges {
+    /// Live sessions per shard (index = shard = RSS lane).
+    live: Vec<u64>,
+    /// Peak concurrent sessions per shard.
+    peak: Vec<u64>,
+    /// Sessions ever opened through the flow table.
+    created: u64,
+    /// Sessions closed and their slots reclaimed.
+    reclaimed: u64,
+    /// Flow-table slots ever allocated (the memory footprint; bounded by
+    /// peak concurrency when reclamation works).
+    slots: u64,
 }
 
 impl State {
@@ -301,6 +322,7 @@ impl State {
             rtt: vec![Histogram::new(); queues],
             batch: vec![Histogram::new(); queues],
             meter: None,
+            sessions: None,
         }
     }
 
@@ -502,6 +524,34 @@ impl Telemetry {
             let mut s = inner.lock();
             let q = queue.min(s.queues - 1);
             s.batch[q].record(frames);
+        }
+    }
+
+    /// Publishes session control-plane gauges: per-shard live/peak
+    /// session counts plus the flow table's created/reclaimed/slots
+    /// totals. Gauges are last-write-wins (the session layer republishes
+    /// each tick), and [`Telemetry::absorb`] never touches them, so only
+    /// the coordinator's table is ever reported. After the first call the
+    /// per-shard vectors are reused, so steady-state republishing
+    /// allocates nothing. A no-op on a disabled handle.
+    pub fn publish_sessions(
+        &self,
+        live: &[u64],
+        peak: &[u64],
+        created: u64,
+        reclaimed: u64,
+        slots: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            let mut s = inner.lock();
+            let g = s.sessions.get_or_insert_with(SessionGauges::default);
+            g.live.clear();
+            g.live.extend_from_slice(live);
+            g.peak.clear();
+            g.peak.extend_from_slice(peak);
+            g.created = created;
+            g.reclaimed = reclaimed;
+            g.slots = slots;
         }
     }
 
@@ -755,6 +805,37 @@ impl Telemetry {
                 locks_per_record(&snap)
             ));
         }
+        if let Some(g) = &s.sessions {
+            out.push_str(
+                "# HELP cio_sessions_live Live sessions per RSS shard.\n\
+                 # TYPE cio_sessions_live gauge\n",
+            );
+            for (q, v) in g.live.iter().enumerate() {
+                out.push_str(&format!("cio_sessions_live{{shard=\"{q}\"}} {v}.000000\n"));
+            }
+            out.push_str(
+                "# HELP cio_sessions_peak Peak concurrent sessions per RSS shard.\n\
+                 # TYPE cio_sessions_peak gauge\n",
+            );
+            for (q, v) in g.peak.iter().enumerate() {
+                out.push_str(&format!("cio_sessions_peak{{shard=\"{q}\"}} {v}.000000\n"));
+            }
+            out.push_str(
+                "# HELP cio_sessions_created_total Sessions ever opened through the flow table.\n\
+                 # TYPE cio_sessions_created_total counter\n",
+            );
+            out.push_str(&format!("cio_sessions_created_total {}\n", g.created));
+            out.push_str(
+                "# HELP cio_sessions_reclaimed_total Sessions closed and their slots reclaimed.\n\
+                 # TYPE cio_sessions_reclaimed_total counter\n",
+            );
+            out.push_str(&format!("cio_sessions_reclaimed_total {}\n", g.reclaimed));
+            out.push_str(
+                "# HELP cio_session_table_slots Flow-table slots ever allocated (memory footprint).\n\
+                 # TYPE cio_session_table_slots gauge\n",
+            );
+            out.push_str(&format!("cio_session_table_slots {}.000000\n", g.slots));
+        }
         out
     }
 
@@ -849,6 +930,13 @@ impl Telemetry {
                 copies_per_record(&snap),
                 records_per_commit(&snap),
                 locks_per_record(&snap)
+            ));
+        }
+        if let Some(g) = &s.sessions {
+            out.push_str(&format!(
+                ",\n  \"sessions\": {{\"live\": {:?}, \"peak\": {:?}, \
+                 \"created\": {}, \"reclaimed\": {}, \"slots\": {}}}",
+                g.live, g.peak, g.created, g.reclaimed, g.slots
             ));
         }
         out.push_str("\n}\n");

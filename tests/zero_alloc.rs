@@ -20,6 +20,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cio::session::{SessionId, SessionTable};
 use cio_ctls::{Channel, RecordScratch, SimHooks, RECORD_OVERHEAD};
 use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
@@ -451,4 +452,93 @@ fn steady_state_record_path_does_not_allocate() {
              ({during} allocations over 2000 records across {THREADS} armed workers)"
         );
     });
+
+    // Phase 6: steady-state session churn. The control plane joins the
+    // audit: opening a session is a pooled-state insert into the
+    // RSS-sharded [`SessionTable`], every record resolves its
+    // generational handle through the counted O(1) hot-path lookup, and
+    // closing reclaims the slot and hands the keyed state back to the
+    // pool. After warm-up (shard slot arrays, free lists, pooled
+    // channels and scratches all at their high-water marks), a complete
+    // open → send → close lifecycle must never touch the heap — churn
+    // is metered steady state, not an allocation event.
+    const CHURN_SESSIONS: usize = 8;
+    const CHURN_SHARDS: usize = 4;
+    struct PooledSession {
+        guest: Channel,
+        host: Channel,
+        rec: RecordScratch,
+        plain: RecordScratch,
+    }
+    let mut pool: Vec<PooledSession> = (0..CHURN_SESSIONS)
+        .map(|i| {
+            let s = (i as u8).wrapping_mul(17);
+            PooledSession {
+                guest: Channel::from_secrets(
+                    [s.wrapping_add(5); 32],
+                    [s.wrapping_add(6); 32],
+                    true,
+                    None,
+                ),
+                host: Channel::from_secrets(
+                    [s.wrapping_add(5); 32],
+                    [s.wrapping_add(6); 32],
+                    false,
+                    None,
+                ),
+                rec: RecordScratch::new(),
+                plain: RecordScratch::new(),
+            }
+        })
+        .collect();
+    let mut table: SessionTable<PooledSession> = SessionTable::new(CHURN_SHARDS);
+    let mut handles: Vec<SessionId> = Vec::with_capacity(CHURN_SESSIONS);
+    let mut churn_cycle = |table: &mut SessionTable<PooledSession>,
+                           pool: &mut Vec<PooledSession>,
+                           handles: &mut Vec<SessionId>,
+                           blob: &mut Vec<u8>| {
+        // Open: every pooled session becomes a live flow-table entry.
+        for q in 0..CHURN_SESSIONS {
+            let sess = pool.pop().expect("session pool");
+            handles.push(table.insert(q & (CHURN_SHARDS - 1), sess));
+        }
+        // Send one record per live session through the shared lane; the
+        // handle resolves via the counted single-probe lookup.
+        for &id in handles.iter() {
+            let sess = table.get_mut(id).expect("live handle");
+            let _span = telemetry.span(0, Stage::GuestSend);
+            sess.guest.seal_into(&payload, &mut sess.rec).expect("seal");
+            producer.produce(sess.rec.as_slice()).expect("produce");
+            consumer
+                .consume_into(blob)
+                .expect("consume")
+                .expect("record available");
+            sess.host.open_into(blob, &mut sess.plain).expect("open");
+            assert_eq!(sess.plain.as_slice(), &payload[..]);
+        }
+        // Close: reclaim every slot; the keyed state returns to the pool.
+        for id in handles.drain(..) {
+            pool.push(table.remove(id).expect("live handle"));
+        }
+    };
+    for _ in 0..32 {
+        churn_cycle(&mut table, &mut pool, &mut handles, &mut blob);
+    }
+
+    let before = allocations();
+    for _ in 0..250 {
+        churn_cycle(&mut table, &mut pool, &mut handles, &mut blob);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state session churn (open → send → close) must not touch \
+         the heap ({during} allocations over 2000 session lifecycles)"
+    );
+    // The table's own accounting confirms reclamation: thousands of
+    // lifecycles, slot capacity still bounded by peak concurrency.
+    assert!(table.created() >= 2_000);
+    assert_eq!(table.created(), table.reclaimed());
+    assert!(table.capacity() as u64 <= table.peak_live());
+    assert_eq!(table.probes(), table.lookups());
 }
