@@ -7,11 +7,14 @@
 //! Everything derives from the shared virtual clock, so two runs with the
 //! same arguments print byte-identical output.
 //!
-//! Usage: `cio_top [--quick] [--prom] [--json]`
-//! `--prom` / `--json` additionally dump the raw exporter payloads.
+//! Usage: `cio_top [--quick] [--prom] [--json] [--trace <path>]`
+//! `--prom` / `--json` additionally dump the raw exporter payloads;
+//! `--trace <path>` writes the flight recorder's merged Chrome-trace
+//! JSON (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
 
-use cio_bench::{fmt_cycles, print_table, telemetry_echo_world};
-use cio_sim::{Histogram, Stage};
+use cio::world::WorldOptions;
+use cio_bench::{bench_opts, fmt_cycles, print_table, telemetry_echo_world_with};
+use cio_sim::{Histogram, Stage, Trace};
 
 const QUEUES: usize = 4;
 
@@ -27,12 +30,27 @@ fn hist_row(label: String, h: &Histogram) -> Vec<String> {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let want_prom = std::env::args().any(|a| a == "--prom");
-    let want_json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let want_prom = args.iter().any(|a| a == "--prom");
+    let want_json = args.iter().any(|a| a == "--json");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace needs a path").clone());
     let (flows, rounds, size) = if quick { (8, 12, 512) } else { (16, 64, 1024) };
 
-    let w = telemetry_echo_world(QUEUES, flows, rounds, size, true).expect("E17 workload failed");
+    let opts = WorldOptions {
+        queues: QUEUES,
+        telemetry: true,
+        observe: true,
+        ..bench_opts()
+    };
+    let w = telemetry_echo_world_with(opts, flows, rounds, size).expect("E17 workload failed");
+    // A bounded trace rides along so its eviction counter joins the
+    // exports next to the flight recorder's per-queue drop counters.
+    let trace = Trace::bounded(256);
+    w.telemetry().attach_trace(&trace);
     let tel = w.telemetry();
     let profile = tel.profile();
 
@@ -105,6 +123,17 @@ fn main() {
          virtual clock — rerunning this binary reproduces them exactly."
     );
 
+    println!(
+        "\nflight events dropped: {}, trace events dropped: {}",
+        w.flight().total_dropped(),
+        trace.dropped()
+    );
+
+    if let Some(path) = trace_path {
+        let doc = w.chrome_trace();
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote Chrome trace to {path}");
+    }
     if want_prom {
         println!("\n--- prometheus ---");
         print!("{}", tel.prometheus_text());

@@ -27,7 +27,7 @@ use crate::CioError;
 use cio_host::adversary::AttackKind;
 use cio_host::fabric::LinkParams;
 use cio_host::VirtioNetBackend;
-use cio_sim::Cycles;
+use cio_sim::{verify_audit_chain, AuditViolation, Cycles, EventKind, FlightRecorder};
 use cio_vring::cioring::{BatchPolicy, CioRing};
 
 pub use cio_host::adversary::ALL_ATTACKS;
@@ -43,6 +43,20 @@ pub enum Outcome {
     Detected,
     /// Attack executed; the design acted on hostile data unknowingly.
     Undetected,
+}
+
+impl Outcome {
+    /// Stable wire code, carried as the `b` payload word of the
+    /// [`EventKind::AttackVerdict`] flight event (and therefore
+    /// authenticated by the audit chain).
+    pub fn code(self) -> u64 {
+        match self {
+            Outcome::NoSurface => 0,
+            Outcome::Prevented => 1,
+            Outcome::Detected => 2,
+            Outcome::Undetected => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for Outcome {
@@ -68,6 +82,10 @@ pub struct AttackReport {
     pub outcome: Outcome,
     /// Whether the echo workload still completed correctly afterwards.
     pub workload_survived: bool,
+    /// Whether the verdict landed in the world's tamper-evident audit
+    /// chain and the whole chain verified afterwards (trivially `true`
+    /// for `NoSurface` scenarios, which never build a world).
+    pub audit_ok: bool,
 }
 
 fn attack_opts() -> WorldOptions {
@@ -76,8 +94,32 @@ fn attack_opts() -> WorldOptions {
             latency: Cycles(1_000),
             loss: 0.0,
         },
+        observe: true,
         ..WorldOptions::default()
     }
+}
+
+/// Index of `attack` in [`ALL_ATTACKS`], carried as the `a` payload word
+/// of the [`EventKind::AttackVerdict`] flight event.
+fn attack_index(attack: AttackKind) -> u64 {
+    ALL_ATTACKS
+        .iter()
+        .position(|&a| a == attack)
+        .unwrap_or(ALL_ATTACKS.len()) as u64
+}
+
+/// Records the classification verdict in the world's flight recorder
+/// (which appends it to the tamper-evident audit chain, `AttackVerdict`
+/// being a security event) and checks that the chain verifies end to end
+/// with the fresh verdict as its newest link.
+fn seal_verdict(flight: &FlightRecorder, attack: AttackKind, outcome: Outcome) -> bool {
+    let (scenario, code) = (attack_index(attack), outcome.code());
+    flight.record(0, EventKind::AttackVerdict, scenario, code);
+    flight.verify_audit().is_ok()
+        && flight
+            .audit_records()
+            .last()
+            .is_some_and(|r| r.kind == EventKind::AttackVerdict && r.a == scenario && r.b == code)
 }
 
 /// Whether this design exposes the mechanism this attack targets.
@@ -321,6 +363,7 @@ fn run_scenario_inner(
             attack,
             outcome: Outcome::NoSurface,
             workload_survived: true,
+            audit_ok: true,
         });
     }
 
@@ -349,11 +392,13 @@ fn run_scenario_inner(
     let before = world.meter().snapshot();
     let attempted = launch(&mut world, attack)?;
     if !attempted {
+        let audit_ok = seal_verdict(world.flight(), attack, Outcome::NoSurface);
         return Ok(AttackReport {
             boundary,
             attack,
             outcome: Outcome::NoSurface,
             workload_survived: true,
+            audit_ok,
         });
     }
 
@@ -374,11 +419,13 @@ fn run_scenario_inner(
     } else {
         Outcome::Prevented
     };
+    let audit_ok = seal_verdict(world.flight(), attack, outcome);
     Ok(AttackReport {
         boundary,
         attack,
         outcome,
         workload_survived: survived,
+        audit_ok,
     })
 }
 
@@ -732,15 +779,71 @@ pub fn parallel_hostile_mutation(threads: usize) -> Result<(AttackReport, u64), 
     } else {
         Outcome::Prevented
     };
+    let audit_ok = seal_verdict(world.flight(), AttackKind::IndexJump, outcome);
     Ok((
         AttackReport {
             boundary: BoundaryKind::L2CioRing,
             attack: AttackKind::IndexJump,
             outcome,
             workload_survived: survived,
+            audit_ok,
         },
         sweeps,
     ))
+}
+
+/// Report from the [`audit_chain_tamper`] micro-scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditTamperReport {
+    /// Records in the audit chain when it was tampered with.
+    pub chain_len: usize,
+    /// Whether the untouched chain verified against its head.
+    pub clean_ok: bool,
+    /// The link whose payload was mutated.
+    pub tampered_link: usize,
+    /// Whether the verifier flagged exactly that link (`BadDigest`).
+    pub flagged_exact: bool,
+}
+
+/// Chain-tamper micro-scenario: runs the mid-handshake record poisoning
+/// with the flight recorder armed — so the chain carries the organic
+/// security events (handshake failure, session quarantine) plus the
+/// sealed verdict — then mutates a single audit record in a copy of the
+/// chain and checks the verifier pinpoints exactly that link — i.e. a
+/// forensic log an attacker edited after the fact cannot pass for the
+/// one the dataplane wrote.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn audit_chain_tamper() -> Result<AuditTamperReport, CioError> {
+    let mut world = World::new(BoundaryKind::L2CioRing, attack_opts())?;
+    let victim = world.connect(ECHO_PORT)?;
+    let poisoned = step_until_poisoned(&mut world, 0, ECHO_PORT, 3_000)?;
+    debug_assert!(poisoned, "no handshake frame appeared to poison");
+    let est = world.establish(victim, 3_000);
+    debug_assert!(est.is_err(), "poisoned handshake completed");
+    seal_verdict(
+        world.flight(),
+        AttackKind::PayloadDoubleFetch,
+        Outcome::Detected,
+    );
+
+    let head = world.flight().audit_head();
+    let mut records = world.flight().audit_records();
+    let clean_ok = verify_audit_chain(&records, &head).is_ok();
+    let tampered_link = records.len() / 2;
+    records[tampered_link].a ^= 1;
+    let flagged_exact = matches!(
+        verify_audit_chain(&records, &head),
+        Err(AuditViolation::BadDigest { link }) if link == tampered_link as u64
+    );
+    Ok(AuditTamperReport {
+        chain_len: records.len(),
+        clean_ok,
+        tampered_link,
+        flagged_exact,
+    })
 }
 
 /// Scans a guest-bound RX ring for a pending (produced, not yet consumed)
@@ -1279,5 +1382,25 @@ mod tests {
             })
             .count();
         assert!(bled >= 4, "unhardened undetected count = {bled}");
+    }
+
+    #[test]
+    fn every_verdict_lands_in_the_audit_chain() {
+        let reports = run_matrix(&[BoundaryKind::L2CioRing]).unwrap();
+        for r in &reports {
+            assert!(
+                r.audit_ok,
+                "{} vs {}: verdict missing from verified audit chain",
+                r.boundary, r.attack
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_audit_chain_is_pinpointed() {
+        let t = audit_chain_tamper().unwrap();
+        assert!(t.chain_len >= 1, "{t:?}");
+        assert!(t.clean_ok, "{t:?}");
+        assert!(t.flagged_exact, "{t:?}");
     }
 }

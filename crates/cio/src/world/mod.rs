@@ -24,7 +24,10 @@ use cio_host::observe::Recorder;
 use cio_mem::{CopyPolicy, GuestAddr, GuestMemory, PAGE_SIZE};
 use cio_netstack::stack::{Interface, InterfaceConfig, SocketHandle};
 use cio_netstack::{rss, Ipv4Addr, MacAddr, NetDevice, PairDevice};
-use cio_sim::{Clock, CostModel, Cycles, Lanes, Meter, SimRng, Stage, Telemetry};
+use cio_sim::{
+    Clock, CostModel, Cycles, EventKind, FlightRecorder, Lanes, Meter, SimRng, SloConfig,
+    SloWatchdog, Stage, Telemetry,
+};
 use cio_tee::compartment::Gate;
 use cio_tee::dda::{spdm_attest, Device, IdeChannel};
 use cio_tee::{Tee, TeeKind};
@@ -161,6 +164,13 @@ pub struct WorldOptions {
     /// records nothing. Telemetry never advances the clock, so enabling
     /// it cannot perturb the simulation.
     pub telemetry: bool,
+    /// Arm the flight recorder and SLO watchdog (typed event timelines,
+    /// the tamper-evident audit chain, breach detection — see
+    /// [`cio_sim::flight`]). Off by default: a disabled recorder handle
+    /// costs one branch per event site and records nothing. Like
+    /// telemetry, the recorder never advances the clock, so arming it
+    /// cannot perturb the simulation.
+    pub observe: bool,
 }
 
 impl Default for WorldOptions {
@@ -183,6 +193,7 @@ impl Default for WorldOptions {
             queues: 1,
             parallel: 0,
             telemetry: false,
+            observe: false,
         }
     }
 }
@@ -282,6 +293,9 @@ struct ConnState {
     /// The virtual core / queue this connection's flow steers to
     /// (always 0 when the world runs a single queue).
     lane: usize,
+    /// Highest transmit key epoch already reported to the flight
+    /// recorder (rekey events fire on the transition past this mark).
+    epoch_seen: u64,
 }
 
 /// One complete simulated deployment.
@@ -317,6 +331,14 @@ pub struct World {
     /// Telemetry domain (a disabled no-op handle unless
     /// [`WorldOptions::telemetry`] armed it).
     telemetry: Telemetry,
+    /// Flight recorder (a disabled no-op handle unless
+    /// [`WorldOptions::observe`] armed it).
+    flight: FlightRecorder,
+    /// Online SLO watchdog, pumped once per step against the telemetry
+    /// RTT histograms (present only when [`WorldOptions::observe`] is
+    /// set; silently idle unless telemetry is armed too, since the RTT
+    /// histograms are its only input).
+    watchdog: Option<SloWatchdog>,
     /// Thread-per-queue host execution (replaces `backend` when
     /// [`WorldOptions::parallel`] is non-zero; `backend` then holds a
     /// [`NullBackend`]).
@@ -424,6 +446,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Arms the flight recorder and SLO watchdog (typed event
+    /// timelines, the tamper-evident audit chain, breach detection).
+    /// Off by default.
+    pub fn observe(mut self, on: bool) -> Self {
+        self.opts.observe = on;
+        self
+    }
+
     /// Builds the world.
     ///
     /// # Errors
@@ -467,6 +497,18 @@ impl WorldBuilder {
         } else {
             Telemetry::disabled()
         };
+        let flight = if opts.observe {
+            let f = FlightRecorder::new(clock.clone(), opts.queues);
+            // Exporters surface per-queue drop counters whenever telemetry
+            // is also armed (attach is a no-op on a disabled handle).
+            telemetry.attach_flight(&f);
+            f
+        } else {
+            FlightRecorder::disabled()
+        };
+        let watchdog = opts
+            .observe
+            .then(|| SloWatchdog::new(SloConfig::default(), opts.queues));
         let fabric = Fabric::new(clock.clone(), opts.seed);
         let mut rng = SimRng::seed_from(opts.seed ^ 0x5EED);
 
@@ -620,6 +662,7 @@ impl WorldBuilder {
                     recorder.clone(),
                     clock.clone(),
                     &telemetry,
+                    &flight,
                 )?;
                 anatomy.cio_rings = rings.first().cloned();
                 anatomy.cio_queues = rings;
@@ -727,6 +770,7 @@ impl WorldBuilder {
                 backend.set_copy_policy(opts.copy_policy);
                 backend.set_batch_policy(opts.batch);
                 backend.set_telemetry(telemetry.clone());
+                backend.set_flight(flight.clone());
 
                 let (gw_side, peer_side) = PairDevice::pair([PEER_MAC, PEER_MAC], 1500);
                 let gw = TunnelGateway::new(gw_chan, gw_side);
@@ -840,7 +884,13 @@ impl WorldBuilder {
                     "parallel host execution needs a cio-ring backend",
                 ));
             };
-            Some(ParallelHost::new(*cio, opts.parallel, &mem, &telemetry)?)
+            Some(ParallelHost::new(
+                *cio,
+                opts.parallel,
+                &mem,
+                &telemetry,
+                &flight,
+            )?)
         } else {
             None
         };
@@ -866,6 +916,8 @@ impl WorldBuilder {
             lanes,
             seal_scratch: RecordScratch::new(),
             telemetry,
+            flight,
+            watchdog,
             parallel,
         })
     }
@@ -950,6 +1002,7 @@ impl World {
         recorder: Recorder,
         clock: Clock,
         telemetry: &Telemetry,
+        flight: &FlightRecorder,
     ) -> Result<CioRingParts, CioError> {
         let mut rings = Vec::with_capacity(opts.queues);
         let mut guest_pairs = Vec::with_capacity(opts.queues);
@@ -974,6 +1027,7 @@ impl World {
         backend.set_copy_policy(opts.copy_policy);
         backend.set_batch_policy(opts.batch);
         backend.set_telemetry(telemetry.clone());
+        backend.set_flight(flight.clone());
         Ok((device, backend, rings))
     }
 
@@ -1051,6 +1105,27 @@ impl World {
     /// [`cio_sim::Profile`] tables, histograms, and exporter snapshots.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The flight recorder. Disabled (inert) unless the world was built
+    /// with [`WorldBuilder::observe`]; use it to pull typed event
+    /// timelines, audit-chain records, and the exporters.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The online SLO watchdog, when [`WorldBuilder::observe`] armed it
+    /// (breach counts and configuration; the pump runs inside
+    /// [`World::step`]).
+    pub fn watchdog(&self) -> Option<&SloWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Renders the merged Chrome-trace timeline (flight events as
+    /// instants, telemetry cycle attribution as counters) — loadable in
+    /// `chrome://tracing` / Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        self.flight.chrome_trace(&self.telemetry)
     }
 
     /// The RSS lane / queue this session's flow steers to (`None` for a
@@ -1144,6 +1219,7 @@ impl World {
             self.recorder.clone(),
             self.clock.clone(),
             &self.telemetry,
+            &self.flight,
         )?;
         self.anatomy.cio_rings = rings.first().cloned();
         self.anatomy.cio_queues = rings;
@@ -1208,6 +1284,12 @@ impl World {
             self.conns.reclaimed(),
             self.conns.capacity() as u64,
         );
+        // The SLO watchdog consumes the telemetry RTT histograms
+        // incrementally; it runs after lane absorption so parallel and
+        // serial schedules see identical cumulative bucket states.
+        if let Some(w) = &mut self.watchdog {
+            w.pump(&self.telemetry, &self.flight, &self.meter, self.clock.now());
+        }
         result
     }
 
@@ -1539,9 +1621,12 @@ impl World {
                 app_in: Vec::new(),
                 feed_scratch: FeedResult::default(),
                 lane,
+                epoch_seen: 0,
             },
         );
         self.meter.sessions_opened(1);
+        self.flight
+            .record(lane, EventKind::SessionOpen, sid_bits(id), 0);
         Ok(id)
     }
 
@@ -1560,6 +1645,8 @@ impl World {
             let _ = self.raw_close(conn.handle);
             self.draining.push(conn.handle);
             self.meter.session_failures(1);
+            self.flight
+                .record(conn.lane, EventKind::SessionQuarantine, sid_bits(id), 0);
         }
     }
 
@@ -1594,14 +1681,45 @@ impl World {
                 let Ok(conn) = self.conns.get_mut(id) else {
                     return Ok(());
                 };
+                let was_handshaking = conn.stream.is_handshaking();
                 let _open = self.telemetry.span(lane, Stage::RxOpen);
                 match conn.stream.feed_into(&data, &mut conn.feed_scratch) {
                     Ok(()) => {
+                        if was_handshaking && conn.stream.is_open() {
+                            self.flight
+                                .record(lane, EventKind::HandshakeOk, sid_bits(id), 0);
+                        }
+                        if !conn.feed_scratch.app_data.is_empty() {
+                            self.flight.record(
+                                lane,
+                                EventKind::OpenOk,
+                                conn.feed_scratch.app_data.len() as u64,
+                                0,
+                            );
+                        }
+                        if let Some(ep) = conn.stream.tx_epoch() {
+                            if ep > conn.epoch_seen {
+                                conn.epoch_seen = ep;
+                                self.flight
+                                    .record(lane, EventKind::SessionRekey, sid_bits(id), ep);
+                            }
+                        }
                         conn.app_in.extend_from_slice(&conn.feed_scratch.app_data);
                         conn.outbox.extend_from_slice(&conn.feed_scratch.to_send);
                         true
                     }
-                    Err(_) => false,
+                    Err(_) => {
+                        // A broken handshake and a bad record on an open
+                        // stream are different forensic facts; both are
+                        // security events and land in the audit chain.
+                        let kind = if was_handshaking {
+                            EventKind::HandshakeFail
+                        } else {
+                            EventKind::OpenFail
+                        };
+                        self.flight.record(lane, kind, sid_bits(id), 0);
+                        false
+                    }
                 }
             };
             if !healthy {
@@ -1682,6 +1800,8 @@ impl World {
         };
         if backlog > SEND_HIGH_WATER {
             self.meter.backpressure_wouldblock(1);
+            self.flight
+                .record(lane, EventKind::Backpressure, 0, backlog as u64);
             return Err(CioError::Transient(Transient::WouldBlock));
         }
         let base = (self.opts.queues > 1).then(|| self.lanes.begin(lane));
@@ -1706,14 +1826,24 @@ impl World {
             self.lanes.end(lane, base);
         }
         match result {
-            Ok(()) => Ok(data.len()),
+            Ok(()) => {
+                self.flight
+                    .record(lane, EventKind::SealOk, data.len() as u64, 1);
+                Ok(data.len())
+            }
             // A saturated device queue is backpressure too (TCP keeps the
             // sealed record buffered; flushing resumes on later steps).
             Err(CioError::Net(cio_netstack::NetError::DeviceFull)) => {
                 self.meter.backpressure_again(1);
+                self.flight
+                    .record(lane, EventKind::Backpressure, 1, backlog as u64);
                 Err(CioError::Transient(Transient::AgainLater))
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.flight
+                    .record(lane, EventKind::SealFail, data.len() as u64, 0);
+                Err(e)
+            }
         }
     }
 
@@ -1840,10 +1970,18 @@ impl World {
     pub fn close(&mut self, c: SessionId) -> Result<(), CioError> {
         let conn = self.conns.remove(c).map_err(CioError::from)?;
         self.meter.sessions_closed(1);
+        self.flight
+            .record(conn.lane, EventKind::SessionClose, sid_bits(c), 0);
         self.raw_close(conn.handle)?;
         self.draining.push(conn.handle);
         Ok(())
     }
+}
+
+/// Packs a generational session handle into one flight-event payload
+/// word (`generation << 32 | index`).
+fn sid_bits(id: SessionId) -> u64 {
+    u64::from(id.generation()) << 32 | u64::from(id.index())
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use crate::CioError;
 use cio_host::backend::{CioNetBackend, CioSteer, WorkerCtx};
 use cio_host::worker::CioQueueWorker;
 use cio_mem::GuestMemory;
-use cio_sim::{Clock, Cycles, Lanes, Meter, MeterSnapshot, Telemetry};
+use cio_sim::{Clock, Cycles, FlightRecorder, Lanes, Meter, MeterSnapshot, Telemetry};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -111,6 +111,11 @@ pub(super) struct ParallelHost {
     lane_clocks: Vec<Clock>,
     /// Per-queue telemetry forks, absorbed in queue order each round.
     forks: Vec<Telemetry>,
+    /// The world's flight recorder (absorption target).
+    flight: FlightRecorder,
+    /// Per-queue flight-recorder forks, absorbed in queue order each
+    /// round right after the telemetry forks.
+    flight_forks: Vec<FlightRecorder>,
     /// Shared handles to each queue's traffic meter (the workers own the
     /// lanes, but meters are atomic and readable from the coordinator).
     queue_meters: Vec<Meter>,
@@ -133,18 +138,23 @@ impl ParallelHost {
         threads: usize,
         mem: &GuestMemory,
         telemetry: &Telemetry,
+        flight: &FlightRecorder,
     ) -> Result<Self, CioError> {
         let mut lane_clocks = Vec::new();
         let mut forks = Vec::new();
+        let mut flight_forks = Vec::new();
         let (steer, workers) = backend.split_parallel(|_q| {
             let clock = Clock::new();
             let fork = telemetry.fork(clock.clone());
+            let ffork = flight.fork(clock.clone());
             lane_clocks.push(clock.clone());
             forks.push(fork.clone());
+            flight_forks.push(ffork.clone());
             WorkerCtx {
                 clock: clock.clone(),
                 telemetry: fork,
                 view: mem.with_clock(clock).host(),
+                flight: ffork,
             }
         });
         let queues = workers.len();
@@ -180,6 +190,8 @@ impl ParallelHost {
             threads: handles,
             lane_clocks,
             forks,
+            flight: flight.clone(),
+            flight_forks,
             queue_meters,
             staged: (0..queues).map(|_| Vec::new()).collect(),
             starts: vec![Cycles::ZERO; queues],
@@ -247,6 +259,7 @@ impl ParallelHost {
                 let _ = self.steer.port_mut().transmit_at(frame, *at);
             }
             telemetry.absorb(&self.forks[q]);
+            self.flight.absorb(&self.flight_forks[q]);
         }
         Ok(moved)
     }

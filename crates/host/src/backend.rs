@@ -20,7 +20,7 @@ use crate::observe::{bits, Recorder};
 use crate::HostError;
 use cio_mem::{CopyPolicy, HostView};
 use cio_netstack::{rss, NetDevice};
-use cio_sim::{Clock, Cycles, Stage, Telemetry};
+use cio_sim::{Clock, Cycles, EventKind, FlightRecorder, Stage, Telemetry};
 use cio_vring::cioring::{BatchPolicy, Consumer, MultiQueue, Producer, QueueLane, MAX_BATCH};
 use cio_vring::virtqueue::{Chain, DeviceSide};
 use cio_vring::RingError;
@@ -330,6 +330,7 @@ pub(crate) struct CioLaneCtx<'a> {
     pub(crate) recorder: &'a Recorder,
     pub(crate) clock: &'a Clock,
     pub(crate) telemetry: &'a Telemetry,
+    pub(crate) flight: &'a FlightRecorder,
 }
 
 /// Services one cio queue: drains guest->net records into `sink` and
@@ -458,8 +459,10 @@ pub(crate) fn service_cio_lane(
     }
     if staged > 0 {
         ctx.telemetry.record_batch(q, staged);
+        ctx.flight.record(q, EventKind::BatchCommit, staged, 0);
         lane.end.rx.publish()?;
         lane.end.rx.kick();
+        ctx.flight.record(q, EventKind::Doorbell, staged, 0);
     }
     Ok(moved)
 }
@@ -491,6 +494,7 @@ pub struct CioNetBackend {
     /// serviced queue's own pool).
     scratch: Vec<Vec<u8>>,
     telemetry: Telemetry,
+    flight: FlightRecorder,
 }
 
 impl CioNetBackend {
@@ -527,6 +531,7 @@ impl CioNetBackend {
             batch: BatchPolicy::default(),
             scratch: Vec::new(),
             telemetry: Telemetry::disabled(),
+            flight: FlightRecorder::disabled(),
         })
     }
 
@@ -560,6 +565,12 @@ impl CioNetBackend {
             lane.end.rx.set_telemetry(telemetry.clone(), q);
         }
         self.telemetry = telemetry;
+    }
+
+    /// Arms the flight recorder: batch commits and doorbells on the
+    /// host->guest path are recorded as typed events per queue.
+    pub fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
     }
 
     /// Single-queue convenience constructor.
@@ -653,6 +664,7 @@ impl CioNetBackend {
                 self.recorder.clone(),
                 ctx.clock,
                 ctx.telemetry,
+                ctx.flight,
             ));
         }
         (
@@ -677,6 +689,9 @@ pub struct WorkerCtx {
     /// Host view of the shared guest memory whose handle charges the
     /// lane clock.
     pub view: HostView,
+    /// Flight-recorder fork bound to the lane clock (absorbed by the
+    /// coordinator after each round, in queue order).
+    pub flight: FlightRecorder,
 }
 
 /// The coordinator's share of a split [`CioNetBackend`]: the fabric port
@@ -749,6 +764,7 @@ impl Backend for CioNetBackend {
             recorder: &self.recorder,
             clock: &self.clock,
             telemetry: &self.telemetry,
+            flight: &self.flight,
         };
         let mut sink = PortSink {
             port: &mut self.port,

@@ -25,7 +25,7 @@ use crate::backend::{service_cio_lane, CioLaneCtx, FrameSink, HostQueue, PENDING
 use crate::observe::Recorder;
 use crate::HostError;
 use cio_mem::CopyPolicy;
-use cio_sim::{Clock, Cycles, Meter, MeterSnapshot, Telemetry};
+use cio_sim::{Clock, Cycles, FlightRecorder, Meter, MeterSnapshot, Telemetry};
 use cio_vring::cioring::{BatchPolicy, QueueLane};
 
 /// Deferred sink: outbound frames are stamped with the lane clock and
@@ -64,6 +64,7 @@ pub struct CioQueueWorker {
     recorder: Recorder,
     clock: Clock,
     telemetry: Telemetry,
+    flight: FlightRecorder,
     scratch: Vec<Vec<u8>>,
     outbox: Vec<(Cycles, Vec<u8>)>,
     outpool: Vec<Vec<u8>>,
@@ -80,6 +81,7 @@ impl CioQueueWorker {
         recorder: Recorder,
         clock: Clock,
         telemetry: Telemetry,
+        flight: FlightRecorder,
     ) -> Self {
         CioQueueWorker {
             q,
@@ -90,6 +92,7 @@ impl CioQueueWorker {
             recorder,
             clock,
             telemetry,
+            flight,
             scratch: Vec::new(),
             outbox: Vec::new(),
             outpool: Vec::new(),
@@ -112,6 +115,12 @@ impl CioQueueWorker {
     /// barrier).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The worker's flight-recorder fork (the coordinator absorbs it
+    /// after the barrier, in queue order).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Per-queue traffic snapshot (frames in `copies`, bytes in
@@ -161,6 +170,7 @@ impl CioQueueWorker {
             recorder: &self.recorder,
             clock: &self.clock,
             telemetry: &self.telemetry,
+            flight: &self.flight,
         };
         let mut sink = OutboxSink {
             outbox: &mut self.outbox,

@@ -16,6 +16,9 @@
 //! * [`trace`] — an optional event log used by tests and debugging.
 //! * [`telemetry`] — deterministic spans, latency histograms, and cycle
 //!   attribution riding the virtual clock.
+//! * [`flight`] — the bounded flight recorder: typed event timelines, a
+//!   tamper-evident audit chain, a Chrome-trace exporter, and the online
+//!   SLO watchdog.
 //!
 //! Nothing in this crate is specific to networking or storage; it is the
 //! lowest layer of the dependency DAG.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod flight;
 pub mod lanes;
 pub mod meter;
 pub mod rng;
@@ -31,6 +35,10 @@ pub mod telemetry;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use flight::{
+    verify_audit_chain, AuditHead, AuditRecord, AuditViolation, EventKind, FlightEvent,
+    FlightRecorder, SloConfig, SloWatchdog,
+};
 pub use lanes::Lanes;
 pub use meter::{Meter, MeterSnapshot};
 pub use rng::SimRng;

@@ -124,6 +124,9 @@ meter_fields! {
     /// Interface violations that *corrupted* trusted state (should stay 0
     /// for the safe designs; counted by the attack harness oracle).
     violations_undetected,
+    /// SLO watchdog breach events (windowed p99 over the latency SLO, or
+    /// burn rate over budget in both the short and long window).
+    slo_breaches,
 }
 
 #[cfg(test)]

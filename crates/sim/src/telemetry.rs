@@ -289,6 +289,13 @@ struct State {
     /// per-shard live/peak occupancy plus flow-table totals. `None` until
     /// a session layer publishes; exporters omit the section then.
     sessions: Option<SessionGauges>,
+    /// Attached flight recorder ([`Telemetry::attach_flight`]): lets the
+    /// exporters surface per-queue `flight_events_dropped` counters.
+    flight: Option<crate::flight::FlightRecorder>,
+    /// Attached bounded trace ([`Telemetry::attach_trace`]): lets the
+    /// exporters surface the trace's eviction counter, which was
+    /// previously tracked but never exported.
+    trace: Option<crate::Trace>,
 }
 
 /// Point-in-time session control-plane gauges (per-RSS-shard occupancy
@@ -323,6 +330,8 @@ impl State {
             batch: vec![Histogram::new(); queues],
             meter: None,
             sessions: None,
+            flight: None,
+            trace: None,
         }
     }
 
@@ -515,6 +524,25 @@ impl Telemetry {
     pub fn attach_meter(&self, meter: &Meter) {
         if let Some(inner) = &self.inner {
             inner.lock().meter = Some(meter.clone());
+        }
+    }
+
+    /// Attaches a [`crate::flight::FlightRecorder`], so the exporters
+    /// can surface its per-queue `flight_events_dropped` eviction
+    /// counters next to the instruments. A no-op on a disabled handle;
+    /// without an attachment the exporters omit the observe section.
+    pub fn attach_flight(&self, flight: &crate::flight::FlightRecorder) {
+        if let Some(inner) = &self.inner {
+            inner.lock().flight = Some(flight.clone());
+        }
+    }
+
+    /// Attaches a (typically bounded) [`crate::Trace`], so the exporters
+    /// can surface its `dropped` eviction counter. A no-op on a disabled
+    /// handle.
+    pub fn attach_trace(&self, trace: &crate::Trace) {
+        if let Some(inner) = &self.inner {
+            inner.lock().trace = Some(trace.clone());
         }
     }
 
@@ -804,6 +832,11 @@ impl Telemetry {
                 "cio_lock_acquisitions_per_record {:.6}\n",
                 locks_per_record(&snap)
             ));
+            out.push_str(
+                "# HELP cio_slo_breaches_total SLO watchdog breach events.\n\
+                 # TYPE cio_slo_breaches_total counter\n",
+            );
+            out.push_str(&format!("cio_slo_breaches_total {}\n", snap.slo_breaches));
         }
         if let Some(g) = &s.sessions {
             out.push_str(
@@ -835,6 +868,28 @@ impl Telemetry {
                  # TYPE cio_session_table_slots gauge\n",
             );
             out.push_str(&format!("cio_session_table_slots {}.000000\n", g.slots));
+        }
+        if let Some(fr) = &s.flight {
+            out.push_str(
+                "# HELP cio_flight_events_dropped_total Flight-recorder ring evictions per queue.\n\
+                 # TYPE cio_flight_events_dropped_total counter\n",
+            );
+            for q in 0..fr.queues() {
+                out.push_str(&format!(
+                    "cio_flight_events_dropped_total{{queue=\"{q}\"}} {}\n",
+                    fr.dropped(q)
+                ));
+            }
+        }
+        if let Some(tr) = &s.trace {
+            out.push_str(
+                "# HELP cio_trace_events_dropped_total Events evicted from the bounded trace ring.\n\
+                 # TYPE cio_trace_events_dropped_total counter\n",
+            );
+            out.push_str(&format!(
+                "cio_trace_events_dropped_total {}\n",
+                tr.dropped()
+            ));
         }
         out
     }
@@ -937,6 +992,17 @@ impl Telemetry {
                 ",\n  \"sessions\": {{\"live\": {:?}, \"peak\": {:?}, \
                  \"created\": {}, \"reclaimed\": {}, \"slots\": {}}}",
                 g.live, g.peak, g.created, g.reclaimed, g.slots
+            ));
+        }
+        if s.flight.is_some() || s.trace.is_some() {
+            let flight_dropped: Vec<u64> = s.flight.as_ref().map_or_else(Vec::new, |fr| {
+                (0..fr.queues()).map(|q| fr.dropped(q)).collect()
+            });
+            let trace_dropped = s.trace.as_ref().map_or(0, |tr| tr.dropped());
+            let slo = s.meter.as_ref().map_or(0, |m| m.snapshot().slo_breaches);
+            out.push_str(&format!(
+                ",\n  \"observe\": {{\"flight_events_dropped\": {flight_dropped:?}, \
+                 \"trace_events_dropped\": {trace_dropped}, \"slo_breaches\": {slo}}}"
             ));
         }
         out.push_str("\n}\n");
