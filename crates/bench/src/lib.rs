@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 
 use cio::dev::{RecvMode, SendMode};
-use cio::world::{BoundaryKind, SessionScratch, World, WorldOptions, ECHO_PORT, RPC_PORT};
+use cio::world::{
+    BoundaryKind, SessionId, SessionScratch, World, WorldOptions, ECHO_PORT, RPC_PORT,
+};
 use cio::CioError;
 use cio_host::fabric::LinkParams;
 use cio_sim::{Cycles, MeterSnapshot};
@@ -294,6 +296,21 @@ pub fn telemetry_echo_world_with(
         w.establish(c, 50_000)?;
     }
     let payload = vec![0x5Au8; size];
+    echo_rounds(&mut w, &conns, &payload, rounds)?;
+    Ok(w)
+}
+
+/// Drives `rounds` echo ping-pongs per flow against an already-warm
+/// world. Shared inner loop of [`telemetry_echo_world_with`] and
+/// [`steady_echo_run`].
+fn echo_rounds(
+    w: &mut World,
+    conns: &[SessionId],
+    payload: &[u8],
+    rounds: u32,
+) -> Result<(), CioError> {
+    let flows = conns.len();
+    let size = payload.len();
     let mut left = vec![rounds; flows];
     // Echo bytes still owed per flow (0 = ready for a new ping).
     let mut pending = vec![0usize; flows];
@@ -306,7 +323,7 @@ pub fn telemetry_echo_world_with(
     while done < flows {
         for (i, &c) in conns.iter().enumerate() {
             if left[i] > 0 && pending[i] == 0 {
-                match w.send(c, &payload) {
+                match w.send(c, payload) {
                     Ok(_) => {
                         pending[i] = size;
                         sent_at[i] = w.clock().now();
@@ -339,10 +356,81 @@ pub fn telemetry_echo_world_with(
         }
         idle_steps = if progressed { 0 } else { idle_steps + 1 };
         if idle_steps > 200_000 {
-            return Err(CioError::Timeout("telemetry_echo_world stalled"));
+            return Err(CioError::Timeout("echo workload stalled"));
         }
     }
-    Ok(w)
+    Ok(())
+}
+
+/// Outcome of [`steady_echo_run`]: the finished world plus virtual time
+/// and meter delta measured over the steady-state phase only.
+pub struct SteadyEcho {
+    /// The finished world (inspect telemetry, flight log, idle passes).
+    pub world: World,
+    /// Virtual time of the measured steady-state phase.
+    pub elapsed: Cycles,
+    /// Meter delta over the measured phase.
+    pub meter: MeterSnapshot,
+}
+
+impl SteadyEcho {
+    /// Guest exits per ring record over the measured phase: explicit
+    /// guest->host notifications divided by records moved (both rings,
+    /// both directions).
+    pub fn exits_per_record(&self) -> f64 {
+        let recs = self.meter.ring_records.max(1) as f64;
+        self.meter.notifications_sent as f64 / recs
+    }
+
+    /// Doorbells per ring record over the measured phase: guest exits
+    /// plus host->guest interrupts, divided by records moved — the E23
+    /// headline ratio, matching the `cio_doorbells_per_record` gauge.
+    pub fn doorbells_per_record(&self) -> f64 {
+        let recs = self.meter.ring_records.max(1) as f64;
+        (self.meter.notifications_sent + self.meter.interrupts_received) as f64 / recs
+    }
+
+    /// Cycles of virtual time per ring record over the measured phase.
+    pub fn cycles_per_record(&self) -> f64 {
+        self.elapsed.get() as f64 / self.meter.ring_records.max(1) as f64
+    }
+}
+
+/// The E8/E23 notification-economics driver: runs the multi-flow echo
+/// workload but measures *steady state only* — the meter snapshot and
+/// virtual-time window open after connection establishment and one
+/// warm-up round trip per flow, so handshake exits don't dilute the
+/// exits/record and doorbells/record ratios under test.
+///
+/// # Errors
+///
+/// World construction or timeout failures.
+pub fn steady_echo_run(
+    opts: WorldOptions,
+    flows: usize,
+    rounds: u32,
+    size: usize,
+) -> Result<SteadyEcho, CioError> {
+    let mut w = World::new(BoundaryKind::L2CioRing, opts)?;
+    let conns: Vec<_> = (0..flows)
+        .map(|_| w.connect(ECHO_PORT))
+        .collect::<Result<_, _>>()?;
+    for &c in &conns {
+        w.establish(c, 50_000)?;
+    }
+    let payload = vec![0x5Au8; size];
+    // Warm-up: one echo per flow primes every ring and RSS lane.
+    echo_rounds(&mut w, &conns, &payload, 1)?;
+    let m0 = w.meter().snapshot();
+    let t0 = w.clock().now();
+    echo_rounds(&mut w, &conns, &payload, rounds)?;
+    let elapsed = w.clock().since(t0);
+    let meter = w.meter().snapshot().delta(&m0);
+    Ok(SteadyEcho {
+        world: w,
+        elapsed,
+        meter,
+    })
 }
 
 /// World options for the cio-ring variants used in E7/E9 sweeps.

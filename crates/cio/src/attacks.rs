@@ -792,6 +792,201 @@ pub fn parallel_hostile_mutation(threads: usize) -> Result<(AttackReport, u64), 
     ))
 }
 
+/// Hostile mutation applied to the consumer-published event-index word
+/// by [`event_idx_hostile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventIdxAttack {
+    /// Freeze the word at its last legitimate value: the host stops
+    /// reporting progress, so the producer's kicks are suppressed long
+    /// after the consumer went idle. Liveness must come from the
+    /// re-poll heartbeat — a missed-then-recovered wakeup, never a hang.
+    Stuck,
+    /// Jump the word far *behind* the producer's validated shadow: a
+    /// wrapped distance outside the `[seen, next]` window, rejected
+    /// fail-closed (kick anyway, count the violation).
+    Backwards,
+    /// Pin the word at `0xFFFF_FFFF`: the classic all-ones scribble,
+    /// outside the window for any live ring position.
+    MaxValue,
+    /// Hammer the word from a hostile OS thread — max-value, backwards,
+    /// and zero in rotation — while live parallel workers service the
+    /// queues. Racing writers must produce only values a sequential
+    /// writer could; no interleaving bypasses the window check.
+    Racing,
+}
+
+impl std::fmt::Display for EventIdxAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EventIdxAttack::Stuck => "stuck",
+            EventIdxAttack::Backwards => "backwards-jump",
+            EventIdxAttack::MaxValue => "max-value",
+            EventIdxAttack::Racing => "racing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Report from one [`event_idx_hostile`] scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct EventIdxHostileReport {
+    /// The mutation applied.
+    pub attack: EventIdxAttack,
+    /// Classification against the violation oracle.
+    pub outcome: Outcome,
+    /// The echo workload still completed correctly afterwards (a
+    /// hostile index may delay delivery by at most the re-poll
+    /// heartbeat — never lose it).
+    pub workload_survived: bool,
+    /// Verdict sealed into the verified audit chain.
+    pub audit_ok: bool,
+    /// Fail-closed rejections of the hostile word during the scenario.
+    pub violations_detected: u64,
+    /// Kicks legitimately suppressed while the attack ran.
+    pub suppressed_kicks: u64,
+    /// Doorbells that woke a consumer with nothing to do.
+    pub spurious_wakeups: u64,
+}
+
+/// The event-idx adversary suite (E23): the suppression machinery adds
+/// exactly one host-writable word per ring — the consumer's published
+/// progress — and this scenario family proves the §3.2 discipline holds
+/// for it. The producer validates the word against its own monotone
+/// shadow on every read (wrapped-window containment) and fails *toward*
+/// notification: a hostile value can cause a spurious doorbell or a
+/// wakeup delayed until the adaptive controller's re-poll heartbeat,
+/// never a hang, livelock, or safety violation.
+///
+/// `Stuck` classifies `Prevented` (the frozen word stays inside the
+/// valid window, so nothing needs detecting — the heartbeat restores
+/// liveness); `Backwards` and `MaxValue` classify `Detected`
+/// (`violations_detected` grows, the kick is rung anyway). `Racing` runs
+/// the mutation from a hostile OS thread against a live thread-per-queue
+/// host (2 workers x 4 queues) and must classify `Detected` with the
+/// blast radius contained to delay, exactly like the serial arms.
+///
+/// # Errors
+///
+/// Only infrastructure failures; attack effects are the *result*.
+pub fn event_idx_hostile(attack: EventIdxAttack) -> Result<EventIdxHostileReport, CioError> {
+    use cio_vring::cioring::{NotifyMode, NotifyPolicy};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const QUEUES: usize = 4;
+    let racing = attack == EventIdxAttack::Racing;
+    let opts = WorldOptions {
+        queues: QUEUES,
+        parallel: if racing { 2 } else { 0 },
+        notify: NotifyMode::Doorbell,
+        notify_policy: NotifyPolicy::Adaptive,
+        batch: BatchPolicy::Fixed(8),
+        ..attack_opts()
+    };
+    let mut world = World::new(BoundaryKind::L2CioRing, opts)?;
+    let conns: Vec<_> = (0..6)
+        .map(|_| world.connect(ECHO_PORT))
+        .collect::<Result<_, _>>()?;
+    for &c in &conns {
+        world.establish(c, 20_000)?;
+        world.send(c, b"before attack")?;
+        let warm = world.recv_exact(c, 13, 20_000)?;
+        debug_assert_eq!(&warm, b"before attack");
+    }
+
+    // Attack the queue a live flow actually publishes on, so the
+    // producer-side validation is exercised every round.
+    let lane = world.conn_lane(conns[0]).expect("victim is live");
+    let (tx_ring, rx_ring) = world.anatomy().cio_queues[lane].clone();
+    let targets = [tx_ring.event_idx_addr(), rx_ring.event_idx_addr()];
+    let mem = world.guest_memory().clone();
+    let before = world.meter().snapshot();
+
+    if racing {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let attacker = std::thread::spawn(move || {
+            let host = mem.host();
+            let hostile = [0xFFFF_FFFFu32, 0x8000_0000, 0];
+            let mut i = 0usize;
+            while !stop_flag.load(Ordering::Relaxed) {
+                for &addr in &targets {
+                    let _ = host.write(addr, &hostile[i % hostile.len()].to_le_bytes());
+                    i += 1;
+                }
+                std::thread::yield_now();
+            }
+        });
+        let _ = world.run(200);
+        stop.store(true, Ordering::Relaxed);
+        attacker.join().expect("attacker thread");
+        // One deterministic parting scribble so the classification never
+        // depends on which interleavings the OS happened to schedule.
+        let host = world.guest_memory().host();
+        for &addr in &targets {
+            host.write(addr, &0xFFFF_FFFFu32.to_le_bytes())?;
+        }
+        let _ = world.run(50);
+    } else {
+        let host = world.guest_memory().host();
+        // Freeze targets at whatever the words held after warm-up: the
+        // consumer's organic re-arms are overwritten every step, so the
+        // producer sees progress reporting stop dead.
+        let mut frozen = [0u32; 2];
+        for (f, &addr) in frozen.iter_mut().zip(&targets) {
+            let mut b = [0u8; 4];
+            host.read(addr, &mut b)?;
+            *f = u32::from_le_bytes(b);
+        }
+        for _ in 0..100 {
+            for (&addr, &init) in targets.iter().zip(&frozen) {
+                let hostile = match attack {
+                    EventIdxAttack::Stuck => init,
+                    EventIdxAttack::Backwards => {
+                        let mut b = [0u8; 4];
+                        host.read(addr, &mut b)?;
+                        u32::from_le_bytes(b).wrapping_sub(1_000)
+                    }
+                    EventIdxAttack::MaxValue => 0xFFFF_FFFF,
+                    EventIdxAttack::Racing => unreachable!(),
+                };
+                host.write(addr, &hostile.to_le_bytes())?;
+            }
+            world.step()?;
+        }
+    }
+
+    // Liveness probe on the attacked lane itself: delivery may be
+    // delayed by the re-poll heartbeat, never lost.
+    let mut survived = false;
+    if world.send(conns[0], b"after attack").is_ok() {
+        if let Ok(got) = world.recv_exact(conns[0], 12, 40_000) {
+            survived = got == b"after attack";
+        }
+    }
+    let delta = world.meter().snapshot().delta(&before);
+    let outcome = if delta.violations_undetected > 0 {
+        Outcome::Undetected
+    } else if delta.violations_detected > 0 {
+        Outcome::Detected
+    } else {
+        Outcome::Prevented
+    };
+    // Sealed under the notification-surface attack class: the event-idx
+    // word is notification state, and extending `ALL_ATTACKS` would
+    // re-pin every existing matrix artifact.
+    let audit_ok = seal_verdict(world.flight(), AttackKind::NotificationStorm, outcome);
+    Ok(EventIdxHostileReport {
+        attack,
+        outcome,
+        workload_survived: survived,
+        audit_ok,
+        violations_detected: delta.violations_detected,
+        suppressed_kicks: delta.suppressed_kicks,
+        spurious_wakeups: delta.spurious_wakeups,
+    })
+}
+
 /// Report from the [`audit_chain_tamper`] micro-scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct AuditTamperReport {
@@ -1394,6 +1589,43 @@ mod tests {
                 r.boundary, r.attack
             );
         }
+    }
+
+    #[test]
+    fn event_idx_stuck_is_prevented_and_recovers() {
+        let r = event_idx_hostile(EventIdxAttack::Stuck).unwrap();
+        // The frozen word stays inside the valid window: nothing to
+        // detect, and the re-poll heartbeat keeps delivery alive — a
+        // missed-then-recovered wakeup, never a hang.
+        assert_eq!(r.outcome, Outcome::Prevented, "{r:?}");
+        assert!(r.workload_survived, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+    }
+
+    #[test]
+    fn event_idx_backwards_jump_is_detected() {
+        let r = event_idx_hostile(EventIdxAttack::Backwards).unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.workload_survived, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+        assert!(r.violations_detected > 0, "{r:?}");
+    }
+
+    #[test]
+    fn event_idx_max_value_is_detected() {
+        let r = event_idx_hostile(EventIdxAttack::MaxValue).unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.workload_survived, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+        assert!(r.violations_detected > 0, "{r:?}");
+    }
+
+    #[test]
+    fn event_idx_racing_under_parallel_workers_is_detected() {
+        let r = event_idx_hostile(EventIdxAttack::Racing).unwrap();
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.workload_survived, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
     }
 
     #[test]

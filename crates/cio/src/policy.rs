@@ -9,6 +9,17 @@
 use cio_mem::pages_for;
 use cio_sim::CostModel;
 
+/// Notification economics for the dataplane, re-exported here beside the
+/// copy policy because the two answer the same shape of question: the
+/// copy policy decides when data movement pays for itself, the notify
+/// policy decides when a *boundary crossing* does. `Always` kicks on
+/// every publish (one exit per batch), `EventIdx` suppresses kicks while
+/// the consumer is provably awake (one exit covers many batches), and
+/// `Adaptive` additionally lets the host stop polling provably idle
+/// queues within a bounded idle-spin budget. See
+/// [`cio_vring::cioring::NotifyPolicy`] for the mechanism.
+pub use cio_vring::cioring::NotifyPolicy;
+
 /// Receive-side delivery decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Delivery {

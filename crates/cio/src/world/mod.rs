@@ -31,7 +31,7 @@ use cio_sim::{
 use cio_tee::compartment::Gate;
 use cio_tee::dda::{spdm_attest, Device, IdeChannel};
 use cio_tee::{Tee, TeeKind};
-use cio_vring::cioring::{CioRing, Consumer, DataMode, NotifyMode, Producer, RingConfig};
+use cio_vring::cioring::{CioRing, Consumer, DataMode, Producer, RingConfig};
 use cio_vring::hardened::HardenedDriver;
 use cio_vring::virtqueue::{
     driver_negotiate, ConfigSpace, DeviceSide, Driver, Layout, F_NET_MAC, F_NET_MTU, F_VERSION_1,
@@ -39,7 +39,7 @@ use cio_vring::virtqueue::{
 use parallel::ParallelHost;
 use speer::{FeedResult, SecurePeer, SecureStream, TunnelGateway};
 
-pub use cio_vring::cioring::BatchPolicy;
+pub use cio_vring::cioring::{BatchPolicy, NotifyMode, NotifyPolicy};
 pub use speer::{ECHO_PORT, RPC_PORT};
 
 // The session-layer types are part of the world's public API surface:
@@ -111,6 +111,18 @@ pub struct WorldOptions {
     pub recv_mode: RecvMode,
     /// cio-ring notification mode.
     pub notify: NotifyMode,
+    /// Notification economics on top of `notify`
+    /// ([`NotifyPolicy::Always`] by default: the historical one kick per
+    /// publish in doorbell mode, bit-identical to the pre-suppression
+    /// paths). With `notify` set to [`NotifyMode::Doorbell`],
+    /// [`NotifyPolicy::EventIdx`] upgrades the rings to event-idx
+    /// suppression (one doorbell covers many batches while the other
+    /// side is provably awake) and [`NotifyPolicy::Adaptive`] adds the
+    /// per-queue poll-vs-notify controller on the host (skip service
+    /// passes while idle, bounded idle spin, re-poll heartbeat).
+    /// Ignored under [`NotifyMode::Polling`], which stays byte-identical
+    /// regardless of policy.
+    pub notify_policy: NotifyPolicy,
     /// Dual boundary: charge an app→stack payload copy instead of
     /// trusted-component-allocates zero-copy (E9's contrast arm).
     pub l5_app_copy: bool,
@@ -182,6 +194,7 @@ impl Default for WorldOptions {
             send_mode: SendMode::Copy,
             recv_mode: RecvMode::Copy,
             notify: NotifyMode::Polling,
+            notify_policy: NotifyPolicy::Always,
             l5_app_copy: false,
             copy_policy: CopyPolicy::default(),
             batch: BatchPolicy::default(),
@@ -427,6 +440,19 @@ impl WorldBuilder {
         self
     }
 
+    /// cio-ring notification mode (polling by default).
+    pub fn notify(mut self, notify: NotifyMode) -> Self {
+        self.opts.notify = notify;
+        self
+    }
+
+    /// Notification economics on top of the notify mode (`Always` by
+    /// default; see [`WorldOptions::notify_policy`]).
+    pub fn notify_policy(mut self, policy: NotifyPolicy) -> Self {
+        self.opts.notify_policy = policy;
+        self
+    }
+
     /// Per-session key-rotation interval (`None` disables rotation).
     pub fn rekey_interval(mut self, interval: Option<u64>) -> Self {
         self.opts.rekey_interval = interval;
@@ -452,6 +478,12 @@ impl WorldBuilder {
     pub fn observe(mut self, on: bool) -> Self {
         self.opts.observe = on;
         self
+    }
+
+    /// Returns the accumulated option set without building, for harnesses
+    /// that construct many same-shaped worlds from one builder recipe.
+    pub fn into_options(self) -> WorldOptions {
+        self.opts
     }
 
     /// Builds the world.
@@ -726,7 +758,7 @@ impl WorldBuilder {
                     mtu: 2048,
                     mac: GUEST_MAC.0,
                     area_size: 1 << 19,
-                    notify: opts.notify,
+                    notify: World::effective_notify(&opts),
                     ..RingConfig::default()
                 };
                 let (tx_ring, rx_ring) = World::alloc_ring_pair(&mem, &mut layout, &ring_cfg)?;
@@ -769,6 +801,7 @@ impl WorldBuilder {
                 backend.opaque = true;
                 backend.set_copy_policy(opts.copy_policy);
                 backend.set_batch_policy(opts.batch);
+                backend.set_notify_policy(opts.notify_policy);
                 backend.set_telemetry(telemetry.clone());
                 backend.set_flight(flight.clone());
 
@@ -945,6 +978,18 @@ impl World {
         World::builder(kind).options(opts).build()
     }
 
+    /// The ring-level notification mode implied by the option pair: a
+    /// non-`Always` policy upgrades doorbell rings to event-idx
+    /// suppression; polling worlds are untouched (byte-identical no
+    /// matter the policy).
+    fn effective_notify(opts: &WorldOptions) -> NotifyMode {
+        match (opts.notify, opts.notify_policy) {
+            (NotifyMode::Polling, _) => NotifyMode::Polling,
+            (NotifyMode::Doorbell, NotifyPolicy::Always) => NotifyMode::Doorbell,
+            (NotifyMode::Doorbell, _) | (NotifyMode::EventIdx, _) => NotifyMode::EventIdx,
+        }
+    }
+
     fn net_ring_config(opts: &WorldOptions) -> RingConfig {
         if opts.recv_mode == RecvMode::Revoke {
             RingConfig {
@@ -955,7 +1000,7 @@ impl World {
                 mac: GUEST_MAC.0,
                 area_size: 64 * PAGE_SIZE as u32,
                 page_aligned_payloads: true,
-                notify: opts.notify,
+                notify: Self::effective_notify(opts),
                 ..RingConfig::default()
             }
         } else {
@@ -966,7 +1011,7 @@ impl World {
                 mtu: 1514,
                 mac: GUEST_MAC.0,
                 area_size: 1 << 19,
-                notify: opts.notify,
+                notify: Self::effective_notify(opts),
                 ..RingConfig::default()
             }
         }
@@ -1026,6 +1071,7 @@ impl World {
         let mut backend = CioNetBackend::new(host_pairs, nic_port, recorder, clock)?;
         backend.set_copy_policy(opts.copy_policy);
         backend.set_batch_policy(opts.batch);
+        backend.set_notify_policy(opts.notify_policy);
         backend.set_telemetry(telemetry.clone());
         backend.set_flight(flight.clone());
         Ok((device, backend, rings))
@@ -1098,6 +1144,21 @@ impl World {
         self.parallel
             .as_ref()
             .map_or_else(Vec::new, ParallelHost::queue_meters)
+    }
+
+    /// Total empty host service passes burned by the adaptive notify
+    /// controllers while hot (`NotifyPolicy::Adaptive`; `0` otherwise).
+    /// E23's zero-load gate bounds this: at zero offered load, idle spin
+    /// must stop within the controllers' idle budget instead of growing
+    /// with wall time.
+    pub fn notify_idle_passes(&mut self) -> u64 {
+        if let Some(p) = &self.parallel {
+            return p.idle_passes();
+        }
+        self.backend
+            .as_any_mut()
+            .downcast_mut::<CioNetBackend>()
+            .map_or(0, |b| b.idle_passes())
     }
 
     /// The telemetry domain. Disabled (inert) unless the world was built

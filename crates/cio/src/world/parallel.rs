@@ -38,10 +38,11 @@
 //! coordinator and worker so capacities are reused.
 
 use crate::CioError;
-use cio_host::backend::{CioNetBackend, CioSteer, WorkerCtx};
+use cio_host::backend::{CioNetBackend, CioSteer, NotifyGate, WorkerCtx};
 use cio_host::worker::CioQueueWorker;
-use cio_mem::GuestMemory;
+use cio_mem::{GuestAddr, GuestMemory, HostView};
 use cio_sim::{Clock, Cycles, FlightRecorder, Lanes, Meter, MeterSnapshot, Telemetry};
+use cio_vring::cioring::{NotifyMode, NotifyPolicy};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -50,10 +51,21 @@ use std::time::Duration;
 /// worker each round: steered inbound frames travel out full, flushed
 /// outbox buffers travel out for recycling; the worker returns the
 /// drained inbound container and a freshly stamped outbox.
+///
+/// The scalar fields carry the notification handshake: the coordinator
+/// sets `service` (whether to run this lane at all — a cold adaptive
+/// queue is skipped without waking anything) and `door` (whether the
+/// guest rang since the last pass); the worker reports back `moved` and
+/// its residual `backlog`, which feed the coordinator-side
+/// [`NotifyGate`] exactly like the serial backend's own bookkeeping.
 #[derive(Default)]
 struct LaneExchange {
     inbound: Vec<Vec<u8>>,
     outbox: Vec<(Cycles, Vec<u8>)>,
+    service: bool,
+    door: bool,
+    moved: usize,
+    backlog: usize,
 }
 
 enum Cmd {
@@ -126,6 +138,31 @@ pub(super) struct ParallelHost {
     /// Per-thread exchange sets, `None` while a round is in flight.
     exchanges: Vec<Option<Vec<LaneExchange>>>,
     queues: usize,
+    /// Notification discipline (carried over from the serial backend at
+    /// the split).
+    policy: NotifyPolicy,
+    /// Per-queue poll-vs-notify controllers — coordinator-side, exactly
+    /// mirroring the serial backend's gates so skip decisions match
+    /// round for round.
+    gates: Vec<NotifyGate>,
+    /// Doorbell-word address of each queue's guest->host ring (`None`
+    /// unless that ring runs [`NotifyMode::EventIdx`]).
+    door_addrs: Vec<Option<GuestAddr>>,
+    /// Host view for the coordinator's uncharged door-word reads (the
+    /// clear mirrors [`Consumer::take_doorbell`] byte for byte).
+    ///
+    /// [`Consumer::take_doorbell`]: cio_vring::cioring::Consumer::take_doorbell
+    door_view: HostView,
+    /// Residual per-queue backlogs reported by the workers last round
+    /// (the serial path's `!pending.is_empty()` work hint).
+    backlogs: Vec<usize>,
+    /// Which queues were serviced this round (skip charging/flushing
+    /// for the others).
+    serviced: Vec<bool>,
+    /// Which threads received a command this round (a thread whose
+    /// queues all skipped is never woken — the suppressed doorbell
+    /// saves a real Condvar wakeup, not just a virtual cycle charge).
+    dispatched: Vec<bool>,
 }
 
 impl ParallelHost {
@@ -143,6 +180,7 @@ impl ParallelHost {
         let mut lane_clocks = Vec::new();
         let mut forks = Vec::new();
         let mut flight_forks = Vec::new();
+        let policy = backend.notify_policy();
         let (steer, workers) = backend.split_parallel(|_q| {
             let clock = Clock::new();
             let fork = telemetry.fork(clock.clone());
@@ -159,6 +197,13 @@ impl ParallelHost {
         });
         let queues = workers.len();
         let queue_meters: Vec<Meter> = workers.iter().map(CioQueueWorker::meter_handle).collect();
+        let door_addrs: Vec<Option<GuestAddr>> = workers
+            .iter()
+            .map(|w| {
+                let ring = w.tx_ring();
+                (ring.config().notify == NotifyMode::EventIdx).then(|| ring.door_addr())
+            })
+            .collect();
         if threads == 0 || queues % threads != 0 {
             return Err(CioError::Fatal(
                 "parallel worker count must be non-zero and divide the queue count",
@@ -197,12 +242,25 @@ impl ParallelHost {
             starts: vec![Cycles::ZERO; queues],
             exchanges,
             queues,
+            policy,
+            gates: (0..queues).map(|_| NotifyGate::new()).collect(),
+            door_addrs,
+            door_view: mem.host(),
+            backlogs: vec![0; queues],
+            serviced: vec![true; queues],
+            dispatched: vec![true; threads],
         })
     }
 
     /// Worker thread count.
     pub(super) fn threads(&self) -> usize {
         self.threads.len()
+    }
+
+    /// Total empty service passes burned by the adaptive controllers
+    /// while hot (the idle-spin audit trail E23 gates on).
+    pub(super) fn idle_passes(&self) -> u64 {
+        self.gates.iter().map(NotifyGate::idle_passes).sum()
     }
 
     /// Snapshot of every queue's traffic meter, index = queue id.
@@ -232,24 +290,65 @@ impl ParallelHost {
         let nthreads = self.threads.len();
         for t in 0..nthreads {
             let mut set = self.exchanges[t].take().expect("no round in flight");
+            let mut any = false;
             for (i, ex) in set.iter_mut().enumerate() {
                 let q = t + i * nthreads;
-                std::mem::swap(&mut ex.inbound, &mut self.staged[q]);
-                let start = base.saturating_add(lanes.pending(q));
-                self.lane_clocks[q].reposition(start);
-                self.starts[q] = start;
+                // Door check: read + clear the guest->host doorbell word
+                // exactly like the serial backend's `take_doorbell`
+                // (uncharged; an unreadable header fails toward service).
+                let door = match self.door_addrs[q] {
+                    Some(addr) => {
+                        let rang = self.door_view.read_u32(addr).unwrap_or(1) != 0;
+                        if rang {
+                            let _ = self.door_view.write_u32(addr, 0);
+                        }
+                        rang
+                    }
+                    None => false,
+                };
+                let adaptive =
+                    self.policy == NotifyPolicy::Adaptive && self.door_addrs[q].is_some();
+                let work = !self.staged[q].is_empty() || self.backlogs[q] > 0;
+                let service = !adaptive || self.gates[q].should_service(door, work);
+                if !service {
+                    self.gates[q].observe_skip();
+                }
+                ex.door = door;
+                ex.service = service;
+                self.serviced[q] = service;
+                if service {
+                    any = true;
+                    std::mem::swap(&mut ex.inbound, &mut self.staged[q]);
+                    let start = base.saturating_add(lanes.pending(q));
+                    self.lane_clocks[q].reposition(start);
+                    self.starts[q] = start;
+                }
             }
-            let mb = &self.threads[t].mailbox;
-            *lock_slot(&mb.cmd) = Some(Cmd::Service(set));
-            mb.cmd_ready.notify_one();
+            self.dispatched[t] = any;
+            if any {
+                let mb = &self.threads[t].mailbox;
+                *lock_slot(&mb.cmd) = Some(Cmd::Service(set));
+                mb.cmd_ready.notify_one();
+            } else {
+                // Every queue on this thread skipped: the suppressed
+                // doorbell saves a real Condvar wakeup, not just a
+                // virtual cycle charge.
+                self.exchanges[t] = Some(set);
+            }
         }
         let mut moved = 0;
         for t in 0..nthreads {
+            if !self.dispatched[t] {
+                continue;
+            }
             let done = wait_done(&self.threads[t])?;
             moved += done.moved;
             self.exchanges[t] = Some(done.lanes);
         }
         for q in 0..self.queues {
+            if !self.serviced[q] {
+                continue;
+            }
             let (t, i) = (q % nthreads, q / nthreads);
             lanes.charge(q, self.lane_clocks[q].now().saturating_sub(self.starts[q]));
             let set = self.exchanges[t].as_mut().expect("round joined");
@@ -260,6 +359,10 @@ impl ParallelHost {
             }
             telemetry.absorb(&self.forks[q]);
             self.flight.absorb(&self.flight_forks[q]);
+            self.backlogs[q] = set[i].backlog;
+            if self.policy == NotifyPolicy::Adaptive && self.door_addrs[q].is_some() {
+                self.gates[q].observe(set[i].moved);
+            }
         }
         Ok(moved)
     }
@@ -323,13 +426,20 @@ fn worker_loop(mut workers: Vec<CioQueueWorker>, mb: &Mailbox) {
             Cmd::Service(mut set) => {
                 let mut moved = 0;
                 for (w, ex) in workers.iter_mut().zip(set.iter_mut()) {
+                    if !ex.service {
+                        // Cold adaptive lane: untouched (its flushed
+                        // outbox is recycled on the next serviced pass).
+                        continue;
+                    }
                     w.recycle_outbox(std::mem::take(&mut ex.outbox));
                     w.enqueue(&mut ex.inbound);
                     // Errors are ignored exactly like the serial
                     // multiqueue sweep: a wedged ring surfaces on the
                     // meter and the round completes.
-                    moved += w.service().unwrap_or(0);
+                    ex.moved = w.service(ex.door).unwrap_or(0);
                     ex.outbox = w.take_outbox();
+                    ex.backlog = w.backlog();
+                    moved += ex.moved;
                 }
                 *lock_slot(&mb.done) = Some(Done { moved, lanes: set });
                 mb.done_ready.notify_one();

@@ -21,7 +21,9 @@ use crate::HostError;
 use cio_mem::{CopyPolicy, HostView};
 use cio_netstack::{rss, NetDevice};
 use cio_sim::{Clock, Cycles, EventKind, FlightRecorder, Stage, Telemetry};
-use cio_vring::cioring::{BatchPolicy, Consumer, MultiQueue, Producer, QueueLane, MAX_BATCH};
+use cio_vring::cioring::{
+    BatchPolicy, Consumer, MultiQueue, NotifyMode, NotifyPolicy, Producer, QueueLane, MAX_BATCH,
+};
 use cio_vring::virtqueue::{Chain, DeviceSide};
 use cio_vring::RingError;
 use std::any::Any;
@@ -34,6 +36,114 @@ pub(crate) const PENDING_CAP: usize = 256;
 /// How many guest->host frames one batched consume pass pulls per queue
 /// (one shared-index read per batch).
 const TX_BATCH: usize = 16;
+
+/// Fewest consecutive empty service passes before an adaptive queue goes
+/// cold (stops being polled every round).
+pub const IDLE_BUDGET_MIN: u32 = 4;
+
+/// Most consecutive empty service passes an adaptive queue may burn
+/// before it goes cold — the idle-spin bound at zero load.
+pub const IDLE_BUDGET_MAX: u32 = 32;
+
+/// Re-poll heartbeat: a cold adaptive queue is force-serviced after this
+/// many skipped rounds even if no doorbell arrived. This is the liveness
+/// backstop against a hostile *stuck* event index on the guest->host
+/// ring (the guest's kicks wrongly suppressed by a frozen event word):
+/// records are delayed by at most this many rounds, never lost.
+pub const REPOLL_EVERY: u32 = 64;
+
+/// NAPI-style poll-vs-notify controller for one host queue
+/// ([`NotifyPolicy::Adaptive`]).
+///
+/// While a queue is *hot* the host services it every round (polling —
+/// the event-idx window keeps guest doorbells suppressed for free).
+/// After a budget of consecutive empty passes the gate goes cold and
+/// service passes are skipped outright, charging nothing, until a
+/// doorbell, staged inbound work, or the [`REPOLL_EVERY`] heartbeat
+/// wakes the queue. The idle budget scales with recently observed batch
+/// sizes (a queue that was just moving big batches earns a longer
+/// cooldown) and is clamped to [`IDLE_BUDGET_MIN`]..[`IDLE_BUDGET_MAX`],
+/// so idle spin is bounded at zero load.
+#[derive(Debug, Clone)]
+pub struct NotifyGate {
+    /// Hot = poll every round; cold = skip until woken.
+    hot: bool,
+    /// Consecutive empty service passes while hot.
+    idle_streak: u32,
+    /// Empty passes tolerated before going cold (hysteresis).
+    budget: u32,
+    /// Ring of recently observed batch sizes (saturated at 255).
+    recent: [u8; 8],
+    ri: usize,
+    /// Rounds skipped since the last service pass (heartbeat counter).
+    skipped: u32,
+    /// Total empty passes burned while hot — the idle-spin audit trail
+    /// E23 gates on (bounded per idle period by the budget).
+    idle_passes: u64,
+}
+
+impl Default for NotifyGate {
+    fn default() -> Self {
+        NotifyGate::new()
+    }
+}
+
+impl NotifyGate {
+    /// A fresh gate: hot (a new queue is polled until proven idle) with
+    /// the minimum idle budget.
+    pub fn new() -> Self {
+        NotifyGate {
+            hot: true,
+            idle_streak: 0,
+            budget: IDLE_BUDGET_MIN,
+            recent: [0; 8],
+            ri: 0,
+            skipped: 0,
+            idle_passes: 0,
+        }
+    }
+
+    /// Whether this round should service the queue: yes when the guest
+    /// rang, work is staged, the queue is hot, or the re-poll heartbeat
+    /// is due.
+    pub fn should_service(&self, door: bool, work: bool) -> bool {
+        door || work || self.hot || self.skipped >= REPOLL_EVERY
+    }
+
+    /// Accounts one serviced pass that moved `moved` frames.
+    pub fn observe(&mut self, moved: usize) {
+        self.skipped = 0;
+        if moved > 0 {
+            self.recent[self.ri] = moved.min(255) as u8;
+            self.ri = (self.ri + 1) % self.recent.len();
+            self.hot = true;
+            self.idle_streak = 0;
+            let avg: u32 = self.recent.iter().map(|&b| u32::from(b)).sum::<u32>() / 8;
+            self.budget = (IDLE_BUDGET_MIN + avg).min(IDLE_BUDGET_MAX);
+        } else {
+            self.idle_passes += 1;
+            self.idle_streak += 1;
+            if self.idle_streak >= self.budget {
+                self.hot = false;
+            }
+        }
+    }
+
+    /// Accounts one skipped round (the queue stayed cold).
+    pub fn observe_skip(&mut self) {
+        self.skipped = self.skipped.saturating_add(1);
+    }
+
+    /// Whether the queue is currently polled every round.
+    pub fn is_hot(&self) -> bool {
+        self.hot
+    }
+
+    /// Total empty passes burned while hot (the idle-spin audit trail).
+    pub fn idle_passes(&self) -> u64 {
+        self.idle_passes
+    }
+}
 
 /// The uniform host-side device-backend interface.
 ///
@@ -331,6 +441,11 @@ pub(crate) struct CioLaneCtx<'a> {
     pub(crate) clock: &'a Clock,
     pub(crate) telemetry: &'a Telemetry,
     pub(crate) flight: &'a FlightRecorder,
+    /// Whether the guest rang the guest->host doorbell since the last
+    /// pass (event-idx bookkeeping; always false outside
+    /// [`NotifyMode::EventIdx`]). A rang-but-empty pass is metered as a
+    /// spurious wakeup.
+    pub(crate) door: bool,
 }
 
 /// Services one cio queue: drains guest->net records into `sink` and
@@ -346,6 +461,7 @@ pub(crate) fn service_cio_lane(
 ) -> Result<usize, HostError> {
     let _svc = ctx.telemetry.span(q, Stage::HostService);
     let fbits = ctx.fbits;
+    let tx_armed_before = lane.end.tx.is_armed();
     let mut moved = 0;
 
     // Guest -> network: under the in-place policy each record is read
@@ -461,8 +577,28 @@ pub(crate) fn service_cio_lane(
         ctx.telemetry.record_batch(q, staged);
         ctx.flight.record(q, EventKind::BatchCommit, staged, 0);
         lane.end.rx.publish()?;
-        lane.end.rx.kick();
-        ctx.flight.record(q, EventKind::Doorbell, staged, 0);
+        let rang = lane.end.rx.kick();
+        // In event-idx mode a suppressed kick is the interesting event;
+        // in the legacy modes the flight trace keeps its historical
+        // Doorbell record (kick() is a no-op under Polling).
+        if !rang && lane.end.rx.ring().config().notify == NotifyMode::EventIdx {
+            ctx.flight.record(q, EventKind::NotifySuppress, staged, 0);
+        } else {
+            ctx.flight.record(q, EventKind::Doorbell, staged, 0);
+        }
+    }
+
+    // Event-idx epilogue: if the TX consumer armed during this pass
+    // (drained the ring and published its index), trace the transition;
+    // if the guest rang but there was nothing to do, the wakeup was
+    // spurious — the worst a hostile event index can cause.
+    if !tx_armed_before && lane.end.tx.is_armed() {
+        ctx.flight
+            .record(q, EventKind::NotifyArm, lane.end.tx.armed_at() as u64, 0);
+    }
+    if ctx.door && moved == 0 {
+        lane.end.tx.note_spurious_wakeup();
+        ctx.flight.record(q, EventKind::SpuriousWake, 0, 0);
     }
     Ok(moved)
 }
@@ -490,6 +626,15 @@ pub struct CioNetBackend {
     /// records with one shared-index read, one memory-lock acquisition,
     /// and one consumer-index write per run.
     batch: BatchPolicy,
+    /// Notification discipline for ring servicing. Under the default
+    /// [`NotifyPolicy::Always`] every pass services every queue (the
+    /// historical path); [`NotifyPolicy::EventIdx`] adds suppression
+    /// bookkeeping on the rings; [`NotifyPolicy::Adaptive`] additionally
+    /// runs one [`NotifyGate`] per queue, skipping service passes
+    /// (charging nothing) while a queue is provably idle.
+    notify: NotifyPolicy,
+    /// Per-queue poll-vs-notify controllers (active under `Adaptive`).
+    gates: Vec<NotifyGate>,
     /// Reusable scratch for batched consumes (buffers come from the
     /// serviced queue's own pool).
     scratch: Vec<Vec<u8>>,
@@ -521,6 +666,7 @@ impl CioNetBackend {
                 })
                 .collect(),
         )?;
+        let gates = (0..queues.queues()).map(|_| NotifyGate::new()).collect();
         Ok(CioNetBackend {
             queues,
             port,
@@ -529,6 +675,8 @@ impl CioNetBackend {
             opaque: false,
             policy: CopyPolicy::default(),
             batch: BatchPolicy::default(),
+            notify: NotifyPolicy::default(),
+            gates,
             scratch: Vec::new(),
             telemetry: Telemetry::disabled(),
             flight: FlightRecorder::disabled(),
@@ -548,6 +696,22 @@ impl CioNetBackend {
     /// The active record-batching discipline.
     pub fn batch_policy(&self) -> BatchPolicy {
         self.batch
+    }
+
+    /// Sets the notification discipline for ring servicing.
+    pub fn set_notify_policy(&mut self, notify: NotifyPolicy) {
+        self.notify = notify;
+    }
+
+    /// The active notification discipline.
+    pub fn notify_policy(&self) -> NotifyPolicy {
+        self.notify
+    }
+
+    /// Total empty service passes burned by the adaptive controllers
+    /// while hot — the idle-spin audit trail E23 gates on.
+    pub fn idle_passes(&self) -> u64 {
+        self.gates.iter().map(NotifyGate::idle_passes).sum()
     }
 
     /// The active data-positioning discipline.
@@ -757,6 +921,23 @@ impl Backend for CioNetBackend {
     }
 
     fn service_queue(&mut self, q: usize) -> Result<usize, HostError> {
+        let lane = self.queues.lane_mut(q);
+        let event_idx = lane.end.tx.ring().config().notify == NotifyMode::EventIdx;
+        let door = if event_idx {
+            lane.end.tx.take_doorbell()?
+        } else {
+            false
+        };
+        let adaptive = event_idx && self.notify == NotifyPolicy::Adaptive;
+        if adaptive {
+            let work = !lane.end.pending.is_empty();
+            if !self.gates[q].should_service(door, work) {
+                // Skip the pass outright: no telemetry span, no ring
+                // traffic, no virtual-time charge — the queue is cold.
+                self.gates[q].observe_skip();
+                return Ok(0);
+            }
+        }
         let ctx = CioLaneCtx {
             policy: self.policy,
             batch: self.batch,
@@ -765,17 +946,22 @@ impl Backend for CioNetBackend {
             clock: &self.clock,
             telemetry: &self.telemetry,
             flight: &self.flight,
+            door,
         };
         let mut sink = PortSink {
             port: &mut self.port,
         };
-        service_cio_lane(
+        let moved = service_cio_lane(
             self.queues.lane_mut(q),
             q,
             &ctx,
             &mut self.scratch,
             &mut sink,
-        )
+        )?;
+        if adaptive {
+            self.gates[q].observe(moved);
+        }
+        Ok(moved)
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

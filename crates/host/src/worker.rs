@@ -153,16 +153,31 @@ impl CioQueueWorker {
         kept
     }
 
+    /// The guest->host ring geometry this worker consumes from, so the
+    /// coordinator can locate the doorbell word and notification mode
+    /// without reaching into the worker's thread.
+    pub fn tx_ring(&self) -> &cio_vring::cioring::CioRing {
+        self.lane.end.tx.ring()
+    }
+
+    /// Frames still pending delivery to the guest (the coordinator's
+    /// work hint for the adaptive skip decision).
+    pub fn backlog(&self) -> usize {
+        self.lane.end.pending.len()
+    }
+
     /// Services this queue once (guest->net drain into the outbox,
     /// net->guest delivery of the pending backlog), charging all virtual
-    /// time to the worker's lane clock.
+    /// time to the worker's lane clock. `door` reports whether the
+    /// coordinator observed (and cleared) the guest's doorbell for this
+    /// queue since the last pass — event-idx spurious-wakeup accounting.
     ///
     /// # Errors
     ///
     /// As the serial
     /// [`Backend::service_queue`](crate::backend::Backend::service_queue):
     /// transport errors a malicious guest can provoke on its own queue.
-    pub fn service(&mut self) -> Result<usize, HostError> {
+    pub fn service(&mut self, door: bool) -> Result<usize, HostError> {
         let ctx = CioLaneCtx {
             policy: self.policy,
             batch: self.batch,
@@ -171,6 +186,7 @@ impl CioQueueWorker {
             clock: &self.clock,
             telemetry: &self.telemetry,
             flight: &self.flight,
+            door,
         };
         let mut sink = OutboxSink {
             outbox: &mut self.outbox,

@@ -80,6 +80,12 @@ pub struct CostModel {
     pub ring_op: Cycles,
     /// Validation of one host-supplied field (bounds check + branch).
     pub validate_field: Cycles,
+    /// Reading + window-validating the peer's published event index before
+    /// a kick decision (one cache-line fetch, two wrapping compares).
+    pub event_idx_check: Cycles,
+    /// Publishing the consumer's own event index when it goes idle (one
+    /// store + release barrier on the consumer's header line).
+    pub event_idx_arm: Cycles,
     /// One SPDM attestation message round (DDA path, §3.4).
     pub spdm_round: Cycles,
     /// Per-byte IDE (PCIe link encryption) cost, bytes per cycle.
@@ -115,6 +121,8 @@ impl Default for CostModel {
             poll_idle: Cycles(20),
             ring_op: Cycles(25),
             validate_field: Cycles(4),
+            event_idx_check: Cycles(10),
+            event_idx_arm: Cycles(30),
             spdm_round: Cycles(50_000),
             ide_bytes_per_cycle: 4,
             x25519_mult: Cycles(120_000),

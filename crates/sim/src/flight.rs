@@ -70,6 +70,9 @@ pub const AUDIT_CHAIN_KEY: [u8; 32] = [0xC1; 32];
 /// | `HandshakeOk`/`HandshakeFail` | session handle bits | 0 |
 /// | `AttackVerdict` | scenario index | outcome code |
 /// | `SloBreach` | measured p99 (or burn ppm) | threshold |
+/// | `NotifyArm` | event index published | 0 |
+/// | `NotifySuppress` | frames behind the suppressed kick | 0 |
+/// | `SpuriousWake` | 0 | 0 |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u16)]
 pub enum EventKind {
@@ -103,11 +106,19 @@ pub enum EventKind {
     AttackVerdict,
     /// The SLO watchdog flagged a breach.
     SloBreach,
+    /// A ring consumer armed event-idx notifications (went idle and
+    /// published how far it has consumed).
+    NotifyArm,
+    /// A producer publish whose doorbell was suppressed because the
+    /// event-idx window proved the consumer still awake.
+    NotifySuppress,
+    /// A doorbell woke the consumer but the ring was already drained.
+    SpuriousWake,
 }
 
 impl EventKind {
     /// Number of event kinds.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 18;
 
     /// Every kind, in wire-code order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -126,6 +137,9 @@ impl EventKind {
         EventKind::HandshakeFail,
         EventKind::AttackVerdict,
         EventKind::SloBreach,
+        EventKind::NotifyArm,
+        EventKind::NotifySuppress,
+        EventKind::SpuriousWake,
     ];
 
     /// Stable wire code (the discriminant), used by the audit digest.
@@ -152,6 +166,9 @@ impl EventKind {
             EventKind::HandshakeFail => "handshake.fail",
             EventKind::AttackVerdict => "attack.verdict",
             EventKind::SloBreach => "slo.breach",
+            EventKind::NotifyArm => "notify.arm",
+            EventKind::NotifySuppress => "notify.suppress",
+            EventKind::SpuriousWake => "wakeup.spurious",
         }
     }
 

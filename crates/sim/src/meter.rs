@@ -95,8 +95,18 @@ meter_fields! {
     aead_bytes,
     /// Doorbell notifications posted to the host.
     notifications_sent,
+    /// Doorbells *not* posted because the event-idx window proved the
+    /// consumer was still awake (`NotifyMode::EventIdx`). Together with
+    /// `notifications_sent` + `interrupts_received` this makes
+    /// doorbells-per-record auditable: every publish either kicked or
+    /// suppressed.
+    suppressed_kicks,
     /// Interrupts injected by the host.
     interrupts_received,
+    /// Doorbells that arrived while the ring was already drained (the
+    /// consumer woke for nothing). A hostile event-idx can at worst raise
+    /// this counter — never hang the consumer.
+    spurious_wakeups,
     /// Poll iterations that found no work.
     idle_polls,
     /// `World::send` calls bounced with `Transient(WouldBlock)` because the

@@ -833,6 +833,30 @@ impl Telemetry {
                 locks_per_record(&snap)
             ));
             out.push_str(
+                "# HELP cio_doorbells_per_record Doorbells (host notifies + injected interrupts) per ring record.\n\
+                 # TYPE cio_doorbells_per_record gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_doorbells_per_record {:.6}\n",
+                doorbells_per_record(&snap)
+            ));
+            out.push_str(
+                "# HELP cio_suppressed_kicks_total Doorbells suppressed by the event-idx window.\n\
+                 # TYPE cio_suppressed_kicks_total counter\n",
+            );
+            out.push_str(&format!(
+                "cio_suppressed_kicks_total {}\n",
+                snap.suppressed_kicks
+            ));
+            out.push_str(
+                "# HELP cio_spurious_wakeups_total Doorbells that woke a consumer to a drained ring.\n\
+                 # TYPE cio_spurious_wakeups_total counter\n",
+            );
+            out.push_str(&format!(
+                "cio_spurious_wakeups_total {}\n",
+                snap.spurious_wakeups
+            ));
+            out.push_str(
                 "# HELP cio_slo_breaches_total SLO watchdog breach events.\n\
                  # TYPE cio_slo_breaches_total counter\n",
             );
@@ -977,14 +1001,19 @@ impl Telemetry {
                 ",\n  \"dataplane\": {{\"ring_records\": {}, \"copies\": {}, \
                  \"bytes_copied\": {}, \"bytes_zero_copy\": {}, \
                  \"copies_per_record\": {:.6}, \"records_per_commit\": {:.6}, \
-                 \"lock_acquisitions_per_record\": {:.6}}}",
+                 \"lock_acquisitions_per_record\": {:.6}, \
+                 \"doorbells_per_record\": {:.6}, \"suppressed_kicks\": {}, \
+                 \"spurious_wakeups\": {}}}",
                 snap.ring_records,
                 snap.copies,
                 snap.bytes_copied,
                 snap.bytes_zero_copy,
                 copies_per_record(&snap),
                 records_per_commit(&snap),
-                locks_per_record(&snap)
+                locks_per_record(&snap),
+                doorbells_per_record(&snap),
+                snap.suppressed_kicks,
+                snap.spurious_wakeups
             ));
         }
         if let Some(g) = &s.sessions {
@@ -1036,6 +1065,17 @@ fn locks_per_record(snap: &crate::MeterSnapshot) -> f64 {
         0.0
     } else {
         snap.lock_acquisitions as f64 / snap.ring_records as f64
+    }
+}
+
+/// Doorbells (guest-to-host notifies plus host-injected interrupts) per
+/// ring record: 0 under pure polling, collapsing toward 0 under event-idx
+/// suppression at load.
+fn doorbells_per_record(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.ring_records == 0 {
+        0.0
+    } else {
+        (snap.notifications_sent + snap.interrupts_received) as f64 / snap.ring_records as f64
     }
 }
 
@@ -1333,6 +1373,10 @@ mod tests {
         m.bytes_zero_copy(4096);
         m.ring_commits(2);
         m.lock_acquisitions(4);
+        m.notifications_sent(1);
+        m.interrupts_received(1);
+        m.suppressed_kicks(6);
+        m.spurious_wakeups(1);
         t.attach_meter(&m);
 
         let run = || (t.prometheus_text(), t.json_snapshot());
@@ -1346,11 +1390,16 @@ mod tests {
         assert!(pa.contains("cio_copies_per_record 0.250000"));
         assert!(pa.contains("cio_records_per_commit 4.000000"));
         assert!(pa.contains("cio_lock_acquisitions_per_record 0.500000"));
+        assert!(pa.contains("cio_doorbells_per_record 0.250000"));
+        assert!(pa.contains("cio_suppressed_kicks_total 6"));
+        assert!(pa.contains("cio_spurious_wakeups_total 1"));
         assert!(ja.contains(
             "\"dataplane\": {\"ring_records\": 8, \"copies\": 2, \
              \"bytes_copied\": 1024, \"bytes_zero_copy\": 4096, \
              \"copies_per_record\": 0.250000, \"records_per_commit\": 4.000000, \
-             \"lock_acquisitions_per_record\": 0.500000}"
+             \"lock_acquisitions_per_record\": 0.500000, \
+             \"doorbells_per_record\": 0.250000, \"suppressed_kicks\": 6, \
+             \"spurious_wakeups\": 1}"
         ));
 
         // A zero-copy steady state reads exactly 0; no commits reads 0
@@ -1362,6 +1411,7 @@ mod tests {
         assert!(p.contains("cio_copies_per_record 0.000000"));
         assert!(p.contains("cio_records_per_commit 0.000000"));
         assert!(p.contains("cio_lock_acquisitions_per_record 0.000000"));
+        assert!(p.contains("cio_doorbells_per_record 0.000000"));
     }
 
     #[test]

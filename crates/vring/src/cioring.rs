@@ -45,6 +45,37 @@ pub enum NotifyMode {
     Polling,
     /// Producer posts a doorbell after each batch.
     Doorbell,
+    /// Doorbell with event-idx suppression: the consumer publishes how far
+    /// it has consumed (the *event index*), and the producer rings only
+    /// when a publish crosses it — a stale index proves the consumer is
+    /// still awake and the kick is suppressed, so one doorbell covers many
+    /// batches. The event index is a host-writable field and is treated as
+    /// hostile input: fetched once, window-validated, and failed *toward*
+    /// notification (see [`Producer::kick`]).
+    EventIdx,
+}
+
+/// How a dataplane endpoint decides between polling and notifications.
+///
+/// Orthogonal to [`BatchPolicy`]: batching amortizes work *per doorbell*,
+/// the notify policy decides how many doorbells there are at all. `Always`
+/// is the historical discipline (one kick per publish in doorbell mode);
+/// `EventIdx` suppresses kicks whenever the consumer is provably awake;
+/// `Adaptive` additionally runs a per-queue poll-vs-notify controller on
+/// the consuming side (poll while hot, re-arm notifications when idle,
+/// with hysteresis and a bounded idle-spin budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NotifyPolicy {
+    /// Kick on every publish (the historical path, unchanged).
+    #[default]
+    Always,
+    /// Event-idx suppression on the ring; the consumer services every
+    /// round (no skip controller).
+    EventIdx,
+    /// Event-idx suppression plus the NAPI-style per-queue controller:
+    /// the consumer skips service passes while provably idle and re-arms
+    /// notifications within a bounded idle-spin budget.
+    Adaptive,
 }
 
 /// The fixed, zero-renegotiation device configuration.
@@ -151,7 +182,9 @@ impl RingConfig {
 ///
 /// ```text
 /// base + 0:    producer index (u32), cache-line isolated
+/// base + 8:    doorbell word  (u32, producer-set on a real kick)
 /// base + 64:   consumer index (u32)
+/// base + 96:   event index    (u32, consumer-published; EventIdx mode)
 /// base + 128:  slots           (slots * slot_size bytes)
 /// after slots: descriptor table (Indirect only; slots * 8 bytes)
 /// area:        payload area     (non-inline modes; caller-provided base)
@@ -195,6 +228,21 @@ impl CioRing {
     /// Address of the shared consumer index.
     pub fn cons_idx_addr(&self) -> GuestAddr {
         self.base.add(64)
+    }
+
+    /// Address of the doorbell word: set by the producer when a kick is
+    /// actually posted ([`NotifyMode::EventIdx`] bookkeeping), read and
+    /// cleared by the consuming side when it wakes. Lives on the
+    /// producer-index cache line.
+    pub fn door_addr(&self) -> GuestAddr {
+        self.base.add(8)
+    }
+
+    /// Address of the consumer-published event index
+    /// ([`NotifyMode::EventIdx`]). The producer treats this word as
+    /// hostile input; public so adversarial harnesses can aim at it.
+    pub fn event_idx_addr(&self) -> GuestAddr {
+        self.base.add(96)
     }
 
     /// Address of slot `masked` (adversary targeting).
@@ -390,6 +438,12 @@ pub struct Producer<V: MemView> {
     view: V,
     /// Private produce counter — the only index the producer trusts.
     next: u32,
+    /// The value of `next` at the last kick decision (the `old` of the
+    /// event-idx crossing rule).
+    published: u32,
+    /// Monotonicity shadow of the peer's event index: the last *valid*
+    /// value observed. A hostile event word can never move this backwards.
+    ev_seen: u32,
     /// Telemetry domain (disabled by default) and the queue index this
     /// endpoint reports under.
     telemetry: Telemetry,
@@ -404,10 +458,13 @@ impl<V: MemView> Producer<V> {
     /// Memory errors if the ring region is not accessible to this view.
     pub fn new(ring: CioRing, view: V) -> Result<Self, RingError> {
         view.write_u32(ring.prod_idx_addr(), 0)?;
+        view.write_u32(ring.door_addr(), 0)?;
         Ok(Producer {
             ring,
             view,
             next: 0,
+            published: 0,
+            ev_seen: 0,
             telemetry: Telemetry::disabled(),
             tq: 0,
         })
@@ -434,6 +491,8 @@ impl<V: MemView> Producer<V> {
             ring: self.ring,
             view,
             next: self.next,
+            published: self.published,
+            ev_seen: self.ev_seen,
             telemetry: self.telemetry,
             tq: self.tq,
         }
@@ -862,14 +921,76 @@ impl<V: MemView> Producer<V> {
         Ok(())
     }
 
-    /// Posts a doorbell (only meaningful in [`NotifyMode::Doorbell`]).
+    /// Posts a doorbell when the notify discipline calls for one; returns
+    /// whether the doorbell was actually rung.
+    ///
+    /// [`NotifyMode::Polling`] never rings; [`NotifyMode::Doorbell`] always
+    /// rings. [`NotifyMode::EventIdx`] reads the consumer-published event
+    /// index — hostile input, fetched exactly once — and rings only when
+    /// this publish crossed it; a stale index proves the consumer is still
+    /// awake and the kick is suppressed (`suppressed_kicks` meter). The
+    /// fetched value is window-validated against `[ev_seen, next]` (the
+    /// only range the honest consumer's monotone counter can occupy); an
+    /// invalid value is detected (`violations_detected`) and fails *toward*
+    /// notification — the worst a hostile event word causes is a spurious
+    /// wakeup, never a missed one, a hang, or a livelock.
     ///
     /// Guest producers pay a host-notify exit; host producers pay an
-    /// interrupt injection.
-    pub fn kick(&self) {
-        if self.ring.cfg.notify != NotifyMode::Doorbell {
-            return;
+    /// interrupt injection. A real EventIdx kick also sets the ring's
+    /// doorbell word so the consuming side can tell a wakeup from a
+    /// scheduled poll ([`Consumer::take_doorbell`]).
+    pub fn kick(&mut self) -> bool {
+        match self.ring.cfg.notify {
+            NotifyMode::Polling => false,
+            NotifyMode::Doorbell => {
+                self.ring_doorbell();
+                true
+            }
+            NotifyMode::EventIdx => {
+                let new = self.next;
+                let old = self.published;
+                self.published = new;
+                if new == old {
+                    // Nothing newly published since the last decision.
+                    return false;
+                }
+                let mem = self.view.memory();
+                mem.clock().advance(mem.cost().event_idx_check);
+                mem.meter().validations(1);
+                let ev = match self.view.read_u32(self.ring.event_idx_addr()) {
+                    Ok(ev) => ev,
+                    Err(_) => {
+                        // Unreadable event word: fail toward notification.
+                        let _ = self.view.write_u32(self.ring.door_addr(), 1);
+                        self.ring_doorbell();
+                        return true;
+                    }
+                };
+                // Window containment: the honest consumer only ever
+                // publishes its own monotone consume counter, which lives
+                // in [ev_seen, new]. Anything else is a lying peer.
+                let valid = ev.wrapping_sub(self.ev_seen) <= new.wrapping_sub(self.ev_seen);
+                if valid {
+                    self.ev_seen = ev;
+                } else {
+                    mem.meter().violations_detected(1);
+                }
+                // The virtio event-idx crossing rule: ring iff the event
+                // index lies in the just-published window (old, new].
+                let crossed = new.wrapping_sub(ev).wrapping_sub(1) < new.wrapping_sub(old);
+                if !valid || crossed {
+                    let _ = self.view.write_u32(self.ring.door_addr(), 1);
+                    self.ring_doorbell();
+                    true
+                } else {
+                    mem.meter().suppressed_kicks(1);
+                    false
+                }
+            }
         }
+    }
+
+    fn ring_doorbell(&self) {
         let mem = self.view.memory();
         if self.view.is_host() {
             mem.clock().advance(mem.cost().interrupt_inject);
@@ -904,6 +1025,13 @@ pub struct Consumer<V: MemView> {
     view: V,
     /// Private consume counter — the only index the consumer trusts.
     next: u32,
+    /// Whether event-idx notifications are currently armed (the consumer
+    /// published its event index after finding the ring empty and has not
+    /// consumed since).
+    armed: bool,
+    /// The `next` value at which the event index was last published,
+    /// making the idle-arm idempotent per ring position.
+    armed_at: u32,
     /// Telemetry domain (disabled by default) and the queue index this
     /// endpoint reports under.
     telemetry: Telemetry,
@@ -918,10 +1046,13 @@ impl<V: MemView> Consumer<V> {
     /// Memory errors if the ring region is not accessible to this view.
     pub fn new(ring: CioRing, view: V) -> Result<Self, RingError> {
         view.write_u32(ring.cons_idx_addr(), 0)?;
+        view.write_u32(ring.event_idx_addr(), 0)?;
         Ok(Consumer {
             ring,
             view,
             next: 0,
+            armed: false,
+            armed_at: 0,
             telemetry: Telemetry::disabled(),
             tq: 0,
         })
@@ -944,6 +1075,8 @@ impl<V: MemView> Consumer<V> {
             ring: self.ring,
             view,
             next: self.next,
+            armed: self.armed,
+            armed_at: self.armed_at,
             telemetry: self.telemetry,
             tq: self.tq,
         }
@@ -1019,9 +1152,66 @@ impl<V: MemView> Consumer<V> {
 
     fn commit(&mut self) -> Result<(), RingError> {
         self.next = self.next.wrapping_add(1);
+        self.armed = false;
         self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
         Ok(())
+    }
+
+    /// Publishes the event index when the ring runs dry in
+    /// [`NotifyMode::EventIdx`]: one store re-arms notifications, so the
+    /// producer's next publish past this point rings a doorbell. Idempotent
+    /// per ring position — a poll loop that keeps finding the ring empty
+    /// charges the arm exactly once.
+    fn note_empty(&mut self) -> Result<(), RingError> {
+        if self.ring.cfg.notify != NotifyMode::EventIdx {
+            return Ok(());
+        }
+        if self.armed && self.armed_at == self.next {
+            return Ok(());
+        }
+        self.view.write_u32(self.ring.event_idx_addr(), self.next)?;
+        let mem = self.view.memory();
+        mem.clock().advance(mem.cost().event_idx_arm);
+        self.armed = true;
+        self.armed_at = self.next;
+        Ok(())
+    }
+
+    /// Whether event-idx notifications are currently armed (the consumer
+    /// went idle and published how far it has consumed).
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The event index published at the last arm (diagnostic; only
+    /// meaningful while [`Consumer::is_armed`] is true).
+    #[inline]
+    pub fn armed_at(&self) -> u32 {
+        self.armed_at
+    }
+
+    /// Reads and clears the ring's doorbell word: whether the producer
+    /// actually rang since the consuming side last looked
+    /// ([`NotifyMode::EventIdx`] bookkeeping). Uncharged — the cost of the
+    /// notification itself was charged by the producer's kick.
+    ///
+    /// # Errors
+    ///
+    /// Memory errors if the ring header is not accessible to this view.
+    pub fn take_doorbell(&mut self) -> Result<bool, RingError> {
+        let rang = self.view.read_u32(self.ring.door_addr())? != 0;
+        if rang {
+            self.view.write_u32(self.ring.door_addr(), 0)?;
+        }
+        Ok(rang)
+    }
+
+    /// Meters a doorbell that woke the consumer to an already-drained ring
+    /// — the worst outcome a hostile event index can cause.
+    pub fn note_spurious_wakeup(&self) {
+        self.view.memory().meter().spurious_wakeups(1);
     }
 
     /// Consumes one payload by early copy into private memory.
@@ -1051,6 +1241,7 @@ impl<V: MemView> Consumer<V> {
     pub fn consume_into(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, RingError> {
         let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         if self.available()? == 0 {
+            self.note_empty()?;
             return Ok(None);
         }
         self.consume_slot_into(buf).map(Some)
@@ -1066,6 +1257,10 @@ impl<V: MemView> Consumer<V> {
     pub fn consume_batch(&mut self, bufs: &mut [Vec<u8>]) -> Result<usize, RingError> {
         let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         let avail = self.available()? as usize;
+        if avail == 0 {
+            self.note_empty()?;
+            return Ok(0);
+        }
         let n = avail.min(bufs.len());
         for buf in &mut bufs[..n] {
             self.consume_slot_into(buf)?;
@@ -1121,6 +1316,7 @@ impl<V: MemView> Consumer<V> {
     ) -> Result<Option<R>, RingError> {
         let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         if self.available()? == 0 {
+            self.note_empty()?;
             return Ok(None);
         }
         let masked = self.next & self.ring.slot_mask();
@@ -1163,6 +1359,10 @@ impl<V: MemView> Consumer<V> {
     ) -> Result<usize, RingError> {
         let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         let avail = self.available()? as usize;
+        if avail == 0 {
+            self.note_empty()?;
+            return Ok(0);
+        }
         let until_wrap = (self.ring.cfg.slots - (self.next & self.ring.slot_mask())) as usize;
         let n = avail.min(max).min(until_wrap).min(MAX_BATCH);
         if n == 0 {
@@ -1213,6 +1413,7 @@ impl<V: MemView> Consumer<V> {
         }
         meter.bytes_zero_copy(total);
         self.next = self.next.wrapping_add(n as u32);
+        self.armed = false;
         self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
         Ok(n)
@@ -1236,6 +1437,10 @@ impl<V: MemView> Consumer<V> {
     pub fn consume_batch_into(&mut self, bufs: &mut [Vec<u8>]) -> Result<usize, RingError> {
         let _span = self.telemetry.span(self.tq, Stage::RingConsume);
         let avail = self.available()? as usize;
+        if avail == 0 {
+            self.note_empty()?;
+            return Ok(0);
+        }
         let until_wrap = (self.ring.cfg.slots - (self.next & self.ring.slot_mask())) as usize;
         let n = avail.min(bufs.len()).min(until_wrap).min(MAX_BATCH);
         if n == 0 {
@@ -1286,6 +1491,7 @@ impl<V: MemView> Consumer<V> {
             charge_copy(&self.view, len as usize);
         }
         self.next = self.next.wrapping_add(n as u32);
+        self.armed = false;
         self.view.write_u32(self.ring.cons_idx_addr(), self.next)?;
         charge_ring_ops(&self.view, 1);
         Ok(n)
@@ -1345,6 +1551,7 @@ impl Consumer<GuestView> {
             return Err(RingError::Fatal("ring not configured for revocation"));
         }
         if self.available()? == 0 {
+            self.note_empty()?;
             return Ok(None);
         }
         let masked = self.next & self.ring.slot_mask();
@@ -2249,9 +2456,126 @@ mod tests {
 
     #[test]
     fn polling_mode_kick_is_noop() {
-        let (m, p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
-        p.kick();
+        let (m, mut p, _c) = tx_pair(small_cfg(DataMode::SharedArea));
+        assert!(!p.kick());
         assert_eq!(m.meter().snapshot().notifications_sent, 0);
+    }
+
+    fn event_idx_cfg() -> RingConfig {
+        RingConfig {
+            notify: NotifyMode::EventIdx,
+            ..small_cfg(DataMode::SharedArea)
+        }
+    }
+
+    #[test]
+    fn event_idx_suppresses_while_consumer_awake() {
+        let (m, mut p, mut c) = tx_pair(event_idx_cfg());
+        // First publish crosses the zero-initialized event index: rings.
+        p.produce(b"a").unwrap();
+        assert!(p.kick());
+        assert!(c.take_doorbell().unwrap());
+        // Consumer has not gone idle (never re-armed): subsequent
+        // publishes are provably covered by the outstanding wakeup.
+        for _ in 0..3 {
+            p.produce(b"x").unwrap();
+            assert!(!p.kick(), "suppressed while the consumer is awake");
+        }
+        assert!(!c.take_doorbell().unwrap());
+        let s = m.meter().snapshot();
+        assert_eq!(s.notifications_sent, 1);
+        assert_eq!(s.suppressed_kicks, 3);
+        assert_eq!(s.violations_detected, 0);
+        // The records were never lost — they were just quietly published.
+        assert_eq!(c.on_doorbell().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn event_idx_rearms_on_empty_and_next_publish_rings() {
+        let (m, mut p, mut c) = tx_pair(event_idx_cfg());
+        p.produce(b"a").unwrap();
+        assert!(p.kick());
+        // Drain to empty: the final empty consume publishes the event
+        // index (one arm charge, idempotent on repeat).
+        assert!(c.consume().unwrap().is_some());
+        assert!(!c.is_armed());
+        let t0 = m.clock().now();
+        assert!(c.consume().unwrap().is_none());
+        let first_empty = m.clock().since(t0);
+        assert!(c.is_armed());
+        let t1 = m.clock().now();
+        assert!(c.consume().unwrap().is_none(), "re-poll while armed");
+        let second_empty = m.clock().since(t1);
+        assert_eq!(
+            first_empty.get() - second_empty.get(),
+            CostModel::default().event_idx_arm.get(),
+            "the arm is charged once, not per empty poll"
+        );
+        // Producer crosses the armed index: the doorbell rings again.
+        p.produce(b"b").unwrap();
+        assert!(p.kick());
+        assert_eq!(m.meter().snapshot().notifications_sent, 2);
+    }
+
+    #[test]
+    fn hostile_event_idx_detected_and_fails_toward_notification() {
+        let (m, mut p, mut c) = tx_pair(event_idx_cfg());
+        p.produce(b"a").unwrap();
+        assert!(p.kick());
+        assert!(c.consume().unwrap().is_some());
+        assert!(c.consume().unwrap().is_none()); // arms at next = 1
+        let ev = p.ring().event_idx_addr();
+        for hostile in [0xFFFF_FFFFu32, 2_000_000, p.ring().config().slots * 8] {
+            let before = m.meter().snapshot();
+            m.host().write_u32(ev, hostile).unwrap();
+            p.produce(b"x").unwrap();
+            // Detected, and the kick still rings: fail toward notification.
+            assert!(p.kick(), "hostile ev {hostile:#x} must not suppress");
+            let d = m.meter().snapshot().delta(&before);
+            assert_eq!(d.violations_detected, 1, "ev {hostile:#x}");
+            assert_eq!(d.notifications_sent, 1, "ev {hostile:#x}");
+        }
+        // A backwards jump below the last valid value is equally a lie.
+        assert!(c.on_doorbell().unwrap().len() == 3);
+        assert!(c.consume().unwrap().is_none()); // arms at 4; ev_seen tracks
+        p.produce(b"y").unwrap();
+        assert!(p.kick()); // valid arm observed, ev_seen = 4
+        let before = m.meter().snapshot();
+        m.host().write_u32(ev, 1).unwrap(); // backwards: 1 < ev_seen
+        p.produce(b"z").unwrap();
+        assert!(p.kick());
+        let d = m.meter().snapshot().delta(&before);
+        assert_eq!(d.violations_detected, 1);
+    }
+
+    #[test]
+    fn stuck_event_idx_only_suppresses_never_corrupts() {
+        // A pinned-stale event word is indistinguishable from a hot
+        // consumer: kicks are suppressed (the liveness recovery lives in
+        // the host backend's heartbeat re-poll), but every record stays
+        // published and consumable, and nothing is flagged — a stale value
+        // is *valid*, merely unhelpful.
+        let (m, mut p, mut c) = tx_pair(event_idx_cfg());
+        p.produce(b"a").unwrap();
+        assert!(p.kick());
+        for i in 0..5u8 {
+            p.produce(&[i; 8]).unwrap();
+            assert!(!p.kick());
+        }
+        let s = m.meter().snapshot();
+        assert_eq!(s.violations_detected, 0);
+        assert_eq!(s.suppressed_kicks, 5);
+        assert_eq!(c.on_doorbell().unwrap().len(), 6, "no record lost");
+    }
+
+    #[test]
+    fn take_doorbell_reads_and_clears() {
+        let (_m, mut p, mut c) = tx_pair(event_idx_cfg());
+        assert!(!c.take_doorbell().unwrap());
+        p.produce(b"a").unwrap();
+        p.kick();
+        assert!(c.take_doorbell().unwrap());
+        assert!(!c.take_doorbell().unwrap(), "cleared by the read");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use cio_host::fabric::LinkParams;
 use cio_host::{Backend, CioNetBackend};
 use cio_mem::CopyPolicy;
 use cio_sim::{Cycles, MeterSnapshot};
-use cio_vring::cioring::BatchPolicy;
+use cio_vring::cioring::{BatchPolicy, NotifyMode, NotifyPolicy};
 
 const FLOWS: usize = 6;
 
@@ -44,10 +44,33 @@ struct Trace {
 }
 
 fn run(queues: usize, parallel: usize, batch: BatchPolicy, copy: CopyPolicy, loss: f64) -> Trace {
+    run_with(
+        queues,
+        parallel,
+        batch,
+        copy,
+        loss,
+        NotifyMode::Polling,
+        NotifyPolicy::Always,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with(
+    queues: usize,
+    parallel: usize,
+    batch: BatchPolicy,
+    copy: CopyPolicy,
+    loss: f64,
+    notify: NotifyMode,
+    policy: NotifyPolicy,
+) -> Trace {
     let mut w = World::builder(BoundaryKind::L2CioRing)
         .options(opts(queues, parallel, loss))
         .batch(batch)
         .copy_policy(copy)
+        .notify(notify)
+        .notify_policy(policy)
         .build()
         .unwrap();
     assert_eq!(w.parallel_threads(), parallel);
@@ -186,6 +209,102 @@ fn parallel_matches_serial_under_loss() {
     for threads in [2usize, 4] {
         let par = run(4, threads, BatchPolicy::Fixed(8), CopyPolicy::InPlace, 0.02);
         assert_eq!(serial, par, "lossy run diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_matches_serial_under_every_notify_policy() {
+    // The notify gate (arm / suppress / re-poll) runs on worker threads
+    // in parallel mode, but every decision it takes is a function of
+    // ring state that the serial schedule reproduces exactly — so the
+    // full trace, doorbell meters included, must match.
+    for policy in [
+        NotifyPolicy::Always,
+        NotifyPolicy::EventIdx,
+        NotifyPolicy::Adaptive,
+    ] {
+        let serial = run_with(
+            4,
+            0,
+            BatchPolicy::Fixed(8),
+            CopyPolicy::InPlace,
+            0.0,
+            NotifyMode::Doorbell,
+            policy,
+        );
+        for threads in [2usize, 4] {
+            let par = run_with(
+                4,
+                threads,
+                BatchPolicy::Fixed(8),
+                CopyPolicy::InPlace,
+                0.0,
+                NotifyMode::Doorbell,
+                policy,
+            );
+            assert_eq!(
+                serial, par,
+                "policy={policy:?} threads={threads} diverged from serial"
+            );
+        }
+    }
+}
+
+/// What a notify policy is *allowed* to change: when the host wakes up,
+/// hence idle polls, doorbell counts, and the clock. What it must never
+/// change: which records are delivered, in which order, with which
+/// bytes, and the data-path work done to deliver them.
+fn delivery(t: &Trace) -> (Vec<Vec<u8>>, u64, u64, u64, u64, u64, u64) {
+    (
+        t.flows.clone(),
+        t.meter.ring_records,
+        t.meter.copies,
+        t.meter.bytes_copied,
+        t.meter.aead_ops,
+        t.meter.aead_bytes,
+        t.meter.violations_detected,
+    )
+}
+
+#[test]
+fn notify_policy_never_changes_delivered_records() {
+    // ISSUE property: EventIdx / Adaptive deliver the same records in
+    // the same order as Always, across batch 1..16 x copy policies x
+    // 1/2/4 worker threads. Suppression may only reschedule wakeups.
+    for batch in [
+        BatchPolicy::Fixed(1),
+        BatchPolicy::Fixed(8),
+        BatchPolicy::Fixed(16),
+    ] {
+        for copy in [CopyPolicy::InPlace, CopyPolicy::CopyEarly] {
+            for threads in [1usize, 2, 4] {
+                let reference = run_with(
+                    4,
+                    threads,
+                    batch,
+                    copy,
+                    0.0,
+                    NotifyMode::Doorbell,
+                    NotifyPolicy::Always,
+                );
+                assert_eq!(reference.meter.violations_detected, 0);
+                for policy in [NotifyPolicy::EventIdx, NotifyPolicy::Adaptive] {
+                    let suppressed =
+                        run_with(4, threads, batch, copy, 0.0, NotifyMode::Doorbell, policy);
+                    assert_eq!(
+                        delivery(&reference),
+                        delivery(&suppressed),
+                        "batch={batch:?} copy={copy:?} threads={threads} \
+                         policy={policy:?} changed the delivered records"
+                    );
+                    assert!(
+                        suppressed.meter.suppressed_kicks > 0,
+                        "batch={batch:?} threads={threads} policy={policy:?} \
+                         suppressed nothing — the policy was not engaged"
+                    );
+                }
+            }
+        }
     }
 }
 
