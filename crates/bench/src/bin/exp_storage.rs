@@ -1,5 +1,10 @@
 //! E12 — the storage generalization (§3.3): block-level vs. file-level
 //! boundary on the same file workload.
+//!
+//! The block-in-TEE numbers here are the **storage_v1** baseline: the
+//! serial transport (one staged request per publish, polling rings) this
+//! repo shipped before storage reached dataplane parity. E24 (`exp_kv`)
+//! measures the batched zero-copy path against exactly this baseline.
 
 use cio::storage::{StorageBoundary, StorageWorld};
 use cio_bench::{fmt_cycles, print_table};
@@ -50,7 +55,7 @@ fn main() {
         }
     }
     print_table(
-        "E12 — storage boundaries: write+read 256 KiB, by I/O size",
+        "E12 — storage boundaries (storage_v1 serial transport): write+read 256 KiB, by I/O size",
         &[
             "boundary",
             "I/O B",

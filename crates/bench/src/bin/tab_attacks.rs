@@ -6,7 +6,8 @@
 //! being pinpointed by link index.
 
 use cio::attacks::{
-    audit_chain_tamper, netvsc_offset_forgery, payload_toctou, run_matrix, Outcome, ALL_ATTACKS,
+    audit_chain_tamper, netvsc_offset_forgery, payload_toctou, run_blk_suite, run_matrix, Outcome,
+    ALL_ATTACKS,
 };
 use cio::world::ALL_BOUNDARIES;
 use cio_bench::print_table;
@@ -103,6 +104,44 @@ fn main() {
             "UNDETECTED",
         ],
         &srows,
+    );
+
+    // The storage plane under the same adversary (the E24 additions):
+    // the batched block ring must fail closed with the right verdict.
+    let blk = run_blk_suite().expect("block adversary suite");
+    let mut brows = Vec::new();
+    for (name, r) in [
+        "response aliasing (ciphertext served for another LBA)",
+        "mid-batch poison (one block corrupted inside a 16-run)",
+        "rollback under batching (full stale snapshot restored)",
+    ]
+    .into_iter()
+    .zip(&blk)
+    {
+        assert_eq!(
+            r.outcome,
+            Outcome::Detected,
+            "block scenario escaped detection: {r:?}"
+        );
+        assert!(r.audit_ok, "block verdict not sealed: {r:?}");
+        brows.push(vec![
+            name.into(),
+            format!("sealed as {}", r.attack),
+            r.outcome.to_string(),
+            if r.fail_closed { "yes" } else { "NO" }.into(),
+            if r.intact_elsewhere { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    print_table(
+        "E10e — the batched block ring under the storage adversary",
+        &[
+            "attack",
+            "verdict code",
+            "outcome",
+            "fail-closed",
+            "blast radius contained",
+        ],
+        &brows,
     );
 
     // The audit-chain tamper micro-scenario.

@@ -26,6 +26,102 @@ pub trait BlockStore {
     fn blocks(&self) -> u64;
 }
 
+/// Batched access to *runs* of consecutive blocks.
+///
+/// [`RunStore::write_run_with`] / [`RunStore::read_run_with`] hand the
+/// caller sub-batches of block-sized buffers — for ring-backed stores
+/// these are real ring-slot windows, so a crypto layer can seal several
+/// blocks per boundary crossing directly into shared memory (and
+/// gather-read back out of it) without intermediate staging. The default
+/// implementations degrade to the serial [`BlockStore`] calls, one block
+/// per closure invocation, so every store is run-capable.
+pub trait RunStore: BlockStore {
+    /// Writes `count` consecutive blocks starting at `lba`.
+    ///
+    /// `fill` is invoked one or more times with `(base, slots)`: `base` is
+    /// the run-relative index of the first block of the sub-batch and
+    /// `slots` holds one exactly-[`BLOCK_SIZE`] writable buffer per block.
+    /// For ring-backed stores the buffers are shared slot memory: the
+    /// closure must treat them as write-only (never read back) and place
+    /// only bytes the host may observe (ciphertext). `fill` must be
+    /// idempotent per index — a transport may re-invoke it for an index if
+    /// the ring forces a restage.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::write_block`]; on error, a prefix of the run may
+    /// already be durable.
+    fn write_run_with(
+        &mut self,
+        lba: u64,
+        count: usize,
+        fill: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut scratch = vec![0u8; BLOCK_SIZE];
+        for i in 0..count {
+            {
+                let mut one: [&mut [u8]; 1] = [&mut scratch[..]];
+                fill(i, &mut one[..]);
+            }
+            self.write_block(lba + i as u64, &scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` consecutive blocks starting at `lba`.
+    ///
+    /// `sink` mirrors [`RunStore::write_run_with`]: each slot holds the
+    /// stored bytes of one block. For ring-backed stores the buffers are
+    /// shared slot memory (host-controlled bytes): the closure must read
+    /// each byte at most once and validate what it reads.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::read_block`]; blocks before the failure have been
+    /// delivered to `sink`, later ones have not.
+    fn read_run_with(
+        &mut self,
+        lba: u64,
+        count: usize,
+        sink: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut scratch = vec![0u8; BLOCK_SIZE];
+        for i in 0..count {
+            self.read_block(lba + i as u64, &mut scratch)?;
+            let mut one: [&mut [u8]; 1] = [&mut scratch[..]];
+            sink(i, &mut one[..]);
+        }
+        Ok(())
+    }
+
+    /// Reads the (arbitrary, not necessarily consecutive) blocks named by
+    /// `lbas` — block-queue commands are independent, so a metadata block
+    /// and a data run can share one batch, one lock, one doorbell.
+    ///
+    /// `sink` receives each block under its `lbas` index, **in index
+    /// order** — callers may rely on earlier entries having been delivered
+    /// before later ones (e.g. tags before the data they authenticate).
+    /// Buffer discipline is as [`RunStore::read_run_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::read_block`]; blocks before the failure have been
+    /// delivered to `sink`, later ones have not.
+    fn read_scatter_with(
+        &mut self,
+        lbas: &[u64],
+        sink: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut scratch = vec![0u8; BLOCK_SIZE];
+        for (i, &lba) in lbas.iter().enumerate() {
+            self.read_block(lba, &mut scratch)?;
+            let mut one: [&mut [u8]; 1] = [&mut scratch[..]];
+            sink(i, &mut one[..]);
+        }
+        Ok(())
+    }
+}
+
 /// The host's backing store: plain memory the host fully controls.
 ///
 /// Tests and the adversary use [`RamDisk::tamper`] and
@@ -91,6 +187,8 @@ impl RamDisk {
         Ok(())
     }
 }
+
+impl RunStore for RamDisk {}
 
 impl BlockStore for RamDisk {
     fn read_block(&mut self, lba: u64, buf: &mut [u8]) -> Result<(), BlockError> {

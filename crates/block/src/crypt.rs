@@ -15,15 +15,35 @@
 //! Layout on the underlying store for `n` logical blocks:
 //! physical `[0, n)` = ciphertext blocks, physical `[n, ...)` = packed
 //! 16-byte tags (256 per metadata block).
+//!
+//! Two data paths share that layout:
+//!
+//! * the serial [`BlockStore`] methods — the `storage_v1` shape, one
+//!   block per call, sealing through a private scratch buffer
+//!   ([`ChaCha20Poly1305::seal_fused_scatter`], bit-identical to the
+//!   legacy in-place seal);
+//! * the batched [`CryptStore::write_run`] / [`CryptStore::read_run`]
+//!   over a [`RunStore`] — writes seal *runs* of blocks with one
+//!   multi-stream pass ([`seal_batch_scatter`]) directly into whatever
+//!   buffers the store hands out (ring-slot memory for the block
+//!   transport: ciphertext never exists anywhere else), reads gather-open
+//!   each block straight out of the store's buffers with a single fetch
+//!   per byte ([`ChaCha20Poly1305::open_fused_gather`]), and the tag-block
+//!   read-modify-write is amortized over the run. Ciphertext, tags, and
+//!   tamper/rollback verdicts are bit-identical to the serial path.
 
-use crate::blockdev::{BlockStore, BLOCK_SIZE};
+use crate::blockdev::{BlockStore, RunStore, BLOCK_SIZE};
 use crate::BlockError;
-use cio_crypto::aead::ChaCha20Poly1305;
+use cio_crypto::aead::{seal_batch_scatter, ChaCha20Poly1305, MAX_BATCH_RECORDS};
 use cio_crypto::poly1305::TAG_LEN;
-use cio_sim::{Clock, CostModel, Meter};
+use cio_sim::{Clock, CostModel, Meter, Stage, Telemetry};
 
 /// Tags packed per metadata block.
 const TAGS_PER_BLOCK: u64 = (BLOCK_SIZE / TAG_LEN) as u64;
+
+/// Blocks sealed/opened per batched chunk (the crypto batch width, which
+/// deliberately equals the ring's `MAX_BATCH`).
+const RUN: usize = MAX_BATCH_RECORDS;
 
 /// An encrypting, integrity-protecting, rollback-detecting block layer.
 pub struct CryptStore<S: BlockStore> {
@@ -36,6 +56,21 @@ pub struct CryptStore<S: BlockStore> {
     generations: Vec<u64>,
     /// Optional simulation hooks: AEAD work charged to the virtual clock.
     hooks: Option<(Clock, CostModel, Meter)>,
+    telemetry: Telemetry,
+    tq: usize,
+    /// Steady-state scratch (serial seal staging, tag RMW, rollback
+    /// probes) — allocated once, so the data path is allocation-free.
+    ct_scratch: Vec<u8>,
+    tag_scratch: Vec<u8>,
+    probe_scratch: Vec<u8>,
+    /// Per-run tag staging for the batched paths: tags for every block of
+    /// the run accumulate here so the metadata read-modify-write happens
+    /// once per spanned tag block per *run*, not per chunk. Warmed to a
+    /// full tag block's worth (256 tags); longer runs grow it once.
+    run_tags: Vec<[u8; TAG_LEN]>,
+    /// Scatter list staging for batched reads (tag blocks + data blocks
+    /// in one transport batch).
+    lba_scratch: Vec<u64>,
 }
 
 impl<S: BlockStore> CryptStore<S> {
@@ -61,12 +96,25 @@ impl<S: BlockStore> CryptStore<S> {
             logical_blocks: logical,
             generations: vec![0; logical as usize],
             hooks: None,
+            telemetry: Telemetry::disabled(),
+            tq: 0,
+            ct_scratch: vec![0u8; BLOCK_SIZE],
+            tag_scratch: vec![0u8; BLOCK_SIZE],
+            probe_scratch: vec![0u8; BLOCK_SIZE],
+            run_tags: vec![[0u8; TAG_LEN]; TAGS_PER_BLOCK as usize],
+            lba_scratch: Vec::with_capacity(2 * RUN),
         })
     }
 
     /// Attaches simulation hooks so per-block AEAD work is charged.
     pub fn set_hooks(&mut self, clock: Clock, cost: CostModel, meter: Meter) {
         self.hooks = Some((clock, cost, meter));
+    }
+
+    /// Attributes this layer's seal/open work to `queue` in `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.telemetry = telemetry;
+        self.tq = queue;
     }
 
     fn charge_aead(&self) {
@@ -104,6 +152,269 @@ impl<S: BlockStore> CryptStore<S> {
         }
         Ok(())
     }
+
+    fn check_run(&self, lba: u64, len: usize) -> Result<usize, BlockError> {
+        if !len.is_multiple_of(BLOCK_SIZE) {
+            return Err(BlockError::BadLength);
+        }
+        let count = len / BLOCK_SIZE;
+        let end = lba
+            .checked_add(count as u64)
+            .ok_or(BlockError::OutOfRange)?;
+        if end > self.logical_blocks {
+            return Err(BlockError::OutOfRange);
+        }
+        Ok(count)
+    }
+
+    /// Distinguishes tamper from rollback after a failed open: an older
+    /// generation that verifies means the host served stale data. Probes
+    /// re-read the block each iteration, exactly like the serial path, so
+    /// batched and serial reads render identical verdicts.
+    fn verdict(&mut self, lba: u64, generation: u64, tag: &[u8; TAG_LEN]) -> BlockError {
+        let aad = lba.to_le_bytes();
+        for g in (1..generation).rev() {
+            if self.inner.read_block(lba, &mut self.probe_scratch).is_err() {
+                break;
+            }
+            let n = Self::nonce(lba, g);
+            if self
+                .aead
+                .open_in_place(&n, &aad, &mut self.probe_scratch, tag)
+                .is_ok()
+            {
+                return BlockError::Rollback;
+            }
+        }
+        BlockError::IntegrityViolation
+    }
+}
+
+impl<S: RunStore> CryptStore<S> {
+    /// Writes `data` (a whole number of blocks) to consecutive logical
+    /// blocks starting at `lba`, sealing runs of up to [`RUN`] blocks
+    /// with one multi-stream AEAD pass directly into the buffers the
+    /// underlying store hands out — for the ring transport that is slot
+    /// memory, so ciphertext is born in the shared slot and plaintext
+    /// never leaves private memory.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::write_block`]; on error nothing in the run is
+    /// committed — partially written blocks fail closed (new ciphertext
+    /// under the old tag reads as [`BlockError::IntegrityViolation`])
+    /// until rewritten.
+    pub fn write_run(&mut self, lba: u64, data: &[u8]) -> Result<(), BlockError> {
+        let count = self.check_run(lba, data.len())?;
+        self.run_tags.resize(count, [0u8; TAG_LEN]);
+        let mut i = 0;
+        while i < count {
+            let k = (count - i).min(RUN);
+            self.write_chunk(
+                lba + i as u64,
+                &data[i * BLOCK_SIZE..(i + k) * BLOCK_SIZE],
+                i,
+            )?;
+            i += k;
+        }
+        // One tag-block read-modify-write per metadata block the *run*
+        // spans (256 tags per block, so usually one), instead of one per
+        // data block or per chunk.
+        let first_tb = self.tag_location(lba).0;
+        let last_tb = self.tag_location(lba + (count - 1) as u64).0;
+        for tb in first_tb..=last_tb {
+            self.inner.read_block(tb, &mut self.tag_scratch)?;
+            for i in 0..count {
+                let (b, off) = self.tag_location(lba + i as u64);
+                if b == tb {
+                    self.tag_scratch[off..off + TAG_LEN].copy_from_slice(&self.run_tags[i]);
+                }
+            }
+            self.inner.write_block(tb, &self.tag_scratch)?;
+        }
+        // Commit the generations only after data and tags landed.
+        for i in 0..count {
+            self.generations[(lba + i as u64) as usize] += 1;
+        }
+        Ok(())
+    }
+
+    fn write_chunk(&mut self, lba: u64, data: &[u8], tag_off: usize) -> Result<(), BlockError> {
+        let k = data.len() / BLOCK_SIZE;
+        let mut gens = [0u64; RUN];
+        let mut nonces = [[0u8; 12]; RUN];
+        let mut aads = [[0u8; 8]; RUN];
+        for i in 0..k {
+            let b = lba + i as u64;
+            gens[i] = self.generations[b as usize] + 1;
+            nonces[i] = Self::nonce(b, gens[i]);
+            aads[i] = b.to_le_bytes();
+        }
+        let Self {
+            inner,
+            aead,
+            hooks,
+            telemetry,
+            tq,
+            run_tags,
+            ..
+        } = self;
+        let (aead, hooks, telemetry, tq) = (&*aead, &*hooks, &*telemetry, *tq);
+        let tags = &mut run_tags[tag_off..tag_off + k];
+        inner.write_run_with(lba, k, &mut |base, slots| {
+            let kk = slots.len();
+            let _seal = telemetry.span(tq, Stage::BlkSeal);
+            if let Some((clock, cost, meter)) = hooks {
+                clock.advance(cost.aead_batch(kk, kk * BLOCK_SIZE));
+                meter.aead_ops(kk as u64);
+                meter.aead_bytes((kk * BLOCK_SIZE) as u64);
+            }
+            let aead_refs: [&ChaCha20Poly1305; RUN] = [aead; RUN];
+            let mut aad_refs: [&[u8]; RUN] = [&[]; RUN];
+            let mut pt_refs: [&[u8]; RUN] = [&[]; RUN];
+            for i in 0..kk {
+                aad_refs[i] = &aads[base + i];
+                pt_refs[i] = &data[(base + i) * BLOCK_SIZE..(base + i + 1) * BLOCK_SIZE];
+            }
+            seal_batch_scatter(
+                &aead_refs[..kk],
+                &nonces[base..base + kk],
+                &aad_refs[..kk],
+                &pt_refs[..kk],
+                slots,
+                &mut tags[base..base + kk],
+            );
+        })?;
+        Ok(())
+    }
+
+    /// Reads a whole number of blocks starting at `lba` into `out`,
+    /// gather-opening each block straight out of the buffers the
+    /// underlying store hands out (ring-slot memory for the block
+    /// transport) with a single fetch per ciphertext byte. Never-written
+    /// blocks read as zeros without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::read_block`]. On a verification failure, blocks
+    /// before the failing one are delivered intact; the failing block and
+    /// everything after it read as zeros, and the error is the failing
+    /// block's verdict ([`BlockError::IntegrityViolation`] or
+    /// [`BlockError::Rollback`]).
+    pub fn read_run(&mut self, lba: u64, out: &mut [u8]) -> Result<(), BlockError> {
+        let count = self.check_run(lba, out.len())?;
+        let mut i = 0;
+        while i < count {
+            if self.generations[(lba + i as u64) as usize] == 0 {
+                let mut j = i;
+                while j < count && self.generations[(lba + j as u64) as usize] == 0 {
+                    j += 1;
+                }
+                out[i * BLOCK_SIZE..j * BLOCK_SIZE].fill(0);
+                i = j;
+                continue;
+            }
+            let mut j = i;
+            while j < count && self.generations[(lba + j as u64) as usize] != 0 {
+                j += 1;
+            }
+            if let Err(e) =
+                self.read_segment(lba + i as u64, &mut out[i * BLOCK_SIZE..j * BLOCK_SIZE])
+            {
+                // The failing block zeroed itself and its segment tail;
+                // zero everything after the segment too.
+                out[j * BLOCK_SIZE..].fill(0);
+                return Err(e);
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Reads one contiguous written segment as a single scatter batch:
+    /// the spanned tag blocks lead the batch, the data blocks follow, so
+    /// metadata and data share locks and doorbells. In-order delivery
+    /// ([`RunStore::read_scatter_with`]) guarantees every tag has arrived
+    /// before the block it authenticates is opened.
+    fn read_segment(&mut self, lba: u64, out: &mut [u8]) -> Result<(), BlockError> {
+        let k = out.len() / BLOCK_SIZE;
+        self.run_tags.resize(k, [0u8; TAG_LEN]);
+        let first_tb = self.tag_location(lba).0;
+        let last_tb = self.tag_location(lba + (k - 1) as u64).0;
+        let t = (last_tb - first_tb + 1) as usize;
+        self.lba_scratch.clear();
+        self.lba_scratch.extend(first_tb..=last_tb);
+        self.lba_scratch.extend((0..k as u64).map(|i| lba + i));
+        let mut first_fail: Option<usize> = None;
+        {
+            let Self {
+                inner,
+                aead,
+                hooks,
+                telemetry,
+                tq,
+                run_tags,
+                generations,
+                logical_blocks,
+                lba_scratch,
+                ..
+            } = self;
+            let (aead, hooks, telemetry, tq, logical_blocks) =
+                (&*aead, &*hooks, &*telemetry, *tq, *logical_blocks);
+            let out = &mut *out;
+            let first_fail = &mut first_fail;
+            let run_tags = &mut *run_tags;
+            let generations = &*generations;
+            inner.read_scatter_with(lba_scratch, &mut |base, slots| {
+                for (si, slot) in slots.iter_mut().enumerate() {
+                    let idx = base + si;
+                    if idx < t {
+                        // A tag block: extract every tag of ours it holds.
+                        let tb = first_tb + idx as u64;
+                        for (i, tag) in run_tags.iter_mut().enumerate().take(k) {
+                            let b = lba + i as u64;
+                            if logical_blocks + b / TAGS_PER_BLOCK == tb {
+                                let off = (b % TAGS_PER_BLOCK) as usize * TAG_LEN;
+                                tag.copy_from_slice(&slot[off..off + TAG_LEN]);
+                            }
+                        }
+                        continue;
+                    }
+                    let i = idx - t;
+                    let dst = &mut out[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE];
+                    if first_fail.is_some() {
+                        dst.fill(0);
+                        continue;
+                    }
+                    let _seal = telemetry.span(tq, Stage::BlkSeal);
+                    if let Some((clock, cost, meter)) = hooks {
+                        clock.advance(cost.aead(BLOCK_SIZE));
+                        meter.aead_ops(1);
+                        meter.aead_bytes(BLOCK_SIZE as u64);
+                    }
+                    let b = lba + i as u64;
+                    let nonce = Self::nonce(b, generations[b as usize]);
+                    let aad = b.to_le_bytes();
+                    // Single fetch per ciphertext byte, MAC and decrypt
+                    // from the same fetched bytes; `dst` is zeroed by the
+                    // gather-open on failure.
+                    if aead
+                        .open_fused_gather(&nonce, &aad, &slot[..], dst, &run_tags[i])
+                        .is_err()
+                    {
+                        *first_fail = Some(i);
+                    }
+                }
+            })?;
+        }
+        if let Some(fi) = first_fail {
+            out[fi * BLOCK_SIZE..].fill(0);
+            let tag = self.run_tags[fi];
+            let gen = self.generations[(lba + fi as u64) as usize];
+            return Err(self.verdict(lba + fi as u64, gen, &tag));
+        }
+        Ok(())
+    }
 }
 
 impl<S: BlockStore> BlockStore for CryptStore<S> {
@@ -117,30 +428,22 @@ impl<S: BlockStore> BlockStore for CryptStore<S> {
         }
         self.inner.read_block(lba, buf)?;
         let (tag_block, tag_off) = self.tag_location(lba);
-        let mut tag_blk = vec![0u8; BLOCK_SIZE];
-        self.inner.read_block(tag_block, &mut tag_blk)?;
+        self.inner.read_block(tag_block, &mut self.tag_scratch)?;
         let mut tag = [0u8; TAG_LEN];
-        tag.copy_from_slice(&tag_blk[tag_off..tag_off + TAG_LEN]);
+        tag.copy_from_slice(&self.tag_scratch[tag_off..tag_off + TAG_LEN]);
 
         let aad = lba.to_le_bytes();
         let nonce = Self::nonce(lba, generation);
-        self.charge_aead();
-        match self.aead.open_in_place(&nonce, &aad, buf, &tag) {
+        let opened = {
+            let _seal = self.telemetry.span(self.tq, Stage::BlkSeal);
+            self.charge_aead();
+            self.aead.open_in_place(&nonce, &aad, buf, &tag)
+        };
+        match opened {
             Ok(()) => Ok(()),
             Err(_) => {
-                // Distinguish tamper from rollback: an older generation
-                // that verifies means the host served stale data.
-                for g in (1..generation).rev() {
-                    let mut probe = vec![0u8; BLOCK_SIZE];
-                    self.inner.read_block(lba, &mut probe)?;
-                    let n = Self::nonce(lba, g);
-                    if self.aead.open_in_place(&n, &aad, &mut probe, &tag).is_ok() {
-                        buf.fill(0);
-                        return Err(BlockError::Rollback);
-                    }
-                }
                 buf.fill(0);
-                Err(BlockError::IntegrityViolation)
+                Err(self.verdict(lba, generation, &tag))
             }
         }
     }
@@ -150,16 +453,20 @@ impl<S: BlockStore> BlockStore for CryptStore<S> {
         let generation = self.generations[lba as usize] + 1;
         let aad = lba.to_le_bytes();
         let nonce = Self::nonce(lba, generation);
-        let mut ct = data.to_vec();
-        self.charge_aead();
-        let tag = self.aead.seal_in_place(&nonce, &aad, &mut ct);
-        self.inner.write_block(lba, &ct)?;
+        // Scatter-seal through the private scratch: bit-identical to the
+        // legacy in-place seal, without the per-write allocation.
+        let tag = {
+            let _seal = self.telemetry.span(self.tq, Stage::BlkSeal);
+            self.charge_aead();
+            self.aead
+                .seal_fused_scatter(&nonce, &aad, data, &mut self.ct_scratch)
+        };
+        self.inner.write_block(lba, &self.ct_scratch)?;
 
         let (tag_block, tag_off) = self.tag_location(lba);
-        let mut tag_blk = vec![0u8; BLOCK_SIZE];
-        self.inner.read_block(tag_block, &mut tag_blk)?;
-        tag_blk[tag_off..tag_off + TAG_LEN].copy_from_slice(&tag);
-        self.inner.write_block(tag_block, &tag_blk)?;
+        self.inner.read_block(tag_block, &mut self.tag_scratch)?;
+        self.tag_scratch[tag_off..tag_off + TAG_LEN].copy_from_slice(&tag);
+        self.inner.write_block(tag_block, &self.tag_scratch)?;
 
         // Commit the generation only after both writes landed.
         self.generations[lba as usize] = generation;
@@ -180,6 +487,12 @@ mod tests {
 
     fn store(physical: u64) -> CryptStore<RamDisk> {
         CryptStore::new(RamDisk::new(physical), KEY).unwrap()
+    }
+
+    fn pattern(i: usize) -> Vec<u8> {
+        (0..BLOCK_SIZE)
+            .map(|j| ((i * 31 + j * 11) % 253) as u8)
+            .collect()
     }
 
     #[test]
@@ -281,5 +594,98 @@ mod tests {
             Err(BlockError::OutOfRange)
         );
         assert_eq!(s.write_block(0, &buf[..10]), Err(BlockError::BadLength));
+        // Run bounds.
+        let n = s.blocks();
+        let big = vec![0u8; 2 * BLOCK_SIZE];
+        assert_eq!(s.write_run(n - 1, &big), Err(BlockError::OutOfRange));
+        let mut out = vec![0u8; 2 * BLOCK_SIZE];
+        assert_eq!(s.read_run(n - 1, &mut out), Err(BlockError::OutOfRange));
+        assert_eq!(s.write_run(0, &big[..100]), Err(BlockError::BadLength));
+    }
+
+    #[test]
+    fn run_path_is_bit_identical_to_serial() {
+        // Same key, same write order => same generations => the batched
+        // path must produce exactly the bytes the serial path produces,
+        // data blocks and tag blocks alike.
+        let mut serial = store(64);
+        let mut batched = store(64);
+        let n = 40usize;
+        let data: Vec<u8> = (0..n).flat_map(pattern).collect();
+        for i in 0..n {
+            serial
+                .write_block(2 + i as u64, &data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE])
+                .unwrap();
+        }
+        batched.write_run(2, &data).unwrap();
+        for lba in 0..64 {
+            assert_eq!(
+                serial.inner_mut().snapshot_block(lba).unwrap(),
+                batched.inner_mut().snapshot_block(lba).unwrap(),
+                "physical block {lba} differs"
+            );
+        }
+        // And the batched read agrees with the serial read.
+        let mut out = vec![0u8; n * BLOCK_SIZE];
+        batched.read_run(2, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn read_run_zero_fills_fresh_blocks() {
+        let mut s = store(32);
+        s.write_block(4, &pattern(4)).unwrap();
+        s.write_block(6, &pattern(6)).unwrap();
+        let mut out = vec![0xAAu8; 8 * BLOCK_SIZE];
+        s.read_run(0, &mut out).unwrap();
+        for i in 0..8usize {
+            let got = &out[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE];
+            if i == 4 || i == 6 {
+                assert_eq!(got, &pattern(i)[..], "block {i}");
+            } else {
+                assert!(got.iter().all(|&b| b == 0), "fresh block {i} not zeroed");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tamper_fails_closed_from_failure_onward() {
+        let mut s = store(64);
+        let n = 12usize;
+        let data: Vec<u8> = (0..n).flat_map(pattern).collect();
+        s.write_run(0, &data).unwrap();
+        s.inner_mut().tamper(5, 17, 0x40).unwrap();
+        let mut out = vec![0x55u8; n * BLOCK_SIZE];
+        assert_eq!(s.read_run(0, &mut out), Err(BlockError::IntegrityViolation));
+        // Blocks before the failure are intact; the failing block and
+        // everything after read as zeros.
+        assert_eq!(&out[..5 * BLOCK_SIZE], &data[..5 * BLOCK_SIZE]);
+        assert!(out[5 * BLOCK_SIZE..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn run_rollback_verdict_matches_serial() {
+        let mut s = store(64);
+        let n = 10usize;
+        let v1: Vec<u8> = (0..n).flat_map(pattern).collect();
+        s.write_run(0, &v1).unwrap();
+        // Host snapshots the whole version-1 run (data + tag block) ...
+        let snaps: Vec<Vec<u8>> = (0..n as u64)
+            .map(|l| s.inner_mut().snapshot_block(l).unwrap())
+            .collect();
+        let tag_block = s.blocks();
+        let old_tags = s.inner_mut().snapshot_block(tag_block).unwrap();
+        let v2: Vec<u8> = (0..n).flat_map(|i| pattern(i + 100)).collect();
+        s.write_run(0, &v2).unwrap();
+        // ... and rolls everything back after version 2 lands.
+        for (l, snap) in snaps.iter().enumerate() {
+            s.inner_mut().restore_block(l as u64, snap).unwrap();
+        }
+        s.inner_mut().restore_block(tag_block, &old_tags).unwrap();
+        let mut out = vec![0u8; n * BLOCK_SIZE];
+        assert_eq!(s.read_run(0, &mut out), Err(BlockError::Rollback));
+        // Serial agrees.
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert_eq!(s.read_block(7, &mut buf), Err(BlockError::Rollback));
     }
 }

@@ -25,11 +25,13 @@
 pub mod blockdev;
 pub mod crypt;
 pub mod fs;
+pub mod mq;
 pub mod transport;
 
-pub use blockdev::{BlockStore, RamDisk, BLOCK_SIZE};
+pub use blockdev::{BlockStore, RamDisk, RunStore, BLOCK_SIZE};
 pub use crypt::CryptStore;
 pub use fs::SimpleFs;
+pub use mq::MultiQueueStore;
 
 /// Errors raised by the storage stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

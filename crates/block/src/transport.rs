@@ -1,162 +1,557 @@
 //! Block requests over the safe ring: the storage analogue of cio-net.
 //!
-//! Requests and responses are plain byte messages over a
+//! Requests and responses are fixed 16-byte-header frames over a
 //! [`cio_vring::cioring`] pair, so the block path inherits every L2
 //! hardening property (stateless, masked, copy-policy-aware) without any
 //! storage-specific protocol machinery — the generalization §3.3 predicts.
+//!
+//! The transport speaks the same performance dialects as the network
+//! dataplane, selected by [`BlkProfile`]:
+//!
+//! * **Copy discipline** — [`BlkCopyMode::Staged`] stages every frame
+//!   through a private buffer (one metered copy per block each way, the
+//!   historical `storage_v1` shape), while [`BlkCopyMode::InSlot`]
+//!   constructs frames directly in ring-slot memory
+//!   ([`cio_vring::cioring::Producer::reserve_batch`]) and consumes them
+//!   in place, so a block write's ciphertext is sealed straight into the
+//!   slot and a read's ciphertext is gathered straight out of it — zero
+//!   staging copies on the data path.
+//! * **Batching** — [`cio_vring::cioring::BatchPolicy`] sizes runs of
+//!   requests so a whole run costs one memory lock, one index publish,
+//!   and at most one doorbell ([`cio_vring::cioring::MAX_BATCH`] cap).
+//! * **Notification** — the ring's [`NotifyMode`] (fixed at ring
+//!   construction, zero renegotiation) decides polling vs. doorbell vs.
+//!   event-idx suppression; [`ring_notify_mode`] maps the dataplane's
+//!   [`NotifyPolicy`] onto it for callers that drive the block rings from
+//!   a notify-gated service loop.
+//!
+//! Framing (both directions share the 16-byte header):
+//!
+//! ```text
+//! request:  [0] op (0=read, 1=write)   [1..8] zero   [8..16] lba (LE)
+//!           write payload at [16..16+BLOCK_SIZE]
+//! response: [0] status (0=data, 1=ok, 2=err)   [1..8] zero   [8..16] lba echo
+//!           read data at [16..16+BLOCK_SIZE]
+//! ```
+//!
+//! Both sides parse the peer's bytes defensively: the backend validates
+//! guest frames (defending the host), the frontend validates host frames
+//! byte-for-byte with a single fetch per field (defending the TEE), and a
+//! response's echoed LBA must match the request it answers — a host that
+//! replays or reorders completions is caught as a protocol violation.
 
-use crate::blockdev::{BlockStore, RamDisk, BLOCK_SIZE};
+use crate::blockdev::{BlockStore, RamDisk, RunStore, BLOCK_SIZE};
 use crate::BlockError;
 use cio_mem::{GuestView, HostView};
-use cio_vring::cioring::{Consumer, Producer};
+use cio_sim::{Meter, Stage, Telemetry};
+use cio_vring::cioring::{BatchPolicy, Consumer, NotifyMode, NotifyPolicy, Producer, MAX_BATCH};
+use cio_vring::RingError;
 
-/// A block request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BlockReq {
-    /// Read one block.
-    Read {
-        /// Logical block address.
-        lba: u64,
-    },
-    /// Write one block.
-    Write {
-        /// Logical block address.
-        lba: u64,
-        /// Exactly [`BLOCK_SIZE`] bytes.
-        data: Vec<u8>,
-    },
+/// Bytes of framing ahead of each payload (shared by both directions).
+pub const BLK_HDR: usize = 16;
+
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const ST_DATA: u8 = 0;
+const ST_OK: u8 = 1;
+const ST_ERR: u8 = 2;
+
+/// How block frames move between private memory and ring slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlkCopyMode {
+    /// Stage every frame through a private buffer: one metered copy per
+    /// block each way. The historical `storage_v1` discipline.
+    Staged,
+    /// Construct and consume frames directly in ring-slot memory: zero
+    /// staging copies on the block data path.
+    InSlot,
 }
 
-/// A block response.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BlockResp {
-    /// Read data.
-    Data(Vec<u8>),
-    /// Write acknowledged.
-    Ok,
+/// The block transport's performance profile.
+///
+/// `notify` is the *ring-level* discipline and must match the
+/// [`NotifyMode`] the rings were built with; service loops that want the
+/// dataplane's adaptive poll-vs-notify gate layer it on top (see
+/// [`ring_notify_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkProfile {
+    /// Copy discipline for frames.
+    pub copy: BlkCopyMode,
+    /// Run sizing for requests and completions.
+    pub batch: BatchPolicy,
+    /// Ring notification mode (informational; the ring enforces it).
+    pub notify: NotifyMode,
+}
+
+impl BlkProfile {
+    /// The legacy one-at-a-time shape: staged copies, serial requests,
+    /// pure polling. Charge-compatible with the pre-batching transport.
+    pub fn storage_v1() -> Self {
+        BlkProfile {
+            copy: BlkCopyMode::Staged,
+            batch: BatchPolicy::Serial,
+            notify: NotifyMode::Polling,
+        }
+    }
+
+    /// The dataplane-parity shape: seal-in-slot zero-copy, runs of
+    /// `depth` requests, event-idx doorbell suppression.
+    pub fn batched(depth: usize) -> Self {
+        BlkProfile {
+            copy: BlkCopyMode::InSlot,
+            batch: BatchPolicy::Fixed(depth),
+            notify: NotifyMode::EventIdx,
+        }
+    }
+}
+
+impl Default for BlkProfile {
+    fn default() -> Self {
+        BlkProfile::storage_v1()
+    }
+}
+
+/// Maps a dataplane [`NotifyPolicy`] onto the ring-level [`NotifyMode`]
+/// the block rings should be built with. `Always` rings a doorbell per
+/// publish; `EventIdx` and `Adaptive` both arm event-idx suppression —
+/// the adaptive poll-vs-notify controller lives in the service loop, not
+/// the ring.
+pub fn ring_notify_mode(policy: NotifyPolicy) -> NotifyMode {
+    match policy {
+        NotifyPolicy::Always => NotifyMode::Doorbell,
+        NotifyPolicy::EventIdx | NotifyPolicy::Adaptive => NotifyMode::EventIdx,
+    }
+}
+
+fn put_hdr(hdr: &mut [u8], tag: u8, lba: u64) {
+    hdr[0] = tag;
+    hdr[1..8].fill(0);
+    hdr[8..BLK_HDR].copy_from_slice(&lba.to_le_bytes());
+}
+
+/// A validated view of one guest request frame (backend side; the input
+/// is hostile from the host's perspective, so the host validates too,
+/// defending itself).
+enum ReqView {
+    Read(u64),
+    Write(u64),
+    Malformed,
+}
+
+fn parse_req(frame: &[u8]) -> ReqView {
+    if frame.len() < BLK_HDR {
+        return ReqView::Malformed;
+    }
+    let lba = u64::from_le_bytes(frame[8..BLK_HDR].try_into().expect("8 bytes"));
+    match frame[0] {
+        OP_READ if frame.len() == BLK_HDR => ReqView::Read(lba),
+        OP_WRITE if frame.len() == BLK_HDR + BLOCK_SIZE => ReqView::Write(lba),
+        _ => ReqView::Malformed,
+    }
+}
+
+/// A validated view of one host response frame (guest side).
+///
+/// For in-slot consumption `bytes` aliases shared slot memory: read each
+/// byte at most once (the crypt layer's gather-open does exactly that).
+pub enum BlkResp<'a> {
+    /// Read data for the echoed LBA.
+    Data {
+        /// Echoed logical block address.
+        lba: u64,
+        /// Exactly [`BLOCK_SIZE`] payload bytes.
+        bytes: &'a mut [u8],
+    },
+    /// Write acknowledged for the echoed LBA.
+    Ok {
+        /// Echoed logical block address.
+        lba: u64,
+    },
     /// The backend failed the request.
-    Err,
+    Err {
+        /// Echoed logical block address.
+        lba: u64,
+    },
+    /// The frame violates the protocol (hostile or corrupt host bytes).
+    Malformed,
 }
 
-impl BlockReq {
-    /// Serializes the request.
-    pub fn encode(&self) -> Vec<u8> {
-        match self {
-            BlockReq::Read { lba } => {
-                let mut v = Vec::with_capacity(9);
-                v.push(0);
-                v.extend_from_slice(&lba.to_le_bytes());
-                v
-            }
-            BlockReq::Write { lba, data } => {
-                let mut v = Vec::with_capacity(9 + data.len());
-                v.push(1);
-                v.extend_from_slice(&lba.to_le_bytes());
-                v.extend_from_slice(data);
-                v
-            }
-        }
+/// Parses a response frame; every branch validates length exactly and
+/// fetches each header field once.
+pub fn parse_resp(frame: &mut [u8]) -> BlkResp<'_> {
+    if frame.len() < BLK_HDR {
+        return BlkResp::Malformed;
     }
-
-    /// Parses a request (the *backend* runs this on guest-supplied bytes —
-    /// the host validates too, defending itself).
-    ///
-    /// # Errors
-    ///
-    /// [`BlockError::Protocol`] on malformed input.
-    pub fn decode(bytes: &[u8]) -> Result<BlockReq, BlockError> {
-        if bytes.len() < 9 {
-            return Err(BlockError::Protocol);
-        }
-        let lba = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
-        match bytes[0] {
-            0 if bytes.len() == 9 => Ok(BlockReq::Read { lba }),
-            1 if bytes.len() == 9 + BLOCK_SIZE => Ok(BlockReq::Write {
-                lba,
-                data: bytes[9..].to_vec(),
-            }),
-            _ => Err(BlockError::Protocol),
-        }
+    let status = frame[0];
+    let lba = u64::from_le_bytes(frame[8..BLK_HDR].try_into().expect("8 bytes"));
+    if status == ST_DATA && frame.len() == BLK_HDR + BLOCK_SIZE {
+        let (_, bytes) = frame.split_at_mut(BLK_HDR);
+        BlkResp::Data { lba, bytes }
+    } else if status == ST_OK && frame.len() == BLK_HDR {
+        BlkResp::Ok { lba }
+    } else if status == ST_ERR && frame.len() == BLK_HDR {
+        BlkResp::Err { lba }
+    } else {
+        BlkResp::Malformed
     }
 }
 
-impl BlockResp {
-    /// Serializes the response.
-    pub fn encode(&self) -> Vec<u8> {
-        match self {
-            BlockResp::Data(d) => {
-                let mut v = Vec::with_capacity(1 + d.len());
-                v.push(0);
-                v.extend_from_slice(d);
-                v
-            }
-            BlockResp::Ok => vec![1],
-            BlockResp::Err => vec![2],
-        }
-    }
-
-    /// Parses a response; the *guest* runs this on host-supplied bytes, so
-    /// every branch validates length exactly.
-    ///
-    /// # Errors
-    ///
-    /// [`BlockError::Protocol`] on anything malformed.
-    pub fn decode(bytes: &[u8]) -> Result<BlockResp, BlockError> {
-        match bytes.first() {
-            Some(0) if bytes.len() == 1 + BLOCK_SIZE => Ok(BlockResp::Data(bytes[1..].to_vec())),
-            Some(1) if bytes.len() == 1 => Ok(BlockResp::Ok),
-            Some(2) if bytes.len() == 1 => Ok(BlockResp::Err),
-            _ => Err(BlockError::Protocol),
-        }
-    }
+fn warm_bufs() -> Vec<Vec<u8>> {
+    (0..MAX_BATCH)
+        .map(|_| vec![0u8; BLK_HDR + BLOCK_SIZE])
+        .collect()
 }
 
 /// Guest frontend over the request/response rings.
 pub struct CioBlkFrontend {
     req: Producer<GuestView>,
     resp: Consumer<GuestView>,
+    profile: BlkProfile,
+    meter: Meter,
+    telemetry: Telemetry,
+    tq: usize,
+    /// Warmed staging frames (staged mode; idle under in-slot).
+    req_bufs: Vec<Vec<u8>>,
+    resp_bufs: Vec<Vec<u8>>,
+    hdr_scratch: [u8; BLK_HDR],
 }
 
 impl CioBlkFrontend {
-    /// Creates the frontend.
+    /// Creates the frontend with the legacy [`BlkProfile::storage_v1`]
+    /// profile.
     pub fn new(req: Producer<GuestView>, resp: Consumer<GuestView>) -> Self {
-        CioBlkFrontend { req, resp }
+        CioBlkFrontend::with_profile(req, resp, BlkProfile::default())
     }
 
-    /// Submits a request.
-    ///
-    /// # Errors
-    ///
-    /// Ring errors (full/too large).
-    pub fn submit(&mut self, req: &BlockReq) -> Result<(), BlockError> {
-        self.req.produce(&req.encode())?;
-        Ok(())
-    }
-
-    /// Polls for a response.
-    ///
-    /// # Errors
-    ///
-    /// Ring errors or [`BlockError::Protocol`] on malformed host bytes.
-    pub fn poll_resp(&mut self) -> Result<Option<BlockResp>, BlockError> {
-        match self.resp.consume()? {
-            Some(bytes) => Ok(Some(BlockResp::decode(&bytes)?)),
-            None => Ok(None),
+    /// Creates the frontend with an explicit profile. The rings must have
+    /// been built with `profile.notify` (and the shared-area layout for
+    /// [`BlkCopyMode::InSlot`]).
+    pub fn with_profile(
+        req: Producer<GuestView>,
+        resp: Consumer<GuestView>,
+        profile: BlkProfile,
+    ) -> Self {
+        let meter = req.meter();
+        CioBlkFrontend {
+            req,
+            resp,
+            profile,
+            meter,
+            telemetry: Telemetry::disabled(),
+            tq: 0,
+            req_bufs: warm_bufs(),
+            resp_bufs: warm_bufs(),
+            hdr_scratch: [0u8; BLK_HDR],
         }
     }
+
+    /// Attributes this frontend's stages to `queue` in `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.telemetry = telemetry;
+        self.tq = queue;
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> BlkProfile {
+        self.profile
+    }
+
+    /// Submits read requests for blocks `[lba, lba + count)`; returns how
+    /// many were accepted (ring backpressure may clamp — resubmit the
+    /// tail after draining completions).
+    ///
+    /// # Errors
+    ///
+    /// Ring errors other than backpressure.
+    pub fn submit_reads(&mut self, lba: u64, count: usize) -> Result<usize, BlockError> {
+        self.submit_reads_with(count, &|i| lba + i as u64)
+    }
+
+    /// Submits read requests for the arbitrary blocks named by `lbas`
+    /// (block commands are independent: a scatter of LBAs batches exactly
+    /// like a run). Responses complete in submission order. Returns how
+    /// many were accepted.
+    ///
+    /// # Errors
+    ///
+    /// Ring errors other than backpressure.
+    pub fn submit_reads_scatter(&mut self, lbas: &[u64]) -> Result<usize, BlockError> {
+        self.submit_reads_with(lbas.len(), &|i| lbas[i])
+    }
+
+    fn submit_reads_with(
+        &mut self,
+        count: usize,
+        lba_of: &dyn Fn(usize) -> u64,
+    ) -> Result<usize, BlockError> {
+        let _submit = self.telemetry.span(self.tq, Stage::BlkSubmit);
+        let mut done = 0;
+        while done < count {
+            let want = self.profile.batch.effective(count - done).min(count - done);
+            let n = match self.profile.copy {
+                BlkCopyMode::InSlot => {
+                    let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+                    let grant = match self.req.reserve_batch(BLK_HDR, want) {
+                        Ok(g) => g,
+                        Err(RingError::Full) => break,
+                        Err(e) => return Err(e.into()),
+                    };
+                    let n = grant.len();
+                    self.req.with_batch_mut(&grant, |slots| {
+                        for (i, s) in slots.iter_mut().enumerate() {
+                            put_hdr(s, OP_READ, lba_of(done + i));
+                        }
+                    })?;
+                    self.req.commit_batch(grant, &[BLK_HDR; MAX_BATCH][..n])?;
+                    if self.req.kick() {
+                        self.meter.blk_doorbells(1);
+                    }
+                    n
+                }
+                BlkCopyMode::Staged => {
+                    let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+                    let mut staged = 0;
+                    for i in 0..want {
+                        put_hdr(&mut self.hdr_scratch, OP_READ, lba_of(done + i));
+                        match self.req.stage(&self.hdr_scratch) {
+                            Ok(()) => staged += 1,
+                            Err(RingError::Full) => break,
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    if staged > 0 {
+                        self.req.publish()?;
+                        if self.req.kick() {
+                            self.meter.blk_doorbells(1);
+                        }
+                    }
+                    staged
+                }
+            };
+            if n == 0 {
+                break;
+            }
+            self.meter.blk_records(n as u64);
+            self.meter.blk_commits(1);
+            done += n;
+        }
+        Ok(done)
+    }
+
+    /// Submits write requests for blocks `[lba, lba + count)`, obtaining
+    /// each block's payload from `fill` (see
+    /// [`RunStore::write_run_with`] for the closure contract — under
+    /// [`BlkCopyMode::InSlot`] the buffers are real ring-slot memory, so
+    /// the crypt layer seals ciphertext directly into the shared slot).
+    /// Returns how many requests were accepted.
+    ///
+    /// # Errors
+    ///
+    /// Ring errors other than backpressure.
+    pub fn submit_writes(
+        &mut self,
+        lba: u64,
+        count: usize,
+        fill: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<usize, BlockError> {
+        let _submit = self.telemetry.span(self.tq, Stage::BlkSubmit);
+        let mut done = 0;
+        while done < count {
+            let want = self.profile.batch.effective(count - done).min(count - done);
+            let n = match self.profile.copy {
+                BlkCopyMode::InSlot => self.submit_writes_in_slot(lba, done, want, fill)?,
+                BlkCopyMode::Staged => self.submit_writes_staged(lba, done, want, fill)?,
+            };
+            if n == 0 {
+                break;
+            }
+            self.meter.blk_records(n as u64);
+            self.meter.blk_commits(1);
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn submit_writes_in_slot(
+        &mut self,
+        lba: u64,
+        base: usize,
+        want: usize,
+        fill: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<usize, BlockError> {
+        let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+        let grant = match self.req.reserve_batch(BLK_HDR + BLOCK_SIZE, want) {
+            Ok(g) => g,
+            Err(RingError::Full) => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        let n = grant.len();
+        self.req.with_batch_mut(&grant, |slots| {
+            let n = slots.len();
+            let mut payloads: [&mut [u8]; MAX_BATCH] = std::array::from_fn(|_| &mut [][..]);
+            for (i, s) in slots.iter_mut().enumerate() {
+                let slot = std::mem::take(s);
+                let (hdr, pay) = slot.split_at_mut(BLK_HDR);
+                put_hdr(hdr, OP_WRITE, lba + (base + i) as u64);
+                payloads[i] = &mut pay[..BLOCK_SIZE];
+            }
+            fill(base, &mut payloads[..n]);
+        })?;
+        self.req
+            .commit_batch(grant, &[BLK_HDR + BLOCK_SIZE; MAX_BATCH][..n])?;
+        if self.req.kick() {
+            self.meter.blk_doorbells(1);
+        }
+        Ok(n)
+    }
+
+    fn submit_writes_staged(
+        &mut self,
+        lba: u64,
+        base: usize,
+        want: usize,
+        fill: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<usize, BlockError> {
+        // Don't build more frames than the ring can take: a frame whose
+        // payload was filled but never staged would be lost work.
+        let free = self.req.free_slots()? as usize;
+        let n = want.min(free);
+        if n == 0 {
+            return Ok(0);
+        }
+        {
+            let mut payloads: [&mut [u8]; MAX_BATCH] = std::array::from_fn(|_| &mut [][..]);
+            for (i, frame) in self.req_bufs.iter_mut().enumerate().take(n) {
+                frame.resize(BLK_HDR + BLOCK_SIZE, 0);
+                let (hdr, pay) = frame.split_at_mut(BLK_HDR);
+                put_hdr(hdr, OP_WRITE, lba + (base + i) as u64);
+                payloads[i] = pay;
+            }
+            fill(base, &mut payloads[..n]);
+        }
+        let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+        let mut staged = 0;
+        for frame in self.req_bufs.iter().take(n) {
+            match self.req.stage(frame) {
+                Ok(()) => {
+                    self.meter.blk_copies(1);
+                    staged += 1;
+                }
+                Err(RingError::Full) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if staged > 0 {
+            self.req.publish()?;
+            if self.req.kick() {
+                self.meter.blk_doorbells(1);
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Drains up to `max` pending responses, handing each to `sink` as a
+    /// validated [`BlkResp`] (indices count from 0 within this call, in
+    /// completion order). Returns how many responses were delivered;
+    /// 0 means the ring was empty.
+    ///
+    /// # Errors
+    ///
+    /// Ring errors. Malformed host frames are *delivered* as
+    /// [`BlkResp::Malformed`], never dropped — the caller decides how to
+    /// fail, and the slot is always reclaimed.
+    pub fn collect(
+        &mut self,
+        max: usize,
+        sink: &mut dyn FnMut(usize, BlkResp<'_>),
+    ) -> Result<usize, BlockError> {
+        let mut got = 0;
+        while got < max {
+            let want = self.profile.batch.effective(max - got).min(max - got);
+            let n = match self.profile.copy {
+                BlkCopyMode::InSlot => {
+                    let mut idx = got;
+                    let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+                    self.resp.consume_batch_in_place(want, |slots| {
+                        for s in slots.iter_mut() {
+                            sink(idx, parse_resp(s));
+                            idx += 1;
+                        }
+                    })?
+                }
+                BlkCopyMode::Staged => {
+                    let n = {
+                        let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+                        self.resp.consume_batch_into(&mut self.resp_bufs[..want])?
+                    };
+                    for i in 0..n {
+                        if self.resp_bufs[i].len() > BLK_HDR {
+                            self.meter.blk_copies(1);
+                        }
+                        sink(got + i, parse_resp(&mut self.resp_bufs[i]));
+                    }
+                    n
+                }
+            };
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        Ok(got)
+    }
 }
+
+const PENDING_READ: u8 = 0;
+const PENDING_OK: u8 = 1;
+const PENDING_ERR: u8 = 2;
 
 /// Host backend executing requests against its disk.
 pub struct CioBlkBackend {
     req: Consumer<HostView>,
     resp: Producer<HostView>,
     disk: RamDisk,
+    profile: BlkProfile,
+    meter: Meter,
+    telemetry: Telemetry,
+    tq: usize,
+    req_bufs: Vec<Vec<u8>>,
+    resp_bufs: Vec<Vec<u8>>,
 }
 
 impl CioBlkBackend {
-    /// Creates the backend over the host's disk.
+    /// Creates the backend over the host's disk with the legacy
+    /// [`BlkProfile::storage_v1`] profile.
     pub fn new(req: Consumer<HostView>, resp: Producer<HostView>, disk: RamDisk) -> Self {
-        CioBlkBackend { req, resp, disk }
+        CioBlkBackend::with_profile(req, resp, disk, BlkProfile::default())
+    }
+
+    /// Creates the backend with an explicit profile (must match the
+    /// frontend's).
+    pub fn with_profile(
+        req: Consumer<HostView>,
+        resp: Producer<HostView>,
+        disk: RamDisk,
+        profile: BlkProfile,
+    ) -> Self {
+        let meter = resp.meter();
+        CioBlkBackend {
+            req,
+            resp,
+            disk,
+            profile,
+            meter,
+            telemetry: Telemetry::disabled(),
+            tq: 0,
+            req_bufs: warm_bufs(),
+            resp_bufs: warm_bufs(),
+        }
+    }
+
+    /// Attributes this backend's stages to `queue` in `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.telemetry = telemetry;
+        self.tq = queue;
     }
 
     /// The host's disk (adversary access).
@@ -164,41 +559,227 @@ impl CioBlkBackend {
         &mut self.disk
     }
 
-    /// Processes pending requests; returns how many were handled.
+    /// Whether a doorbell arrived since the last check (notify-gated
+    /// service loops).
     ///
     /// # Errors
     ///
-    /// Ring errors only; malformed guest requests get [`BlockResp::Err`].
+    /// Memory errors.
+    pub fn take_doorbell(&mut self) -> Result<bool, BlockError> {
+        Ok(self.req.take_doorbell()?)
+    }
+
+    /// Processes pending requests; returns how many were handled.
+    ///
+    /// Malformed guest frames get an error response; disk failures
+    /// (out-of-range LBA) fail that request alone — the rest of the run
+    /// proceeds, so one poisoned request cannot sink a batch.
+    ///
+    /// # Errors
+    ///
+    /// Ring errors only.
     pub fn process(&mut self) -> Result<usize, BlockError> {
         let mut handled = 0;
-        while let Some(bytes) = self.req.consume()? {
-            let resp = match BlockReq::decode(&bytes) {
-                Ok(BlockReq::Read { lba }) => {
-                    let mut buf = vec![0u8; BLOCK_SIZE];
-                    match self.disk.read_block(lba, &mut buf) {
-                        Ok(()) => BlockResp::Data(buf),
-                        Err(_) => BlockResp::Err,
-                    }
-                }
-                Ok(BlockReq::Write { lba, data }) => match self.disk.write_block(lba, &data) {
-                    Ok(()) => BlockResp::Ok,
-                    Err(_) => BlockResp::Err,
-                },
-                Err(_) => BlockResp::Err,
+        loop {
+            let n = match self.profile.copy {
+                BlkCopyMode::InSlot => self.process_chunk_in_slot()?,
+                BlkCopyMode::Staged => self.process_chunk_staged()?,
             };
-            self.resp.produce(&resp.encode())?;
-            handled += 1;
+            if n == 0 {
+                break;
+            }
+            handled += n;
         }
         Ok(handled)
     }
+
+    fn process_chunk_in_slot(&mut self) -> Result<usize, BlockError> {
+        let _svc = self.telemetry.span(self.tq, Stage::BlkService);
+        let want = self.profile.batch.effective(MAX_BATCH);
+        // Pull a run of requests under one lock. Writes land on the disk
+        // inside the closure — the disk is host-private memory, not guest
+        // memory, so the no-reentry rule is respected, and each slot's
+        // payload is fetched exactly once.
+        let mut ops: [(u64, u8); MAX_BATCH] = [(0, PENDING_ERR); MAX_BATCH];
+        let mut k = 0usize;
+        let disk = &mut self.disk;
+        let consumed = {
+            let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+            self.req.consume_batch_in_place(want, |slots| {
+                for s in slots.iter_mut() {
+                    let op = match parse_req(s) {
+                        ReqView::Read(lba) => (lba, PENDING_READ),
+                        ReqView::Write(lba) => {
+                            if disk.write_block(lba, &s[BLK_HDR..]).is_ok() {
+                                (lba, PENDING_OK)
+                            } else {
+                                (lba, PENDING_ERR)
+                            }
+                        }
+                        ReqView::Malformed => (0, PENDING_ERR),
+                    };
+                    if k < MAX_BATCH {
+                        ops[k] = op;
+                        k += 1;
+                    }
+                }
+            })?
+        };
+        if consumed == 0 {
+            return Ok(0);
+        }
+        let mut sent = 0;
+        while sent < consumed {
+            let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+            let grant = match self
+                .resp
+                .reserve_batch(BLK_HDR + BLOCK_SIZE, consumed - sent)
+            {
+                Ok(g) => g,
+                Err(RingError::Full) => {
+                    // The guest is draining concurrently (detached mode);
+                    // in the synchronous flow the ring always has room.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let n = grant.len();
+            let mut lens = [0usize; MAX_BATCH];
+            let disk = &mut self.disk;
+            let ops = &ops;
+            let base = sent;
+            self.resp.with_batch_mut(&grant, |slots| {
+                for (i, s) in slots.iter_mut().enumerate() {
+                    let (lba, pend) = ops[base + i];
+                    lens[i] = match pend {
+                        // Read data goes straight from the disk into the
+                        // shared slot: no host-side staging either.
+                        PENDING_READ => {
+                            put_hdr(s, ST_DATA, lba);
+                            if disk
+                                .read_block(lba, &mut s[BLK_HDR..BLK_HDR + BLOCK_SIZE])
+                                .is_ok()
+                            {
+                                BLK_HDR + BLOCK_SIZE
+                            } else {
+                                put_hdr(s, ST_ERR, lba);
+                                BLK_HDR
+                            }
+                        }
+                        PENDING_OK => {
+                            put_hdr(s, ST_OK, lba);
+                            BLK_HDR
+                        }
+                        _ => {
+                            put_hdr(s, ST_ERR, lba);
+                            BLK_HDR
+                        }
+                    };
+                }
+            })?;
+            self.resp.commit_batch(grant, &lens[..n])?;
+            if self.resp.kick() {
+                self.meter.blk_doorbells(1);
+            }
+            self.meter.blk_commits(1);
+            sent += n;
+        }
+        Ok(consumed)
+    }
+
+    fn process_chunk_staged(&mut self) -> Result<usize, BlockError> {
+        let _svc = self.telemetry.span(self.tq, Stage::BlkService);
+        let want = self.profile.batch.effective(MAX_BATCH);
+        let n = {
+            let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+            self.req.consume_batch_into(&mut self.req_bufs[..want])?
+        };
+        if n == 0 {
+            return Ok(0);
+        }
+        for i in 0..n {
+            if self.req_bufs[i].len() > BLK_HDR {
+                self.meter.blk_copies(1);
+            }
+            let frame = &mut self.resp_bufs[i];
+            frame.clear();
+            match parse_req(&self.req_bufs[i]) {
+                ReqView::Read(lba) => {
+                    frame.resize(BLK_HDR + BLOCK_SIZE, 0);
+                    put_hdr(frame, ST_DATA, lba);
+                    if self.disk.read_block(lba, &mut frame[BLK_HDR..]).is_err() {
+                        frame.truncate(BLK_HDR);
+                        put_hdr(frame, ST_ERR, lba);
+                    }
+                }
+                ReqView::Write(lba) => {
+                    frame.resize(BLK_HDR, 0);
+                    if self
+                        .disk
+                        .write_block(lba, &self.req_bufs[i][BLK_HDR..])
+                        .is_ok()
+                    {
+                        put_hdr(frame, ST_OK, lba);
+                    } else {
+                        put_hdr(frame, ST_ERR, lba);
+                    }
+                }
+                ReqView::Malformed => {
+                    frame.resize(BLK_HDR, 0);
+                    put_hdr(frame, ST_ERR, 0);
+                }
+            }
+        }
+        let _r = self.telemetry.span(self.tq, Stage::BlkRing);
+        let mut i = 0;
+        let mut pending = 0;
+        while i < n {
+            match self.resp.stage(&self.resp_bufs[i]) {
+                Ok(()) => {
+                    if self.resp_bufs[i].len() > BLK_HDR {
+                        self.meter.blk_copies(1);
+                    }
+                    pending += 1;
+                    i += 1;
+                }
+                Err(RingError::Full) => {
+                    // Flush what's staged so a concurrent guest can drain.
+                    if pending > 0 {
+                        self.resp.publish()?;
+                        self.meter.blk_commits(1);
+                        if self.resp.kick() {
+                            self.meter.blk_doorbells(1);
+                        }
+                        pending = 0;
+                    }
+                    std::hint::spin_loop();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if pending > 0 {
+            self.resp.publish()?;
+            self.meter.blk_commits(1);
+            if self.resp.kick() {
+                self.meter.blk_doorbells(1);
+            }
+        }
+        Ok(n)
+    }
 }
 
-/// A synchronous [`BlockStore`] over the ring pair: each operation submits,
-/// lets the backend run, and collects the response. The caller accounts for
-/// boundary-crossing costs (the `cio` crate charges exits around this).
+/// A synchronous [`BlockStore`]/[`RunStore`] over the ring pair: each
+/// operation submits, lets the backend run, and collects the responses.
+/// The caller accounts for boundary-crossing costs (the `cio` crate
+/// charges exits around this).
+///
+/// The backend can be detached ([`RingBlockStore::take_backend`]) and
+/// serviced from a worker thread; the store then spins on completions
+/// instead of pumping the backend inline.
 pub struct RingBlockStore {
     front: CioBlkFrontend,
-    back: CioBlkBackend,
+    back: Option<CioBlkBackend>,
     blocks: u64,
 }
 
@@ -208,20 +789,194 @@ impl RingBlockStore {
         let blocks = back.disk.blocks();
         RingBlockStore {
             front,
-            back,
+            back: Some(back),
             blocks,
         }
     }
 
     /// Backend/disk access (adversary).
+    ///
+    /// # Panics
+    ///
+    /// If the backend was detached with [`RingBlockStore::take_backend`].
     pub fn backend_mut(&mut self) -> &mut CioBlkBackend {
-        &mut self.back
+        self.back.as_mut().expect("backend detached")
     }
 
-    fn roundtrip(&mut self, req: &BlockReq) -> Result<BlockResp, BlockError> {
-        self.front.submit(req)?;
-        self.back.process()?;
-        self.front.poll_resp()?.ok_or(BlockError::Protocol)
+    /// Frontend access (telemetry wiring, adversary fixtures).
+    pub fn frontend_mut(&mut self) -> &mut CioBlkFrontend {
+        &mut self.front
+    }
+
+    /// Detaches the backend for servicing from a worker thread.
+    pub fn take_backend(&mut self) -> Option<CioBlkBackend> {
+        self.back.take()
+    }
+
+    /// Re-attaches a detached backend (returning to inline servicing).
+    pub fn restore_backend(&mut self, back: CioBlkBackend) {
+        self.back = Some(back);
+    }
+
+    /// Attributes both ends' stages to `queue` in `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, queue: usize) {
+        self.front.set_telemetry(telemetry.clone(), queue);
+        if let Some(b) = self.back.as_mut() {
+            b.set_telemetry(telemetry, queue);
+        }
+    }
+
+    fn pump(&mut self) -> Result<(), BlockError> {
+        if let Some(b) = self.back.as_mut() {
+            b.process()?;
+        }
+        Ok(())
+    }
+
+    /// Collects exactly `expect` responses, pumping the inline backend
+    /// (or spinning on a detached one).
+    fn complete(
+        &mut self,
+        expect: usize,
+        sink: &mut dyn FnMut(usize, BlkResp<'_>),
+    ) -> Result<(), BlockError> {
+        let mut got = 0;
+        while got < expect {
+            self.pump()?;
+            let base = got;
+            let n = self
+                .front
+                .collect(expect - got, &mut |i, r| sink(base + i, r))?;
+            if n == 0 {
+                std::hint::spin_loop();
+            }
+            got += n;
+        }
+        Ok(())
+    }
+}
+
+impl RunStore for RingBlockStore {
+    fn write_run_with(
+        &mut self,
+        lba: u64,
+        count: usize,
+        fill: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut done = 0;
+        while done < count {
+            let base = done;
+            let submitted =
+                self.front
+                    .submit_writes(lba + base as u64, count - base, &mut |b, slots| {
+                        fill(base + b, slots)
+                    })?;
+            if submitted == 0 {
+                self.pump()?;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut first_err: Option<BlockError> = None;
+            self.complete(submitted, &mut |i, resp| {
+                let expect_lba = lba + (base + i) as u64;
+                match resp {
+                    BlkResp::Ok { lba: echo } if echo == expect_lba => {}
+                    BlkResp::Err { .. } => {
+                        first_err.get_or_insert(BlockError::OutOfRange);
+                    }
+                    _ => {
+                        first_err.get_or_insert(BlockError::Protocol);
+                    }
+                }
+            })?;
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            done += submitted;
+        }
+        Ok(())
+    }
+
+    fn read_run_with(
+        &mut self,
+        lba: u64,
+        count: usize,
+        sink: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut done = 0;
+        while done < count {
+            let base = done;
+            let submitted = self.front.submit_reads(lba + base as u64, count - base)?;
+            if submitted == 0 {
+                self.pump()?;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut first_err: Option<BlockError> = None;
+            self.complete(submitted, &mut |i, resp| {
+                let expect_lba = lba + (base + i) as u64;
+                match resp {
+                    BlkResp::Data { lba: echo, bytes } if echo == expect_lba => {
+                        // Past a failure the contract stops delivering.
+                        if first_err.is_none() {
+                            let mut one: [&mut [u8]; 1] = [bytes];
+                            sink(base + i, &mut one[..]);
+                        }
+                    }
+                    BlkResp::Err { .. } => {
+                        first_err.get_or_insert(BlockError::OutOfRange);
+                    }
+                    _ => {
+                        first_err.get_or_insert(BlockError::Protocol);
+                    }
+                }
+            })?;
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            done += submitted;
+        }
+        Ok(())
+    }
+
+    fn read_scatter_with(
+        &mut self,
+        lbas: &[u64],
+        sink: &mut dyn FnMut(usize, &mut [&mut [u8]]),
+    ) -> Result<(), BlockError> {
+        let mut done = 0;
+        while done < lbas.len() {
+            let base = done;
+            let submitted = self.front.submit_reads_scatter(&lbas[base..])?;
+            if submitted == 0 {
+                self.pump()?;
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut first_err: Option<BlockError> = None;
+            self.complete(submitted, &mut |i, resp| {
+                let expect_lba = lbas[base + i];
+                match resp {
+                    BlkResp::Data { lba: echo, bytes } if echo == expect_lba => {
+                        if first_err.is_none() {
+                            let mut one: [&mut [u8]; 1] = [bytes];
+                            sink(base + i, &mut one[..]);
+                        }
+                    }
+                    BlkResp::Err { .. } => {
+                        first_err.get_or_insert(BlockError::OutOfRange);
+                    }
+                    _ => {
+                        first_err.get_or_insert(BlockError::Protocol);
+                    }
+                }
+            })?;
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            done += submitted;
+        }
+        Ok(())
     }
 }
 
@@ -230,28 +985,18 @@ impl BlockStore for RingBlockStore {
         if buf.len() != BLOCK_SIZE {
             return Err(BlockError::BadLength);
         }
-        match self.roundtrip(&BlockReq::Read { lba })? {
-            BlockResp::Data(d) => {
-                buf.copy_from_slice(&d);
-                Ok(())
-            }
-            BlockResp::Err => Err(BlockError::OutOfRange),
-            BlockResp::Ok => Err(BlockError::Protocol),
-        }
+        RunStore::read_run_with(self, lba, 1, &mut |_, slots| {
+            buf.copy_from_slice(&slots[0][..]);
+        })
     }
 
     fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), BlockError> {
         if data.len() != BLOCK_SIZE {
             return Err(BlockError::BadLength);
         }
-        match self.roundtrip(&BlockReq::Write {
-            lba,
-            data: data.to_vec(),
-        })? {
-            BlockResp::Ok => Ok(()),
-            BlockResp::Err => Err(BlockError::OutOfRange),
-            BlockResp::Data(_) => Err(BlockError::Protocol),
-        }
+        RunStore::write_run_with(self, lba, 1, &mut |_, slots| {
+            slots[0].copy_from_slice(data);
+        })
     }
 
     fn blocks(&self) -> u64 {
@@ -263,17 +1008,18 @@ impl BlockStore for RingBlockStore {
 mod tests {
     use super::*;
     use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
-    use cio_sim::{Clock, CostModel, Meter};
+    use cio_sim::{Clock, CostModel};
     use cio_vring::cioring::{CioRing, DataMode, RingConfig};
 
-    fn ring_store(disk_blocks: u64) -> (GuestMemory, RingBlockStore) {
+    fn ring_store_with(disk_blocks: u64, profile: BlkProfile) -> (GuestMemory, RingBlockStore) {
         let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
         let cfg = RingConfig {
             slots: 16,
             slot_size: 16,
             mode: DataMode::SharedArea,
-            mtu: (BLOCK_SIZE + 16) as u32,
+            mtu: (BLOCK_SIZE + BLK_HDR) as u32,
             area_size: 1 << 17, // 128 KiB / 16 slots = 8 KiB stride
+            notify: profile.notify,
             ..RingConfig::default()
         };
         let req_ring =
@@ -293,51 +1039,78 @@ mod tests {
         mem.share_range(GuestAddr(64 * PAGE_SIZE as u64), resp_ring.area_bytes())
             .unwrap();
 
-        let front = CioBlkFrontend::new(
+        let front = CioBlkFrontend::with_profile(
             Producer::new(req_ring.clone(), mem.guest()).unwrap(),
             Consumer::new(resp_ring.clone(), mem.guest()).unwrap(),
+            profile,
         );
-        let back = CioBlkBackend::new(
+        let back = CioBlkBackend::with_profile(
             Consumer::new(req_ring, mem.host()).unwrap(),
             Producer::new(resp_ring, mem.host()).unwrap(),
             RamDisk::new(disk_blocks),
+            profile,
         );
         (mem, RingBlockStore::new(front, back))
     }
 
-    #[test]
-    fn encode_decode_roundtrip() {
-        let r = BlockReq::Read { lba: 42 };
-        assert_eq!(BlockReq::decode(&r.encode()).unwrap(), r);
-        let w = BlockReq::Write {
-            lba: 7,
-            data: vec![9u8; BLOCK_SIZE],
-        };
-        assert_eq!(BlockReq::decode(&w.encode()).unwrap(), w);
-        let d = BlockResp::Data(vec![1u8; BLOCK_SIZE]);
-        assert_eq!(BlockResp::decode(&d.encode()).unwrap(), d);
-        assert_eq!(
-            BlockResp::decode(&BlockResp::Ok.encode()).unwrap(),
-            BlockResp::Ok
-        );
+    fn ring_store(disk_blocks: u64) -> (GuestMemory, RingBlockStore) {
+        ring_store_with(disk_blocks, BlkProfile::storage_v1())
+    }
+
+    fn pattern(i: usize) -> Vec<u8> {
+        (0..BLOCK_SIZE)
+            .map(|j| ((i * 131 + j * 7) % 251) as u8)
+            .collect()
     }
 
     #[test]
-    fn malformed_messages_rejected() {
-        assert_eq!(BlockReq::decode(&[]), Err(BlockError::Protocol));
-        assert_eq!(BlockReq::decode(&[0, 1, 2]), Err(BlockError::Protocol));
-        assert_eq!(BlockReq::decode(&[9; 9]), Err(BlockError::Protocol));
-        // Write with wrong payload size.
-        let mut w = BlockReq::Write {
-            lba: 0,
-            data: vec![0u8; BLOCK_SIZE],
-        }
-        .encode();
-        w.pop();
-        assert_eq!(BlockReq::decode(&w), Err(BlockError::Protocol));
-        // Truncated data response.
-        assert_eq!(BlockResp::decode(&[0, 1, 2]), Err(BlockError::Protocol));
-        assert_eq!(BlockResp::decode(&[7]), Err(BlockError::Protocol));
+    fn frames_parse_and_reject() {
+        let mut frame = vec![0u8; BLK_HDR + BLOCK_SIZE];
+        put_hdr(&mut frame, OP_WRITE, 42);
+        assert!(matches!(parse_req(&frame), ReqView::Write(42)));
+        put_hdr(&mut frame[..BLK_HDR], OP_READ, 7);
+        assert!(matches!(parse_req(&frame[..BLK_HDR]), ReqView::Read(7)));
+        // Truncated, wrong length for op, unknown op.
+        assert!(matches!(parse_req(&[]), ReqView::Malformed));
+        assert!(matches!(
+            parse_req(&frame[..BLK_HDR - 1]),
+            ReqView::Malformed
+        ));
+        assert!(matches!(
+            parse_req(&frame[..BLK_HDR + 1]),
+            ReqView::Malformed
+        ));
+        frame[0] = 9;
+        assert!(matches!(parse_req(&frame), ReqView::Malformed));
+
+        let mut resp = vec![0u8; BLK_HDR + BLOCK_SIZE];
+        put_hdr(&mut resp, ST_DATA, 5);
+        assert!(matches!(
+            parse_resp(&mut resp),
+            BlkResp::Data { lba: 5, .. }
+        ));
+        put_hdr(&mut resp[..BLK_HDR], ST_OK, 6);
+        assert!(matches!(
+            parse_resp(&mut resp[..BLK_HDR]),
+            BlkResp::Ok { lba: 6 }
+        ));
+        put_hdr(&mut resp[..BLK_HDR], ST_ERR, 8);
+        assert!(matches!(
+            parse_resp(&mut resp[..BLK_HDR]),
+            BlkResp::Err { lba: 8 }
+        ));
+        // Truncated data, oversized ack, unknown status.
+        assert!(matches!(
+            parse_resp(&mut resp[..BLK_HDR + 3]),
+            BlkResp::Malformed
+        ));
+        resp[0] = ST_OK;
+        assert!(matches!(parse_resp(&mut resp), BlkResp::Malformed));
+        resp[0] = 7;
+        assert!(matches!(
+            parse_resp(&mut resp[..BLK_HDR]),
+            BlkResp::Malformed
+        ));
     }
 
     #[test]
@@ -353,11 +1126,138 @@ mod tests {
 
     #[test]
     fn backend_errors_surface() {
-        let (_mem, mut s) = ring_store(4);
-        let data = vec![0u8; BLOCK_SIZE];
-        assert_eq!(s.write_block(100, &data), Err(BlockError::OutOfRange));
-        let mut buf = vec![0u8; BLOCK_SIZE];
-        assert_eq!(s.read_block(100, &mut buf), Err(BlockError::OutOfRange));
+        for profile in [BlkProfile::storage_v1(), BlkProfile::batched(8)] {
+            let (_mem, mut s) = ring_store_with(4, profile);
+            let data = vec![0u8; BLOCK_SIZE];
+            assert_eq!(s.write_block(100, &data), Err(BlockError::OutOfRange));
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            assert_eq!(s.read_block(100, &mut buf), Err(BlockError::OutOfRange));
+            // The store keeps working after a failed request.
+            s.write_block(3, &data).unwrap();
+            s.read_block(3, &mut buf).unwrap();
+            assert_eq!(buf, data);
+        }
+    }
+
+    #[test]
+    fn runs_roundtrip_across_profiles() {
+        for profile in [
+            BlkProfile::storage_v1(),
+            BlkProfile::batched(8),
+            BlkProfile {
+                copy: BlkCopyMode::Staged,
+                batch: BatchPolicy::Fixed(8),
+                notify: NotifyMode::Doorbell,
+            },
+            BlkProfile {
+                copy: BlkCopyMode::InSlot,
+                batch: BatchPolicy::Serial,
+                notify: NotifyMode::Polling,
+            },
+        ] {
+            let (_mem, mut s) = ring_store_with(64, profile);
+            let blocks: Vec<Vec<u8>> = (0..24).map(pattern).collect();
+            s.write_run_with(3, blocks.len(), &mut |base, slots| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    slot.copy_from_slice(&blocks[base + i]);
+                }
+            })
+            .unwrap();
+            let mut seen = vec![false; blocks.len()];
+            s.read_run_with(3, blocks.len(), &mut |base, slots| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    assert_eq!(&slot[..], &blocks[base + i][..], "{profile:?}");
+                    seen[base + i] = true;
+                }
+            })
+            .unwrap();
+            assert!(seen.iter().all(|&s| s), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn batched_in_slot_is_zero_copy_and_amortized() {
+        let (mem, mut s) = ring_store_with(64, BlkProfile::batched(8));
+        let meter = mem.meter().clone();
+        let before = meter.snapshot();
+        let blocks: Vec<Vec<u8>> = (0..16).map(pattern).collect();
+        s.write_run_with(0, 16, &mut |base, slots| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot.copy_from_slice(&blocks[base + i]);
+            }
+        })
+        .unwrap();
+        s.read_run_with(0, 16, &mut |base, slots| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                assert_eq!(&slot[..], &blocks[base + i][..]);
+            }
+        })
+        .unwrap();
+        let d = meter.snapshot().delta(&before);
+        assert_eq!(d.blk_records, 32, "16 writes + 16 reads");
+        assert_eq!(d.blk_copies, 0, "in-slot path must not stage");
+        assert!(
+            d.blk_commits <= 8,
+            "runs of 8 amortize publishes: {}",
+            d.blk_commits
+        );
+        assert!(
+            d.lock_acquisitions < d.blk_records,
+            "locks {} must amortize below records {}",
+            d.lock_acquisitions,
+            d.blk_records
+        );
+        // Event-idx suppression keeps doorbells far below one per block.
+        assert!(
+            d.blk_doorbells <= 4,
+            "doorbells {} not suppressed",
+            d.blk_doorbells
+        );
+    }
+
+    #[test]
+    fn storage_v1_profile_stages_per_block() {
+        let (mem, mut s) = ring_store(64);
+        let meter = mem.meter().clone();
+        let before = meter.snapshot();
+        let data = pattern(1);
+        s.write_block(2, &data).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        s.read_block(2, &mut out).unwrap();
+        let d = meter.snapshot().delta(&before);
+        assert_eq!(d.blk_records, 2);
+        // Write: guest stages the frame, host copies it out. Read: host
+        // stages the response, guest copies it out.
+        assert_eq!(d.blk_copies, 4, "storage_v1 pays staging both ways");
+        assert_eq!(d.blk_doorbells, 0, "polling rings never kick");
+    }
+
+    #[test]
+    fn serial_and_batched_disks_match() {
+        let (_m1, mut serial) = ring_store_with(64, BlkProfile::storage_v1());
+        let (_m2, mut batched) = ring_store_with(64, BlkProfile::batched(8));
+        let blocks: Vec<Vec<u8>> = (0..20).map(pattern).collect();
+        for (i, b) in blocks.iter().enumerate() {
+            serial.write_block(i as u64, b).unwrap();
+        }
+        batched
+            .write_run_with(0, blocks.len(), &mut |base, slots| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    slot.copy_from_slice(&blocks[base + i]);
+                }
+            })
+            .unwrap();
+        for lba in 0..blocks.len() as u64 {
+            assert_eq!(
+                serial.backend_mut().disk_mut().snapshot_block(lba).unwrap(),
+                batched
+                    .backend_mut()
+                    .disk_mut()
+                    .snapshot_block(lba)
+                    .unwrap(),
+                "block {lba} differs between serial and batched paths"
+            );
+        }
     }
 
     #[test]

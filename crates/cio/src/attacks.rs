@@ -680,6 +680,292 @@ pub fn batch_partial_poison() -> Result<Outcome, CioError> {
     })
 }
 
+/// Report from one storage-plane attack scenario (the E24 additions to
+/// the adversary suite: the batched block ring under the same hostile
+/// host the network dataplane faces).
+#[derive(Debug, Clone, Copy)]
+pub struct BlkAttackReport {
+    /// The attack class whose wire code seals the verdict (the block
+    /// scenarios reuse the established codes — `SlotForgery` for
+    /// response aliasing, `PayloadDoubleFetch` for mid-batch poison,
+    /// `SpuriousCompletion` for rollback — so `ALL_ATTACKS` and every
+    /// pinned matrix artifact stay unchanged).
+    pub attack: AttackKind,
+    /// Classification against the fail-closed contract.
+    pub outcome: Outcome,
+    /// The hostile read was refused with the right verdict and no
+    /// falsified byte reached the caller.
+    pub fail_closed: bool,
+    /// Untouched data still reads back correctly afterwards (the blast
+    /// radius is the attacked blocks, not the store).
+    pub intact_elsewhere: bool,
+    /// Verdict sealed into a verified audit chain.
+    pub audit_ok: bool,
+}
+
+/// A single-lane encrypted block stack for the storage adversary suite:
+/// [`cio_block::CryptStore`] over a batched in-slot ring pair over the
+/// host's [`cio_block::RamDisk`] — the same layers `cio::kv` deploys,
+/// minus the engine, so scenarios can aim at exact physical blocks.
+fn blk_crypt_fixture() -> Result<
+    (
+        cio_mem::GuestMemory,
+        cio_block::CryptStore<cio_block::transport::RingBlockStore>,
+    ),
+    CioError,
+> {
+    use cio_block::blockdev::BLOCK_SIZE;
+    use cio_block::transport::{
+        BlkProfile, CioBlkBackend, CioBlkFrontend, RingBlockStore, BLK_HDR,
+    };
+    use cio_mem::{GuestAddr, GuestMemory, PAGE_SIZE};
+    use cio_sim::{Clock, CostModel, Meter};
+    use cio_vring::cioring::{Consumer, DataMode, Producer, RingConfig};
+
+    let profile = BlkProfile::batched(8);
+    let mem = GuestMemory::new(600, Clock::new(), CostModel::default(), Meter::new());
+    let cfg = RingConfig {
+        slots: 16,
+        slot_size: 16,
+        mode: DataMode::SharedArea,
+        mtu: (BLOCK_SIZE + BLK_HDR) as u32,
+        area_size: 1 << 17,
+        notify: profile.notify,
+        ..RingConfig::default()
+    };
+    let req_ring = CioRing::new(cfg.clone(), GuestAddr(0), GuestAddr(16 * PAGE_SIZE as u64))?;
+    let resp_ring = CioRing::new(
+        cfg,
+        GuestAddr(8 * PAGE_SIZE as u64),
+        GuestAddr(64 * PAGE_SIZE as u64),
+    )?;
+    mem.share_range(GuestAddr(0), req_ring.ring_bytes())?;
+    mem.share_range(GuestAddr(8 * PAGE_SIZE as u64), resp_ring.ring_bytes())?;
+    mem.share_range(GuestAddr(16 * PAGE_SIZE as u64), req_ring.area_bytes())?;
+    mem.share_range(GuestAddr(64 * PAGE_SIZE as u64), resp_ring.area_bytes())?;
+    let front = CioBlkFrontend::with_profile(
+        Producer::new(req_ring.clone(), mem.guest())?,
+        Consumer::new(resp_ring.clone(), mem.guest())?,
+        profile,
+    );
+    let back = CioBlkBackend::with_profile(
+        Consumer::new(req_ring, mem.host())?,
+        Producer::new(resp_ring, mem.host())?,
+        cio_block::RamDisk::new(512),
+        profile,
+    );
+    let ring = RingBlockStore::new(front, back);
+    Ok((mem, cio_block::CryptStore::new(ring, [0x5C; 32])?))
+}
+
+fn blk_pattern(seed: usize, blocks: usize) -> Vec<u8> {
+    use cio_block::blockdev::BLOCK_SIZE;
+    (0..blocks * BLOCK_SIZE)
+        .map(|j| ((seed * 131 + j * 7) % 251) as u8)
+        .collect()
+}
+
+/// Seals a block-scenario verdict into a fresh tamper-evident audit chain
+/// (the block fixture runs below the [`World`] layer, so it carries its
+/// own recorder — same chain discipline, same verification).
+fn seal_blk_verdict(attack: AttackKind, outcome: Outcome) -> bool {
+    let flight = FlightRecorder::new(cio_sim::Clock::new(), 1);
+    seal_verdict(&flight, attack, outcome)
+}
+
+/// Response-aliasing TOCTOU on the batched block ring (sealed under the
+/// [`AttackKind::SlotForgery`] code): the host answers the request for
+/// one block with the ciphertext it stored for *another* — a splice
+/// attack on the response path, the storage twin of forging a slot's
+/// offset to alias a different record. The AEAD binds LBA (AAD) and
+/// generation (nonce) into every block, so the aliased ciphertext cannot
+/// authenticate at its new address: the batched gather-open must refuse
+/// the read, and blocks the alias never touched must keep reading back
+/// byte-identical.
+///
+/// # Errors
+///
+/// Infrastructure failures only; attack effects are the *result*.
+pub fn blk_response_alias() -> Result<BlkAttackReport, CioError> {
+    use cio_block::blockdev::BLOCK_SIZE;
+    use cio_block::BlockError;
+
+    let (_mem, mut store) = blk_crypt_fixture()?;
+    let run_a = blk_pattern(1, 16);
+    let run_b = blk_pattern(2, 16);
+    store.write_run(0, &run_a)?;
+    store.write_run(16, &run_b)?;
+
+    // The splice: physical block 3's ciphertext is served for block 19.
+    let disk = store.inner_mut().backend_mut().disk_mut();
+    let alias = disk.snapshot_block(3)?;
+    disk.restore_block(19, &alias)?;
+
+    let mut out = vec![0u8; 16 * BLOCK_SIZE];
+    let verdict = store.read_run(16, &mut out);
+    let fail_closed = verdict == Err(BlockError::IntegrityViolation)
+        && !out
+            .chunks_exact(BLOCK_SIZE)
+            .zip(run_a.chunks_exact(BLOCK_SIZE))
+            .any(|(got, aliased)| got == aliased);
+
+    // The untouched run is unharmed.
+    let mut intact = vec![0u8; 16 * BLOCK_SIZE];
+    let intact_elsewhere = store.read_run(0, &mut intact).is_ok() && intact == run_a;
+
+    let outcome = if fail_closed && intact_elsewhere {
+        Outcome::Detected
+    } else {
+        Outcome::Undetected
+    };
+    let audit_ok = seal_blk_verdict(AttackKind::SlotForgery, outcome);
+    Ok(BlkAttackReport {
+        attack: AttackKind::SlotForgery,
+        outcome,
+        fail_closed,
+        intact_elsewhere,
+        audit_ok,
+    })
+}
+
+/// Mid-batch poison on the block ring (sealed under the
+/// [`AttackKind::PayloadDoubleFetch`] code): the host corrupts one
+/// ciphertext block in the middle of a committed 16-block run before the
+/// guest's batched gather-open. Amortizing one lock and one doorbell over
+/// the run must not widen the blast radius of one hostile slot: blocks
+/// ahead of the poison (each independently authenticated) are delivered,
+/// the poisoned block fails the whole read closed, and not one byte past
+/// the failure point reaches the caller — the tail is zeroed, and the
+/// run reads clean again only after being rewritten.
+///
+/// # Errors
+///
+/// Infrastructure failures only; attack effects are the *result*.
+pub fn blk_mid_batch_poison() -> Result<BlkAttackReport, CioError> {
+    use cio_block::blockdev::BLOCK_SIZE;
+    use cio_block::BlockError;
+
+    const POISONED: usize = 7;
+    let (_mem, mut store) = blk_crypt_fixture()?;
+    let run = blk_pattern(3, 16);
+    store.write_run(0, &run)?;
+
+    store
+        .inner_mut()
+        .backend_mut()
+        .disk_mut()
+        .tamper(POISONED as u64, 1234, 0xA5)?;
+
+    let mut out = vec![0u8; 16 * BLOCK_SIZE];
+    let verdict = store.read_run(0, &mut out);
+    let fail_closed = verdict == Err(BlockError::IntegrityViolation)
+        && out[..POISONED * BLOCK_SIZE] == run[..POISONED * BLOCK_SIZE]
+        && out[POISONED * BLOCK_SIZE..].iter().all(|&b| b == 0);
+
+    // Fail closed *until rewritten*: a fresh seal of the run recovers it.
+    let rewritten = blk_pattern(4, 16);
+    store.write_run(0, &rewritten)?;
+    let mut again = vec![0u8; 16 * BLOCK_SIZE];
+    let intact_elsewhere = store.read_run(0, &mut again).is_ok() && again == rewritten;
+
+    let outcome = if fail_closed && intact_elsewhere {
+        Outcome::Detected
+    } else {
+        Outcome::Undetected
+    };
+    let audit_ok = seal_blk_verdict(AttackKind::PayloadDoubleFetch, outcome);
+    Ok(BlkAttackReport {
+        attack: AttackKind::PayloadDoubleFetch,
+        outcome,
+        fail_closed,
+        intact_elsewhere,
+        audit_ok,
+    })
+}
+
+/// Rollback under batching (sealed under the
+/// [`AttackKind::SpuriousCompletion`] code): the host snapshots a run's
+/// complete generation-1 state — data blocks *and* the tag metadata
+/// block — lets the guest overwrite it through the batched path, then
+/// restores the stale snapshot wholesale. Every restored block is validly
+/// sealed, just old: a freshness defense is the only thing that can catch
+/// it. The crypt layer's in-TEE generation counters must classify the
+/// read as [`cio_block::BlockError::Rollback`] (not a mere integrity
+/// failure), and blocks outside the rolled-back run must stay writable
+/// and readable.
+///
+/// # Errors
+///
+/// Infrastructure failures only; attack effects are the *result*.
+pub fn blk_rollback_under_batching() -> Result<BlkAttackReport, CioError> {
+    use cio_block::blockdev::{BlockStore, BLOCK_SIZE};
+    use cio_block::BlockError;
+
+    let (_mem, mut store) = blk_crypt_fixture()?;
+    let gen1 = blk_pattern(5, 16);
+    store.write_run(0, &gen1)?;
+
+    // The host's rollback kit: the full generation-1 state of the run.
+    let tag_block = store.blocks(); // tags for LBAs 0..256 live here
+    let mut snapshots = Vec::with_capacity(17);
+    {
+        let disk = store.inner_mut().backend_mut().disk_mut();
+        for lba in 0..16u64 {
+            snapshots.push((lba, disk.snapshot_block(lba)?));
+        }
+        snapshots.push((tag_block, disk.snapshot_block(tag_block)?));
+    }
+
+    let gen2 = blk_pattern(6, 16);
+    store.write_run(0, &gen2)?;
+
+    {
+        let disk = store.inner_mut().backend_mut().disk_mut();
+        for (lba, snap) in &snapshots {
+            disk.restore_block(*lba, snap)?;
+        }
+    }
+
+    let mut out = vec![0u8; 16 * BLOCK_SIZE];
+    let verdict = store.read_run(0, &mut out);
+    // The stale-but-valid snapshot must classify as rollback, and the
+    // gen-1 plaintext must not be served as current.
+    let fail_closed = verdict == Err(BlockError::Rollback) && out != gen1;
+
+    // Blocks outside the rolled-back run still work end to end.
+    let fresh = blk_pattern(7, 16);
+    store.write_run(32, &fresh)?;
+    let mut again = vec![0u8; 16 * BLOCK_SIZE];
+    let intact_elsewhere = store.read_run(32, &mut again).is_ok() && again == fresh;
+
+    let outcome = if fail_closed && intact_elsewhere {
+        Outcome::Detected
+    } else {
+        Outcome::Undetected
+    };
+    let audit_ok = seal_blk_verdict(AttackKind::SpuriousCompletion, outcome);
+    Ok(BlkAttackReport {
+        attack: AttackKind::SpuriousCompletion,
+        outcome,
+        fail_closed,
+        intact_elsewhere,
+        audit_ok,
+    })
+}
+
+/// Runs the storage adversary suite: all three block-ring scenarios.
+///
+/// # Errors
+///
+/// Infrastructure failures only.
+pub fn run_blk_suite() -> Result<Vec<BlkAttackReport>, CioError> {
+    Ok(vec![
+        blk_response_alias()?,
+        blk_mid_batch_poison()?,
+        blk_rollback_under_batching()?,
+    ])
+}
+
 /// The live-race scenario for the thread-per-queue host: a hostile OS
 /// thread hammers the last queue's RX ring — producer-index forgery and
 /// slot offset/len scribbles — *concurrently* with the guest committing
@@ -1634,5 +1920,42 @@ mod tests {
         assert!(t.chain_len >= 1, "{t:?}");
         assert!(t.clean_ok, "{t:?}");
         assert!(t.flagged_exact, "{t:?}");
+    }
+
+    #[test]
+    fn blk_response_alias_is_detected() {
+        let r = blk_response_alias().unwrap();
+        assert_eq!(r.attack, AttackKind::SlotForgery);
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.fail_closed, "{r:?}");
+        assert!(r.intact_elsewhere, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+    }
+
+    #[test]
+    fn blk_mid_batch_poison_is_detected() {
+        let r = blk_mid_batch_poison().unwrap();
+        assert_eq!(r.attack, AttackKind::PayloadDoubleFetch);
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.fail_closed, "{r:?}");
+        assert!(r.intact_elsewhere, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+    }
+
+    #[test]
+    fn blk_rollback_under_batching_is_detected() {
+        let r = blk_rollback_under_batching().unwrap();
+        assert_eq!(r.attack, AttackKind::SpuriousCompletion);
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.fail_closed, "{r:?}");
+        assert!(r.intact_elsewhere, "{r:?}");
+        assert!(r.audit_ok, "{r:?}");
+    }
+
+    #[test]
+    fn blk_suite_all_detected() {
+        for r in run_blk_suite().unwrap() {
+            assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        }
     }
 }

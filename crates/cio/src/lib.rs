@@ -38,6 +38,7 @@
 
 pub mod attacks;
 pub mod dev;
+pub mod kv;
 pub mod policy;
 pub mod session;
 pub mod storage;

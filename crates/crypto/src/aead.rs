@@ -322,6 +322,72 @@ impl ChaCha20Poly1305 {
         Ok(())
     }
 
+    /// One-pass gather open: reads `ct` (which may live in
+    /// adversary-observable shared memory), authenticates it, and writes
+    /// the plaintext into the private `out` buffer. The shared source is
+    /// never written, and each chunk is fetched into a private scratch
+    /// exactly once before being MACed and decrypted — the bytes that
+    /// authenticate are the bytes that decrypt, so a host racing the open
+    /// cannot split them. The mirror of [`seal_fused_scatter`]: the
+    /// in-slot block path opens ciphertext straight out of ring slots
+    /// with this.
+    ///
+    /// On tag mismatch `out` is zeroed and no plaintext is released.
+    /// Plaintext output is bit-identical to [`open_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// If `out.len() != ct.len()`.
+    ///
+    /// [`seal_fused_scatter`]: ChaCha20Poly1305::seal_fused_scatter
+    /// [`open_in_place`]: ChaCha20Poly1305::open_in_place
+    pub fn open_fused_gather(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ct: &[u8],
+        out: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<(), CryptoError> {
+        assert_eq!(ct.len(), out.len(), "gather open length mismatch");
+        if ct.len() <= SMALL_CUTOFF {
+            let session = ChaCha20::new(&self.key, nonce);
+            let mut ks = [0u8; FUSE_CHUNK];
+            Self::small_keystream(&session, ct.len(), &mut ks);
+            let mut mac = Self::small_mac(&ks, aad);
+            let mut tmp = [0u8; SMALL_CUTOFF];
+            let fetched = &mut tmp[..ct.len()];
+            fetched.copy_from_slice(ct);
+            mac.update(fetched);
+            let expected = Self::fused_finish(mac, aad.len(), ct.len());
+            if !ct_eq(&expected, tag) {
+                out.fill(0);
+                return Err(CryptoError::BadTag);
+            }
+            for ((o, c), k) in out.iter_mut().zip(fetched.iter()).zip(&ks[BLOCK_LEN..]) {
+                *o = c ^ k;
+            }
+            return Ok(());
+        }
+        let (session, mut mac) = self.fused_start(nonce, aad);
+        let mut counter = 1u32;
+        let mut tmp = [0u8; FUSE_CHUNK];
+        for (ct_chunk, out_chunk) in ct.chunks(FUSE_CHUNK).zip(out.chunks_mut(FUSE_CHUNK)) {
+            let n = ct_chunk.len();
+            tmp[..n].copy_from_slice(ct_chunk);
+            mac.update(&tmp[..n]);
+            session.xor_at(counter, &mut tmp[..n]);
+            counter = counter.wrapping_add(n.div_ceil(BLOCK_LEN) as u32);
+            out_chunk.copy_from_slice(&tmp[..n]);
+        }
+        let expected = Self::fused_finish(mac, aad.len(), ct.len());
+        if !ct_eq(&expected, tag) {
+            out.fill(0);
+            return Err(CryptoError::BadTag);
+        }
+        Ok(())
+    }
+
     /// Fused counterpart of [`seal`]: returns `ciphertext || tag`,
     /// bit-identical to the two-pass API.
     pub fn seal_fused(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
@@ -744,6 +810,24 @@ mod tests {
                 "len {len}"
             );
             assert_eq!(tampered, reference, "rollback len {len}");
+
+            // Gather open: reads shared ciphertext, writes private
+            // plaintext, never touches the source.
+            let ct_shared = reference.clone();
+            let mut gathered = vec![0xEEu8; len];
+            aead.open_fused_gather(&nonce, aad, &ct_shared, &mut gathered, &ref_tag)
+                .expect("gather round trip");
+            assert_eq!(gathered, msg, "gather plaintext len {len}");
+            assert_eq!(ct_shared, reference, "gather source untouched len {len}");
+
+            // Failed gather open releases nothing: the output is zeroed.
+            let mut sunk = vec![0xEEu8; len];
+            assert_eq!(
+                aead.open_fused_gather(&nonce, aad, &ct_shared, &mut sunk, &bad_tag),
+                Err(CryptoError::BadTag),
+                "gather len {len}"
+            );
+            assert!(sunk.iter().all(|&b| b == 0), "gather zeroed len {len}");
         }
     }
 

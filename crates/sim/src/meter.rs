@@ -137,6 +137,24 @@ meter_fields! {
     /// SLO watchdog breach events (windowed p99 over the latency SLO, or
     /// burn rate over budget in both the short and long window).
     slo_breaches,
+    /// Block requests completed through the block transport (one per
+    /// logical block moved in either direction — the denominator for the
+    /// storage copy-discipline gauges).
+    blk_records,
+    /// Staging copies on the block data path (request frames staged into
+    /// private buffers, response payloads copied out). The seal-in-slot
+    /// block path performs zero; the `storage_v1` staged path pays several
+    /// per block.
+    blk_copies,
+    /// Producer-index publishes on the block rings (requests and
+    /// responses). One commit can carry a whole run of block requests, so
+    /// `blk_records / blk_commits` rises toward the batch depth under the
+    /// batched storage path.
+    blk_commits,
+    /// Doorbells actually rung on the block rings (frontend submit kicks
+    /// plus backend completion kicks). Divided by `blk_records` this is
+    /// the doorbells-per-block rate E24 gates on.
+    blk_doorbells,
 }
 
 #[cfg(test)]

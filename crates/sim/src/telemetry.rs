@@ -73,11 +73,21 @@ pub enum Stage {
     Peer,
     /// Idle step quantum (the world made no progress this round).
     Idle,
+    /// Block request submission on the guest (frontend framing + commit).
+    BlkSubmit,
+    /// Storage AEAD: sealing a block into (or opening one out of) ring
+    /// slot memory, including tag-metadata maintenance.
+    BlkSeal,
+    /// Block-ring traffic itself (reserve/commit/consume on the request
+    /// and response rings, doorbells included).
+    BlkRing,
+    /// Host backend servicing block requests against the backing disk.
+    BlkService,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// Every stage, in fixed path order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -93,6 +103,10 @@ impl Stage {
         Stage::AppFlush,
         Stage::Peer,
         Stage::Idle,
+        Stage::BlkSubmit,
+        Stage::BlkSeal,
+        Stage::BlkRing,
+        Stage::BlkService,
     ];
 
     /// Stable dotted name used in tables and exports.
@@ -110,6 +124,10 @@ impl Stage {
             Stage::AppFlush => "app.flush",
             Stage::Peer => "peer",
             Stage::Idle => "idle",
+            Stage::BlkSubmit => "blk.submit",
+            Stage::BlkSeal => "blk.seal",
+            Stage::BlkRing => "blk.ring",
+            Stage::BlkService => "blk.service",
         }
     }
 
@@ -861,6 +879,35 @@ impl Telemetry {
                  # TYPE cio_slo_breaches_total counter\n",
             );
             out.push_str(&format!("cio_slo_breaches_total {}\n", snap.slo_breaches));
+            out.push_str(
+                "# HELP cio_blk_records_total Logical blocks moved through the block transport.\n\
+                 # TYPE cio_blk_records_total counter\n",
+            );
+            out.push_str(&format!("cio_blk_records_total {}\n", snap.blk_records));
+            out.push_str(
+                "# HELP cio_blk_copies_per_record Staging copies per block moved.\n\
+                 # TYPE cio_blk_copies_per_record gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_blk_copies_per_record {:.6}\n",
+                blk_copies_per_record(&snap)
+            ));
+            out.push_str(
+                "# HELP cio_blk_records_per_commit Blocks published per block-ring producer index write.\n\
+                 # TYPE cio_blk_records_per_commit gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_blk_records_per_commit {:.6}\n",
+                blk_records_per_commit(&snap)
+            ));
+            out.push_str(
+                "# HELP cio_blk_doorbells_per_record Doorbells actually rung on the block rings per block.\n\
+                 # TYPE cio_blk_doorbells_per_record gauge\n",
+            );
+            out.push_str(&format!(
+                "cio_blk_doorbells_per_record {:.6}\n",
+                blk_doorbells_per_record(&snap)
+            ));
         }
         if let Some(g) = &s.sessions {
             out.push_str(
@@ -1015,6 +1062,20 @@ impl Telemetry {
                 snap.suppressed_kicks,
                 snap.spurious_wakeups
             ));
+            out.push_str(&format!(
+                ",\n  \"storage\": {{\"blk_records\": {}, \"blk_copies\": {}, \
+                 \"blk_commits\": {}, \"blk_doorbells\": {}, \
+                 \"blk_copies_per_record\": {:.6}, \
+                 \"blk_records_per_commit\": {:.6}, \
+                 \"blk_doorbells_per_record\": {:.6}}}",
+                snap.blk_records,
+                snap.blk_copies,
+                snap.blk_commits,
+                snap.blk_doorbells,
+                blk_copies_per_record(&snap),
+                blk_records_per_commit(&snap),
+                blk_doorbells_per_record(&snap)
+            ));
         }
         if let Some(g) = &s.sessions {
             out.push_str(&format!(
@@ -1076,6 +1137,36 @@ fn doorbells_per_record(snap: &crate::MeterSnapshot) -> f64 {
         0.0
     } else {
         (snap.notifications_sent + snap.interrupts_received) as f64 / snap.ring_records as f64
+    }
+}
+
+/// Staging copies per block moved through the block transport (0 before
+/// any block moved; stays 0 on the seal-in-slot path).
+fn blk_copies_per_record(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.blk_records == 0 {
+        0.0
+    } else {
+        snap.blk_copies as f64 / snap.blk_records as f64
+    }
+}
+
+/// Blocks published per block-ring producer-index write: 1.0 serial,
+/// approaching the batch depth as commits amortize over runs.
+fn blk_records_per_commit(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.blk_commits == 0 {
+        0.0
+    } else {
+        snap.blk_records as f64 / snap.blk_commits as f64
+    }
+}
+
+/// Doorbells actually rung on the block rings per block moved: collapses
+/// toward 0 under event-idx suppression with batched runs.
+fn blk_doorbells_per_record(snap: &crate::MeterSnapshot) -> f64 {
+    if snap.blk_records == 0 {
+        0.0
+    } else {
+        snap.blk_doorbells as f64 / snap.blk_records as f64
     }
 }
 
@@ -1377,6 +1468,9 @@ mod tests {
         m.interrupts_received(1);
         m.suppressed_kicks(6);
         m.spurious_wakeups(1);
+        m.blk_records(16);
+        m.blk_commits(2);
+        m.blk_doorbells(4);
         t.attach_meter(&m);
 
         let run = || (t.prometheus_text(), t.json_snapshot());
@@ -1400,6 +1494,17 @@ mod tests {
              \"lock_acquisitions_per_record\": 0.500000, \
              \"doorbells_per_record\": 0.250000, \"suppressed_kicks\": 6, \
              \"spurious_wakeups\": 1}"
+        ));
+        assert!(pa.contains("cio_blk_records_total 16"));
+        assert!(pa.contains("cio_blk_copies_per_record 0.000000"));
+        assert!(pa.contains("cio_blk_records_per_commit 8.000000"));
+        assert!(pa.contains("cio_blk_doorbells_per_record 0.250000"));
+        assert!(ja.contains(
+            "\"storage\": {\"blk_records\": 16, \"blk_copies\": 0, \
+             \"blk_commits\": 2, \"blk_doorbells\": 4, \
+             \"blk_copies_per_record\": 0.000000, \
+             \"blk_records_per_commit\": 8.000000, \
+             \"blk_doorbells_per_record\": 0.250000}"
         ));
 
         // A zero-copy steady state reads exactly 0; no commits reads 0

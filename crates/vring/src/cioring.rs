@@ -503,6 +503,13 @@ impl<V: MemView> Producer<V> {
         &self.ring
     }
 
+    /// The operation meter of this endpoint's memory domain. Transport
+    /// layers stacked over the ring (e.g. the block frontend) use it to
+    /// charge their own path-level counters without a separate handle.
+    pub fn meter(&self) -> cio_sim::Meter {
+        self.view.memory().meter().clone()
+    }
+
     fn in_flight(&self) -> Result<u32, RingError> {
         // The consumer index is a *hint*: a lying peer can only cause
         // spurious Full results (peer's own loss), never unsafety.
@@ -1085,6 +1092,12 @@ impl<V: MemView> Consumer<V> {
     /// The ring geometry.
     pub fn ring(&self) -> &CioRing {
         &self.ring
+    }
+
+    /// The operation meter of this endpoint's memory domain (see
+    /// `Producer::meter`).
+    pub fn meter(&self) -> cio_sim::Meter {
+        self.view.memory().meter().clone()
     }
 
     /// How many entries appear available. A peer claiming more than the

@@ -303,3 +303,26 @@ fn attack_matrix_pinned_outcomes() {
         assert_eq!(r.outcome, expected, "{b} vs {a}");
     }
 }
+
+/// The storage plane inherits the dataplane's threat model: the batched
+/// block ring must detect response aliasing, mid-batch poison, and
+/// whole-snapshot rollback — fail closed with the right verdict, blast
+/// radius contained to the attacked blocks, verdict sealed into a
+/// verified audit chain.
+#[test]
+fn batched_block_ring_survives_the_storage_adversary() {
+    let reports = cio::attacks::run_blk_suite().unwrap();
+    assert_eq!(reports.len(), 3);
+    let expected = [
+        AttackKind::SlotForgery,
+        AttackKind::PayloadDoubleFetch,
+        AttackKind::SpuriousCompletion,
+    ];
+    for (r, want) in reports.iter().zip(expected) {
+        assert_eq!(r.attack, want);
+        assert_eq!(r.outcome, Outcome::Detected, "{r:?}");
+        assert!(r.fail_closed, "hostile bytes reached the caller: {r:?}");
+        assert!(r.intact_elsewhere, "blast radius escaped: {r:?}");
+        assert!(r.audit_ok, "verdict not sealed: {r:?}");
+    }
+}

@@ -288,6 +288,9 @@ fn counters_are_monotone_across_exports() {
                     && n != "cio_records_per_commit"
                     && n != "cio_lock_acquisitions_per_record"
                     && n != "cio_doorbells_per_record"
+                    && n != "cio_blk_copies_per_record"
+                    && n != "cio_blk_records_per_commit"
+                    && n != "cio_blk_doorbells_per_record"
                     && n != "cio_sessions_live"
                     && n != "cio_sessions_peak"
                     && n != "cio_session_table_slots"

@@ -689,4 +689,61 @@ fn steady_state_record_path_does_not_allocate() {
     assert!(snap.suppressed_kicks > 0, "event-idx never suppressed");
     assert!(snap.notifications_sent > 0, "event-idx never rang");
     assert_eq!(snap.violations_detected, 0, "honest run flagged hostile");
+
+    // Phase 9: the confidential KV plane — steady-state churn over the
+    // batched block path. A full put_sealed → service → flush →
+    // get_sealed_into round is the E24 ingest loop end to end: cTLS
+    // records opened into reused scratches, the segment sealed directly
+    // into ring-slot memory as one batched run, event-idx-gated host
+    // service, and gather-open reads back out of response slots. The log
+    // wraps and evicts as it churns; the index updates live entries in
+    // place and staged-key buffers recycle through a pool — so once the
+    // working set is warm, a complete KV lifecycle (including wraps)
+    // never touches the heap.
+    use cio::kv::{KvConfig, KvWorld};
+    const KV_KEYS: usize = 8;
+    // A small per-lane disk (~250 logical blocks) so the log wraps every
+    // ~15 flush rounds: eviction is part of the steady state under audit.
+    let mut kv = KvWorld::new(
+        KvConfig::batched(8).with_disk_blocks(256),
+        CostModel::default(),
+    )
+    .expect("kv world");
+    let kv_payload = vec![0x6Bu8; 2048];
+    let mut kv_out: Vec<u8> = Vec::new();
+    let kv_keys: Vec<Vec<u8>> = (0..KV_KEYS)
+        .map(|i| format!("churn-key-{i}").into_bytes())
+        .collect();
+    let kv_cycle = |kv: &mut KvWorld, out: &mut Vec<u8>, keys: &[Vec<u8>]| {
+        for key in keys.iter() {
+            kv.put_sealed(key, &kv_payload).expect("put sealed");
+        }
+        kv.service().expect("service");
+        kv.flush().expect("flush");
+        for key in keys.iter() {
+            assert!(
+                kv.get_sealed_into(key, out).expect("get sealed"),
+                "live key"
+            );
+            assert_eq!(out.as_slice(), &kv_payload[..]);
+        }
+    };
+    for _ in 0..32 {
+        kv_cycle(&mut kv, &mut kv_out, &kv_keys);
+    }
+    assert!(
+        kv.wraps() > 0,
+        "warm-up must already exercise the wrap path"
+    );
+
+    let before = allocations();
+    for _ in 0..250 {
+        kv_cycle(&mut kv, &mut kv_out, &kv_keys);
+    }
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state KV churn over the batched block path must not touch \
+         the heap ({during} allocations over 250 put/flush/get rounds)"
+    );
 }
